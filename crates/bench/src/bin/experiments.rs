@@ -1,0 +1,42 @@
+//! Runs the paper-reproduction experiments and prints their tables.
+//!
+//! ```text
+//! cargo run -p wmpt-bench --release --bin experiments            # all
+//! cargo run -p wmpt-bench --release --bin experiments fig15 fig17
+//! cargo run -p wmpt-bench --release --bin experiments --list
+//! ```
+
+use std::env;
+
+fn main() {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--tsv") {
+        args.remove(i);
+        let dir = std::path::Path::new("results");
+        for t in wmpt_bench::all_tsv_tables() {
+            let path = t.write_to(dir).expect("results/ must be writable");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    let registry = wmpt_bench::all_experiments();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &registry {
+            println!("{name}");
+        }
+        return;
+    }
+    let selected: Vec<&wmpt_bench::Experiment> = if args.is_empty() {
+        registry.iter().collect()
+    } else {
+        let sel: Vec<_> = registry.iter().filter(|(n, _)| args.iter().any(|a| a == n)).collect();
+        if sel.is_empty() {
+            eprintln!("unknown experiment(s) {args:?}; use --list");
+            std::process::exit(1);
+        }
+        sel
+    };
+    for (name, runner) in selected {
+        println!("################ {name} ################");
+        println!("{}", runner());
+    }
+}

@@ -1,0 +1,156 @@
+//! `mpt-sim` — command-line front end to the full-system simulator.
+//!
+//! ```text
+//! mpt-sim layer Late-2 w_mp++          # one Table II layer, one config
+//! mpt-sim layer Mid-2 all              # ... under all six configs
+//! mpt-sim network fractalnet w_mp++    # a whole CNN
+//! mpt-sim noc fbfly uniform            # latency/throughput sweep
+//! mpt-sim plan wrn w_mp++              # the host's per-layer plan
+//! ```
+
+use std::env;
+use std::process::exit;
+
+use wmpt_core::{simulate_layer, simulate_network, SystemConfig, SystemModel};
+use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
+use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mpt-sim layer <Early|Mid-1|Mid-2|Late-1|Late-2> <config|all>\n  \
+         mpt-sim network <wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
+         mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
+         mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n\n\
+         configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++"
+    );
+    exit(2);
+}
+
+fn parse_config(s: &str) -> Option<SystemConfig> {
+    SystemConfig::all().into_iter().find(|c| c.abbrev() == s)
+}
+
+fn configs_arg(s: &str) -> Vec<SystemConfig> {
+    if s == "all" {
+        SystemConfig::all().to_vec()
+    } else {
+        match parse_config(s) {
+            Some(c) => vec![c],
+            None => usage(),
+        }
+    }
+}
+
+fn find_layer(name: &str) -> Option<ConvLayerSpec> {
+    table2_layers().into_iter().find(|l| l.name == name)
+}
+
+fn find_network(name: &str) -> Option<Network> {
+    match name {
+        "wrn" => Some(wrn_40_10()),
+        "resnet34" => Some(resnet34()),
+        "fractalnet" => Some(fractalnet()),
+        "vgg16" => Some(wmpt_models::vgg16()),
+        _ => None,
+    }
+}
+
+fn run_plan(name: &str, cfg: &str) {
+    let Some(net) = find_network(name) else { usage() };
+    let Some(sys) = parse_config(cfg) else { usage() };
+    let model = SystemModel::paper_fp16();
+    let plan = wmpt_core::plan_network(&model, &net, sys);
+    print!("{}", plan.render());
+    println!(
+        "total {:.0} cycles/iter; {:.0}% of communication is weight collectives",
+        plan.total_cycles(),
+        100.0 * plan.collective_fraction()
+    );
+}
+
+fn run_layer(name: &str, cfgs: &[SystemConfig]) {
+    let Some(layer) = find_layer(name) else { usage() };
+    let model = SystemModel::paper();
+    println!("{layer}  (p = {}, batch = {})", model.workers, model.batch);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
+    );
+    for &sys in cfgs {
+        let r = simulate_layer(&model, &layer, sys);
+        let e = r.total_energy();
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>12.2} {:>10.0} {:>12}",
+            sys.abbrev(),
+            r.forward.cycles,
+            r.backward.cycles,
+            e.total_j() * 1e3,
+            e.average_power_w(r.total_cycles()),
+            r.cluster.to_string()
+        );
+    }
+}
+
+fn run_network(name: &str, cfgs: &[SystemConfig]) {
+    let Some(net) = find_network(name) else { usage() };
+    let model = SystemModel::paper_fp16();
+    println!(
+        "{} ({} conv layers, {:.1}M params)",
+        net.name,
+        net.layers.len(),
+        net.param_count() as f64 / 1e6
+    );
+    println!(
+        "{:<8} {:>14} {:>12} {:>10} {:>24}",
+        "config", "cycles/iter", "images/s", "power (W)", "organization mix"
+    );
+    for &sys in cfgs {
+        let r = simulate_network(&model, &net, sys);
+        let mix = r
+            .config_histogram()
+            .iter()
+            .map(|(k, n)| format!("{k}x{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<8} {:>14.0} {:>12.0} {:>10.0} {:>24}",
+            sys.abbrev(),
+            r.total_cycles(),
+            r.images_per_second(model.batch),
+            r.average_power_w(),
+            mix
+        );
+    }
+}
+
+fn run_noc(topo_name: &str, pattern_name: &str) {
+    let topo = match topo_name {
+        "ring" => Topology::ring(16, LinkKind::FullX2),
+        "fbfly" => Topology::flattened_butterfly(4, 4, LinkKind::Narrow),
+        _ => usage(),
+    };
+    let pattern = match pattern_name {
+        "uniform" => TrafficPattern::UniformRandom,
+        "transpose" => TrafficPattern::Transpose,
+        "neighbor" => TrafficPattern::NeighborRing,
+        "hotspot" => TrafficPattern::Hotspot,
+        _ => usage(),
+    };
+    println!("flit-level sweep: {topo_name} / {pattern_name}");
+    println!("{:>16} {:>16} {:>18}", "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)");
+    let pts = latency_throughput_sweep(&topo, pattern, 256, &[1000, 100, 30, 15, 8], 1);
+    for p in pts {
+        println!("{:>16.3} {:>16.1} {:>18.1}", p.offered, p.latency, p.throughput);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b)),
+        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b)),
+        [cmd, a, b] if cmd == "noc" => run_noc(a, b),
+        [cmd, a, b] if cmd == "plan" => run_plan(a, b),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 1: computation and memory access of direct vs
+//! Winograd-transformed convolution for the five Table II layers.
+//!
+//! Paper shape to reproduce: Winograd cuts computation by ~2.8× on
+//! average while increasing data access by ~4.4×.
+
+use wmpt_models::{direct_work, fig1_ratios, table2_layers, winograd_work, TABLE2_BATCH};
+
+use crate::{bytes, f, row};
+
+/// Runs the experiment and returns the printed figure data.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 1: direct vs Winograd computation & memory access ==\n");
+    out.push_str(&row(
+        "layer",
+        &["direct GMAC", "wino GMAC", "reduction", "direct data", "wino data", "increase"]
+            .map(String::from),
+    ));
+    let mut sum_c = 0.0;
+    let mut sum_a = 0.0;
+    let layers = table2_layers();
+    for l in &layers {
+        // F(4x4,3x3) as in the single-worker Winograd execution.
+        let d = direct_work(l, TABLE2_BATCH).total();
+        let w = winograd_work(l, TABLE2_BATCH, 4, 6).total();
+        let r = fig1_ratios(l, TABLE2_BATCH, 4, 6);
+        sum_c += r.compute_reduction;
+        sum_a += r.access_increase;
+        out.push_str(&row(
+            &l.name,
+            &[
+                f(d.macs as f64 / 1e9),
+                f(w.macs as f64 / 1e9),
+                format!("{:.2}x", r.compute_reduction),
+                bytes(d.bytes as f64),
+                bytes(w.bytes as f64),
+                format!("{:.2}x", r.access_increase),
+            ],
+        ));
+    }
+    let n = layers.len() as f64;
+    out.push_str(&format!(
+        "average: compute reduction {:.2}x (paper ~2.8x), data-access increase {:.2}x (paper ~4.4x)\n",
+        sum_c / n,
+        sum_a / n
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let out = run();
+        assert!(out.contains("Early"));
+        assert!(out.contains("Late-2"));
+        // Every layer line shows a >1x reduction and a >1x increase.
+        for line in out.lines().filter(|l| l.contains('x') && !l.starts_with("average")) {
+            assert!(!line.contains("0.9x"), "unexpected sub-1 ratio: {line}");
+        }
+        assert!(out.contains("average"));
+    }
+
+    #[test]
+    fn average_ratios_in_paper_regime() {
+        let layers = table2_layers();
+        let n = layers.len() as f64;
+        let avg_c: f64 =
+            layers.iter().map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction).sum::<f64>() / n;
+        let avg_a: f64 =
+            layers.iter().map(|l| fig1_ratios(l, 256, 4, 6).access_increase).sum::<f64>() / n;
+        assert!(avg_c > 2.0 && avg_c < 4.5, "compute {avg_c}");
+        assert!(avg_a > 2.5 && avg_a < 6.5, "access {avg_a}");
+    }
+}

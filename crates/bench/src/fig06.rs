@@ -1,0 +1,79 @@
+//! Figure 6: per-worker communication per iteration for two layers under
+//! different parallelism strategies (p = 256, batch 256).
+//!
+//! Paper shape: for the early layer, MPT's tile transfer dwarfs the
+//! weight traffic it saves; for the late layer the weight reduction
+//! dominates and MPT wins decisively.
+
+use wmpt_models::table2_layers;
+use wmpt_noc::{data_parallel_comm, mpt_comm, with_transfer_savings, PerWorkerComm};
+
+use crate::{bytes, row};
+
+const P: usize = 256;
+const BATCH: usize = 256;
+
+/// Strategy rows of the figure.
+pub fn strategies(layer: &wmpt_models::ConvLayerSpec) -> Vec<(String, PerWorkerComm)> {
+    // F(2x2,3x3) for MPT configurations.
+    let (m, t) = (2, 4);
+    let w_spatial = layer.spatial_weight_bytes();
+    let w_wino = layer.winograd_weight_bytes(t);
+    let tiles =
+        layer.input_tile_bytes(BATCH, m, t) + layer.output_tile_bytes(BATCH, m, t);
+    let mpt = mpt_comm(w_wino, tiles, 16, 16, 2);
+    vec![
+        ("dp".into(), data_parallel_comm(w_spatial, P)),
+        ("mpt (16,16)".into(), mpt),
+        ("mpt+pred".into(), with_transfer_savings(mpt, 0.34, 0.393)),
+    ]
+}
+
+/// Runs the experiment and returns the printed figure data.
+pub fn run() -> String {
+    let layers = table2_layers();
+    let mut out = String::new();
+    out.push_str("== Figure 6: per-worker communication per iteration (p=256) ==\n");
+    for l in [&layers[0], &layers[4]] {
+        out.push_str(&format!("--- {} ---\n", l));
+        out.push_str(&row("strategy", &["weights", "tiles", "total"].map(String::from)));
+        for (name, c) in strategies(l) {
+            out.push_str(&row(
+                &name,
+                &[bytes(c.weight_bytes), bytes(c.tile_bytes), bytes(c.total())],
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_layer_mpt_is_tile_dominated() {
+        let layers = table2_layers();
+        let s = strategies(&layers[0]);
+        let mpt = &s[1].1;
+        assert!(mpt.tile_bytes > 10.0 * mpt.weight_bytes);
+        // and worse than plain dp:
+        assert!(mpt.total() > s[0].1.total());
+    }
+
+    #[test]
+    fn late_layer_mpt_wins() {
+        let layers = table2_layers();
+        let s = strategies(&layers[4]);
+        assert!(s[1].1.total() < s[0].1.total(), "mpt should beat dp on the late layer");
+        assert!(s[2].1.total() < s[1].1.total(), "prediction must reduce traffic further");
+    }
+
+    #[test]
+    fn output_mentions_both_layers() {
+        let out = run();
+        assert!(out.contains("Early"));
+        assert!(out.contains("Late-2"));
+        assert!(out.contains("mpt+pred"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 7: per-worker communication per iteration of FractalNet
+//! training as the worker count scales (N_g = N_c = √p, batch 256).
+//!
+//! Paper shape: data-parallel traffic stays flat with p (poor
+//! scalability); MPT traffic falls roughly as 1/√p and crosses below DP
+//! at moderate p; dynamic clustering + prediction pushes it lower still
+//! (the paper quotes a further 1.4× at p = 256).
+
+use wmpt_models::{fractalnet, Network};
+use wmpt_noc::{
+    data_parallel_comm, mpt_comm, with_transfer_savings, ClusterConfig, PerWorkerComm,
+};
+
+const BATCH: usize = 256;
+
+/// Per-worker traffic of the whole network under plain data parallelism.
+pub fn dp_total(net: &Network, p: usize) -> PerWorkerComm {
+    net.layers.iter().fold(PerWorkerComm::default(), |acc, l| {
+        acc.add(&data_parallel_comm(l.spatial_weight_bytes(), p))
+    })
+}
+
+/// Per-worker traffic under MPT with `N_g = N_c = √p` (F(2×2,3×3)).
+pub fn mpt_total(net: &Network, p: usize) -> PerWorkerComm {
+    let sq = (p as f64).sqrt().round() as usize;
+    net.layers.iter().fold(PerWorkerComm::default(), |acc, l| {
+        if !l.winograd_friendly() {
+            return acc.add(&data_parallel_comm(l.spatial_weight_bytes(), p));
+        }
+        let tiles = l.input_tile_bytes(BATCH, 2, 4) + l.output_tile_bytes(BATCH, 2, 4);
+        acc.add(&mpt_comm(l.winograd_weight_bytes(4), tiles, sq, sq, 2))
+    })
+}
+
+/// Per-worker traffic with dynamic clustering (per-layer best of three
+/// organizations) and prediction/zero-skipping savings.
+pub fn mpt_dyn_pred_total(net: &Network, p: usize) -> PerWorkerComm {
+    let sq = (p as f64).sqrt().round() as usize;
+    let candidates = [
+        ClusterConfig::new(sq, p / sq),
+        ClusterConfig::new((sq / 4).max(1), p / (sq / 4).max(1)),
+        ClusterConfig::data_parallel(p),
+    ];
+    net.layers.iter().fold(PerWorkerComm::default(), |acc, l| {
+        if !l.winograd_friendly() {
+            return acc.add(&data_parallel_comm(l.spatial_weight_bytes(), p));
+        }
+        let tiles = l.input_tile_bytes(BATCH, 2, 4) + l.output_tile_bytes(BATCH, 2, 4);
+        let best = candidates
+            .iter()
+            .map(|c| {
+                let raw = mpt_comm(l.winograd_weight_bytes(4), tiles, c.n_g, c.n_c, 2);
+                let (g, s) = if c.uses_one_d_transfer(4) {
+                    (0.781, 0.647)
+                } else {
+                    (0.34, 0.393)
+                };
+                with_transfer_savings(raw, g, s)
+            })
+            .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"))
+            .expect("candidates nonempty");
+        acc.add(&best)
+    })
+}
+
+/// Machine-readable table of the sweep.
+pub fn table() -> crate::report::Table {
+    let net = fractalnet();
+    let mut t = crate::report::Table::new(
+        "fig07_traffic",
+        &["p", "dp_bytes", "mpt_bytes", "mpt_dyn_pred_bytes"],
+    );
+    for p in [4usize, 16, 64, 256, 1024] {
+        t.push(vec![
+            p.to_string(),
+            format!("{:.0}", dp_total(&net, p).total()),
+            format!("{:.0}", mpt_total(&net, p).total()),
+            format!("{:.0}", mpt_dyn_pred_total(&net, p).total()),
+        ]);
+    }
+    t
+}
+
+/// Runs the experiment and returns the printed figure data.
+pub fn run() -> String {
+    let net = fractalnet();
+    let mut out = String::new();
+    out.push_str("== Figure 7: FractalNet per-worker communication vs worker count ==\n");
+    out.push_str(&crate::row(
+        "p",
+        &["dp", "mpt", "mpt+dyn+pred"].map(String::from),
+    ));
+    for p in [4usize, 16, 64, 256, 1024] {
+        out.push_str(&crate::row(
+            &p.to_string(),
+            &[
+                crate::bytes(dp_total(&net, p).total()),
+                crate::bytes(mpt_total(&net, p).total()),
+                crate::bytes(mpt_dyn_pred_total(&net, p).total()),
+            ],
+        ));
+    }
+    let r = mpt_total(&net, 256).total() / mpt_dyn_pred_total(&net, 256).total();
+    out.push_str(&format!(
+        "p=256: dynamic clustering + prediction reduce MPT traffic {r:.2}x (paper ~1.4x)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_traffic_is_flat_in_p() {
+        let net = fractalnet();
+        let a = dp_total(&net, 16).total();
+        let b = dp_total(&net, 1024).total();
+        assert!(b / a < 1.15, "dp should be nearly flat: {a} -> {b}");
+    }
+
+    #[test]
+    fn mpt_traffic_decreases_with_p() {
+        let net = fractalnet();
+        let a = mpt_total(&net, 64).total();
+        let b = mpt_total(&net, 1024).total();
+        assert!(b < a / 2.0, "mpt should fall with p: {a} -> {b}");
+    }
+
+    #[test]
+    fn crossover_present() {
+        let net = fractalnet();
+        assert!(mpt_total(&net, 4).total() > dp_total(&net, 4).total(), "small p: mpt worse");
+        assert!(
+            mpt_total(&net, 1024).total() < dp_total(&net, 1024).total(),
+            "large p: mpt better"
+        );
+    }
+
+    #[test]
+    fn dynamics_and_prediction_reduce_further_at_256() {
+        let net = fractalnet();
+        let plain = mpt_total(&net, 256).total();
+        let tuned = mpt_dyn_pred_total(&net, 256).total();
+        let r = plain / tuned;
+        assert!(r > 1.1, "reduction {r} (paper ~1.4x)");
+    }
+}

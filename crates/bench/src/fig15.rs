@@ -1,0 +1,212 @@
+//! Figure 15: normalized execution time and energy of the five Table II
+//! layers under the six Table IV configurations, forward and backward
+//! pass separately (all values normalized to `w_dp`'s forward pass of the
+//! same layer, as in the paper).
+//!
+//! Paper shapes to reproduce: the Early layer prefers (1, 256) under
+//! dynamic clustering; Mid/Late layers gain 2.2–4.5× from
+//! `w_mp+`; `w_mp++` averages ~2.7× over `w_dp`; MPT lowers DRAM energy
+//! by de-duplicating weights; shorter backward passes cut link energy.
+
+use wmpt_core::{simulate_layer, LayerResult, SystemConfig, SystemModel};
+use wmpt_models::{table2_layers, ConvLayerSpec};
+
+use crate::{f, row};
+
+/// All six configurations simulated for one layer.
+pub fn layer_results(model: &SystemModel, layer: &ConvLayerSpec) -> Vec<(SystemConfig, LayerResult)> {
+    SystemConfig::all()
+        .into_iter()
+        .map(|sys| (sys, simulate_layer(model, layer, sys)))
+        .collect()
+}
+
+/// Geometric-mean speedup of `w_mp++` over `w_dp` across the five layers
+/// (the paper's 2.74× headline for Fig 15).
+pub fn headline_speedup(model: &SystemModel) -> f64 {
+    let mut acc = 1.0f64;
+    let layers = table2_layers();
+    for l in &layers {
+        let dp = simulate_layer(model, l, SystemConfig::WDp).total_cycles();
+        let full = simulate_layer(model, l, SystemConfig::WMpPD).total_cycles();
+        acc *= dp / full;
+    }
+    acc.powf(1.0 / layers.len() as f64)
+}
+
+/// Machine-readable table: normalized time/energy per layer and config.
+pub fn table() -> crate::report::Table {
+    let model = SystemModel::paper();
+    let mut t = crate::report::Table::new(
+        "fig15_time_energy",
+        &["layer", "config", "fwd_time", "bwd_time", "fwd_energy", "bwd_energy", "n_g", "n_c"],
+    );
+    for l in table2_layers() {
+        let results = layer_results(&model, &l);
+        let base = results.iter().find(|(s, _)| *s == SystemConfig::WDp).expect("w_dp").1.forward.cycles;
+        let base_e = results
+            .iter()
+            .find(|(s, _)| *s == SystemConfig::WDp)
+            .expect("w_dp")
+            .1
+            .forward
+            .energy
+            .total_j();
+        for (sys, r) in &results {
+            t.push(vec![
+                l.name.clone(),
+                sys.abbrev().to_string(),
+                format!("{:.4}", r.forward.cycles / base),
+                format!("{:.4}", r.backward.cycles / base),
+                format!("{:.4}", r.forward.energy.total_j() / base_e),
+                format!("{:.4}", r.backward.energy.total_j() / base_e),
+                r.cluster.n_g.to_string(),
+                r.cluster.n_c.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Energy-component breakdown of the backward pass for one layer
+/// (the stacked bars of Fig 15's energy plot).
+pub fn energy_components(model: &SystemModel, layer: &ConvLayerSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&row(
+        "config",
+        &["compute", "SRAM", "DRAM", "link"].map(String::from),
+    ));
+    for (sys, r) in layer_results(model, layer) {
+        let e = r.total_energy();
+        let t = e.total_j().max(1e-30);
+        out.push_str(&row(
+            sys.abbrev(),
+            &[
+                format!("{:.0}%", 100.0 * e.compute_j / t),
+                format!("{:.0}%", 100.0 * e.sram_j / t),
+                format!("{:.0}%", 100.0 * e.dram_j / t),
+                format!("{:.0}%", 100.0 * e.link_j / t),
+            ],
+        ));
+    }
+    out
+}
+
+/// Runs the experiment and returns the printed figure data.
+pub fn run() -> String {
+    let model = SystemModel::paper();
+    let mut out = String::new();
+    out.push_str("== Figure 15: normalized execution time & energy (5 layers x 6 configs) ==\n");
+    for l in table2_layers() {
+        let results = layer_results(&model, &l);
+        let base = results
+            .iter()
+            .find(|(s, _)| *s == SystemConfig::WDp)
+            .expect("w_dp simulated")
+            .1
+            .forward
+            .cycles;
+        let base_e = results
+            .iter()
+            .find(|(s, _)| *s == SystemConfig::WDp)
+            .expect("w_dp simulated")
+            .1
+            .forward
+            .energy
+            .total_j();
+        out.push_str(&format!("--- {} ---\n", l));
+        out.push_str(&row(
+            "config",
+            &["fwd time", "bwd time", "fwd energy", "bwd energy", "cluster"].map(String::from),
+        ));
+        for (sys, r) in &results {
+            out.push_str(&row(
+                sys.abbrev(),
+                &[
+                    f(r.forward.cycles / base),
+                    f(r.backward.cycles / base),
+                    f(r.forward.energy.total_j() / base_e),
+                    f(r.backward.energy.total_j() / base_e),
+                    r.cluster.to_string(),
+                ],
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "headline: w_mp++ over w_dp geo-mean {:.2}x (paper 2.74x)\n",
+        headline_speedup(&model)
+    ));
+    out.push_str("--- energy components, Late-2 (share of total) ---\n");
+    out.push_str(&energy_components(&model, &table2_layers()[4]));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_speedup_in_paper_regime() {
+        let s = headline_speedup(&SystemModel::paper());
+        assert!((1.3..6.0).contains(&s), "headline speedup {s}");
+    }
+
+    #[test]
+    fn late_layer_wmpp_speedup_large() {
+        // Paper: 4.54x on Late layers for w_mp+ over w_dp.
+        let model = SystemModel::paper();
+        let late = &table2_layers()[4];
+        let dp = simulate_layer(&model, late, SystemConfig::WDp).total_cycles();
+        let mpp = simulate_layer(&model, late, SystemConfig::WMpP).total_cycles();
+        assert!(dp / mpp > 1.8, "late-layer w_mp+ speedup {}", dp / mpp);
+    }
+
+    #[test]
+    fn dynamic_config_choice_matches_paper_narrative() {
+        // Early -> (1,256); Late -> multi-group.
+        let model = SystemModel::paper();
+        let layers = table2_layers();
+        let early = simulate_layer(&model, &layers[0], SystemConfig::WMpPD);
+        assert_eq!(early.cluster.n_g, 1, "early layer should fall back to data parallel");
+        let late = simulate_layer(&model, &layers[4], SystemConfig::WMpPD);
+        assert!(late.cluster.n_g > 1, "late layer should keep intra-tile parallelism");
+    }
+
+    #[test]
+    fn energy_components_sum_to_one() {
+        let model = SystemModel::paper();
+        for l in table2_layers() {
+            for (sys, r) in layer_results(&model, &l) {
+                let e = r.total_energy();
+                let sum = e.compute_j + e.sram_j + e.dram_j + e.link_j;
+                assert!(
+                    (sum - e.total_j()).abs() < 1e-12 * e.total_j().max(1.0),
+                    "{sys} on {}",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpt_cuts_dram_share_on_late_layers() {
+        // The paper's energy narrative: weight de-duplication shrinks the
+        // DRAM component.
+        let model = SystemModel::paper();
+        let late = &table2_layers()[4];
+        let res = layer_results(&model, late);
+        let dram = |sys: SystemConfig| {
+            res.iter().find(|(s, _)| *s == sys).expect("simulated").1.total_energy().dram_j
+        };
+        assert!(dram(SystemConfig::WMp) < dram(SystemConfig::WDp));
+    }
+
+    #[test]
+    fn output_has_all_config_rows() {
+        let out = run();
+        for name in ["d_dp", "w_dp", "w_mp", "w_mp+", "w_mp*", "w_mp++"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+        assert!(out.contains("headline"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 16: average normalized performance of the five layers with
+//! 3×3 vs 5×5 weights.
+//!
+//! Paper shape: the `w_mp++` speedup over `w_dp` grows when kernels grow
+//! (2.74× at 3×3 → 3.03× at 5×5) because larger weights make the
+//! collective MPT eliminates even more dominant.
+
+use wmpt_core::{simulate_layer, SystemConfig, SystemModel};
+use wmpt_models::{table2_layers, table2_layers_5x5, ConvLayerSpec};
+
+use crate::{f, row};
+
+/// Geometric-mean speedup of a config over `w_dp` on a layer set.
+pub fn geo_speedup(model: &SystemModel, layers: &[ConvLayerSpec], sys: SystemConfig) -> f64 {
+    let mut acc = 1.0f64;
+    for l in layers {
+        let dp = simulate_layer(model, l, SystemConfig::WDp).total_cycles();
+        let c = simulate_layer(model, l, sys).total_cycles();
+        acc *= dp / c;
+    }
+    acc.powf(1.0 / layers.len() as f64)
+}
+
+/// Weight-collective time reduction of MPT (16, 16) over data-parallel
+/// training for a kernel size — the paper's §VII-B mechanism: the
+/// reduction is proportional to `N_g · |w| / |W|`, which grows from
+/// `16 · 9/16 = 9` at 3×3 to `16 · 25/36 ≈ 11.1` at 5×5.
+pub fn collective_reduction(layer: &ConvLayerSpec, t: usize) -> f64 {
+    let noc = wmpt_noc::NocParams::paper();
+    let dp = wmpt_noc::ring_collective_cycles(layer.spatial_weight_bytes(), 256, 120.0, &noc, 0);
+    let mpt = wmpt_noc::ring_collective_cycles(
+        layer.winograd_weight_bytes(t) / 16,
+        16,
+        60.0,
+        &noc,
+        0,
+    );
+    dp / mpt
+}
+
+/// Runs the experiment and returns the printed figure data.
+pub fn run() -> String {
+    let model = SystemModel::paper();
+    let l3 = table2_layers();
+    let l5 = table2_layers_5x5();
+    let mut out = String::new();
+    out.push_str("== Figure 16: normalized performance, 3x3 vs 5x5 weights ==\n");
+    out.push_str(&row("config", &["3x3 speedup", "5x5 speedup"].map(String::from)));
+    for sys in [SystemConfig::WMp, SystemConfig::WMpP, SystemConfig::WMpD, SystemConfig::WMpPD] {
+        out.push_str(&row(
+            sys.abbrev(),
+            &[f(geo_speedup(&model, &l3, sys)), f(geo_speedup(&model, &l5, sys))],
+        ));
+    }
+    let g3 = geo_speedup(&model, &l3, SystemConfig::WMpPD);
+    let g5 = geo_speedup(&model, &l5, SystemConfig::WMpPD);
+    out.push_str(&format!(
+        "w_mp++ gains: {g3:.2}x (3x3, paper 2.74x) -> {g5:.2}x (5x5, paper 3.03x)\n"
+    ));
+    // The paper's underlying mechanism, reported separately because our
+    // end-to-end model makes the w_dp baseline DRAM-bound rather than
+    // collective-bound on late 5x5 layers (see EXPERIMENTS.md):
+    let late = &l3[4];
+    let late5 = &l5[4];
+    out.push_str(&format!(
+        "weight-collective reduction (Late-2): {:.1}x at 3x3 -> {:.1}x at 5x5 (theory 9x -> 11.1x)\n",
+        collective_reduction(late, 4),
+        collective_reduction(late5, 6)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kernel_sizes_gain_from_full_mpt() {
+        let model = SystemModel::paper();
+        let g3 = geo_speedup(&model, &table2_layers(), SystemConfig::WMpPD);
+        let g5 = geo_speedup(&model, &table2_layers_5x5(), SystemConfig::WMpPD);
+        assert!(g3 > 1.25, "3x3 gain {g3}");
+        assert!(g5 > 1.15, "5x5 gain {g5}");
+    }
+
+    #[test]
+    fn collective_reduction_grows_with_kernel_size() {
+        // §VII-B's mechanism: MPT's weight-communication reduction is
+        // proportional to N_g·|w|/|W| and therefore larger at 5x5.
+        let l3 = table2_layers();
+        let l5 = table2_layers_5x5();
+        let r3 = collective_reduction(&l3[4], 4);
+        let r5 = collective_reduction(&l5[4], 6);
+        assert!(r5 > r3, "5x5 reduction {r5} must exceed 3x3 reduction {r3}");
+    }
+
+    #[test]
+    fn all_mpt_configs_reported() {
+        let out = run();
+        for c in ["w_mp", "w_mp+", "w_mp*", "w_mp++"] {
+            assert!(out.contains(c));
+        }
+    }
+}

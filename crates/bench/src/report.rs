@@ -1,0 +1,94 @@
+//! Machine-readable result emission: every experiment's data as TSV files
+//! under `results/`, so figures can be re-plotted without scraping the
+//! human-readable tables.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A tabular result destined for a `.tsv` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// File stem (e.g. "fig15_time").
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given name and columns.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.name);
+        self.rows.push(cells);
+    }
+
+    /// Renders as tab-separated text.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.columns.join("\t");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.tsv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_tsv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut t = Table::new("probe", &["a", "b"]);
+        t.push(vec!["1".into(), "x".into()]);
+        t.push(vec!["2".into(), "y".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\tx\n2\ty\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("probe", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("wmpt_report_test");
+        let mut t = Table::new("unit", &["v"]);
+        t.push(vec!["42".into()]);
+        let path = t.write_to(&dir).expect("writable temp dir");
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(body, "v\n42\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

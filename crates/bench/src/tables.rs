@@ -1,0 +1,134 @@
+//! Tables I–IV of the paper, regenerated from the workspace's own
+//! builders and constants.
+
+use wmpt_core::SystemConfig;
+use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, TABLE2_BATCH};
+use wmpt_ndp::NdpParams;
+use wmpt_noc::{LinkKind, NocParams};
+
+use crate::{f, row};
+
+/// Table I: the CNNs under evaluation with parameter counts.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("== Table I: CNNs used in the evaluation ==\n");
+    out.push_str(&row("network", &["dataset", "params (M)", "3x3 params (M)"].map(String::from)));
+    for net in [wrn_40_10(), resnet34(), fractalnet()] {
+        out.push_str(&row(
+            &net.name,
+            &[
+                format!("{:?}", net.dataset),
+                f(net.param_count() as f64 / 1e6),
+                f(net.winograd_param_count() as f64 / 1e6),
+            ],
+        ));
+    }
+    out.push_str("(paper: WRN-40-10 55.6M/55.5M, FractalNet 164M/163M; see DESIGN.md substitution 5)\n");
+    out
+}
+
+/// Table II: the five representative layers (reconstructed).
+pub fn table2() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== Table II: five convolution layers (batch {TABLE2_BATCH}) ==\n"));
+    out.push_str(&row("layer", &["I", "J", "HxW", "r", "|w|", "|W| F(2,3)"].map(String::from)));
+    for l in table2_layers() {
+        out.push_str(&row(
+            &l.name,
+            &[
+                l.in_chans.to_string(),
+                l.out_chans.to_string(),
+                format!("{}x{}", l.h, l.w),
+                l.r.to_string(),
+                crate::bytes(l.spatial_weight_bytes() as f64),
+                crate::bytes(l.winograd_weight_bytes(4) as f64),
+            ],
+        ));
+    }
+    out
+}
+
+/// Table III: simulation parameters.
+pub fn table3() -> String {
+    let noc = NocParams::paper();
+    let ndp = NdpParams::paper_fp32();
+    let mut out = String::new();
+    out.push_str("== Table III: simulation parameters ==\n");
+    out.push_str(&format!("router clock: 1 GHz; hop latency {} cycles (SerDes {} + router {})\n",
+        noc.hop_latency(), noc.serdes_cycles, noc.router_cycles));
+    out.push_str(&format!(
+        "links: full {} GB/s/dir (16 lanes x 15 Gbps), narrow {} GB/s/dir (8 lanes x 10 Gbps)\n",
+        LinkKind::Full.bytes_per_cycle(),
+        LinkKind::Narrow.bytes_per_cycle()
+    ));
+    out.push_str(&format!(
+        "packets: {} B collective chunks, {} B otherwise, {} B header\n",
+        noc.collective_chunk_bytes, noc.packet_bytes, noc.header_bytes
+    ));
+    out.push_str(&format!(
+        "memory: {} GB/s HMC-style stacked DRAM, {}-cycle latency\n",
+        ndp.dram_bytes_per_cycle, ndp.dram_latency
+    ));
+    out.push_str(&format!(
+        "NDP: {dim}x{dim} FP32 MAC array (96x96 FP16 for whole-CNN runs), {} KiB x2 input buffers, {} KiB output buffer\n",
+        ndp.input_buffer_bytes / 1024,
+        ndp.output_buffer_bytes / 1024,
+        dim = ndp.systolic_dim
+    ));
+    out
+}
+
+/// Table IV: the system configurations.
+pub fn table4() -> String {
+    let mut out = String::new();
+    out.push_str("== Table IV: system configurations ==\n");
+    for sys in SystemConfig::all() {
+        let desc = match sys {
+            SystemConfig::DDp => "direct convolution, data parallelism (updates w)",
+            SystemConfig::WDp => "Winograd convolution, data parallelism (updates w)",
+            SystemConfig::WMp => "Winograd + MPT (updates W in Winograd domain)",
+            SystemConfig::WMpP => "w_mp + activation prediction / zero-skipping",
+            SystemConfig::WMpD => "w_mp + dynamic clustering",
+            SystemConfig::WMpPD => "w_mp + prediction/zero-skip + dynamic clustering",
+        };
+        out.push_str(&format!("{:<8} {desc}\n", sys.abbrev()));
+    }
+    out
+}
+
+/// All four tables.
+pub fn run() -> String {
+    format!("{}\n{}\n{}\n{}", table1(), table2(), table3(), table4())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_all_networks() {
+        let t = table1();
+        assert!(t.contains("WRN-40-10") && t.contains("ResNet-34") && t.contains("FractalNet"));
+    }
+
+    #[test]
+    fn table2_lists_five_layers() {
+        let t = table2();
+        assert_eq!(t.lines().filter(|l| l.contains("x") && !l.contains("==") && !l.contains("HxW")).count(), 5);
+    }
+
+    #[test]
+    fn table3_reports_bandwidths() {
+        let t = table3();
+        assert!(t.contains("320 GB/s"));
+        assert!(t.contains("30 GB/s"));
+    }
+
+    #[test]
+    fn table4_has_six_rows() {
+        let t = table4();
+        for a in ["d_dp", "w_dp", "w_mp", "w_mp+", "w_mp*", "w_mp++"] {
+            assert!(t.contains(a));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! System configurations under evaluation (paper Table IV) and the
+//! prediction-savings operating points (§V-B).
+
+use wmpt_noc::ClusterConfig;
+use wmpt_winograd::WinogradTransform;
+
+/// The six system configurations of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemConfig {
+    /// Direct convolution with data parallelism (updates spatial `w`).
+    DDp,
+    /// Winograd convolution with data parallelism (updates spatial `w`) —
+    /// the paper's baseline.
+    WDp,
+    /// Winograd convolution with MPT (updates Winograd `W`).
+    WMp,
+    /// `WMp` + activation prediction / zero-skipping.
+    WMpP,
+    /// `WMp` + dynamic clustering.
+    WMpD,
+    /// `WMp` + prediction/zero-skipping + dynamic clustering — the full
+    /// proposal (`w_mp++`).
+    WMpPD,
+}
+
+impl SystemConfig {
+    /// All six, in Table IV order.
+    pub fn all() -> [SystemConfig; 6] {
+        [Self::DDp, Self::WDp, Self::WMp, Self::WMpP, Self::WMpD, Self::WMpPD]
+    }
+
+    /// Table IV abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Self::DDp => "d_dp",
+            Self::WDp => "w_dp",
+            Self::WMp => "w_mp",
+            Self::WMpP => "w_mp+",
+            Self::WMpD => "w_mp*",
+            Self::WMpPD => "w_mp++",
+        }
+    }
+
+    /// Uses Winograd-transformed convolution.
+    pub fn uses_winograd(&self) -> bool {
+        !matches!(self, Self::DDp)
+    }
+
+    /// Exploits intra-tile parallelism (multi-group configurations
+    /// allowed).
+    pub fn uses_mpt(&self) -> bool {
+        matches!(self, Self::WMp | Self::WMpP | Self::WMpD | Self::WMpPD)
+    }
+
+    /// Applies activation prediction and zero-skipping to tile transfer.
+    pub fn uses_prediction(&self) -> bool {
+        matches!(self, Self::WMpP | Self::WMpPD)
+    }
+
+    /// Reconfigures `(N_g, N_c)` per layer.
+    pub fn uses_dynamic_clustering(&self) -> bool {
+        matches!(self, Self::WMpD | Self::WMpPD)
+    }
+
+    /// Candidate worker organizations on `p` workers.
+    pub fn candidate_configs(&self, p: usize) -> Vec<ClusterConfig> {
+        if !self.uses_mpt() {
+            return vec![ClusterConfig::data_parallel(p)];
+        }
+        if self.uses_dynamic_clustering() {
+            if p == 256 {
+                ClusterConfig::paper_configs().to_vec()
+            } else {
+                // Scaled variants: square grid, quarter grid, pure DP.
+                let sq = (p as f64).sqrt().round() as usize;
+                let mut v = vec![ClusterConfig::new(sq, p / sq)];
+                if sq >= 4 {
+                    v.push(ClusterConfig::new(sq / 4, p / (sq / 4)));
+                }
+                v.push(ClusterConfig::data_parallel(p));
+                v
+            }
+        } else {
+            let sq = (p as f64).sqrt().round() as usize;
+            vec![ClusterConfig::new(sq, p / sq)]
+        }
+    }
+
+    /// The Winograd transform used for a 3×3 layer under a given group
+    /// count: `F(2×2)` when tile elements are split across groups (smaller
+    /// Winograd weights), `F(4×4)` for a single group (more compute
+    /// savings) — §VII-A.
+    pub fn transform_for(&self, r: usize, n_g: usize) -> Option<WinogradTransform> {
+        if !self.uses_winograd() {
+            return None;
+        }
+        Some(match (r, n_g > 1) {
+            (3, true) => WinogradTransform::f2x2_3x3(),
+            (3, false) => WinogradTransform::f4x4_3x3(),
+            (5, _) => WinogradTransform::f2x2_5x5(),
+            (r, _) => WinogradTransform::cook_toom(2, r)
+                .expect("cook-toom construction for odd small kernels"),
+        })
+    }
+}
+
+impl std::fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Tile-transfer reduction fractions from activation prediction and
+/// zero-skipping (§V-B). Defaults are the paper's measured operating
+/// points; the Fig 12 experiment in `wmpt-bench` re-measures them with
+/// this workspace's own predictor and synthetic data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionSavings {
+    /// Gather reduction with 2-D predict (6-bit): paper 34.0 %.
+    pub gather_2d: f64,
+    /// Gather reduction with 1-D predict (5-bit): paper 78.1 %.
+    pub gather_1d: f64,
+    /// Scatter reduction by zero-skipping, 2-D regime: paper 39.3 %.
+    pub scatter_2d: f64,
+    /// Scatter reduction by zero-skipping, 1-D regime: paper 64.7 %.
+    pub scatter_1d: f64,
+}
+
+impl PredictionSavings {
+    /// The paper's §V-B numbers.
+    pub const fn paper() -> Self {
+        Self { gather_2d: 0.340, gather_1d: 0.781, scatter_2d: 0.393, scatter_1d: 0.647 }
+    }
+
+    /// No savings (prediction disabled).
+    pub const fn none() -> Self {
+        Self { gather_2d: 0.0, gather_1d: 0.0, scatter_2d: 0.0, scatter_1d: 0.0 }
+    }
+
+    /// Builds the savings from *measured* fractions (e.g. this
+    /// workspace's own Fig 12 experiment), clamping into `[0, 1]` so the
+    /// system model stays well formed even for noisy measurements.
+    pub fn from_measurement(
+        gather_2d: f64,
+        gather_1d: f64,
+        scatter_2d: f64,
+        scatter_1d: f64,
+    ) -> Self {
+        let c = |v: f64| v.clamp(0.0, 1.0);
+        Self {
+            gather_2d: c(gather_2d),
+            gather_1d: c(gather_1d),
+            scatter_2d: c(scatter_2d),
+            scatter_1d: c(scatter_1d),
+        }
+    }
+
+    /// Gather saving for a worker organization (1-D regime when each
+    /// group holds whole tile lines).
+    pub fn gather_for(&self, cfg: ClusterConfig, tile_t: usize) -> f64 {
+        if cfg.uses_one_d_transfer(tile_t) {
+            self.gather_1d
+        } else {
+            self.gather_2d
+        }
+    }
+
+    /// Scatter saving for a worker organization.
+    pub fn scatter_for(&self, cfg: ClusterConfig, tile_t: usize) -> f64 {
+        if cfg.uses_one_d_transfer(tile_t) {
+            self.scatter_1d
+        } else {
+            self.scatter_2d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_abbreviations() {
+        let names: Vec<&str> = SystemConfig::all().iter().map(|c| c.abbrev()).collect();
+        assert_eq!(names, ["d_dp", "w_dp", "w_mp", "w_mp+", "w_mp*", "w_mp++"]);
+    }
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!SystemConfig::DDp.uses_winograd());
+        assert!(SystemConfig::WDp.uses_winograd() && !SystemConfig::WDp.uses_mpt());
+        assert!(SystemConfig::WMp.uses_mpt() && !SystemConfig::WMp.uses_prediction());
+        assert!(SystemConfig::WMpP.uses_prediction());
+        assert!(SystemConfig::WMpD.uses_dynamic_clustering());
+        assert!(SystemConfig::WMpPD.uses_prediction() && SystemConfig::WMpPD.uses_dynamic_clustering());
+    }
+
+    #[test]
+    fn candidates_match_paper_on_256() {
+        assert_eq!(SystemConfig::WDp.candidate_configs(256), vec![ClusterConfig::new(1, 256)]);
+        assert_eq!(SystemConfig::WMp.candidate_configs(256), vec![ClusterConfig::new(16, 16)]);
+        assert_eq!(SystemConfig::WMpPD.candidate_configs(256).len(), 3);
+    }
+
+    #[test]
+    fn transforms_follow_section_vii() {
+        // Multi-group 3x3 -> F(2x2,3x3) (T=4, one element per group at 16).
+        let t = SystemConfig::WMp.transform_for(3, 16).unwrap();
+        assert_eq!((t.m(), t.t()), (2, 4));
+        // Single group -> F(4x4,3x3) for compute savings.
+        let t = SystemConfig::WMpPD.transform_for(3, 1).unwrap();
+        assert_eq!((t.m(), t.t()), (4, 6));
+        // 5x5 -> F(2x2,5x5), T=6.
+        let t = SystemConfig::WMp.transform_for(5, 16).unwrap();
+        assert_eq!((t.m(), t.t()), (2, 6));
+        assert!(SystemConfig::DDp.transform_for(3, 1).is_none());
+    }
+
+    #[test]
+    fn savings_pick_regime_by_group_count() {
+        let s = PredictionSavings::paper();
+        // (16,16) with T=4: 2-D regime. (4,64): 1-D regime.
+        assert_eq!(s.gather_for(ClusterConfig::new(16, 16), 4), 0.340);
+        assert_eq!(s.gather_for(ClusterConfig::new(4, 64), 4), 0.781);
+        assert_eq!(s.scatter_for(ClusterConfig::new(4, 64), 4), 0.647);
+        assert_eq!(PredictionSavings::none().gather_for(ClusterConfig::new(4, 64), 4), 0.0);
+    }
+
+    #[test]
+    fn measured_savings_are_clamped() {
+        let s = PredictionSavings::from_measurement(-0.1, 1.3, 0.4, 0.6);
+        assert_eq!(s.gather_2d, 0.0);
+        assert_eq!(s.gather_1d, 1.0);
+        assert_eq!(s.scatter_2d, 0.4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Host orchestration (paper §VI-A): before training starts, the host
+//! compiles the CNN into a per-layer execution plan — which worker
+//! organization each layer uses (dynamic clustering is decided offline
+//! from the static layer shapes), which transform runs, and how much
+//! communication each layer will generate — then distributes the task
+//! graph to the NDPs.
+
+use wmpt_models::{ConvLayerSpec, Network};
+use wmpt_noc::ClusterConfig;
+
+use crate::config::SystemConfig;
+use crate::exec::{simulate_layer, SystemModel};
+
+/// One planned layer.
+#[derive(Debug, Clone)]
+pub struct PlannedLayer {
+    /// The layer.
+    pub layer: ConvLayerSpec,
+    /// Chosen worker organization.
+    pub cluster: ClusterConfig,
+    /// Transform `(m, t)`, `None` for direct execution.
+    pub transform: Option<(usize, usize)>,
+    /// Predicted iteration cycles.
+    pub cycles: f64,
+    /// Predicted weight-collective cycles.
+    pub collective_cycles: f64,
+    /// Predicted tile-transfer cycles.
+    pub tile_comm_cycles: f64,
+}
+
+/// A whole-network execution plan.
+#[derive(Debug, Clone)]
+pub struct TrainingPlan {
+    /// Network name.
+    pub network: String,
+    /// System configuration planned for.
+    pub config: SystemConfig,
+    /// Per-layer decisions in forward order.
+    pub layers: Vec<PlannedLayer>,
+}
+
+impl TrainingPlan {
+    /// Number of interconnect reconfigurations per iteration (changes of
+    /// worker organization between consecutive layers — each is a routing
+    /// update, not a data movement, §IV).
+    pub fn reconfigurations(&self) -> usize {
+        self.layers
+            .windows(2)
+            .filter(|w| w[0].cluster != w[1].cluster)
+            .count()
+    }
+
+    /// Total predicted iteration cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Fraction of communication cycles spent on the weight collectives
+    /// (vs tile transfer).
+    pub fn collective_fraction(&self) -> f64 {
+        let coll: f64 = self.layers.iter().map(|l| l.collective_cycles).sum();
+        let tile: f64 = self.layers.iter().map(|l| l.tile_comm_cycles).sum();
+        if coll + tile == 0.0 {
+            0.0
+        } else {
+            coll / (coll + tile)
+        }
+    }
+
+    /// Renders the plan as a table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan: {} under {} — {} layers, {} reconfigurations/iter\n",
+            self.network,
+            self.config,
+            self.layers.len(),
+            self.reconfigurations()
+        );
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>10} {:>12} {:>12} {:>12}\n",
+            "layer", "organization", "transform", "cycles", "collective", "tile comm"
+        ));
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>10} {:>12.0} {:>12.0} {:>12.0}\n",
+                l.layer.name,
+                l.cluster.to_string(),
+                l.transform
+                    .map(|(m, t)| format!("F({m},{})", t + 1 - m))
+                    .unwrap_or_else(|| "direct".into()),
+                l.cycles,
+                l.collective_cycles,
+                l.tile_comm_cycles,
+            ));
+        }
+        out
+    }
+}
+
+/// Compiles the per-layer plan for `net` under `sys` (the host's offline
+/// pass; §IV: "the optimal configuration per layer ... is pre-determined
+/// and does not change").
+pub fn plan_network(model: &SystemModel, net: &Network, sys: SystemConfig) -> TrainingPlan {
+    let layers = net
+        .layers
+        .iter()
+        .map(|l| {
+            let r = simulate_layer(model, l, sys);
+            PlannedLayer {
+                layer: l.clone(),
+                cluster: r.cluster,
+                transform: r.transform,
+                cycles: r.total_cycles(),
+                collective_cycles: r.collective_cycles,
+                tile_comm_cycles: r.tile_comm_cycles,
+            }
+        })
+        .collect();
+    TrainingPlan { network: net.name.clone(), config: sys, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_models::{table2_layers, wrn_40_10};
+
+    #[test]
+    fn plan_covers_every_layer() {
+        let m = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        let plan = plan_network(&m, &net, SystemConfig::WMpPD);
+        assert_eq!(plan.layers.len(), net.layers.len());
+        assert!(plan.total_cycles() > 0.0);
+    }
+
+    #[test]
+    fn static_configs_never_reconfigure() {
+        let m = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        // w_dp runs everything data-parallel: strictly zero switches.
+        let plan = plan_network(&m, &net, SystemConfig::WDp);
+        assert_eq!(plan.reconfigurations(), 0, "w_dp should be static");
+        // w_mp is static too, except at boundaries with layers that
+        // cannot run in the Winograd domain (strided convs drop to data
+        // parallelism).
+        let plan = plan_network(&m, &net, SystemConfig::WMp);
+        let non_friendly = net.layers.iter().filter(|l| !l.winograd_friendly()).count();
+        assert!(
+            plan.reconfigurations() <= 2 * non_friendly,
+            "w_mp reconfigured {} times for {} direct layers",
+            plan.reconfigurations(),
+            non_friendly
+        );
+    }
+
+    #[test]
+    fn dynamic_clustering_reconfigures_between_regimes() {
+        let m = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        let plan = plan_network(&m, &net, SystemConfig::WMpPD);
+        assert!(
+            plan.reconfigurations() > 0,
+            "WRN spans early->late regimes; the plan must switch organizations"
+        );
+        // Reconfigurations are rare relative to layer count (regimes are
+        // contiguous).
+        assert!(plan.reconfigurations() < plan.layers.len() / 2);
+    }
+
+    #[test]
+    fn collective_fraction_rises_with_group_count() {
+        // Under (16,16) MPT the tile share dominates early nets less than
+        // under w_dp where there is no tile traffic at all.
+        let m = SystemModel::paper();
+        let net = Network {
+            name: "probe".into(),
+            dataset: wmpt_models::Dataset::Cifar,
+            layers: table2_layers(),
+            other_params: 0,
+        };
+        let dp = plan_network(&m, &net, SystemConfig::WDp);
+        assert_eq!(dp.collective_fraction(), 1.0, "dp comm is all collective");
+        let mp = plan_network(&m, &net, SystemConfig::WMp);
+        assert!(mp.collective_fraction() < 1.0);
+    }
+
+    #[test]
+    fn render_lists_layers() {
+        let m = SystemModel::paper();
+        let net = Network {
+            name: "probe".into(),
+            dataset: wmpt_models::Dataset::Cifar,
+            layers: table2_layers(),
+            other_params: 0,
+        };
+        let s = plan_network(&m, &net, SystemConfig::WMpPD).render();
+        assert!(s.contains("Early") && s.contains("Late-2"));
+        assert!(s.contains("reconfigurations"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Multi-dimensional parallel training (MPT) — the paper's primary
+//! contribution, assembled from the workspace's substrates.
+//!
+//! MPT organizes `p` NDP workers as `N_g` groups × `N_c` clusters: the
+//! batch splits across clusters (data parallelism) and the `T²` Winograd
+//! tile elements split across groups (intra-tile parallelism). Weight
+//! gradients then reduce only *within* groups — shrinking the dominant
+//! collective of data-parallel training by `N_g` — at the price of a new
+//! tile gather/scatter inside clusters, which dynamic clustering and
+//! activation prediction keep in check.
+//!
+//! * [`config`] — the Table IV system configurations and §V-B savings.
+//! * [`exec`] — full-system per-layer simulation (time + energy) on the
+//!   256-worker memory-centric NDP architecture (Figs 15–16).
+//! * [`network_eval`] — whole-CNN aggregation (Figs 17–18).
+//! * [`trainer`] — the *functional* distributed trainer: MPT's math
+//!   executed with real partitioning and verified bit-for-bit (to FP
+//!   tolerance) against centralized training, including the modified join
+//!   and lossless prediction-gathering.
+//!
+//! # Example
+//!
+//! ```
+//! use wmpt_core::{simulate_layer, SystemConfig, SystemModel};
+//! use wmpt_models::table2_layers;
+//!
+//! let model = SystemModel::paper();
+//! let late = &table2_layers()[4];
+//! let dp = simulate_layer(&model, late, SystemConfig::WDp);
+//! let full = simulate_layer(&model, late, SystemConfig::WMpPD);
+//! assert!(full.total_cycles() < dp.total_cycles()); // late layers love MPT
+//! ```
+
+pub mod config;
+pub mod exec;
+pub mod host;
+pub mod net_trainer;
+pub mod network_eval;
+pub mod pipeline;
+pub mod sweep;
+pub mod taskgraph;
+pub mod trainer;
+
+pub use config::{PredictionSavings, SystemConfig};
+pub use exec::{simulate_layer, simulate_layer_with, LayerResult, PhaseResult, SystemModel};
+pub use host::{plan_network, PlannedLayer, TrainingPlan};
+pub use net_trainer::{Activations, Stage, WinogradNet};
+pub use network_eval::{simulate_network, speedup_vs_single, NetworkResult};
+pub use pipeline::{pipelined_backward_cycles, pipelined_iteration_cycles, serial_backward_cycles};
+pub use sweep::{batch_sweep, worker_sweep, BatchPoint, WorkerPoint};
+pub use taskgraph::{compile_forward, CompiledForward};
+pub use trainer::{
+    elem_owner, fprop_distributed, gather_with_prediction, reduced_gradient_distributed,
+    slice_batch, train_step_distributed, train_step_distributed_momentum, winograd_join,
+};

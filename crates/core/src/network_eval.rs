@@ -1,0 +1,145 @@
+//! Whole-CNN evaluation (paper §VII-C, Figures 17–18): iterate a
+//! network's layers through the system model and aggregate time, energy
+//! and power.
+
+use wmpt_energy::EnergyBreakdown;
+use wmpt_models::Network;
+
+use crate::config::SystemConfig;
+use crate::exec::{simulate_layer, LayerResult, SystemModel};
+
+/// Aggregated result of one training iteration of a whole CNN.
+#[derive(Debug, Clone)]
+pub struct NetworkResult {
+    /// Network name.
+    pub network: String,
+    /// System configuration.
+    pub config: SystemConfig,
+    /// Per-layer results in forward order.
+    pub layers: Vec<LayerResult>,
+}
+
+impl NetworkResult {
+    /// Total iteration cycles (layers execute back to back; inter-layer
+    /// overlap is already inside each layer's fwd/bwd overlap model).
+    pub fn total_cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.total_cycles()).sum()
+    }
+
+    /// Total iteration energy.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.layers
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, l| acc.add(&l.total_energy()))
+    }
+
+    /// Training throughput in images per second (1 GHz clock).
+    pub fn images_per_second(&self, batch: usize) -> f64 {
+        batch as f64 / (self.total_cycles() * 1.0e-9)
+    }
+
+    /// Average system power, watts.
+    pub fn average_power_w(&self) -> f64 {
+        self.total_energy().average_power_w(self.total_cycles())
+    }
+
+    /// How many layers ran under each worker organization (the dynamic
+    /// clustering decision mix).
+    pub fn config_histogram(&self) -> Vec<(String, usize)> {
+        let mut hist: Vec<(String, usize)> = Vec::new();
+        for l in &self.layers {
+            let key = l.cluster.to_string();
+            if let Some(e) = hist.iter_mut().find(|(k, _)| *k == key) {
+                e.1 += 1;
+            } else {
+                hist.push((key, 1));
+            }
+        }
+        hist
+    }
+}
+
+/// Simulates one training iteration of `net` under `sys`.
+pub fn simulate_network(model: &SystemModel, net: &Network, sys: SystemConfig) -> NetworkResult {
+    let layers = net.layers.iter().map(|l| simulate_layer(model, l, sys)).collect();
+    NetworkResult { network: net.name.clone(), config: sys, layers }
+}
+
+/// Speedup of a configuration on `p` workers over the single-NDP-worker
+/// reference (Fig 17's y-axis).
+pub fn speedup_vs_single(model: &SystemModel, net: &Network, sys: SystemConfig) -> f64 {
+    let single = simulate_network(&SystemModel::single_worker(), net, SystemConfig::WDp);
+    let multi = simulate_network(model, net, sys);
+    single.total_cycles() / multi.total_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_models::{fractalnet, resnet34, wrn_40_10};
+
+    #[test]
+    fn full_proposal_beats_dp_on_every_network() {
+        let m = SystemModel::paper_fp16();
+        for net in [wrn_40_10(), resnet34(), fractalnet()] {
+            let dp = simulate_network(&m, &net, SystemConfig::WDp);
+            let full = simulate_network(&m, &net, SystemConfig::WMpPD);
+            let gain = dp.total_cycles() / full.total_cycles();
+            assert!(gain > 1.2, "{}: gain {gain}", net.name);
+        }
+    }
+
+    #[test]
+    fn plain_mpt_helps_resnet34_least() {
+        // §VII-C: applying only MPT can hurt CNNs with many large-feature-
+        // map layers (ResNet-34 is their example). Robust form of that
+        // claim: plain MPT's gain over w_dp is smaller on ResNet-34 than
+        // on the weight-heavy FractalNet.
+        let m = SystemModel::paper_fp16();
+        let gain = |net: &wmpt_models::Network| {
+            let dp = simulate_network(&m, net, SystemConfig::WDp);
+            let mp = simulate_network(&m, net, SystemConfig::WMp);
+            dp.total_cycles() / mp.total_cycles()
+        };
+        let g_res = gain(&resnet34());
+        let g_fract = gain(&fractalnet());
+        assert!(g_res < g_fract, "ResNet-34 gain {g_res} should trail FractalNet {g_fract}");
+    }
+
+    #[test]
+    fn scaling_vs_single_worker_is_large(){
+        // Fig 17: 256 workers reach O(100x) over one worker.
+        let m = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        let s_dp = speedup_vs_single(&m, &net, SystemConfig::WDp);
+        let s_full = speedup_vs_single(&m, &net, SystemConfig::WMpPD);
+        assert!(s_dp > 10.0, "w_dp speedup {s_dp}");
+        assert!(s_full > s_dp, "w_mp++ {s_full} must scale better than w_dp {s_dp}");
+        assert!(s_full > 20.0, "w_mp++ speedup {s_full}");
+    }
+
+    #[test]
+    fn dynamic_clustering_uses_multiple_configs() {
+        let m = SystemModel::paper_fp16();
+        let res = simulate_network(&m, &fractalnet(), SystemConfig::WMpPD);
+        let hist = res.config_histogram();
+        assert!(hist.len() >= 2, "expected a mix of configurations, got {hist:?}");
+    }
+
+    #[test]
+    fn power_is_in_the_papers_band() {
+        // §VII-C compares 256 NDP workers at 1800-2600 W against 8 GPUs.
+        let m = SystemModel::paper_fp16();
+        let res = simulate_network(&m, &fractalnet(), SystemConfig::WMpPD);
+        let w = res.average_power_w();
+        assert!((200.0..4000.0).contains(&w), "power {w} W implausible");
+    }
+
+    #[test]
+    fn throughput_metric_consistent() {
+        let m = SystemModel::paper_fp16();
+        let res = simulate_network(&m, &wrn_40_10(), SystemConfig::WMpPD);
+        let ips = res.images_per_second(256);
+        assert!(ips.is_finite() && ips > 0.0);
+    }
+}

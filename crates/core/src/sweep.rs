@@ -1,0 +1,131 @@
+//! Parameter sweeps around the paper's operating point.
+//!
+//! The paper fixes the total batch at 256 (§I: large batches degrade
+//! generalization). These sweeps probe the neighbourhood: how throughput
+//! responds to batch size and worker count under each strategy — the
+//! sensitivity analysis a deployment would run before committing to the
+//! architecture.
+
+use wmpt_models::Network;
+
+use crate::config::SystemConfig;
+use crate::exec::{simulate_layer, SystemModel};
+use crate::network_eval::simulate_network;
+
+/// One point of a batch sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPoint {
+    /// Total batch size.
+    pub batch: usize,
+    /// Training throughput, images/second.
+    pub images_per_second: f64,
+    /// Iteration latency, cycles.
+    pub iteration_cycles: f64,
+}
+
+/// Sweeps the total batch size for a network under a system config.
+pub fn batch_sweep(
+    base: &SystemModel,
+    net: &Network,
+    sys: SystemConfig,
+    batches: &[usize],
+) -> Vec<BatchPoint> {
+    batches
+        .iter()
+        .map(|&batch| {
+            let model = SystemModel { batch, ..*base };
+            let res = simulate_network(&model, net, sys);
+            BatchPoint {
+                batch,
+                images_per_second: res.images_per_second(batch),
+                iteration_cycles: res.total_cycles(),
+            }
+        })
+        .collect()
+}
+
+/// One point of a worker sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerPoint {
+    /// Worker count `p`.
+    pub workers: usize,
+    /// Iteration cycles of the probed layer.
+    pub cycles: f64,
+}
+
+/// Sweeps the worker count for a single layer under a config
+/// (`N_g = N_c = √p` grids).
+pub fn worker_sweep(
+    base: &SystemModel,
+    layer: &wmpt_models::ConvLayerSpec,
+    sys: SystemConfig,
+    counts: &[usize],
+) -> Vec<WorkerPoint> {
+    counts
+        .iter()
+        .map(|&p| {
+            let group = ((p as f64).sqrt() as usize).max(2);
+            let model = SystemModel { workers: p, group_size: group, ..*base };
+            WorkerPoint { workers: p, cycles: simulate_layer(&model, layer, sys).total_cycles() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_models::{table2_layers, wrn_40_10};
+
+    #[test]
+    fn larger_batches_raise_throughput() {
+        // Bigger batches amortize the (batch-independent) collectives and
+        // fill the systolic array better — for both strategies.
+        let base = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        for sys in [SystemConfig::WDp, SystemConfig::WMpPD] {
+            let pts = batch_sweep(&base, &net, sys, &[256, 1024]);
+            assert!(
+                pts[1].images_per_second > pts[0].images_per_second,
+                "{sys}: {} -> {}",
+                pts[0].images_per_second,
+                pts[1].images_per_second
+            );
+        }
+    }
+
+    #[test]
+    fn mpt_needs_batch_growth_less_than_dp() {
+        // The paper's pitch: MPT scales *without* growing the batch. The
+        // throughput gained by quadrupling the batch should be smaller
+        // (relatively) for w_mp++ than for w_dp.
+        let base = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        let gain = |sys| {
+            let pts = batch_sweep(&base, &net, sys, &[256, 1024]);
+            pts[1].images_per_second / pts[0].images_per_second
+        };
+        assert!(
+            gain(SystemConfig::WMpPD) < gain(SystemConfig::WDp),
+            "MPT should depend less on batch growth"
+        );
+    }
+
+    #[test]
+    fn iteration_latency_grows_sublinearly_with_batch() {
+        let base = SystemModel::paper_fp16();
+        let net = wrn_40_10();
+        let pts = batch_sweep(&base, &net, SystemConfig::WMpPD, &[256, 512]);
+        let ratio = pts[1].iteration_cycles / pts[0].iteration_cycles;
+        assert!(ratio < 2.0, "doubling batch must not double latency ({ratio})");
+        assert!(ratio > 1.0, "bigger batch is still more work");
+    }
+
+    #[test]
+    fn worker_sweep_matches_direct_simulation() {
+        let base = SystemModel::paper();
+        let layer = &table2_layers()[3];
+        let pts = worker_sweep(&base, layer, SystemConfig::WMpPD, &[64, 256]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].cycles < pts[0].cycles, "more workers should help Late-1");
+    }
+}

@@ -1,0 +1,180 @@
+//! Task-graph compilation of a layer's forward pass (paper §VI-A): the
+//! host builds a dependency graph of computation blocks sized for the
+//! systolic array; each NDP's scheduler launches tasks when the update
+//! counters of their producers have ticked.
+//!
+//! This is the second, independent timing path: the analytical model in
+//! [`crate::exec`] assumes perfect systolic/vector/DMA pipelining, and
+//! the compiled task graph *achieves* it through double buffering — the
+//! cross-validation tests check the two agree.
+
+use wmpt_ndp::{gemm, transform_2d, NdpParams, TaskGraph, TaskKind, WorkerCost};
+use wmpt_models::ConvLayerSpec;
+use wmpt_noc::ClusterConfig;
+
+/// A compiled forward pass: the graph plus the cost the analytical model
+/// would assign to the same work.
+#[derive(Debug)]
+pub struct CompiledForward {
+    /// The per-worker task graph.
+    pub graph: TaskGraph,
+    /// The analytical per-worker cost of the same work.
+    pub analytical: WorkerCost,
+    /// Chunks the tile stream was split into.
+    pub chunks: u64,
+}
+
+/// Compiles one worker's share of a layer's Winograd forward pass under
+/// `cfg` into a task graph: per tile chunk,
+/// `DMA load → input transform → element GEMMs → inverse transform →
+/// DMA store`, with the double-buffered structure that lets chunks
+/// overlap across resources.
+///
+/// # Panics
+///
+/// Panics if the layer is not Winograd friendly.
+pub fn compile_forward(
+    ndp: &NdpParams,
+    layer: &ConvLayerSpec,
+    cfg: ClusterConfig,
+    batch: usize,
+    m: usize,
+    t: usize,
+) -> CompiledForward {
+    assert!(layer.winograd_friendly(), "task-graph compile expects a Winograd layer");
+    let (n_g, n_c) = (cfg.n_g as u64, cfg.n_c as u64);
+    let t2 = (t * t) as u64;
+    let tiles_cluster = (batch as u64).div_ceil(n_c) * layer.tiles_per_image(m);
+    let elems_pw = t2.div_ceil(n_g);
+    let i = layer.in_chans as u64;
+    let j = layer.out_chans as u64;
+
+    // Chunk the tile stream so a chunk's working set fits the input
+    // buffer half. Each worker only buffers its group's element share:
+    // chunk_tiles * (t^2 / N_g) * I * 4 <= half. Round the chunk down to
+    // a multiple of the systolic dimension so blocks stay full.
+    let half = ndp.input_buffer_bytes as u64;
+    let elems_frac = t2 / n_g.min(t2);
+    let raw = (half / (elems_frac * i * 4)).clamp(1, tiles_cluster);
+    let dim = ndp.systolic_dim as u64;
+    let chunk_tiles = if raw >= dim { raw / dim * dim } else { raw };
+    let chunks = tiles_cluster.div_ceil(chunk_tiles);
+
+    // Per-chunk costs.
+    let tf_in = transform_2d(ndp, chunk_tiles * i / n_g.min(t2), t);
+    let g = gemm(ndp, chunk_tiles, i, j, 0.5);
+    let gemm_cycles = g.compute_cycles * elems_pw;
+    let tf_out = transform_2d(ndp, chunk_tiles * j / n_g.min(t2), t);
+    let chunk_bytes = chunk_tiles * t2 * (i + j) * 4 / n_g.min(t2);
+    let dma_cycles =
+        ((chunk_bytes as f64 / ndp.dram_bytes_per_cycle).ceil() as u64).max(1);
+
+    let mut graph = TaskGraph::new();
+    let mut prev_load = None;
+    for _ in 0..chunks {
+        // Loads serialize on the DMA engine; each chunk's pipeline hangs
+        // off its own load, so resources overlap across chunks.
+        let deps: Vec<usize> = prev_load.into_iter().collect();
+        let load = graph.add(TaskKind::Dma, dma_cycles / 2, &deps);
+        let tfi = graph.add(TaskKind::Vector, tf_in.cycles, &[load]);
+        let mm = graph.add(TaskKind::Gemm, gemm_cycles, &[tfi]);
+        let tfo = graph.add(TaskKind::Vector, tf_out.cycles, &[mm]);
+        let _store = graph.add(TaskKind::Dma, dma_cycles / 2, &[tfo]);
+        prev_load = Some(load);
+    }
+
+    // The analytical view of the same work.
+    let tf_in_full = transform_2d(ndp, tiles_cluster * i / n_g.min(t2), t);
+    let g_full = gemm(ndp, tiles_cluster, i, j, 0.5);
+    let g_full = wmpt_ndp::GemmCost {
+        cycles: g_full.cycles * elems_pw,
+        compute_cycles: g_full.compute_cycles * elems_pw,
+        dram_cycles: g_full.dram_cycles * elems_pw,
+        macs: g_full.macs * elems_pw,
+        dram_bytes: g_full.dram_bytes * elems_pw,
+        sram_bytes: g_full.sram_bytes * elems_pw,
+    };
+    let tf_out_full = transform_2d(ndp, tiles_cluster * j / n_g.min(t2), t);
+    let analytical = WorkerCost::default()
+        .with_vector(&tf_in_full)
+        .with_gemm(&g_full)
+        .with_vector(&tf_out_full);
+
+    CompiledForward { graph, analytical, chunks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayerSpec {
+        ConvLayerSpec::new("probe", 64, 64, 28, 28, 3)
+    }
+
+    #[test]
+    fn compiled_graph_has_five_tasks_per_chunk() {
+        let ndp = NdpParams::paper_fp32();
+        let c = compile_forward(&ndp, &layer(), ClusterConfig::new(16, 16), 256, 2, 4);
+        assert_eq!(c.graph.len() as u64, 5 * c.chunks);
+        assert!(c.chunks >= 1);
+    }
+
+    #[test]
+    fn schedule_overlaps_resources() {
+        // Makespan must be far below the serial sum of all task cycles and
+        // close to the bottleneck resource total.
+        let ndp = NdpParams::paper_fp32();
+        let c = compile_forward(&ndp, &layer(), ClusterConfig::new(16, 16), 256, 2, 4);
+        let sched = c.graph.execute();
+        let makespan = sched.makespan();
+        let bottleneck = c
+            .analytical
+            .systolic_cycles
+            .max(c.analytical.vector_cycles);
+        assert!(
+            makespan >= bottleneck,
+            "makespan {makespan} below bottleneck {bottleneck}"
+        );
+        // Within 2.5x of the ideal pipeline (fill/drain + chunking slack).
+        assert!(
+            makespan <= bottleneck * 5 / 2 + 1000,
+            "makespan {makespan} too far above bottleneck {bottleneck}"
+        );
+    }
+
+    #[test]
+    fn analytical_and_scheduled_views_agree_on_big_layers() {
+        let ndp = NdpParams::paper_fp32();
+        let big = ConvLayerSpec::new("big", 256, 256, 28, 28, 3);
+        let c = compile_forward(&ndp, &big, ClusterConfig::new(16, 16), 256, 2, 4);
+        let makespan = c.graph.execute().makespan() as f64;
+        let pipelined = c
+            .analytical
+            .systolic_cycles
+            .max(c.analytical.vector_cycles) as f64;
+        let ratio = makespan / pipelined;
+        assert!(
+            (0.9..2.0).contains(&ratio),
+            "scheduled {makespan} vs analytical {pipelined} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn single_group_compiles_all_elements() {
+        let ndp = NdpParams::paper_fp32();
+        let a = compile_forward(&ndp, &layer(), ClusterConfig::new(1, 256), 256, 4, 6);
+        let b = compile_forward(&ndp, &layer(), ClusterConfig::new(16, 16), 256, 2, 4);
+        // Single group does all 36 elements of fewer tiles; 16 groups do
+        // 1 element each of 16x more tiles.
+        assert!(a.graph.execute().makespan() > 0);
+        assert!(b.graph.execute().makespan() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Winograd layer")]
+    fn rejects_non_winograd_layers() {
+        let ndp = NdpParams::paper_fp32();
+        let l = ConvLayerSpec::new("c7", 3, 64, 112, 112, 7);
+        let _ = compile_forward(&ndp, &l, ClusterConfig::new(16, 16), 256, 2, 4);
+    }
+}

@@ -1,0 +1,457 @@
+//! Functional MPT trainer: the *numerics* of multi-dimensional parallel
+//! training, executed with the actual partitioning of batch (across
+//! clusters) and tile elements (across groups), and verified against
+//! centralized single-worker training.
+//!
+//! This ties the architecture model to real math: intra-tile parallelism
+//! is only exploitable because the element-wise GEMMs are independent
+//! (§III-A), the per-group weight-gradient reduction is only sufficient
+//! because gradients never cross element boundaries (§III-B), activation
+//! prediction must not change any output (§V), and the modified join must
+//! equal the spatial join (Fig 14). Each of those claims is a test here.
+
+use wmpt_predict::{ActivationPredictor, PredictMode};
+use wmpt_tensor::{Shape4, Tensor4};
+use wmpt_winograd::{
+    from_winograd_output, relu, to_winograd_input, WgTensor, WgWeights, WinogradLayer,
+};
+use wmpt_noc::ClusterConfig;
+
+/// Returns the group that owns tile element `e` under `n_g` groups
+/// (contiguous block partition; with `F(2×2,3×3)` and 16 groups each
+/// group owns exactly one element, with 4 groups each owns one line).
+pub fn elem_owner(e: usize, t2: usize, n_g: usize) -> usize {
+    assert!(e < t2, "element {e} out of range for T²={t2}");
+    let per = t2.div_ceil(n_g);
+    (e / per).min(n_g - 1)
+}
+
+/// Extracts a contiguous batch slice `[start, start+len)`.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the batch.
+pub fn slice_batch(x: &Tensor4, start: usize, len: usize) -> Tensor4 {
+    let s = x.shape();
+    assert!(start + len <= s.n, "batch slice out of range");
+    let mut out = Tensor4::zeros(Shape4::new(len, s.c, s.h, s.w));
+    for b in 0..len {
+        for c in 0..s.c {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out[(b, c, h, w)] = x[(start + b, c, h, w)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Distributed forward propagation under a worker grid: the batch splits
+/// across `N_c` clusters and tile elements across `N_g` groups; worker
+/// `(g, c)` computes only the element-GEMMs its group owns, on its
+/// cluster's tiles, using only its group's weight shard.
+///
+/// Numerically identical to `layer.fprop(x)` — the property that makes
+/// MPT exact rather than approximate.
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn fprop_distributed(layer: &WinogradLayer, cfg: ClusterConfig, x: &Tensor4) -> Tensor4 {
+    let tf = layer.transform().clone();
+    let s = x.shape();
+    assert_eq!(s.n % cfg.n_c, 0, "batch {} must divide across {} clusters", s.n, cfg.n_c);
+    let chunk = s.n / cfg.n_c;
+    let w = layer.weights();
+    let t2 = tf.t() * tf.t();
+    let out_shape = Shape4::new(s.n, w.out_chans, s.h, s.w);
+    let mut out = Tensor4::zeros(out_shape);
+
+    for c in 0..cfg.n_c {
+        let xc = slice_batch(x, c * chunk, chunk);
+        // Tile scattering: every worker of cluster c receives its group's
+        // elements of the transformed input.
+        let wx = to_winograd_input(&xc, &tf);
+        let mut wy = WgTensor::zeros(t2, wx.tiles, w.out_chans);
+        for g in 0..cfg.n_g {
+            // Worker (g, c): element-GEMMs for the elements group g owns.
+            for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
+                for tile in 0..wx.tiles {
+                    for j in 0..w.out_chans {
+                        let mut acc = 0.0f64;
+                        for i in 0..w.in_chans {
+                            acc += wx.data[wx.index(e, tile, i)] as f64
+                                * w.data[w.index(e, i, j)] as f64;
+                        }
+                        let idx = wy.index(e, tile, j);
+                        wy.data[idx] = acc as f32;
+                    }
+                }
+            }
+        }
+        // Tile gathering + inverse transform at each tile's home worker.
+        let yc = from_winograd_output(&wy, &tf, Shape4::new(chunk, w.out_chans, s.h, s.w));
+        for b in 0..chunk {
+            for j in 0..w.out_chans {
+                for h in 0..s.h {
+                    for ww in 0..s.w {
+                        out[(c * chunk + b, j, h, ww)] = yc[(b, j, h, ww)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Distributed `updateGrad` + SGD step: worker `(g, c)` produces the
+/// partial Winograd-domain weight gradient for its elements from its
+/// batch chunk; gradients are ring-reduced *within each group* (across
+/// the `N_c` clusters) — never across groups — and applied.
+///
+/// Numerically identical to centralized
+/// `layer.update_grad(x, dy); layer.apply_grad(...)`.
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn train_step_distributed(
+    layer: &mut WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    dy: &Tensor4,
+    lr: f32,
+) {
+    let total = reduced_gradient_distributed(layer, cfg, x, dy);
+    layer.apply_grad(&total, lr);
+}
+
+/// The group-ring-reduced Winograd-domain weight gradient, computed with
+/// the MPT partitioning: worker `(g, c)` contributes its batch chunk's
+/// partial gradient for its group's elements; sums run within groups
+/// only.
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn reduced_gradient_distributed(
+    layer: &WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    dy: &Tensor4,
+) -> WgWeights {
+    let tf = layer.transform().clone();
+    let s = x.shape();
+    assert_eq!(s.n % cfg.n_c, 0, "batch {} must divide across {} clusters", s.n, cfg.n_c);
+    let chunk = s.n / cfg.n_c;
+    let t2 = tf.t() * tf.t();
+    let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
+    let mut total = WgWeights::zeros(t2, i_ch, j_ch);
+
+    for g in 0..cfg.n_g {
+        // The group's ring reduction: sum the partial gradients of the
+        // N_c workers holding this group's elements.
+        for c in 0..cfg.n_c {
+            let xc = slice_batch(x, c * chunk, chunk);
+            let dyc = slice_batch(dy, c * chunk, chunk);
+            let wx = to_winograd_input(&xc, &tf);
+            let wdy = wmpt_winograd::output_grad_to_winograd(&dyc, &tf);
+            for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
+                for ii in 0..i_ch {
+                    for jj in 0..j_ch {
+                        let mut acc = 0.0f64;
+                        for tile in 0..wx.tiles {
+                            acc += wx.data[wx.index(e, tile, ii)] as f64
+                                * wdy.data[wdy.index(e, tile, jj)] as f64;
+                        }
+                        let idx = total.index(e, ii, jj);
+                        total.data[idx] += acc as f32;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Distributed momentum-SGD step: the optimizer state is partitioned
+/// exactly like the weights (each group keeps velocity for its own
+/// elements, §III-B), so momentum adds **no communication**; the result
+/// matches a centralized momentum step.
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn train_step_distributed_momentum(
+    layer: &mut WinogradLayer,
+    cfg: ClusterConfig,
+    opt: &mut wmpt_winograd::MomentumSgd,
+    x: &Tensor4,
+    dy: &Tensor4,
+) {
+    let grad = reduced_gradient_distributed(layer, cfg, x, dy);
+    let t2 = layer.transform().t() * layer.transform().t();
+    // Each group applies the update to its own elements only; jointly
+    // they cover all of them.
+    for g in 0..cfg.n_g {
+        opt.step_elements(layer.weights_mut(), &grad, |e| elem_owner(e, t2, cfg.n_g) == g);
+    }
+}
+
+/// The modified join of Fig 14: the (linear) mean of FractalNet branches
+/// computed in the Winograd domain, with a single inverse transform —
+/// exactly equal to joining after individual inverse transforms.
+///
+/// # Panics
+///
+/// Panics if the branches disagree in shape or the list is empty.
+pub fn winograd_join(branches: &[&WgTensor]) -> WgTensor {
+    assert!(!branches.is_empty(), "join needs at least one branch");
+    let first = branches[0];
+    let mut out = WgTensor::zeros(first.elems, first.tiles, first.chans);
+    for b in branches {
+        assert_eq!(
+            (b.elems, b.tiles, b.chans),
+            (first.elems, first.tiles, first.chans),
+            "join branches must agree in shape"
+        );
+        for (o, v) in out.data.iter_mut().zip(&b.data) {
+            *o += v;
+        }
+    }
+    let scale = 1.0 / branches.len() as f32;
+    for o in &mut out.data {
+        *o *= scale;
+    }
+    out
+}
+
+/// Gathers, inverse-transforms and ReLUs a Winograd-domain output with
+/// activation prediction applied: tiles predicted dead are *not gathered*
+/// and their neurons are set to zero directly. Because the predictor is
+/// conservative, the result equals the unpredicted path exactly.
+pub fn gather_with_prediction(
+    y: &WgTensor,
+    predictor: &ActivationPredictor,
+    mode: PredictMode,
+    out_shape: Shape4,
+) -> (Tensor4, u64) {
+    let tf = predictor.transform();
+    let full = from_winograd_output(y, tf, out_shape);
+    let mut out = relu(&full);
+    let mut skipped_bytes = 0u64;
+    let tl = wmpt_winograd::Tiling::new(tf, out_shape.h, out_shape.w);
+    let tpi = tl.tiles_per_image();
+    let m = tf.m();
+    for b in 0..out_shape.n {
+        for j in 0..out_shape.c {
+            for ty in 0..tl.tiles_h {
+                for tx in 0..tl.tiles_w {
+                    let tile_idx = b * tpi + ty * tl.tiles_w + tx;
+                    let vals = y.gather_tile(tile_idx, j);
+                    let pred = predictor.predict(&vals, mode);
+                    if pred.tile_dead {
+                        skipped_bytes += (vals.len() * 4) as u64;
+                        // The destination writes zeros without receiving
+                        // the tile; assert-equivalent because prediction is
+                        // conservative (every neuron was <= 0).
+                        for u in 0..m {
+                            let oy = ty * m + u;
+                            if oy >= out_shape.h {
+                                break;
+                            }
+                            for v in 0..m {
+                                let ox = tx * m + v;
+                                if ox >= out_shape.w {
+                                    break;
+                                }
+                                out[(b, j, oy, ox)] = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, skipped_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_predict::QuantizerConfig;
+    use wmpt_tensor::DataGen;
+    use wmpt_winograd::{output_grad_to_winograd, WinogradTransform};
+
+    fn setup(seed: u64, batch: usize) -> (WinogradLayer, Tensor4, Tensor4) {
+        let mut g = DataGen::new(seed);
+        let w = g.he_weights(Shape4::new(4, 3, 3, 3));
+        let layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        let x = g.normal_tensor(Shape4::new(batch, 3, 6, 6), 0.0, 1.0);
+        let dy = g.normal_tensor(Shape4::new(batch, 4, 6, 6), 0.0, 1.0);
+        (layer, x, dy)
+    }
+
+    #[test]
+    fn elem_owner_partitions_completely() {
+        for n_g in [1usize, 2, 4, 8, 16] {
+            let mut counts = vec![0usize; n_g];
+            for e in 0..16 {
+                counts[elem_owner(e, 16, n_g)] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 16);
+            assert!(counts.iter().all(|&c| c == 16 / n_g));
+        }
+    }
+
+    #[test]
+    fn distributed_fprop_matches_centralized() {
+        let (layer, x, _) = setup(1, 8);
+        let reference = layer.fprop(&x);
+        for cfg in [ClusterConfig::new(1, 8), ClusterConfig::new(4, 2), ClusterConfig::new(16, 1), ClusterConfig::new(8, 4)] {
+            if x.shape().n % cfg.n_c != 0 {
+                continue;
+            }
+            let dist = fprop_distributed(&layer, cfg, &x);
+            let diff = dist.max_abs_diff(&reference);
+            assert!(diff < 1e-4, "{cfg}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn distributed_train_step_matches_centralized() {
+        let (layer, x, dy) = setup(2, 8);
+        let mut central = layer.clone();
+        let grad = central.update_grad(&x, &dy);
+        central.apply_grad(&grad, 0.01);
+
+        for cfg in [ClusterConfig::new(4, 2), ClusterConfig::new(16, 1), ClusterConfig::new(1, 4)] {
+            let mut dist = layer.clone();
+            train_step_distributed(&mut dist, cfg, &x, &dy, 0.01);
+            let diff: f32 = dist
+                .weights()
+                .data
+                .iter()
+                .zip(&central.weights().data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(diff < 1e-3, "{cfg}: weight diff {diff}");
+        }
+    }
+
+    #[test]
+    fn several_distributed_steps_track_centralized_training() {
+        let (layer, x, _) = setup(3, 4);
+        let mut g = DataGen::new(99);
+        let target = g.normal_tensor(Shape4::new(4, 4, 6, 6), 0.0, 1.0);
+        let mut central = layer.clone();
+        let mut dist = layer;
+        let cfg = ClusterConfig::new(4, 2);
+        // Small, stable learning rate: the comparison is about the
+        // *partitioning*, not about SGD dynamics amplifying FP noise.
+        let lr = 0.002;
+        for _ in 0..4 {
+            let yc = central.fprop(&x);
+            let mut dyc = yc.clone();
+            for (d, t) in dyc.as_mut_slice().iter_mut().zip(target.as_slice()) {
+                *d -= t;
+            }
+            let grad = central.update_grad(&x, &dyc);
+            central.apply_grad(&grad, lr);
+
+            let yd = fprop_distributed(&dist, cfg, &x);
+            let mut dyd = yd.clone();
+            for (d, t) in dyd.as_mut_slice().iter_mut().zip(target.as_slice()) {
+                *d -= t;
+            }
+            train_step_distributed(&mut dist, cfg, &x, &dyd, lr);
+        }
+        let scale = central.weights().data.iter().fold(0.0f32, |a, v| a.max(v.abs())).max(1.0);
+        let diff: f32 = dist
+            .weights()
+            .data
+            .iter()
+            .zip(&central.weights().data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff / scale < 1e-2, "training trajectories diverged: {diff} (scale {scale})");
+    }
+
+    #[test]
+    fn distributed_momentum_matches_centralized() {
+        use wmpt_winograd::MomentumSgd;
+        let (layer, x, dy) = setup(12, 8);
+        let t2 = 16;
+        let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
+
+        let mut central = layer.clone();
+        let mut opt_c = MomentumSgd::new(t2, i_ch, j_ch, 0.01, 0.9);
+        let mut dist = layer.clone();
+        let mut opt_d = MomentumSgd::new(t2, i_ch, j_ch, 0.01, 0.9);
+        let cfg = ClusterConfig::new(4, 2);
+
+        for _ in 0..3 {
+            let g = central.update_grad(&x, &dy);
+            opt_c.step(central.weights_mut(), &g);
+            train_step_distributed_momentum(&mut dist, cfg, &mut opt_d, &x, &dy);
+        }
+        let diff: f32 = dist
+            .weights()
+            .data
+            .iter()
+            .zip(&central.weights().data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 1e-3, "momentum trajectories diverged: {diff}");
+        // The velocity state matches too, element for element.
+        let vdiff: f32 = opt_d
+            .velocity()
+            .data
+            .iter()
+            .zip(&opt_c.velocity().data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(vdiff < 1e-3, "velocity state diverged: {vdiff}");
+    }
+
+    #[test]
+    fn winograd_join_equals_spatial_join() {
+        // Fig 14: joining (mean) in the Winograd domain then inverse-
+        // transforming once == inverse-transforming each branch and
+        // joining spatially.
+        let tf = WinogradTransform::f2x2_3x3();
+        let mut g = DataGen::new(4);
+        let shape = Shape4::new(2, 3, 6, 6);
+        let a_sp = g.normal_tensor(shape, 0.0, 1.0);
+        let b_sp = g.normal_tensor(shape, 0.0, 1.0);
+        // Build Winograd-domain branches via the adjoint map.
+        let a = output_grad_to_winograd(&a_sp, &tf);
+        let b = output_grad_to_winograd(&b_sp, &tf);
+        let joined = winograd_join(&[&a, &b]);
+        let spatial_of = |w: &WgTensor| from_winograd_output(w, &tf, shape);
+        let mut expect = spatial_of(&a);
+        expect.add_assign(&spatial_of(&b));
+        expect.scale(0.5);
+        let got = spatial_of(&joined);
+        assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn prediction_gather_is_lossless_and_saves_traffic() {
+        let tf = WinogradTransform::f2x2_3x3();
+        let mut g = DataGen::new(5);
+        let shape = Shape4::new(4, 8, 8, 8);
+        // Bias neurons negative so many tiles are dead.
+        let y_sp = g.normal_tensor(shape, -1.0, 1.0);
+        let y = output_grad_to_winograd(&y_sp, &tf);
+        let sigma = wmpt_predict::sigma_of(&y.data);
+        let predictor =
+            ActivationPredictor::new(tf.clone(), QuantizerConfig::new(64, 4), sigma);
+        let (with_pred, skipped) =
+            gather_with_prediction(&y, &predictor, PredictMode::TwoD, shape);
+        let full = relu(&from_winograd_output(&y, &tf, shape));
+        assert_eq!(with_pred.max_abs_diff(&full), 0.0, "prediction changed an output");
+        assert!(skipped > 0, "no traffic was saved");
+    }
+}

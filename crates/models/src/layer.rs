@@ -1,0 +1,207 @@
+//! Convolution-layer specifications and size/work accounting.
+
+use std::fmt;
+
+/// A convolution layer's static description (the unit of the paper's
+/// per-layer evaluation).
+///
+/// Spatial sizes are the *output* feature-map dimensions; for the
+/// stride-1 "same"-padded 3×3/5×5 layers the paper studies, input and
+/// output sizes coincide.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_models::ConvLayerSpec;
+///
+/// let layer = ConvLayerSpec::new("mid", 128, 128, 28, 28, 3);
+/// assert_eq!(layer.params(), 128 * 128 * 9);
+/// assert!(layer.winograd_friendly());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Human-readable name ("conv3_2", "Early", …).
+    pub name: String,
+    /// Input channels `I`.
+    pub in_chans: usize,
+    /// Output channels `J`.
+    pub out_chans: usize,
+    /// Output feature-map height.
+    pub h: usize,
+    /// Output feature-map width.
+    pub w: usize,
+    /// Kernel size `r` (square kernels).
+    pub r: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Whether a ReLU follows (enables activation prediction).
+    pub relu: bool,
+    /// Number of FractalNet-style join operations fed by this layer
+    /// (0 for plain layers). With the paper's *modified join*, joins are
+    /// computed in the Winograd domain and reduce tile transfer.
+    pub joins_after: usize,
+}
+
+impl ConvLayerSpec {
+    /// A stride-1, ReLU-followed layer (the common case).
+    pub fn new(name: &str, in_chans: usize, out_chans: usize, h: usize, w: usize, r: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            in_chans,
+            out_chans,
+            h,
+            w,
+            r,
+            stride: 1,
+            relu: true,
+            joins_after: 0,
+        }
+    }
+
+    /// Builder-style stride override.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Builder-style join count.
+    pub fn with_joins(mut self, joins: usize) -> Self {
+        self.joins_after = joins;
+        self
+    }
+
+    /// Weight parameter count `I·J·r²`.
+    pub fn params(&self) -> u64 {
+        (self.in_chans * self.out_chans * self.r * self.r) as u64
+    }
+
+    /// Spatial-domain weight bytes `|w|` (FP32).
+    pub fn spatial_weight_bytes(&self) -> u64 {
+        self.params() * 4
+    }
+
+    /// Winograd-domain weight bytes `|W|` for tile size `t` (FP32).
+    pub fn winograd_weight_bytes(&self, t: usize) -> u64 {
+        (self.in_chans * self.out_chans * t * t) as u64 * 4
+    }
+
+    /// `true` when the layer is eligible for Winograd execution
+    /// (stride 1, odd small kernel — the regime cuDNN and the paper use).
+    pub fn winograd_friendly(&self) -> bool {
+        self.stride == 1 && (self.r == 3 || self.r == 5)
+    }
+
+    /// Tiles per image for output-tile size `m`.
+    pub fn tiles_per_image(&self, m: usize) -> u64 {
+        (self.h.div_ceil(m) * self.w.div_ceil(m)) as u64
+    }
+
+    /// Direct-convolution MACs for a batch.
+    pub fn direct_macs(&self, batch: usize) -> u64 {
+        batch as u64
+            * (self.in_chans * self.out_chans * self.h * self.w * self.r * self.r) as u64
+    }
+
+    /// Winograd element-wise GEMM MACs for a batch under `F(m, r)` with
+    /// tile size `t` (transform adds excluded; they run on the vector
+    /// unit).
+    pub fn winograd_macs(&self, batch: usize, m: usize, t: usize) -> u64 {
+        batch as u64 * self.tiles_per_image(m) * (t * t * self.in_chans * self.out_chans) as u64
+    }
+
+    /// Input feature-map bytes for a batch (FP32).
+    pub fn input_bytes(&self, batch: usize) -> u64 {
+        (batch * self.in_chans * self.h * self.stride * self.w * self.stride) as u64 * 4
+    }
+
+    /// Output feature-map bytes for a batch (FP32).
+    pub fn output_bytes(&self, batch: usize) -> u64 {
+        (batch * self.out_chans * self.h * self.w) as u64 * 4
+    }
+
+    /// Winograd-domain input-tile bytes (`B · I · tiles · T²` values) —
+    /// the paper's `|Tiles|` for scatter accounting.
+    pub fn input_tile_bytes(&self, batch: usize, m: usize, t: usize) -> u64 {
+        batch as u64 * self.tiles_per_image(m) * (self.in_chans * t * t) as u64 * 4
+    }
+
+    /// Winograd-domain output-tile bytes (gather accounting).
+    pub fn output_tile_bytes(&self, batch: usize, m: usize, t: usize) -> u64 {
+        batch as u64 * self.tiles_per_image(m) * (self.out_chans * t * t) as u64 * 4
+    }
+}
+
+impl fmt::Display for ConvLayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} {}ch -> {}ch, {}x{} kernel, stride {}",
+            self.name, self.h, self.w, self.in_chans, self.out_chans, self.r, self.r, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid() -> ConvLayerSpec {
+        ConvLayerSpec::new("mid", 128, 128, 28, 28, 3)
+    }
+
+    #[test]
+    fn param_and_byte_counts() {
+        let l = mid();
+        assert_eq!(l.params(), 147_456);
+        assert_eq!(l.spatial_weight_bytes(), 589_824);
+        // F(2x2,3x3): T=4 -> 16/9 larger element count.
+        assert_eq!(l.winograd_weight_bytes(4), 128 * 128 * 16 * 4);
+    }
+
+    #[test]
+    fn winograd_weights_larger_than_spatial() {
+        let l = mid();
+        assert!(l.winograd_weight_bytes(4) > l.spatial_weight_bytes());
+        let ratio = l.winograd_weight_bytes(4) as f64 / l.spatial_weight_bytes() as f64;
+        assert!((ratio - 16.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_reduction_matches_transform_theory() {
+        // F(4x4,3x3): direct/winograd MAC ratio = (m*r)^2/T^2 per dim pair
+        // = 4.0 when tiles divide evenly.
+        let l = ConvLayerSpec::new("even", 64, 64, 56, 56, 3);
+        let direct = l.direct_macs(1) as f64;
+        let wino = l.winograd_macs(1, 4, 6) as f64;
+        assert!((direct / wino - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiles_round_up() {
+        let l = ConvLayerSpec::new("odd", 1, 1, 7, 9, 3);
+        assert_eq!(l.tiles_per_image(2), 4 * 5);
+        assert_eq!(l.tiles_per_image(4), 2 * 3);
+    }
+
+    #[test]
+    fn winograd_friendliness() {
+        assert!(mid().winograd_friendly());
+        assert!(!mid().with_stride(2).winograd_friendly());
+        assert!(!ConvLayerSpec::new("c7", 3, 64, 112, 112, 7).winograd_friendly());
+        assert!(ConvLayerSpec::new("c5", 64, 64, 28, 28, 5).winograd_friendly());
+    }
+
+    #[test]
+    fn tile_bytes_scale_with_batch_and_channels() {
+        let l = mid();
+        assert_eq!(l.input_tile_bytes(2, 2, 4), 2 * l.input_tile_bytes(1, 2, 4));
+        assert_eq!(l.input_tile_bytes(1, 2, 4), l.output_tile_bytes(1, 2, 4)); // I == J here
+    }
+
+    #[test]
+    fn strided_input_is_larger() {
+        let l = ConvLayerSpec::new("s2", 64, 128, 28, 28, 3).with_stride(2);
+        assert_eq!(l.input_bytes(1), (64 * 56 * 56 * 4) as u64);
+        assert_eq!(l.output_bytes(1), (128 * 28 * 28 * 4) as u64);
+    }
+}

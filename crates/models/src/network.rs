@@ -1,0 +1,105 @@
+//! Whole-network descriptions (paper Table I) and the three CNN builders.
+
+use crate::layer::ConvLayerSpec;
+
+/// Dataset the network trains on (sets input resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 32×32 CIFAR images.
+    Cifar,
+    /// 224×224 ImageNet images.
+    ImageNet,
+}
+
+/// A CNN as a sequence of convolution layers plus non-conv parameters
+/// (fully connected, 1×1 shortcuts) counted separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Name as in Table I.
+    pub name: String,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Convolution layers in forward order.
+    pub layers: Vec<ConvLayerSpec>,
+    /// Parameters outside the listed conv layers (FC, 1×1 projections).
+    pub other_params: u64,
+}
+
+impl Network {
+    /// Total parameter count.
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.params()).sum::<u64>() + self.other_params
+    }
+
+    /// Parameters held in 3×3 (or, generally, Winograd-friendly stride-1)
+    /// convolutions — Table I's parenthesized column.
+    pub fn winograd_param_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.winograd_friendly())
+            .map(|l| l.params())
+            .sum()
+    }
+
+    /// Direct-convolution MACs of one forward pass at `batch`.
+    pub fn forward_macs(&self, batch: usize) -> u64 {
+        self.layers.iter().map(|l| l.direct_macs(batch)).sum()
+    }
+
+    /// Number of join operations across the network (FractalNet).
+    pub fn join_count(&self) -> usize {
+        self.layers.iter().map(|l| l.joins_after).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{fractalnet, resnet34, wrn_40_10};
+
+    #[test]
+    fn wrn_40_10_matches_table_i() {
+        let n = wrn_40_10();
+        // Table I: 55.6M total, 55.5M in 3x3 convs.
+        let total = n.param_count() as f64 / 1.0e6;
+        let wino = n.winograd_param_count() as f64 / 1.0e6;
+        assert!((54.0..57.5).contains(&total), "total {total}M");
+        // Slightly below the paper's 55.5M "(3x3)" column because our
+        // Winograd-friendly predicate also excludes the two strided 3x3
+        // transition convs.
+        assert!((52.0..57.0).contains(&wino), "3x3 {wino}M");
+        assert!(wino < total);
+    }
+
+    #[test]
+    fn resnet34_has_about_21m_params() {
+        let n = resnet34();
+        let total = n.param_count() as f64 / 1.0e6;
+        assert!((20.0..23.0).contains(&total), "total {total}M");
+        // The 7x7 stem and strided convs are not Winograd-friendly.
+        assert!(n.winograd_param_count() < n.param_count());
+    }
+
+    #[test]
+    fn fractalnet_is_the_largest_model() {
+        let f = fractalnet();
+        let total = f.param_count() as f64 / 1.0e6;
+        // Table I: 164M (163M in 3x3). Our reconstruction of the 4-block /
+        // 4-column ImageNet variant lands in the same regime.
+        assert!((140.0..200.0).contains(&total), "total {total}M");
+        assert!(f.param_count() > wrn_40_10().param_count());
+        assert!(f.join_count() > 0, "FractalNet must contain join ops");
+    }
+
+    #[test]
+    fn layer_counts_match_architectures() {
+        assert_eq!(wrn_40_10().layers.len(), 1 + 36); // conv1 + 3 groups x 6 blocks x 2
+        assert_eq!(resnet34().layers.len(), 1 + 32); // stem + 16 blocks x 2
+        assert_eq!(fractalnet().layers.len(), 1 + 4 * 15); // stem + 4 blocks x f4(15)
+    }
+
+    #[test]
+    fn forward_macs_scale_with_batch() {
+        let n = wrn_40_10();
+        assert_eq!(n.forward_macs(2), 2 * n.forward_macs(1));
+    }
+}

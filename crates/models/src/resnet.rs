@@ -1,0 +1,60 @@
+//! ResNet-34 (ImageNet; ~21.8 M parameters) — the third CNN of the
+//! entire-network evaluation (§VII-C names it explicitly).
+
+use crate::layer::ConvLayerSpec;
+use crate::network::{Dataset, Network};
+
+/// Builds ResNet-34.
+pub fn resnet34() -> Network {
+    let mut layers = Vec::new();
+    // 7x7/2 stem (not Winograd-friendly; runs as direct convolution).
+    layers.push(ConvLayerSpec::new("conv1", 3, 64, 112, 112, 7).with_stride(2));
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 56, 3), (128, 28, 4), (256, 14, 6), (512, 7, 3)];
+    let mut in_ch = 64usize;
+    let mut other_params = 0u64;
+    for (s_idx, &(w, size, blocks)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if s_idx > 0 && b == 0 { 2 } else { 1 };
+            layers.push(
+                ConvLayerSpec::new(&format!("l{}b{}c1", s_idx + 1, b), in_ch, w, size, size, 3)
+                    .with_stride(stride),
+            );
+            layers.push(ConvLayerSpec::new(&format!("l{}b{}c2", s_idx + 1, b), w, w, size, size, 3));
+            if b == 0 && s_idx > 0 {
+                other_params += (in_ch * w) as u64; // 1x1 downsample projection
+            }
+            in_ch = w;
+        }
+    }
+    other_params += 512 * 1000 + 1000; // FC
+    Network { name: "ResNet-34".into(), dataset: Dataset::ImageNet, layers, other_params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_structure_is_3_4_6_3() {
+        let n = resnet34();
+        // 2 convs per block: (3+4+6+3)*2 = 32 plus the stem.
+        assert_eq!(n.layers.len(), 33);
+    }
+
+    #[test]
+    fn stem_is_direct_only() {
+        let n = resnet34();
+        assert!(!n.layers[0].winograd_friendly());
+        assert_eq!(n.layers[0].r, 7);
+    }
+
+    #[test]
+    fn many_early_layers_have_large_feature_maps() {
+        // The property that makes plain MPT lose on ResNet-34 (§VII-C):
+        // a large share of layers with big fmaps and small weights.
+        let n = resnet34();
+        let big_fmap = n.layers.iter().filter(|l| l.h >= 28).count();
+        assert!(big_fmap >= 15, "{big_fmap} large-fmap layers");
+    }
+}

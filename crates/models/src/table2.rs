@@ -1,0 +1,78 @@
+//! The five representative convolution layers of the paper's Table II.
+//!
+//! The table's cell contents are not legible in the source text (only the
+//! "Early / Mid / Late" characterization and their qualitative behaviour
+//! survive: early layers have the largest feature maps and the smallest
+//! weights, late layers the reverse). The five layers below reconstruct
+//! that progression with VGG/ResNet-style stage shapes at batch 256 —
+//! DESIGN.md substitution 4.
+
+use crate::layer::ConvLayerSpec;
+
+/// The batch size used throughout the layer-wise evaluation (§I, §VII-A).
+pub const TABLE2_BATCH: usize = 256;
+
+/// The five layers: Early (large fmap, few channels) through Late (small
+/// fmap, many channels).
+pub fn table2_layers() -> Vec<ConvLayerSpec> {
+    vec![
+        ConvLayerSpec::new("Early", 64, 64, 112, 112, 3),
+        ConvLayerSpec::new("Mid-1", 128, 128, 56, 56, 3),
+        ConvLayerSpec::new("Mid-2", 256, 256, 28, 28, 3),
+        ConvLayerSpec::new("Late-1", 512, 512, 14, 14, 3),
+        ConvLayerSpec::new("Late-2", 512, 512, 7, 7, 3),
+    ]
+}
+
+/// The same five layers with 5×5 kernels (the §VII-B weight-size study).
+pub fn table2_layers_5x5() -> Vec<ConvLayerSpec> {
+    table2_layers()
+        .into_iter()
+        .map(|mut l| {
+            l.r = 5;
+            l.name += "-5x5";
+            l
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_layers_with_monotone_character() {
+        let ls = table2_layers();
+        assert_eq!(ls.len(), 5);
+        // Feature-map size strictly decreases, weight size non-decreasing.
+        for w in ls.windows(2) {
+            assert!(w[0].h * w[0].w > w[1].h * w[1].w, "fmap must shrink");
+            assert!(w[0].params() <= w[1].params(), "weights must grow");
+        }
+    }
+
+    #[test]
+    fn early_layer_dominated_by_feature_maps() {
+        let ls = table2_layers();
+        let early = &ls[0];
+        assert!(early.input_bytes(TABLE2_BATCH) > 100 * early.spatial_weight_bytes());
+    }
+
+    #[test]
+    fn late_layer_dominated_by_weights() {
+        let ls = table2_layers();
+        let late = &ls[4];
+        assert!(late.spatial_weight_bytes() > late.input_bytes(1));
+    }
+
+    #[test]
+    fn five_by_five_variants_keep_geometry() {
+        let a = table2_layers();
+        let b = table2_layers_5x5();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.h, y.h);
+            assert_eq!(y.r, 5);
+            assert!(y.params() > x.params());
+        }
+    }
+}

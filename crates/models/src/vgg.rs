@@ -1,0 +1,62 @@
+//! VGG-16 — not part of the paper's Table I, but the archetypal
+//! large-weight 3×3 CNN (its conv stack is where the Table II-style
+//! Early/Mid/Late regimes come from) and a useful extra evaluation
+//! subject for the workspace.
+
+use crate::layer::ConvLayerSpec;
+use crate::network::{Dataset, Network};
+
+/// Builds VGG-16 (configuration D): 13 conv layers in five blocks.
+pub fn vgg16() -> Network {
+    let blocks: [(usize, usize, usize); 5] = [
+        // (width, spatial, convs)
+        (64, 224, 2),
+        (128, 112, 2),
+        (256, 56, 3),
+        (512, 28, 3),
+        (512, 14, 3),
+    ];
+    let mut layers = Vec::new();
+    let mut in_ch = 3usize;
+    for (bi, &(w, s, convs)) in blocks.iter().enumerate() {
+        for c in 0..convs {
+            layers.push(ConvLayerSpec::new(&format!("conv{}_{}", bi + 1, c + 1), in_ch, w, s, s, 3));
+            in_ch = w;
+        }
+    }
+    // FC 7*7*512 -> 4096 -> 4096 -> 1000.
+    let other_params = (7 * 7 * 512 * 4096 + 4096) + (4096 * 4096 + 4096) + (4096 * 1000 + 1000);
+    Network { name: "VGG-16".into(), dataset: Dataset::ImageNet, layers, other_params: other_params as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_conv_layers() {
+        assert_eq!(vgg16().layers.len(), 13);
+    }
+
+    #[test]
+    fn param_count_matches_the_literature() {
+        // VGG-16 has ~138M parameters, ~14.7M of them in convs.
+        let n = vgg16();
+        let total = n.param_count() as f64 / 1e6;
+        assert!((135.0..141.0).contains(&total), "total {total}M");
+        let convs = n.winograd_param_count() as f64 / 1e6;
+        assert!((14.0..15.5).contains(&convs), "convs {convs}M");
+    }
+
+    #[test]
+    fn all_convs_are_winograd_friendly() {
+        assert!(vgg16().layers.iter().all(|l| l.winograd_friendly()));
+    }
+
+    #[test]
+    fn spatial_sizes_halve_per_block() {
+        let n = vgg16();
+        let sizes: Vec<usize> = n.layers.iter().map(|l| l.h).collect();
+        assert!(sizes.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] / 2));
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-phase computation and memory-access accounting (inputs to Fig 1).
+//!
+//! The paper's Figure 1 compares direct vs Winograd-transformed
+//! convolution on two axes: multiply-accumulate count and the amount of
+//! data accessed. Winograd cuts computation (≈2.8× on their layers) but
+//! inflates data access (≈4.4×) because tiles and Winograd-domain weights
+//! are larger than their spatial counterparts — the observation motivating
+//! the NDP substrate.
+
+use crate::layer::ConvLayerSpec;
+
+/// Work of one training phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseWork {
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Bytes moved to/from memory.
+    pub bytes: u64,
+}
+
+impl PhaseWork {
+    /// Sum of phases.
+    pub fn add(&self, o: &PhaseWork) -> PhaseWork {
+        PhaseWork { macs: self.macs + o.macs, bytes: self.bytes + o.bytes }
+    }
+}
+
+/// Work of a full training iteration (fprop + bprop + updateGrad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrainingWork {
+    /// Forward propagation.
+    pub fprop: PhaseWork,
+    /// Backward propagation (input gradients).
+    pub bprop: PhaseWork,
+    /// Weight-gradient computation.
+    pub update: PhaseWork,
+}
+
+impl TrainingWork {
+    /// Totals across the three phases.
+    pub fn total(&self) -> PhaseWork {
+        self.fprop.add(&self.bprop).add(&self.update)
+    }
+}
+
+/// Direct convolution: each phase is one large implicit GEMM touching the
+/// feature maps and the spatial weights.
+pub fn direct_work(layer: &ConvLayerSpec, batch: usize) -> TrainingWork {
+    let macs = layer.direct_macs(batch);
+    let x = layer.input_bytes(batch);
+    let y = layer.output_bytes(batch);
+    let w = layer.spatial_weight_bytes();
+    TrainingWork {
+        fprop: PhaseWork { macs, bytes: x + w + y },
+        bprop: PhaseWork { macs, bytes: y + w + x },
+        update: PhaseWork { macs, bytes: x + y + w },
+    }
+}
+
+/// Winograd convolution under `F(m, r)` with tile size `t`: the GEMMs
+/// shrink but every phase additionally reads/writes the enlarged
+/// Winograd-domain tiles and weights.
+pub fn winograd_work(layer: &ConvLayerSpec, batch: usize, m: usize, t: usize) -> TrainingWork {
+    let macs = layer.winograd_macs(batch, m, t);
+    let x = layer.input_bytes(batch);
+    let y = layer.output_bytes(batch);
+    let xt = layer.input_tile_bytes(batch, m, t);
+    let yt = layer.output_tile_bytes(batch, m, t);
+    let w_wino = layer.winograd_weight_bytes(t);
+    // fprop: read x, write X, read X, read W, write Y, read Y, write y.
+    let fprop = PhaseWork { macs, bytes: x + 2 * xt + w_wino + 2 * yt + y };
+    // bprop: same dataflow with dy/dx swapped for y/x.
+    let bprop = PhaseWork { macs, bytes: y + 2 * yt + w_wino + 2 * xt + x };
+    // updateGrad: read X, read dY, write dW (Winograd domain).
+    let update = PhaseWork { macs, bytes: xt + yt + w_wino };
+    TrainingWork { fprop, bprop, update }
+}
+
+/// Ratio summary used by the Fig 1 harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkRatios {
+    /// Direct MACs / Winograd MACs (computation reduction).
+    pub compute_reduction: f64,
+    /// Winograd bytes / direct bytes (data-access increase).
+    pub access_increase: f64,
+}
+
+/// Computes Fig 1's two ratios for a layer.
+pub fn fig1_ratios(layer: &ConvLayerSpec, batch: usize, m: usize, t: usize) -> WorkRatios {
+    let d = direct_work(layer, batch).total();
+    let w = winograd_work(layer, batch, m, t).total();
+    WorkRatios {
+        compute_reduction: d.macs as f64 / w.macs as f64,
+        access_increase: w.bytes as f64 / d.bytes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layers() -> Vec<ConvLayerSpec> {
+        crate::table2::table2_layers()
+    }
+
+    #[test]
+    fn winograd_reduces_compute() {
+        for l in layers() {
+            let r = fig1_ratios(&l, 256, 2, 4);
+            assert!(r.compute_reduction > 1.5, "{}: {}", l.name, r.compute_reduction);
+            let r4 = fig1_ratios(&l, 256, 4, 6);
+            assert!(r4.compute_reduction > r.compute_reduction, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn winograd_increases_data_access() {
+        for l in layers() {
+            let r = fig1_ratios(&l, 256, 2, 4);
+            assert!(r.access_increase > 1.5, "{}: {}", l.name, r.access_increase);
+        }
+    }
+
+    #[test]
+    fn paper_scale_averages() {
+        // Paper: ~2.8x compute reduction, ~4.4x access increase on average
+        // (their five layers, measured on a CPU). Our analytic model should
+        // land in the same regime for F(4x4,3x3).
+        let ls = layers();
+        let n = ls.len() as f64;
+        let avg_c: f64 =
+            ls.iter().map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction).sum::<f64>() / n;
+        let avg_a: f64 =
+            ls.iter().map(|l| fig1_ratios(l, 256, 4, 6).access_increase).sum::<f64>() / n;
+        assert!((2.0..4.5).contains(&avg_c), "compute reduction {avg_c}");
+        assert!((2.5..6.5).contains(&avg_a), "access increase {avg_a}");
+    }
+
+    #[test]
+    fn totals_add_phases() {
+        let l = &layers()[0];
+        let w = direct_work(l, 8);
+        let t = w.total();
+        assert_eq!(t.macs, w.fprop.macs + w.bprop.macs + w.update.macs);
+        assert_eq!(t.bytes, w.fprop.bytes + w.bprop.bytes + w.update.bytes);
+    }
+}

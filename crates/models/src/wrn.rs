@@ -1,0 +1,69 @@
+//! Wide ResNet WRN-40-10 (paper Table I: CIFAR, 55.6 M parameters).
+//!
+//! Depth 40 → (40 − 4)/6 = 6 basic blocks per group, widening factor 10 →
+//! widths 160/320/640 at spatial sizes 32/16/8.
+
+use crate::layer::ConvLayerSpec;
+use crate::network::{Dataset, Network};
+
+/// Builds WRN-40-10.
+pub fn wrn_40_10() -> Network {
+    let mut layers = Vec::new();
+    layers.push(ConvLayerSpec::new("conv1", 3, 16, 32, 32, 3));
+    let widths = [160usize, 320, 640];
+    let sizes = [32usize, 16, 8];
+    let mut in_ch = 16usize;
+    let mut other_params = 0u64;
+    for (g, (&w, &s)) in widths.iter().zip(&sizes).enumerate() {
+        for b in 0..6 {
+            // First conv of the first block of groups 2/3 is strided.
+            let stride = if g > 0 && b == 0 { 2 } else { 1 };
+            layers.push(
+                ConvLayerSpec::new(&format!("g{}b{}c1", g + 1, b), in_ch, w, s, s, 3)
+                    .with_stride(stride),
+            );
+            layers.push(ConvLayerSpec::new(&format!("g{}b{}c2", g + 1, b), w, w, s, s, 3));
+            if b == 0 {
+                // 1x1 projection shortcut when shape changes.
+                other_params += (in_ch * w) as u64;
+            }
+            in_ch = w;
+        }
+    }
+    other_params += 640 * 10 + 10; // final FC
+    Network { name: "WRN-40-10".into(), dataset: Dataset::Cifar, layers, other_params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_accounting() {
+        // 40 = 1 stem + 36 block convs + ... (the paper counts the FC and
+        // projections toward depth differently; conv depth here is 37).
+        let n = wrn_40_10();
+        assert_eq!(n.layers.len(), 37);
+    }
+
+    #[test]
+    fn group_widths_follow_widen_factor() {
+        let n = wrn_40_10();
+        assert!(n.layers.iter().any(|l| l.out_chans == 160 && l.h == 32));
+        assert!(n.layers.iter().any(|l| l.out_chans == 320 && l.h == 16));
+        assert!(n.layers.iter().any(|l| l.out_chans == 640 && l.h == 8));
+    }
+
+    #[test]
+    fn strided_transitions_present() {
+        let n = wrn_40_10();
+        assert_eq!(n.layers.iter().filter(|l| l.stride == 2).count(), 2);
+    }
+
+    #[test]
+    fn most_params_are_winograd_friendly() {
+        let n = wrn_40_10();
+        let frac = n.winograd_param_count() as f64 / n.param_count() as f64;
+        assert!(frac > 0.95, "3x3 fraction {frac}");
+    }
+}

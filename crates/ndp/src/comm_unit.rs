@@ -1,0 +1,173 @@
+//! Communication processing elements on the NDP logic layer
+//! (paper Fig 13(b)/(c)).
+//!
+//! * [`P2pUnit`] — the unicast path used for tile transfer: transform
+//!   unit + quantize/predict logic + pointer-register packing DMA. Its
+//!   job here is to turn a tile payload plus skip decisions into wire
+//!   bytes and a (small) processing latency.
+//! * [`CollectiveUnit`] — reduce blocks and communication buffers for the
+//!   pipelined ring collectives; concurrent messages map to independent
+//!   reduce blocks so a slow worker doesn't block the whole ring.
+
+use wmpt_sim::Time;
+
+use crate::params::NdpParams;
+
+/// Outcome of preparing a tile-transfer payload on the P2P unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedSend {
+    /// Bytes that go on the wire (packed payload + activation map).
+    pub wire_bytes: u64,
+    /// Processing cycles on the unit (quantize + pack, pipelined).
+    pub cycles: Time,
+    /// Extra bytes sent ahead for prediction (quantized values).
+    pub prediction_bytes: u64,
+}
+
+/// The peer-to-peer (tile transfer) communication unit.
+#[derive(Debug, Clone, Copy)]
+pub struct P2pUnit {
+    lanes: u64,
+}
+
+impl P2pUnit {
+    /// Creates the unit for a worker configuration.
+    pub fn new(params: &NdpParams) -> Self {
+        Self { lanes: params.vector_lanes as u64 }
+    }
+
+    /// Prepares a tile-gathering send of `values` f32 elements where a
+    /// `skip_fraction` of them was predicted dead, after shipping
+    /// `prediction_bits`-wide quantized values for the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip_fraction` is outside `[0, 1]`.
+    pub fn prepare_gather(
+        &self,
+        values: u64,
+        skip_fraction: f64,
+        prediction_bits: u32,
+    ) -> PreparedSend {
+        assert!((0.0..=1.0).contains(&skip_fraction), "skip fraction out of range");
+        let kept = ((values as f64) * (1.0 - skip_fraction)).ceil() as u64;
+        let map_bytes = values.div_ceil(8);
+        let prediction_bytes = (values * prediction_bits as u64).div_ceil(8);
+        PreparedSend {
+            wire_bytes: kept * 4 + map_bytes,
+            // quantize + pack stream at `lanes` elements/cycle
+            cycles: values.div_ceil(self.lanes).max(1),
+            prediction_bytes,
+        }
+    }
+
+    /// Prepares a zero-skipped scatter of `values` elements with the given
+    /// zero fraction (no prediction pre-pass needed; the activation map is
+    /// shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zero_fraction` is outside `[0, 1]`.
+    pub fn prepare_scatter(&self, values: u64, zero_fraction: f64) -> PreparedSend {
+        assert!((0.0..=1.0).contains(&zero_fraction), "zero fraction out of range");
+        let kept = ((values as f64) * (1.0 - zero_fraction)).ceil() as u64;
+        let map_bytes = values.div_ceil(8);
+        PreparedSend {
+            wire_bytes: kept * 4 + map_bytes,
+            cycles: values.div_ceil(self.lanes).max(1),
+            prediction_bytes: 0,
+        }
+    }
+}
+
+/// The ring-collective communication unit: `reduce_blocks` independent
+/// accumulators, each owning a chunk-sized communication buffer, so
+/// chunks of different messages reduce concurrently and out of order
+/// (paper §VI-C).
+#[derive(Debug, Clone, Copy)]
+pub struct CollectiveUnit {
+    /// Number of parallel reduce blocks.
+    pub reduce_blocks: usize,
+    /// FP32 adders per reduce block (elements reduced per cycle).
+    pub adders_per_block: usize,
+}
+
+impl CollectiveUnit {
+    /// The configuration used in the evaluation: enough reduce throughput
+    /// to keep two full-width rings busy.
+    pub fn paper() -> Self {
+        Self { reduce_blocks: 4, adders_per_block: 16 }
+    }
+
+    /// Cycles to reduce one `chunk_bytes` chunk into the communication
+    /// buffer.
+    pub fn reduce_cycles(&self, chunk_bytes: u64) -> Time {
+        let elems = chunk_bytes / 4;
+        elems.div_ceil(self.adders_per_block as u64).max(1)
+    }
+
+    /// Peak reduce throughput in bytes/cycle across all blocks; must cover
+    /// the ring ingress bandwidth or the collective stalls.
+    pub fn throughput_bytes_per_cycle(&self) -> f64 {
+        (self.reduce_blocks * self.adders_per_block * 4) as f64
+    }
+
+    /// FP32 additions needed to reduce `msg_bytes` (for energy).
+    pub fn reduce_adds(&self, msg_bytes: u64) -> u64 {
+        msg_bytes / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> P2pUnit {
+        P2pUnit::new(&NdpParams::paper_fp32())
+    }
+
+    #[test]
+    fn gather_without_skipping_ships_everything_plus_map() {
+        let p = unit().prepare_gather(1024, 0.0, 6);
+        assert_eq!(p.wire_bytes, 1024 * 4 + 128);
+        assert_eq!(p.prediction_bytes, 1024 * 6 / 8);
+    }
+
+    #[test]
+    fn gather_with_full_skip_ships_only_map() {
+        let p = unit().prepare_gather(1024, 1.0, 6);
+        assert_eq!(p.wire_bytes, 128);
+    }
+
+    #[test]
+    fn prediction_pays_for_itself_at_paper_savings() {
+        // 6-bit prediction + 34% skip must beat raw transfer (the paper's
+        // 2-D predict operating point).
+        let raw = unit().prepare_gather(10_000, 0.0, 0);
+        let pred = unit().prepare_gather(10_000, 0.34, 6);
+        assert!(pred.wire_bytes + pred.prediction_bytes < raw.wire_bytes);
+    }
+
+    #[test]
+    fn scatter_skips_zeros() {
+        let none = unit().prepare_scatter(4096, 0.0);
+        let some = unit().prepare_scatter(4096, 0.393);
+        assert!(some.wire_bytes < none.wire_bytes);
+        assert_eq!(some.prediction_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scatter_validates_fraction() {
+        let _ = unit().prepare_scatter(10, 1.5);
+    }
+
+    #[test]
+    fn collective_unit_covers_ring_bandwidth() {
+        let c = CollectiveUnit::paper();
+        // Two bonded full-width rings ingress at 60 B/cycle.
+        assert!(c.throughput_bytes_per_cycle() >= 60.0);
+        assert_eq!(c.reduce_cycles(256), 4);
+        assert_eq!(c.reduce_adds(256), 64);
+    }
+}

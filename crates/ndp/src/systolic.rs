@@ -1,0 +1,177 @@
+//! Systolic-array timing model (paper §VI-B).
+//!
+//! Layers map to matrix multiplications; the array computes an
+//! `M × K × N` GEMM by tiling the output into `dim × dim` blocks. Each
+//! block streams `K` cycles of inputs plus the array fill/drain of
+//! `2·dim` cycles. One side of the array reuses buffered data; the other
+//! streams from DRAM in the worst case (the paper's bandwidth-balance
+//! assumption), so DRAM can bound throughput — [`gemm`] returns both the
+//! compute-bound and memory-bound estimates and takes their max, modeling
+//! the double-buffered overlap of compute and DMA.
+
+use wmpt_sim::Time;
+
+use crate::params::NdpParams;
+
+/// Timing (and traffic) of one GEMM on the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmCost {
+    /// Cycles with compute and DMA overlapped (the max of the two).
+    pub cycles: Time,
+    /// Pure compute cycles.
+    pub compute_cycles: Time,
+    /// Pure DRAM-streaming cycles.
+    pub dram_cycles: Time,
+    /// Multiply-accumulate operations retired.
+    pub macs: u64,
+    /// Bytes streamed from/to DRAM.
+    pub dram_bytes: u64,
+    /// Bytes moved through the on-chip buffers (SRAM).
+    pub sram_bytes: u64,
+}
+
+impl GemmCost {
+    /// A zero-cost placeholder (empty GEMM).
+    pub const ZERO: GemmCost =
+        GemmCost { cycles: 0, compute_cycles: 0, dram_cycles: 0, macs: 0, dram_bytes: 0, sram_bytes: 0 };
+
+    /// Accumulates another cost, assuming sequential execution.
+    pub fn add(&self, other: &GemmCost) -> GemmCost {
+        GemmCost {
+            cycles: self.cycles + other.cycles,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            dram_cycles: self.dram_cycles + other.dram_cycles,
+            macs: self.macs + other.macs,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            sram_bytes: self.sram_bytes + other.sram_bytes,
+        }
+    }
+}
+
+/// Estimates an `M × K × N` GEMM (`C[M,N] += A[M,K] · B[K,N]`).
+///
+/// `streamed_fraction` is the fraction of input traffic that must come
+/// from DRAM rather than the reuse buffer (the paper's worst case is 0.5:
+/// one of the two input streams changes per output block). Outputs are
+/// written to DRAM once.
+pub fn gemm(params: &NdpParams, m: u64, k: u64, n: u64, streamed_fraction: f64) -> GemmCost {
+    if m == 0 || k == 0 || n == 0 {
+        return GemmCost::ZERO;
+    }
+    let dim = params.systolic_dim as u64;
+    let elem = match params.precision {
+        crate::params::MacPrecision::Fp32 => 4u64,
+        crate::params::MacPrecision::Fp16 => 2u64,
+    };
+    let blocks_m = m.div_ceil(dim);
+    let blocks_n = n.div_ceil(dim);
+    // Consecutive output blocks pipeline: the next block's stationary
+    // operands load while the current one drains (double-buffered weight
+    // registers), so the 2·dim fill/drain is paid once per GEMM rather
+    // than once per block.
+    let compute_cycles = blocks_m * blocks_n * k + 2 * dim;
+    let macs = m * k * n;
+
+    // Input traffic: each output block consumes a (dim x K) A-panel and a
+    // (K x dim) B-panel; one is buffered, the other streamed.
+    let panel_bytes = k * dim * elem;
+    let input_bytes = (blocks_m * blocks_n) as f64 * 2.0 * panel_bytes as f64;
+    let out_bytes = (m * n * elem) as f64;
+    let dram_bytes = (input_bytes * streamed_fraction + out_bytes) as u64;
+    let sram_bytes = (input_bytes * (1.0 - streamed_fraction)) as u64 + m * n * elem;
+    let dram_cycles = (dram_bytes as f64 / params.dram_bytes_per_cycle).ceil() as Time
+        + params.dram_latency;
+
+    GemmCost {
+        cycles: compute_cycles.max(dram_cycles),
+        compute_cycles,
+        dram_cycles,
+        macs,
+        dram_bytes,
+        sram_bytes,
+    }
+}
+
+/// The element-wise Winograd GEMM batch of one worker: `elems`
+/// independent GEMMs of `tiles × in_chans × out_chans` (paper Eq. 2).
+pub fn winograd_elementwise_gemms(
+    params: &NdpParams,
+    elems: u64,
+    tiles: u64,
+    in_chans: u64,
+    out_chans: u64,
+) -> GemmCost {
+    let one = gemm(params, tiles, in_chans, out_chans, 0.5);
+    GemmCost {
+        cycles: one.cycles * elems,
+        compute_cycles: one.compute_cycles * elems,
+        dram_cycles: one.dram_cycles * elems,
+        macs: one.macs * elems,
+        dram_bytes: one.dram_bytes * elems,
+        sram_bytes: one.sram_bytes * elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gemm_is_free() {
+        let p = NdpParams::paper_fp32();
+        assert_eq!(gemm(&p, 0, 10, 10, 0.5), GemmCost::ZERO);
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound_at_high_reuse() {
+        let p = NdpParams::paper_fp32();
+        let c = gemm(&p, 4096, 4096, 4096, 0.0);
+        assert!(c.compute_cycles >= c.dram_cycles, "{c:?}");
+        assert_eq!(c.macs, 4096u64.pow(3));
+        // 64x64 blocks streaming K each, plus one fill/drain.
+        assert_eq!(c.compute_cycles, 64 * 64 * 4096 + 128);
+    }
+
+    #[test]
+    fn thin_gemm_wastes_array_utilization() {
+        let p = NdpParams::paper_fp32();
+        // M=1 still occupies a full 64-row block.
+        let thin = gemm(&p, 1, 1024, 64, 0.5);
+        let full = gemm(&p, 64, 1024, 64, 0.5);
+        assert_eq!(thin.compute_cycles, full.compute_cycles);
+        assert!(thin.macs < full.macs);
+    }
+
+    #[test]
+    fn streamed_fraction_moves_traffic_to_dram() {
+        let p = NdpParams::paper_fp32();
+        let buffered = gemm(&p, 512, 512, 512, 0.0);
+        let streamed = gemm(&p, 512, 512, 512, 1.0);
+        assert!(streamed.dram_bytes > buffered.dram_bytes);
+        assert!(streamed.dram_cycles > buffered.dram_cycles);
+        assert_eq!(streamed.macs, buffered.macs);
+    }
+
+    #[test]
+    fn elementwise_batch_scales_linearly() {
+        let p = NdpParams::paper_fp32();
+        let one = winograd_elementwise_gemms(&p, 1, 256, 64, 64);
+        let sixteen = winograd_elementwise_gemms(&p, 16, 256, 64, 64);
+        assert_eq!(sixteen.cycles, 16 * one.cycles);
+        assert_eq!(sixteen.macs, 16 * one.macs);
+    }
+
+    #[test]
+    fn overlap_takes_max_of_compute_and_memory() {
+        let p = NdpParams::paper_fp32();
+        let c = gemm(&p, 128, 64, 128, 1.0);
+        assert_eq!(c.cycles, c.compute_cycles.max(c.dram_cycles));
+    }
+
+    #[test]
+    fn fp16_array_is_faster_per_gemm() {
+        let c32 = gemm(&NdpParams::paper_fp32(), 2048, 1024, 2048, 0.5);
+        let c16 = gemm(&NdpParams::paper_fp16(), 2048, 1024, 2048, 0.5);
+        assert!(c16.compute_cycles < c32.compute_cycles);
+    }
+}

@@ -1,0 +1,120 @@
+//! Vector-processor timing for pre/post-processing (paper §VI-B): the
+//! Winograd transforms, ReLU, pooling and join operations that bracket the
+//! systolic GEMMs. The unit streams from a double-buffered scratchpad, so
+//! throughput is `vector_lanes` elements per cycle overlapped with DMA.
+
+use wmpt_sim::Time;
+
+use crate::params::NdpParams;
+
+/// Cost of a vector-unit pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VectorCost {
+    /// Cycles with DMA overlap.
+    pub cycles: Time,
+    /// Scalar operations executed (for compute energy).
+    pub ops: u64,
+    /// Bytes through the scratchpad (SRAM energy).
+    pub sram_bytes: u64,
+    /// Bytes to/from DRAM.
+    pub dram_bytes: u64,
+}
+
+impl VectorCost {
+    /// Accumulates sequential passes.
+    pub fn add(&self, o: &VectorCost) -> VectorCost {
+        VectorCost {
+            cycles: self.cycles + o.cycles,
+            ops: self.ops + o.ops,
+            sram_bytes: self.sram_bytes + o.sram_bytes,
+            dram_bytes: self.dram_bytes + o.dram_bytes,
+        }
+    }
+}
+
+/// Approximate add count of one 1-D Winograd transform of length `t`.
+/// The coefficient matrices are sparse and ±1/±2-dominated: Lavin's
+/// `F(2,3)` input transform takes 4 adds per length-4 vector and `F(4,3)`
+/// about 12 per length-6 vector — roughly `2t`.
+fn transform_ops_1d(t: usize) -> u64 {
+    2 * t as u64
+}
+
+/// Timing of 2-D Winograd transforms over `tiles` tiles of size `t×t`
+/// (two 1-D passes per tile, each touching `t` rows/columns).
+pub fn transform_2d(params: &NdpParams, tiles: u64, t: usize) -> VectorCost {
+    let ops = tiles * 2 * t as u64 * transform_ops_1d(t);
+    let bytes = tiles * (t * t) as u64 * 4;
+    finish(params, ops, bytes)
+}
+
+/// Timing of 1-D Winograd transforms (the at-source half of the (4, 64)
+/// configuration's tile transfer).
+pub fn transform_1d(params: &NdpParams, tiles: u64, t: usize) -> VectorCost {
+    let ops = tiles * t as u64 * transform_ops_1d(t);
+    let bytes = tiles * (t * t) as u64 * 4;
+    finish(params, ops, bytes)
+}
+
+/// Streaming element-wise pass (ReLU, pooling window compare, join mean):
+/// one op per element.
+pub fn elementwise(params: &NdpParams, elements: u64) -> VectorCost {
+    finish(params, elements, elements * 4)
+}
+
+fn finish(params: &NdpParams, ops: u64, stream_bytes: u64) -> VectorCost {
+    // Pure execution cycles; the DMA side is carried as dram_bytes and
+    // overlapped by the worker's pipelined-cycle model.
+    VectorCost {
+        cycles: ops.div_ceil(params.vector_lanes as u64).max(1),
+        ops,
+        sram_bytes: stream_bytes * 2, // read + write through scratchpad
+        dram_bytes: stream_bytes * 2, // load input, store output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_scale_with_tiles() {
+        let p = NdpParams::paper_fp32();
+        let one = transform_2d(&p, 1000, 4);
+        let two = transform_2d(&p, 2000, 4);
+        assert!((two.cycles as f64 / one.cycles as f64 - 2.0).abs() < 0.01);
+        assert_eq!(two.ops, 2 * one.ops);
+    }
+
+    #[test]
+    fn one_d_transform_is_half_of_two_d() {
+        let p = NdpParams::paper_fp32();
+        let full = transform_2d(&p, 1000, 4);
+        let half = transform_1d(&p, 1000, 4);
+        assert_eq!(full.ops, 2 * half.ops);
+    }
+
+    #[test]
+    fn bigger_tiles_cost_more() {
+        let p = NdpParams::paper_fp32();
+        assert!(transform_2d(&p, 1000, 6).ops > transform_2d(&p, 1000, 4).ops);
+    }
+
+    #[test]
+    fn elementwise_is_one_op_per_element() {
+        let p = NdpParams::paper_fp32();
+        let c = elementwise(&p, 10_000);
+        assert_eq!(c.ops, 10_000);
+        assert!(c.cycles >= 10_000 / p.vector_lanes as u64);
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let p = NdpParams::paper_fp32();
+        let a = elementwise(&p, 1000);
+        let b = transform_2d(&p, 10, 4);
+        let c = a.add(&b);
+        assert_eq!(c.ops, a.ops + b.ops);
+        assert_eq!(c.cycles, a.cycles + b.cycles);
+    }
+}

@@ -1,0 +1,177 @@
+//! Closed-form per-worker communication volumes (paper §III-C, the
+//! formulas behind Figures 6 and 7).
+//!
+//! All quantities are **bytes per worker per training iteration**. Weight
+//! collectives count both the reduction and the broadcast direction (the
+//! factor 2), matching the pipelined reduce+broadcast of §VI-C.
+
+/// Per-worker communication volumes for one layer and one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerWorkerComm {
+    /// Weight-gradient reduction + weight broadcast bytes.
+    pub weight_bytes: f64,
+    /// Tile scatter + gather bytes across fprop and bprop.
+    pub tile_bytes: f64,
+}
+
+impl PerWorkerComm {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.weight_bytes + self.tile_bytes
+    }
+
+    /// Element-wise sum (accumulate a whole network).
+    pub fn add(&self, other: &PerWorkerComm) -> PerWorkerComm {
+        PerWorkerComm {
+            weight_bytes: self.weight_bytes + other.weight_bytes,
+            tile_bytes: self.tile_bytes + other.tile_bytes,
+        }
+    }
+}
+
+/// Data-parallel training: each worker moves
+/// `2 · |w| · (p − 1)/p` bytes of (spatial-domain) weight gradients and no
+/// tiles.
+pub fn data_parallel_comm(spatial_weight_bytes: u64, p: usize) -> PerWorkerComm {
+    assert!(p >= 1, "need at least one worker");
+    let w = spatial_weight_bytes as f64;
+    PerWorkerComm {
+        weight_bytes: 2.0 * w * (p as f64 - 1.0) / p as f64,
+        tile_bytes: 0.0,
+    }
+}
+
+/// MPT: weight gradients shrink by `N_g` (each worker only reduces its
+/// group's tile elements) while tile transfer appears:
+///
+/// * weights: `2 · (|W|/N_g) · (N_c − 1)/N_c`
+/// * tiles: each worker holds `|Tiles|/(N_c · N_g)` per transfer and ships
+///   the `(N_g − 1)/N_g` portion homed elsewhere, for each of the
+///   `tile_transfers` phases per iteration (scatter + gather in fprop and
+///   bprop → 4 in the Winograd layer pipeline).
+pub fn mpt_comm(
+    winograd_weight_bytes: u64,
+    tile_bytes_per_transfer: u64,
+    n_g: usize,
+    n_c: usize,
+    tile_transfers: usize,
+) -> PerWorkerComm {
+    assert!(n_g >= 1 && n_c >= 1, "dimensions must be positive");
+    let w = winograd_weight_bytes as f64 / n_g as f64;
+    let weight_bytes = 2.0 * w * (n_c as f64 - 1.0) / n_c as f64;
+    let tile_bytes = if n_g == 1 {
+        0.0
+    } else {
+        let per_worker = tile_bytes_per_transfer as f64 / (n_c * n_g) as f64;
+        per_worker * (n_g as f64 - 1.0) / n_g as f64 * tile_transfers as f64
+    };
+    PerWorkerComm { weight_bytes, tile_bytes }
+}
+
+/// Applies activation-prediction and zero-skipping savings to the tile
+/// component (fractions in `[0, 1]`: 0 = no saving).
+///
+/// `gather_fraction_saved` applies to the gather half of the transfers,
+/// `scatter_fraction_saved` to the scatter half (§V-B).
+///
+/// # Panics
+///
+/// Panics if a fraction is outside `[0, 1]`.
+pub fn with_transfer_savings(
+    comm: PerWorkerComm,
+    gather_fraction_saved: f64,
+    scatter_fraction_saved: f64,
+) -> PerWorkerComm {
+    for f in [gather_fraction_saved, scatter_fraction_saved] {
+        assert!((0.0..=1.0).contains(&f), "savings fraction {f} outside [0,1]");
+    }
+    let keep = 1.0 - (gather_fraction_saved + scatter_fraction_saved) / 2.0;
+    PerWorkerComm { weight_bytes: comm.weight_bytes, tile_bytes: comm.tile_bytes * keep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_volume_approaches_2w() {
+        let w = 1_000_000u64;
+        let c1 = data_parallel_comm(w, 2);
+        let c2 = data_parallel_comm(w, 256);
+        assert!((c1.weight_bytes - 1_000_000.0).abs() < 1.0);
+        assert!((c2.weight_bytes - 2.0 * 1_000_000.0 * 255.0 / 256.0).abs() < 1.0);
+        // DP volume is nearly constant in p — the paper's scalability wall.
+        assert!(c2.weight_bytes / c1.weight_bytes < 2.01);
+        assert_eq!(c2.tile_bytes, 0.0);
+    }
+
+    #[test]
+    fn mpt_weight_volume_shrinks_with_groups() {
+        let w = 16_000_000u64;
+        let a = mpt_comm(w, 0, 1, 256, 4);
+        let b = mpt_comm(w, 0, 16, 16, 4);
+        assert!(b.weight_bytes < a.weight_bytes / 10.0);
+    }
+
+    #[test]
+    fn mpt_tile_volume_scales_inverse_sqrt_p() {
+        // With N_g = N_c = sqrt(p), tile bytes per worker ~ 1/p * const.
+        let tiles = 1u64 << 30;
+        let p64 = mpt_comm(0, tiles, 8, 8, 4);
+        let p256 = mpt_comm(0, tiles, 16, 16, 4);
+        let ratio = p64.tile_bytes / p256.tile_bytes;
+        // (1/(64)*(7/8)) / (1/(256)*(15/16)) = 4 * (7/8)/(15/16) ≈ 3.73
+        assert!((3.5..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_group_mpt_is_data_parallel() {
+        let c = mpt_comm(4_000_000, 1 << 30, 1, 256, 4);
+        assert_eq!(c.tile_bytes, 0.0);
+        let dp = data_parallel_comm(4_000_000, 256);
+        assert!((c.weight_bytes - dp.weight_bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn savings_reduce_only_tiles() {
+        let c = mpt_comm(4_000_000, 1 << 30, 16, 16, 4);
+        let s = with_transfer_savings(c, 0.781, 0.647);
+        assert_eq!(s.weight_bytes, c.weight_bytes);
+        let keep = 1.0 - (0.781 + 0.647) / 2.0;
+        assert!((s.tile_bytes - c.tile_bytes * keep).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn savings_validate_fraction() {
+        let _ = with_transfer_savings(PerWorkerComm::default(), 1.5, 0.0);
+    }
+
+    #[test]
+    fn crossover_exists_between_dp_and_mpt() {
+        // Paper Fig 7: at small p MPT moves MORE data (tile transfer),
+        // at large p it moves less. Network-scale volumes (FractalNet-ish):
+        // |w| ~ 656 MB of spatial weights, |W| ~ 1.17 GB Winograd, and a
+        // few GB of Winograd-domain tiles per iteration.
+        let w_spatial = 656u64 << 20;
+        let w_winograd = (656u64 << 20) * 16 / 9;
+        let tiles = 6u64 << 30;
+        let small_p = 4usize;
+        let big_p = 1024usize;
+        let sq = |p: usize| (p as f64).sqrt() as usize;
+        let dp_s = data_parallel_comm(w_spatial, small_p).total();
+        let mpt_s = mpt_comm(w_winograd, tiles, sq(small_p), sq(small_p), 4).total();
+        assert!(mpt_s > dp_s, "small p: MPT {mpt_s} should exceed DP {dp_s}");
+        let dp_b = data_parallel_comm(w_spatial, big_p).total();
+        let mpt_b = mpt_comm(w_winograd, tiles, sq(big_p), sq(big_p), 4).total();
+        assert!(mpt_b < dp_b, "big p: MPT {mpt_b} should beat DP {dp_b}");
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = PerWorkerComm { weight_bytes: 1.0, tile_bytes: 2.0 };
+        let b = PerWorkerComm { weight_bytes: 10.0, tile_bytes: 20.0 };
+        let c = a.add(&b);
+        assert_eq!(c.total(), 33.0);
+    }
+}

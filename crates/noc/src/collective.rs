@@ -1,0 +1,232 @@
+//! Pipelined ring collectives for weight-gradient reduction and weight
+//! broadcast (paper §VI-C).
+//!
+//! The paper reduces weight gradients around a ring, updates weights, and
+//! broadcasts them back, with messages split into 256 B chunks that flow
+//! in parallel ("pipelined transfer"). Two views are provided:
+//!
+//! * [`simulate_ring_reduce_broadcast`] — event-driven on a
+//!   [`PacketNetwork`], chunk by chunk.
+//! * [`ring_collective_cycles`] — the closed form used by the full-system
+//!   simulation, validated against the event-driven version in tests.
+
+use wmpt_sim::Time;
+
+use crate::network::PacketNetwork;
+use crate::params::NocParams;
+
+/// Closed-form completion time of a pipelined reduce-then-broadcast over a
+/// ring.
+///
+/// `msg_bytes` is the full message each member contributes (`|W|/N_g` in
+/// MPT); `ring_len` the number of members; `bytes_per_cycle` the ring link
+/// bandwidth; `extra_hop_latency` accounts for host-stitched hops in the
+/// dynamically clustered rings.
+///
+/// Each phase pipelines `n_chunks` chunks across `ring_len − 1` hops:
+/// the last chunk arrives after the pipeline fill plus the serialized
+/// chunk stream, and the reduction and broadcast phases are symmetric.
+pub fn ring_collective_cycles(
+    msg_bytes: u64,
+    ring_len: usize,
+    bytes_per_cycle: f64,
+    params: &NocParams,
+    extra_hop_latency: Time,
+) -> f64 {
+    if ring_len <= 1 || msg_bytes == 0 {
+        return 0.0;
+    }
+    let chunk = params.collective_chunk_bytes as u64;
+    let n_chunks = msg_bytes.div_ceil(chunk).max(1);
+    let wire_chunk = params.wire_bytes(chunk as usize, chunk as usize) as f64;
+    let t_chunk_ser = wire_chunk / bytes_per_cycle;
+    let t_hop = t_chunk_ser + params.hop_latency() as f64 + extra_hop_latency as f64;
+    let steps = (ring_len - 1) as f64;
+    // fill + drain per phase, two phases (reduce, broadcast).
+    2.0 * (steps * t_hop + (n_chunks - 1) as f64 * t_chunk_ser)
+}
+
+/// Closed-form completion time of a ring **reduce-scatter + all-gather**
+/// all-reduce (the NCCL-style alternative to reduce+broadcast; paper
+/// footnote 10 notes ring algorithms are bandwidth-optimal but differ in
+/// start-up behaviour).
+///
+/// Each member ends up sending `2·(K−1)/K·msg_bytes` — slightly less
+/// wire traffic than reduce+broadcast's `2·msg_bytes` — but the message
+/// is chopped into `K` segments, so small messages pay more per-step
+/// latency.
+pub fn ring_allreduce_cycles(
+    msg_bytes: u64,
+    ring_len: usize,
+    bytes_per_cycle: f64,
+    params: &NocParams,
+    extra_hop_latency: Time,
+) -> f64 {
+    if ring_len <= 1 || msg_bytes == 0 {
+        return 0.0;
+    }
+    let k = ring_len as u64;
+    let seg = msg_bytes.div_ceil(k).max(1);
+    let wire_seg = params.wire_bytes(seg as usize, params.collective_chunk_bytes) as f64;
+    let t_step =
+        wire_seg / bytes_per_cycle + params.hop_latency() as f64 + extra_hop_latency as f64;
+    // 2(K-1) steps, each moving one segment per member.
+    2.0 * (ring_len - 1) as f64 * t_step
+}
+
+/// Picks the faster of the two ring algorithms for a message size — the
+/// decision a tuned collective library makes per call.
+pub fn best_ring_collective_cycles(
+    msg_bytes: u64,
+    ring_len: usize,
+    bytes_per_cycle: f64,
+    params: &NocParams,
+    extra_hop_latency: Time,
+) -> f64 {
+    ring_collective_cycles(msg_bytes, ring_len, bytes_per_cycle, params, extra_hop_latency).min(
+        ring_allreduce_cycles(msg_bytes, ring_len, bytes_per_cycle, params, extra_hop_latency),
+    )
+}
+
+/// Event-driven simulation of the same collective on an arbitrary network.
+///
+/// `ring` lists the member node indices in ring order; chunk `c` is
+/// reduced along the ring from `ring[0]` to `ring[K-1]` and broadcast
+/// back. Returns the cycle at which the last member holds the final
+/// weights.
+///
+/// # Panics
+///
+/// Panics if the ring has fewer than 2 members.
+pub fn simulate_ring_reduce_broadcast(
+    net: &mut PacketNetwork,
+    ring: &[usize],
+    msg_bytes: u64,
+    start: Time,
+) -> Time {
+    assert!(ring.len() >= 2, "ring needs at least 2 members");
+    let chunk = net.params().collective_chunk_bytes as u64;
+    let n_chunks = msg_bytes.div_ceil(chunk).max(1);
+    let k = ring.len();
+    let mut done = start;
+    // ready[i] = time member i may inject its next chunk (data dependency
+    // chain along the ring); link contention is handled by the network.
+    let mut reduce_arrivals = vec![start; k];
+    for _c in 0..n_chunks {
+        // Reduce: chunk travels ring[0] -> ring[1] -> ... -> ring[k-1].
+        let mut t = reduce_arrivals[0];
+        for i in 1..k {
+            t = net.transfer(ring[i - 1], ring[i], chunk, t.max(reduce_arrivals[i - 1]), chunk as usize, chunk as usize);
+            reduce_arrivals[i] = t;
+        }
+        // Broadcast: final chunk travels back ring[k-1] -> ... -> ring[0].
+        let mut b = t;
+        for i in (1..k).rev() {
+            b = net.transfer(ring[i], ring[i - 1], chunk, b, chunk as usize, chunk as usize);
+        }
+        done = done.max(b);
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkKind;
+    use crate::topology::Topology;
+
+    #[test]
+    fn closed_form_zero_cases() {
+        let p = NocParams::paper();
+        assert_eq!(ring_collective_cycles(0, 16, 60.0, &p, 0), 0.0);
+        assert_eq!(ring_collective_cycles(1 << 20, 1, 60.0, &p, 0), 0.0);
+    }
+
+    #[test]
+    fn closed_form_scales_with_message_size() {
+        let p = NocParams::paper();
+        let t1 = ring_collective_cycles(1 << 20, 16, 60.0, &p, 0);
+        let t2 = ring_collective_cycles(2 << 20, 16, 60.0, &p, 0);
+        assert!(t2 > 1.8 * t1 && t2 < 2.2 * t1, "{t1} -> {t2}");
+    }
+
+    #[test]
+    fn closed_form_nearly_flat_in_ring_length_for_large_messages() {
+        // Pipelining: ring length only adds fill latency, so doubling the
+        // ring should barely change the time for a large message.
+        let p = NocParams::paper();
+        let t16 = ring_collective_cycles(8 << 20, 16, 60.0, &p, 0);
+        let t256 = ring_collective_cycles(8 << 20, 256, 60.0, &p, 0);
+        assert!(t256 < 1.2 * t16, "{t16} vs {t256}");
+    }
+
+    #[test]
+    fn event_sim_matches_closed_form_on_ring() {
+        let p = NocParams::paper();
+        let topo = Topology::ring(8, LinkKind::FullX2);
+        let mut net = PacketNetwork::new(topo, p);
+        let ring: Vec<usize> = (0..8).collect();
+        let msg = 64 * 1024u64;
+        let sim = simulate_ring_reduce_broadcast(&mut net, &ring, msg, 0);
+        let model = ring_collective_cycles(msg, 8, 60.0, &p, 0);
+        let ratio = sim as f64 / model;
+        assert!((0.5..2.0).contains(&ratio), "sim {sim} vs model {model}");
+    }
+
+    #[test]
+    fn event_sim_broadcast_completes_after_reduce() {
+        let p = NocParams::paper();
+        let topo = Topology::ring(4, LinkKind::Full);
+        let mut net = PacketNetwork::new(topo, p);
+        let ring: Vec<usize> = (0..4).collect();
+        let t = simulate_ring_reduce_broadcast(&mut net, &ring, 1024, 100);
+        assert!(t > 100);
+        // All ring links must have been used in both directions.
+        for i in 1..4 {
+            assert!(net.link_busy(ring[i - 1], ring[i]) > 0);
+            assert!(net.link_busy(ring[i], ring[i - 1]) > 0);
+        }
+    }
+
+    #[test]
+    fn extra_host_latency_increases_time() {
+        let p = NocParams::paper();
+        let base = ring_collective_cycles(1 << 20, 64, 60.0, &p, 0);
+        let host = ring_collective_cycles(1 << 20, 64, 60.0, &p, 12);
+        assert!(host > base);
+    }
+    #[test]
+    fn allreduce_moves_less_wire_traffic_for_large_messages() {
+        let p = NocParams::paper();
+        let big = 32u64 << 20;
+        let rb = ring_collective_cycles(big, 16, 60.0, &p, 0);
+        let ar = ring_allreduce_cycles(big, 16, 60.0, &p, 0);
+        // (K-1)/K vs full message per phase: all-reduce wins on bandwidth.
+        assert!(ar < rb, "allreduce {ar} vs reduce+broadcast {rb}");
+    }
+
+    #[test]
+    fn tiny_messages_are_latency_bound_for_both_algorithms() {
+        // At 2 KiB over a 256-ring, both algorithms degenerate to
+        // ~2(K-1) hop latencies; neither can amortize bandwidth.
+        let p = NocParams::paper();
+        let tiny = 2048u64;
+        let floor = 2.0 * 255.0 * p.hop_latency() as f64;
+        let rb = ring_collective_cycles(tiny, 256, 60.0, &p, 0);
+        let ar = ring_allreduce_cycles(tiny, 256, 60.0, &p, 0);
+        assert!(rb >= floor && ar >= floor, "rb {rb}, ar {ar}, floor {floor}");
+        let ratio = rb / ar;
+        assert!((0.5..2.0).contains(&ratio), "rb {rb} vs ar {ar}");
+    }
+
+    #[test]
+    fn best_picks_the_minimum() {
+        let p = NocParams::paper();
+        for msg in [2048u64, 1 << 20, 32 << 20] {
+            let best = best_ring_collective_cycles(msg, 64, 60.0, &p, 0);
+            let rb = ring_collective_cycles(msg, 64, 60.0, &p, 0);
+            let ar = ring_allreduce_cycles(msg, 64, 60.0, &p, 0);
+            assert_eq!(best, rb.min(ar));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Mapping of the logical `(N_g, N_c)` organizations onto the physical
+//! 256-worker memory-centric network (paper §IV, Fig 9(b)–(d)).
+//!
+//! The physical substrate is fixed: 16 group rings × 16 positions, FBFLY
+//! across groups at each position, host links at each ring's ends.
+//! Dynamic clustering only changes *routing*:
+//!
+//! * `(16, 16)` — each physical group is a logical group; the collective
+//!   ring is the physical ring; a cluster is the 16-worker FBFLY.
+//! * `(4, 64)` — physical groups `{4i..4i+3}` merge into logical group
+//!   `i` (Fig 9(c): "gr0→gr3" …); the collective ring chains their four
+//!   physical rings through the host; a cluster is an FBFLY column of 4
+//!   fully connected workers.
+//! * `(1, 256)` — all 16 rings chain into one 256-worker ring
+//!   (Fig 9(d)); no tile transfer.
+
+use crate::clustering::ClusterConfig;
+use crate::topology::{MemoryCentricNetwork, WorkerId};
+
+/// The physical realization of a logical organization.
+#[derive(Debug, Clone)]
+pub struct PhysicalMapping {
+    /// The organization being realized.
+    pub config: ClusterConfig,
+    /// For each logical group, its collective ring as an ordered list of
+    /// node indices (host interposed as needed).
+    pub rings: Vec<Vec<usize>>,
+    /// For each logical cluster, its member node indices.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl PhysicalMapping {
+    /// Builds the mapping of `config` onto `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers()` differs from the network size, or if
+    /// the group count does not divide the physical group count.
+    pub fn new(net: &MemoryCentricNetwork, config: ClusterConfig) -> Self {
+        assert_eq!(config.workers(), net.workers(), "organization must cover all workers");
+        assert!(
+            net.groups.is_multiple_of(config.n_g.max(1)) || config.n_g <= net.groups,
+            "groups must merge physical rings evenly"
+        );
+        let phys_per_logical = net.groups / config.n_g;
+        let host = net.host();
+
+        // Collective rings: chain `phys_per_logical` physical rings; the
+        // host links each ring's exit (pos = group_size-1) to the next
+        // ring's entry (pos = 0).
+        let mut rings = Vec::with_capacity(config.n_g);
+        for lg in 0..config.n_g {
+            let mut ring = Vec::new();
+            for k in 0..phys_per_logical {
+                let g = lg * phys_per_logical + k;
+                if k > 0 {
+                    ring.push(host);
+                }
+                for pos in 0..net.group_size {
+                    ring.push(net.node(WorkerId { group: g, pos }));
+                }
+            }
+            rings.push(ring);
+        }
+
+        // Clusters: the workers at one ring position across the logical
+        // group's physical rings, replicated per position and per
+        // physical-ring offset. With G = phys_per_logical physical rings
+        // per logical group, a cluster holds one worker from each logical
+        // group at a fixed (position, offset) coordinate.
+        let mut clusters = Vec::with_capacity(config.n_c);
+        for pos in 0..net.group_size {
+            for k in 0..phys_per_logical {
+                let members: Vec<usize> = (0..config.n_g)
+                    .map(|lg| net.node(WorkerId { group: lg * phys_per_logical + k, pos }))
+                    .collect();
+                clusters.push(members);
+            }
+        }
+        Self { config, rings, clusters }
+    }
+
+    /// Host traversals per lap of each collective ring (host entries in
+    /// the ring listing; the node index `>= workers` is the host).
+    pub fn host_hops_per_ring(&self) -> usize {
+        self.rings
+            .first()
+            .map(|r| r.iter().filter(|&&n| n >= self.config.workers()).count())
+            .unwrap_or(0)
+    }
+
+    /// Worst hop count between any two members of any cluster on the
+    /// physical topology.
+    pub fn max_cluster_hops(&self, net: &MemoryCentricNetwork) -> usize {
+        let mut worst = 0;
+        for cl in &self.clusters {
+            for &a in cl {
+                for &b in cl {
+                    if a != b {
+                        worst = worst.max(net.topology.hops(a, b));
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> MemoryCentricNetwork {
+        MemoryCentricNetwork::paper_256()
+    }
+
+    #[test]
+    fn sixteen_sixteen_uses_physical_rings() {
+        let m = PhysicalMapping::new(&net(), ClusterConfig::new(16, 16));
+        assert_eq!(m.rings.len(), 16);
+        assert!(m.rings.iter().all(|r| r.len() == 16));
+        assert_eq!(m.host_hops_per_ring(), 0);
+        assert_eq!(m.clusters.len(), 16);
+        assert!(m.clusters.iter().all(|c| c.len() == 16));
+    }
+
+    #[test]
+    fn four_sixtyfour_merges_rings_through_host() {
+        let m = PhysicalMapping::new(&net(), ClusterConfig::new(4, 64));
+        assert_eq!(m.rings.len(), 4);
+        // 4 physical rings x 16 workers + 3 interposed host entries.
+        assert!(m.rings.iter().all(|r| r.len() == 64 + 3));
+        assert_eq!(m.host_hops_per_ring(), 3);
+        assert_eq!(m.clusters.len(), 64);
+        assert!(m.clusters.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn one_256_is_one_big_ring() {
+        let m = PhysicalMapping::new(&net(), ClusterConfig::new(1, 256));
+        assert_eq!(m.rings.len(), 1);
+        assert_eq!(m.rings[0].len(), 256 + 15);
+        assert_eq!(m.host_hops_per_ring(), 15);
+        assert!(m.clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn rings_are_physically_adjacent() {
+        // Every consecutive pair on a (16,16) ring is one physical hop.
+        let n = net();
+        let m = PhysicalMapping::new(&n, ClusterConfig::new(16, 16));
+        for ring in &m.rings {
+            for w in 0..ring.len() {
+                let a = ring[w];
+                let b = ring[(w + 1) % ring.len()];
+                assert_eq!(n.topology.hops(a, b), 1, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_ring_transitions_route_through_host_links() {
+        let n = net();
+        let m = PhysicalMapping::new(&n, ClusterConfig::new(4, 64));
+        for ring in &m.rings {
+            for w in 0..ring.len() {
+                let a = ring[w];
+                let b = ring[(w + 1) % ring.len()];
+                // Adjacent on the ring means at most 2 physical hops
+                // (worker -> host or host -> worker are single hops; the
+                // wrap from the last physical ring back to the first also
+                // crosses the host but is listed without it).
+                assert!(n.topology.hops(a, b) <= 2, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_partition_all_workers() {
+        let n = net();
+        for cfg in ClusterConfig::paper_configs() {
+            let m = PhysicalMapping::new(&n, cfg);
+            let mut seen = vec![false; n.workers()];
+            for cl in &m.clusters {
+                for &w in cl {
+                    assert!(!seen[w], "worker {w} in two clusters under {cfg}");
+                    seen[w] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{cfg}: clusters must cover all workers");
+        }
+    }
+
+    #[test]
+    fn cluster_diameters_match_fig9() {
+        let n = net();
+        // (16,16): FBFLY, max 2 hops. (4,64): fully connected column, 1 hop.
+        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(16, 16)).max_cluster_hops(&n), 2);
+        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(4, 64)).max_cluster_hops(&n), 1);
+        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(1, 256)).max_cluster_hops(&n), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Network parameters (paper Table III).
+//!
+//! All bandwidths are per *direction*; every link in this workspace is
+//! bidirectional and modelled as two independent directed channels.
+
+/// Physical link flavours of the memory-centric network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Full-width: 16 lanes × 15 Gbps = 30 GB/s per direction. Used for
+    /// the collective (ring) fabric; the MPT configurations dedicate two
+    /// of the four full links to it.
+    Full,
+    /// Two full-width links bonded (the paper's "two rings" per group):
+    /// 60 GB/s per direction.
+    FullX2,
+    /// Four full-width links bonded (the `w_dp` baseline's four rings of
+    /// length 256): 120 GB/s per direction.
+    FullX4,
+    /// Narrow: 8 lanes × 10 Gbps = 10 GB/s per direction. Used inside the
+    /// 2-D flattened-butterfly cluster fabric.
+    Narrow,
+    /// Host stitching link used by dynamic clustering. Provisioned to
+    /// match the bonded ring bandwidth so that routing a collective
+    /// through the host adds latency but no bandwidth penalty (§IV:
+    /// reconfiguration "does not incur any additional data transfer or
+    /// overhead").
+    Host,
+}
+
+impl LinkKind {
+    /// Bandwidth in bytes per 1 GHz cycle (= GB/s).
+    pub fn bytes_per_cycle(self) -> f64 {
+        match self {
+            LinkKind::Full => 30.0,
+            LinkKind::FullX2 => 60.0,
+            LinkKind::FullX4 | LinkKind::Host => 120.0,
+            LinkKind::Narrow => 10.0,
+        }
+    }
+}
+
+/// Global network constants (Table III plus packetization assumptions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocParams {
+    /// SerDes latency per hop in cycles (2.5 ns serialize + 2.5 ns
+    /// deserialize at 1 GHz).
+    pub serdes_cycles: u64,
+    /// Router pipeline latency per hop in cycles.
+    pub router_cycles: u64,
+    /// Packet (chunk) size for collective operations, bytes.
+    pub collective_chunk_bytes: usize,
+    /// Packet size for all other traffic, bytes.
+    pub packet_bytes: usize,
+    /// Per-packet header overhead, bytes.
+    pub header_bytes: usize,
+}
+
+impl NocParams {
+    /// The paper's configuration.
+    pub const fn paper() -> Self {
+        Self {
+            serdes_cycles: 5,
+            router_cycles: 1,
+            collective_chunk_bytes: 256,
+            packet_bytes: 64,
+            header_bytes: 8,
+        }
+    }
+
+    /// Per-hop latency (SerDes + router pipeline).
+    pub const fn hop_latency(&self) -> u64 {
+        self.serdes_cycles + self.router_cycles
+    }
+
+    /// Wire bytes for a payload after packetization overhead.
+    pub fn wire_bytes(&self, payload: usize, packet: usize) -> usize {
+        if payload == 0 {
+            return 0;
+        }
+        let packets = payload.div_ceil(packet);
+        payload + packets * self.header_bytes
+    }
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_bandwidths_match_table_iii() {
+        // 16 lanes x 15 Gbps = 240 Gbps = 30 GB/s
+        assert_eq!(LinkKind::Full.bytes_per_cycle(), 30.0);
+        // 8 lanes x 10 Gbps = 80 Gbps = 10 GB/s
+        assert_eq!(LinkKind::Narrow.bytes_per_cycle(), 10.0);
+        assert_eq!(LinkKind::FullX2.bytes_per_cycle(), 60.0);
+        assert_eq!(LinkKind::FullX4.bytes_per_cycle(), 120.0);
+    }
+
+    #[test]
+    fn hop_latency_is_serdes_plus_router() {
+        let p = NocParams::paper();
+        assert_eq!(p.hop_latency(), 6);
+    }
+
+    #[test]
+    fn wire_bytes_adds_header_per_packet() {
+        let p = NocParams::paper();
+        assert_eq!(p.wire_bytes(0, 64), 0);
+        assert_eq!(p.wire_bytes(64, 64), 64 + 8);
+        assert_eq!(p.wire_bytes(65, 64), 65 + 16);
+        assert_eq!(p.wire_bytes(256, 256), 256 + 8);
+    }
+}

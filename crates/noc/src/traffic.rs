@@ -1,0 +1,178 @@
+//! Synthetic traffic patterns and latency–throughput characterization of
+//! the memory-centric network — the standard methodology for evaluating
+//! interconnects like the paper's hybrid topology.
+
+use wmpt_tensor::DataGen;
+
+use crate::flit::{simulate_flits, FlitConfig, FlitPacket, FlitStats};
+use crate::params::NocParams;
+use crate::topology::Topology;
+
+/// A synthetic traffic pattern over `n` endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Destination drawn uniformly at random (≠ source).
+    UniformRandom,
+    /// `dst = (src + n/2) mod n` — worst case for rings.
+    Transpose,
+    /// Nearest neighbour (`src + 1`) — the collective's steady state.
+    NeighborRing,
+    /// Everyone sends to node 0.
+    Hotspot,
+}
+
+impl TrafficPattern {
+    /// Destination of `src` under the pattern (random patterns use `gen`).
+    pub fn destination(&self, src: usize, n: usize, gen: &mut DataGen) -> usize {
+        match self {
+            TrafficPattern::UniformRandom => {
+                let mut d = gen.index(n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Transpose => (src + n / 2) % n,
+            TrafficPattern::NeighborRing => (src + 1) % n,
+            TrafficPattern::Hotspot => 0,
+        }
+    }
+}
+
+/// Builds an open-loop workload: every node injects `packets_per_node`
+/// packets of `payload_bytes`, spaced by `gap_cycles` (offered load =
+/// payload / gap per node).
+pub fn build_workload(
+    pattern: TrafficPattern,
+    n: usize,
+    packets_per_node: usize,
+    payload_bytes: u64,
+    gap_cycles: u64,
+    seed: u64,
+) -> Vec<FlitPacket> {
+    let mut gen = DataGen::new(seed);
+    let mut out = Vec::with_capacity(n * packets_per_node);
+    for src in 0..n {
+        for k in 0..packets_per_node {
+            let dst = pattern.destination(src, n, &mut gen);
+            if dst == src {
+                continue;
+            }
+            out.push(FlitPacket {
+                src,
+                dst,
+                bytes: payload_bytes,
+                inject_at: k as u64 * gap_cycles,
+            });
+        }
+    }
+    out
+}
+
+/// One point of a latency–throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load per node, bytes/cycle.
+    pub offered: f64,
+    /// Mean packet latency, cycles.
+    pub latency: f64,
+    /// Achieved aggregate throughput, bytes/cycle.
+    pub throughput: f64,
+}
+
+/// Sweeps offered load and measures latency/throughput on a topology
+/// (flit-level). `gaps` are the per-node inter-injection gaps to test,
+/// largest (lightest load) first for readability.
+pub fn latency_throughput_sweep(
+    topo: &Topology,
+    pattern: TrafficPattern,
+    payload_bytes: u64,
+    gaps: &[u64],
+    seed: u64,
+) -> Vec<LoadPoint> {
+    let params = NocParams::paper();
+    let cfg = FlitConfig::paper();
+    let n = topo.len();
+    gaps.iter()
+        .map(|&gap| {
+            let pkts = build_workload(pattern, n, 12, payload_bytes, gap, seed);
+            let stats: FlitStats = simulate_flits(topo, &params, &cfg, &pkts);
+            let offered = payload_bytes as f64 / gap as f64;
+            let total_bytes: u64 = pkts.iter().map(|p| p.bytes).sum();
+            LoadPoint {
+                offered,
+                latency: stats.mean_latency(&pkts),
+                throughput: total_bytes as f64 / stats.makespan.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkKind;
+
+    #[test]
+    fn patterns_produce_valid_destinations() {
+        let mut gen = DataGen::new(1);
+        for pat in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::NeighborRing,
+            TrafficPattern::Hotspot,
+        ] {
+            for src in 0..16 {
+                let d = pat.destination(src, 16, &mut gen);
+                assert!(d < 16);
+                if pat == TrafficPattern::UniformRandom {
+                    assert_ne!(d, src);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_spaces_injections() {
+        let w = build_workload(TrafficPattern::NeighborRing, 4, 3, 64, 100, 0);
+        assert_eq!(w.len(), 12);
+        assert!(w.iter().any(|p| p.inject_at == 200));
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let topo = Topology::flattened_butterfly(2, 2, LinkKind::Narrow);
+        let pts = latency_throughput_sweep(
+            &topo,
+            TrafficPattern::UniformRandom,
+            256,
+            &[2000, 40],
+            7,
+        );
+        assert!(pts[1].latency >= pts[0].latency * 0.95,
+            "heavy load latency {} should not be below light load {}", pts[1].latency, pts[0].latency);
+        assert!(pts[1].offered > pts[0].offered);
+    }
+
+    #[test]
+    fn hotspot_saturates_before_neighbor_traffic() {
+        let topo = Topology::flattened_butterfly(2, 2, LinkKind::Narrow);
+        let hot = latency_throughput_sweep(&topo, TrafficPattern::Hotspot, 256, &[60], 3);
+        let ring = latency_throughput_sweep(&topo, TrafficPattern::NeighborRing, 256, &[60], 3);
+        assert!(
+            hot[0].latency > ring[0].latency,
+            "hotspot {} should congest more than neighbour {}",
+            hot[0].latency,
+            ring[0].latency
+        );
+    }
+
+    #[test]
+    fn throughput_bounded_by_bisection() {
+        // Neighbour traffic on a ring cannot exceed per-link capacity x n.
+        let topo = Topology::ring(8, LinkKind::Narrow);
+        let pts =
+            latency_throughput_sweep(&topo, TrafficPattern::NeighborRing, 512, &[30], 5);
+        assert!(pts[0].throughput <= 8.0 * 10.0 * 1.05, "throughput {}", pts[0].throughput);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-validation of the closed-form communication models against
+//! event-driven packet simulation on the *physical* 257-node
+//! memory-centric network, including dynamic clustering's host-stitched
+//! rings — the wiring the full-system results depend on.
+
+use wmpt_noc::{
+    bottleneck_phase, ring_collective_cycles, simulate_ring_reduce_broadcast, ClusterConfig,
+    MemoryCentricNetwork, NocParams, PacketNetwork, PhysicalMapping,
+};
+
+#[test]
+fn physical_ring_collective_matches_closed_form() {
+    let net = MemoryCentricNetwork::paper_256();
+    let params = NocParams::paper();
+    let cfg = ClusterConfig::new(16, 16);
+    let mapping = PhysicalMapping::new(&net, cfg);
+    let ring: Vec<usize> = mapping.rings[0].clone();
+    let msg = 256 * 1024u64;
+
+    let mut sim = PacketNetwork::new(net.topology.clone(), params);
+    let simulated = simulate_ring_reduce_broadcast(&mut sim, &ring, msg, 0);
+    let model = ring_collective_cycles(msg, ring.len(), 60.0, &params, 0);
+    let ratio = simulated as f64 / model;
+    assert!((0.5..2.0).contains(&ratio), "sim {simulated} vs model {model}");
+}
+
+#[test]
+fn host_stitched_ring_works_and_costs_more_latency() {
+    let net = MemoryCentricNetwork::paper_256();
+    let params = NocParams::paper();
+    let mapping = PhysicalMapping::new(&net, ClusterConfig::new(4, 64));
+    // Keep the explicit host waypoints: dynamic clustering programs the
+    // stitched route through the host rather than relying on generic
+    // minimal routing (§IV).
+    let ring: Vec<usize> = mapping.rings[0].clone();
+    assert_eq!(ring.len(), 64 + 3);
+
+    let msg = 64 * 1024u64;
+    let mut sim = PacketNetwork::new(net.topology.clone(), params);
+    let stitched = simulate_ring_reduce_broadcast(&mut sim, &ring, msg, 0);
+
+    // The same collective on a dedicated 64-ring (no host detours).
+    let flat = wmpt_noc::Topology::ring(64, wmpt_noc::LinkKind::FullX2);
+    let mut sim2 = PacketNetwork::new(flat, params);
+    let ideal_ring: Vec<usize> = (0..64).collect();
+    let ideal = simulate_ring_reduce_broadcast(&mut sim2, &ideal_ring, msg, 0);
+
+    assert!(stitched >= ideal, "stitching cannot be faster than a flat ring");
+    assert!(
+        (stitched as f64) < ideal as f64 * 1.6,
+        "host stitching overhead too large: {stitched} vs {ideal}"
+    );
+}
+
+#[test]
+fn all_sixteen_rings_run_concurrently() {
+    // The point of MPT's multiple shorter rings: all groups reduce at
+    // once without interfering (disjoint links).
+    let net = MemoryCentricNetwork::paper_256();
+    let params = NocParams::paper();
+    let mapping = PhysicalMapping::new(&net, ClusterConfig::new(16, 16));
+    let msg = 64 * 1024u64;
+
+    let mut sim = PacketNetwork::new(net.topology.clone(), params);
+    let solo = simulate_ring_reduce_broadcast(&mut sim, &mapping.rings[0], msg, 0);
+
+    let mut sim_all = PacketNetwork::new(net.topology.clone(), params);
+    let mut worst = 0;
+    for ring in &mapping.rings {
+        worst = worst.max(simulate_ring_reduce_broadcast(&mut sim_all, ring, msg, 0));
+    }
+    assert!(
+        (worst as f64) < solo as f64 * 1.1,
+        "rings should not interfere: all {worst} vs solo {solo}"
+    );
+}
+
+#[test]
+fn cluster_all_to_all_on_physical_fbfly_matches_model() {
+    let net = MemoryCentricNetwork::paper_256();
+    let params = NocParams::paper();
+    let mapping = PhysicalMapping::new(&net, ClusterConfig::new(16, 16));
+    let members = &mapping.clusters[3];
+    let pair = 8 * 1024u64;
+
+    // Event-driven on the physical topology.
+    let mut sim = PacketNetwork::new(net.topology.clone(), params);
+    let t = wmpt_noc::simulate_all_to_all(&mut sim, members, pair, 0, 1024);
+
+    // Closed form on the standalone FBFLY.
+    let cluster = ClusterConfig::new(16, 16).cluster_topology().expect("fbfly");
+    let flows = wmpt_noc::all_to_all_flows(&(0..16).collect::<Vec<_>>(), pair);
+    let model = bottleneck_phase(&cluster, &params, &flows, params.packet_bytes);
+    let ratio = t as f64 / model.cycles;
+    assert!((0.5..2.5).contains(&ratio), "sim {t} vs model {}", model.cycles);
+}
+
+#[test]
+fn concurrent_clusters_share_nothing() {
+    // Tile transfer in different clusters uses disjoint narrow links.
+    let net = MemoryCentricNetwork::paper_256();
+    let params = NocParams::paper();
+    let mapping = PhysicalMapping::new(&net, ClusterConfig::new(16, 16));
+    let pair = 4 * 1024u64;
+
+    let mut solo_net = PacketNetwork::new(net.topology.clone(), params);
+    let solo = wmpt_noc::simulate_all_to_all(&mut solo_net, &mapping.clusters[0], pair, 0, 1024);
+
+    let mut all_net = PacketNetwork::new(net.topology.clone(), params);
+    let mut worst = 0;
+    for cl in &mapping.clusters {
+        worst = worst.max(wmpt_noc::simulate_all_to_all(&mut all_net, cl, pair, 0, 1024));
+    }
+    assert!(
+        (worst as f64) < solo as f64 * 1.1,
+        "clusters should not interfere: all {worst} vs solo {solo}"
+    );
+}
+
+#[test]
+fn flit_level_ring_chunks_match_packet_tier() {
+    // One collective step at flit granularity vs the packet tier: every
+    // member forwards a 256 B chunk to its ring neighbour.
+    use wmpt_noc::{simulate_flits, FlitConfig, FlitPacket};
+    let topo = wmpt_noc::Topology::ring(8, wmpt_noc::LinkKind::FullX2);
+    let params = NocParams::paper();
+    let packets: Vec<FlitPacket> = (0..8)
+        .map(|i| FlitPacket { src: i, dst: (i + 1) % 8, bytes: 256, inject_at: 0 })
+        .collect();
+    let flit = simulate_flits(&topo, &params, &FlitConfig::paper(), &packets);
+
+    let mut pkt = PacketNetwork::new(topo, params);
+    let mut pkt_done = 0;
+    for p in &packets {
+        pkt_done = pkt_done.max(pkt.transfer(p.src, p.dst, p.bytes, 0, 256, 256));
+    }
+    let ratio = flit.makespan as f64 / pkt_done as f64;
+    assert!((0.4..2.5).contains(&ratio), "flit {} vs packet {pkt_done}", flit.makespan);
+}

@@ -1,0 +1,106 @@
+//! Property tests of topology construction and routing: routes exist, are
+//! minimal-monotone, and the packet simulator delivers everything —
+//! over randomized topologies, not just the hand-built ones.
+
+use proptest::prelude::*;
+
+use wmpt_noc::{LinkKind, NocParams, PacketNetwork, Topology};
+
+/// Builds a random connected bidirectional topology: a ring backbone plus
+/// random chords.
+fn random_topology(n: usize, chords: &[(usize, usize)]) -> Topology {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        edges.push((i, j, LinkKind::Full));
+        edges.push((j, i, LinkKind::Full));
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            edges.push((a, b, LinkKind::Narrow));
+            edges.push((b, a, LinkKind::Narrow));
+        }
+    }
+    Topology::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every route starts at src, ends at dst, follows existing edges,
+    /// and never exceeds n-1 hops.
+    #[test]
+    fn routes_are_well_formed(
+        n in 3usize..24,
+        chords in proptest::collection::vec((0usize..24, 0usize..24), 0..8),
+        src in 0usize..24,
+        dst in 0usize..24,
+    ) {
+        let topo = random_topology(n, &chords);
+        let (src, dst) = (src % n, dst % n);
+        let route = topo.route(src, dst);
+        if src == dst {
+            prop_assert!(route.is_empty());
+        } else {
+            prop_assert_eq!(route[0].from, src);
+            prop_assert_eq!(route[route.len() - 1].to, dst);
+            for pair in route.windows(2) {
+                prop_assert_eq!(pair[0].to, pair[1].from);
+            }
+            prop_assert!(route.len() < n, "route too long: {}", route.len());
+            for e in &route {
+                let _ = topo.link_kind(e.from, e.to); // panics if missing
+            }
+        }
+    }
+
+    /// Chords never make routes longer than the pure ring's.
+    #[test]
+    fn chords_only_help(
+        n in 4usize..20,
+        chords in proptest::collection::vec((0usize..20, 0usize..20), 1..6),
+        src in 0usize..20,
+        dst in 0usize..20,
+    ) {
+        let (src, dst) = (src % n, dst % n);
+        let plain = random_topology(n, &[]);
+        let chorded = random_topology(n, &chords);
+        prop_assert!(chorded.hops(src, dst) <= plain.hops(src, dst));
+    }
+
+    /// The packet simulator delivers every message exactly when sizes are
+    /// positive, and later-injected traffic never finishes before it
+    /// could start.
+    #[test]
+    fn packet_network_delivers(
+        n in 3usize..12,
+        bytes in 1u64..10_000,
+        ready in 0u64..1000,
+        src in 0usize..12,
+        dst in 0usize..12,
+    ) {
+        let topo = random_topology(n, &[]);
+        let (src, dst) = (src % n, dst % n);
+        let mut net = PacketNetwork::new(topo, NocParams::paper());
+        let t = net.transfer(src, dst, bytes, ready, 64, 1024);
+        prop_assert!(t >= ready);
+        if src != dst {
+            let min_ser = (bytes as f64 / 120.0).floor() as u64; // widest link
+            prop_assert!(t >= ready + min_ser, "{t} too fast for {bytes} bytes");
+        }
+    }
+
+    /// Hop counts are symmetric on these bidirectional topologies.
+    #[test]
+    fn hops_symmetric(
+        n in 3usize..16,
+        chords in proptest::collection::vec((0usize..16, 0usize..16), 0..5),
+        a in 0usize..16,
+        b in 0usize..16,
+    ) {
+        let topo = random_topology(n, &chords);
+        let (a, b) = (a % n, b % n);
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+    }
+}

@@ -1,0 +1,202 @@
+//! Interval propagation of quantization error through Winograd transforms
+//! (paper §V-A: positive/negative maximum-possible-error tracking).
+//!
+//! A transform step is a matrix product with a coefficient matrix `M`. If
+//! each input element is only known to lie in `[lo, hi]`, the outputs lie
+//! in the interval computed by splitting `M = M⁺ − M⁻` into its positive
+//! and negative parts:
+//!
+//! ```text
+//! out_hi = M⁺·hi − M⁻·lo        out_lo = M⁺·lo − M⁻·hi
+//! ```
+//!
+//! which is exactly the paper's rule "the positive (negative) maximum
+//! possible error ... is calculated by adding only positive (negative)
+//! terms during the matrix multiplication".
+
+use wmpt_tensor::Matrix;
+
+/// An interval-valued matrix: element `(i, j)` of the real matrix is known
+/// to lie in `[lo[i*cols+j], hi[i*cols+j]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalMat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Lower bounds, row-major.
+    pub lo: Vec<f32>,
+    /// Upper bounds, row-major.
+    pub hi: Vec<f32>,
+}
+
+impl IntervalMat {
+    /// Wraps exact values as degenerate intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != rows * cols`.
+    pub fn exact(rows: usize, cols: usize, vals: &[f32]) -> Self {
+        assert_eq!(vals.len(), rows * cols);
+        Self { rows, cols, lo: vals.to_vec(), hi: vals.to_vec() }
+    }
+
+    /// Builds from per-element bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or any `lo > hi`.
+    pub fn from_bounds(rows: usize, cols: usize, lo: Vec<f32>, hi: Vec<f32>) -> Self {
+        assert_eq!(lo.len(), rows * cols);
+        assert_eq!(hi.len(), rows * cols);
+        assert!(
+            lo.iter().zip(&hi).all(|(a, b)| a <= b),
+            "interval lower bound above upper bound"
+        );
+        Self { rows, cols, lo, hi }
+    }
+
+    /// Left-multiplies by coefficient matrix `m`: result ≈ `m · self`
+    /// (`m.cols() == self.rows`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn lmul(&self, m: &Matrix) -> IntervalMat {
+        assert_eq!(m.cols(), self.rows, "lmul dimension mismatch");
+        let rows = m.rows();
+        let cols = self.cols;
+        let mut lo = vec![0.0f32; rows * cols];
+        let mut hi = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut l = 0.0f64;
+                let mut h = 0.0f64;
+                for k in 0..self.rows {
+                    let c = m.row(i)[k];
+                    let (a, b) = (self.lo[k * cols + j] as f64, self.hi[k * cols + j] as f64);
+                    if c >= 0.0 {
+                        l += c * a;
+                        h += c * b;
+                    } else {
+                        l += c * b;
+                        h += c * a;
+                    }
+                }
+                lo[i * cols + j] = l as f32;
+                hi[i * cols + j] = h as f32;
+            }
+        }
+        IntervalMat { rows, cols, lo, hi }
+    }
+
+    /// Right-multiplies by `mᵀ`: result ≈ `self · mᵀ`
+    /// (`m.cols() == self.cols`; used for the second 1-D pass `… Aᵀ` of a
+    /// 2-D transform written as `Aᵀ Y A = Aᵀ (Aᵀ Yᵀ)ᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn rmul_t(&self, m: &Matrix) -> IntervalMat {
+        assert_eq!(m.cols(), self.cols, "rmul_t dimension mismatch");
+        let rows = self.rows;
+        let cols = m.rows();
+        let mut lo = vec![0.0f32; rows * cols];
+        let mut hi = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut l = 0.0f64;
+                let mut h = 0.0f64;
+                for k in 0..self.cols {
+                    let c = m.row(j)[k];
+                    let (a, b) = (self.lo[i * self.cols + k] as f64, self.hi[i * self.cols + k] as f64);
+                    if c >= 0.0 {
+                        l += c * a;
+                        h += c * b;
+                    } else {
+                        l += c * b;
+                        h += c * a;
+                    }
+                }
+                lo[i * cols + j] = l as f32;
+                hi[i * cols + j] = h as f32;
+            }
+        }
+        IntervalMat { rows, cols, lo, hi }
+    }
+
+    /// `true` when every upper bound is `< 0` — i.e. every enclosed real
+    /// value is certainly ReLU-dead.
+    pub fn certainly_negative(&self) -> bool {
+        self.hi.iter().all(|&v| v < 0.0)
+    }
+
+    /// Per-row version of [`Self::certainly_negative`].
+    pub fn rows_certainly_negative(&self) -> Vec<bool> {
+        (0..self.rows)
+            .map(|i| self.hi[i * self.cols..(i + 1) * self.cols].iter().all(|&v| v < 0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_m() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]])
+    }
+
+    #[test]
+    fn exact_intervals_stay_exact_under_lmul() {
+        let m = sample_m();
+        let x = IntervalMat::exact(2, 1, &[1.0, 2.0]);
+        let y = x.lmul(&m);
+        assert_eq!(y.lo, y.hi);
+        assert!((y.lo[0] - (-3.0)).abs() < 1e-6);
+        assert!((y.lo[1] - 6.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lmul_bounds_contain_all_realizations() {
+        let m = sample_m();
+        let x = IntervalMat::from_bounds(2, 1, vec![0.0, -1.0], vec![1.0, 1.0]);
+        let y = x.lmul(&m);
+        // Enumerate the corners of the input box.
+        for a in [0.0, 1.0] {
+            for b in [-1.0f32, 1.0] {
+                let r0 = 1.0 * a - 2.0 * b;
+                let r1 = 0.5 * a + 3.0 * b;
+                assert!(y.lo[0] <= r0 && r0 <= y.hi[0]);
+                assert!(y.lo[1] <= r1 && r1 <= y.hi[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn rmul_t_matches_lmul_of_transpose() {
+        let m = sample_m();
+        let x = IntervalMat::from_bounds(1, 2, vec![0.0, -1.0], vec![1.0, 1.0]);
+        let y = x.rmul_t(&m);
+        // (x * m^T)^T == m * x^T
+        let xt = IntervalMat::from_bounds(2, 1, x.lo.clone(), x.hi.clone());
+        let yt = xt.lmul(&m);
+        assert_eq!(y.lo, yt.lo);
+        assert_eq!(y.hi, yt.hi);
+    }
+
+    #[test]
+    fn certainly_negative_detection() {
+        let a = IntervalMat::from_bounds(2, 1, vec![-2.0, -3.0], vec![-0.5, -0.1]);
+        assert!(a.certainly_negative());
+        let b = IntervalMat::from_bounds(2, 1, vec![-2.0, -3.0], vec![-0.5, 0.1]);
+        assert!(!b.certainly_negative());
+        assert_eq!(b.rows_certainly_negative(), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound above upper")]
+    fn from_bounds_validates_ordering() {
+        let _ = IntervalMat::from_bounds(1, 1, vec![1.0], vec![0.0]);
+    }
+}

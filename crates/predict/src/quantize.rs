@@ -1,0 +1,330 @@
+//! Non-uniform quantization of Winograd-domain values (paper §V-A, Fig 10).
+//!
+//! The paper observes that Winograd-domain tile values follow a normal
+//! distribution and quantizes them with a symmetric, *non-uniform* grid:
+//! the magnitude range is split into `R` regions, each region holds the
+//! same number of uniform steps, and the step size doubles from one region
+//! to the next (`Δ, 2Δ, 4Δ, 8Δ…`). The finest step is derived from the
+//! standard deviation `σ` of the real values. A uniform quantizer is the
+//! special case `R = 1`.
+//!
+//! Quantization here is *floor* (toward −∞ on the representable grid), so
+//! a real value always lies in `[q, q + step]` — the one-sided interval the
+//! conservative activation predictor propagates. Values beyond the range
+//! are flagged as overflow and widen to a huge interval, which keeps the
+//! predictor sound (an overflowed element can never cause a tile to be
+//! predicted dead through a coefficient that could make it alive).
+
+/// Configuration of a (non-)uniform quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_predict::QuantizerConfig;
+///
+/// // The paper's 2-D predict setting: 64 levels (6 bits), 4 regions.
+/// let cfg = QuantizerConfig::new(64, 4);
+/// assert_eq!(cfg.bits(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizerConfig {
+    /// Total number of quantization levels across both signs
+    /// (64 → 6-bit codes).
+    pub levels: u32,
+    /// Number of step-doubling regions per side (1 = uniform).
+    pub regions: u32,
+    /// Full-scale range in units of `σ` (default 4.0: ±4σ before overflow).
+    pub range_sigmas: f64,
+}
+
+impl QuantizerConfig {
+    /// Creates a config with the default ±4σ range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is a power of two ≥ 4, `regions ≥ 1`, and
+    /// `regions` divides `levels / 2`.
+    pub fn new(levels: u32, regions: u32) -> Self {
+        assert!(levels >= 4 && levels.is_power_of_two(), "levels must be a power of two >= 4");
+        assert!(regions >= 1, "need at least one region");
+        assert!((levels / 2).is_multiple_of(regions), "regions must divide levels/2");
+        Self { levels, regions, range_sigmas: 4.0 }
+    }
+
+    /// Uniform quantizer with the given level count.
+    pub fn uniform(levels: u32) -> Self {
+        Self::new(levels, 1)
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.levels.ilog2()
+    }
+
+    /// Steps per region per side.
+    pub fn steps_per_region(&self) -> u32 {
+        (self.levels / 2) / self.regions
+    }
+}
+
+/// A quantized value as the conservative interval `[lo, hi]` that is
+/// guaranteed to contain the real value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantized {
+    /// Lower bound of the real value.
+    pub lo: f32,
+    /// Upper bound of the real value.
+    pub hi: f32,
+}
+
+impl Quantized {
+    /// Width of the interval (the paper's "resolution").
+    pub fn resolution(&self) -> f32 {
+        self.hi - self.lo
+    }
+}
+
+/// Sentinel magnitude standing in for ±∞ on overflow. Large enough to
+/// dominate any sum, small enough not to overflow `f32` arithmetic in
+/// `f64` accumulators.
+pub const OVERFLOW_BOUND: f32 = 1.0e30;
+
+/// A symmetric floor quantizer over a non-uniform (region-doubling) grid.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_predict::{NonUniformQuantizer, QuantizerConfig};
+///
+/// let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+/// let iv = q.quantize(0.37);
+/// assert!(iv.lo <= 0.37 && 0.37 <= iv.hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonUniformQuantizer {
+    config: QuantizerConfig,
+    /// Finest step size Δ.
+    delta: f64,
+    /// Start offset of each region (length `regions + 1`; last = full range).
+    offsets: Vec<f64>,
+}
+
+impl NonUniformQuantizer {
+    /// Builds the quantizer for data with standard deviation `sigma`.
+    ///
+    /// The full-scale range is `config.range_sigmas · sigma`; the finest
+    /// step follows from the region-doubling geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and positive.
+    pub fn new(config: QuantizerConfig, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive, got {sigma}");
+        let steps = config.steps_per_region() as f64;
+        let r = config.regions;
+        // Range = Σ_{k<R} steps * 2^k * Δ = steps * (2^R - 1) * Δ
+        let span_units = steps * ((1u64 << r) - 1) as f64;
+        let delta = config.range_sigmas * sigma / span_units;
+        let mut offsets = Vec::with_capacity(r as usize + 1);
+        let mut acc = 0.0;
+        offsets.push(0.0);
+        for k in 0..r {
+            acc += steps * (1u64 << k) as f64 * delta;
+            offsets.push(acc);
+        }
+        Self { config, delta, offsets }
+    }
+
+    /// The quantizer's configuration.
+    pub fn config(&self) -> QuantizerConfig {
+        self.config
+    }
+
+    /// Finest step size Δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Full-scale magnitude before overflow.
+    pub fn max_range(&self) -> f64 {
+        *self.offsets.last().expect("offsets nonempty")
+    }
+
+    /// Step size of the region containing magnitude `mag`.
+    fn region_step(&self, mag: f64) -> Option<f64> {
+        for k in 0..self.config.regions as usize {
+            if mag < self.offsets[k + 1] {
+                return Some(self.delta * (1u64 << k) as f64);
+            }
+        }
+        None // overflow
+    }
+
+    /// Quantizes `v`, returning the conservative interval containing it.
+    pub fn quantize(&self, v: f32) -> Quantized {
+        let x = v as f64;
+        let mag = x.abs();
+        match self.region_step(mag) {
+            Some(step) => {
+                // Floor on the signed grid. The grid is symmetric, so floor
+                // of a negative value is -(ceil of the magnitude).
+                let k = self
+                    .offsets
+                    .iter()
+                    .rposition(|o| mag >= *o)
+                    .expect("offset 0 always matches")
+                    .min(self.config.regions as usize - 1);
+                let base = self.offsets[k];
+                let in_region = mag - base;
+                let (lo, hi);
+                if x >= 0.0 {
+                    let q = base + (in_region / step).floor() * step;
+                    lo = q;
+                    hi = q + step;
+                } else {
+                    let q = -(base + (in_region / step).ceil() * step);
+                    lo = q;
+                    hi = q + step;
+                }
+                Quantized { lo: lo as f32, hi: hi as f32 }
+            }
+            None => {
+                if x >= 0.0 {
+                    Quantized { lo: self.max_range() as f32, hi: OVERFLOW_BOUND }
+                } else {
+                    Quantized { lo: -OVERFLOW_BOUND, hi: -(self.max_range() as f32) }
+                }
+            }
+        }
+    }
+
+    /// Quantizes a slice element-wise into `(lo, hi)` vectors.
+    pub fn quantize_all(&self, vs: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut lo = Vec::with_capacity(vs.len());
+        let mut hi = Vec::with_capacity(vs.len());
+        for &v in vs {
+            let q = self.quantize(v);
+            lo.push(q.lo);
+            hi.push(q.hi);
+        }
+        (lo, hi)
+    }
+}
+
+/// Sample standard deviation of a slice (used to size the quantizer from
+/// observed Winograd-domain data, as the paper does).
+///
+/// Returns a small positive floor for degenerate inputs so a quantizer can
+/// always be built.
+pub fn sigma_of(vs: &[f32]) -> f64 {
+    if vs.is_empty() {
+        return 1e-6;
+    }
+    let n = vs.len() as f64;
+    let mean = vs.iter().map(|v| *v as f64).sum::<f64>() / n;
+    let var = vs.iter().map(|v| (*v as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt().max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(QuantizerConfig::new(64, 4).steps_per_region(), 8);
+        assert_eq!(QuantizerConfig::new(32, 4).bits(), 5);
+        assert_eq!(QuantizerConfig::uniform(16).regions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn config_rejects_non_power_of_two() {
+        let _ = QuantizerConfig::new(48, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn config_rejects_indivisible_regions() {
+        let _ = QuantizerConfig::new(16, 3);
+    }
+
+    #[test]
+    fn quantize_contains_value() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+        for i in -2000..=2000 {
+            let v = i as f32 * 0.005; // within +-10 sigma -> includes overflow
+            let iv = q.quantize(v);
+            assert!(iv.lo <= v && v <= iv.hi, "{v} not in [{}, {}]", iv.lo, iv.hi);
+        }
+    }
+
+    #[test]
+    fn resolution_doubles_across_regions() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+        // steps=8, delta = 4/(8*15) = 1/30; region boundaries at
+        // 8/30, 24/30, 56/30, 120/30=4.
+        let r0 = q.quantize(0.1).resolution();
+        let r1 = q.quantize(0.5).resolution();
+        let r2 = q.quantize(1.5).resolution();
+        let r3 = q.quantize(3.0).resolution();
+        assert!((r1 / r0 - 2.0).abs() < 1e-5);
+        assert!((r2 / r1 - 2.0).abs() < 1e-5);
+        assert!((r3 / r2 - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_quantizer_has_constant_resolution() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::uniform(64), 1.0);
+        let r0 = q.quantize(0.05).resolution();
+        let r1 = q.quantize(3.9).resolution();
+        assert!((r0 - r1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overflow_widen_is_conservative() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+        let pos = q.quantize(100.0);
+        assert!(pos.hi >= OVERFLOW_BOUND * 0.99 && pos.lo <= 100.0);
+        let neg = q.quantize(-100.0);
+        assert!(neg.lo <= -OVERFLOW_BOUND * 0.99 && neg.hi >= -100.0 - 1.0);
+    }
+
+    #[test]
+    fn negative_values_floor_correctly() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+        let iv = q.quantize(-0.1);
+        assert!(iv.lo <= -0.1 && -0.1 <= iv.hi);
+        assert!(iv.resolution() < 0.07); // finest region: delta = 1/30
+    }
+
+    #[test]
+    fn zero_quantizes_tightly() {
+        let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
+        let iv = q.quantize(0.0);
+        assert_eq!(iv.lo, 0.0);
+        assert!((iv.hi as f64 - q.delta()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigma_of_normal_data() {
+        use wmpt_tensor::DataGen;
+        let mut g = DataGen::new(1);
+        let vs: Vec<f32> = (0..10_000).map(|_| g.normal(0.0, 2.0) as f32).collect();
+        let s = sigma_of(&vs);
+        assert!((s - 2.0).abs() < 0.1, "sigma {s}");
+    }
+
+    #[test]
+    fn sigma_of_degenerate_is_positive() {
+        assert!(sigma_of(&[]) > 0.0);
+        assert!(sigma_of(&[3.0, 3.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn finer_levels_give_finer_resolution() {
+        let coarse = NonUniformQuantizer::new(QuantizerConfig::new(16, 4), 1.0);
+        let fine = NonUniformQuantizer::new(QuantizerConfig::new(128, 4), 1.0);
+        assert!(fine.quantize(0.3).resolution() < coarse.quantize(0.3).resolution());
+    }
+}

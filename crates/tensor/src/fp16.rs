@@ -1,0 +1,166 @@
+//! IEEE-754 binary16 emulation (paper §VII-C: the entire-CNN evaluation
+//! uses FP16 multiplies with FP32 accumulation, matching V100 tensor
+//! cores and the 96×96 FP16 NDP array).
+//!
+//! Only conversion (round-to-nearest-even) is needed: the functional
+//! pipeline quantizes operands to fp16 and accumulates in f32/f64,
+//! exactly like the hardware.
+
+use crate::Tensor4;
+
+/// Converts an `f32` to the nearest binary16 value, returned as `f32`
+/// (round-to-nearest-even; overflow saturates to ±∞ like hardware).
+pub fn f32_to_f16(v: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(v))
+}
+
+/// Bit-level f32 → f16 conversion (round-to-nearest-even).
+pub fn f32_to_f16_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let nan = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan;
+    }
+    // Re-bias: f32 exp-127 + 15.
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if e <= 0 {
+        // Subnormal or underflow to zero.
+        if e < -10 {
+            return sign;
+        }
+        let mant = frac | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e) as u32;
+        let half = 1u32 << (shift - 1);
+        let mut m = mant >> shift;
+        // round to nearest even
+        let rem = mant & ((1 << shift) - 1);
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1;
+        }
+        return sign | m as u16;
+    }
+    // Normal: keep 10 mantissa bits with RNE.
+    let mut m = (frac >> 13) as u16;
+    let rem = frac & 0x1fff;
+    let mut e16 = e as u16;
+    if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+        m += 1;
+        if m == 0x400 {
+            m = 0;
+            e16 += 1;
+            if e16 >= 0x1f {
+                return sign | 0x7c00;
+            }
+        }
+    }
+    sign | (e16 << 10) | m
+}
+
+/// Bit-level f16 → f32 conversion.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // subnormal: normalize
+            let mut e = 127 - 15 + 1;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            f &= 0x03ff;
+            sign | ((e as u32) << 23) | (f << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (frac << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes every element of a tensor to binary16 precision in place.
+pub fn quantize_tensor_f16(t: &mut Tensor4) {
+    t.map_inplace(f32_to_f16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataGen, Shape4};
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25, 1024.0] {
+            assert_eq!(f32_to_f16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn relative_error_within_half_ulp() {
+        let mut g = DataGen::new(1);
+        for _ in 0..10_000 {
+            let v = g.normal(0.0, 10.0) as f32;
+            let q = f32_to_f16(v);
+            let rel = ((q - v) / v).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "{v} -> {q}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(f32_to_f16(1.0e6).is_infinite());
+        assert!(f32_to_f16(-1.0e6).is_infinite());
+        assert!(f32_to_f16(-1.0e6) < 0.0);
+    }
+
+    #[test]
+    fn subnormals_handled() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16(tiny), tiny);
+        // Below half of it: flushes to zero.
+        assert_eq!(f32_to_f16(tiny / 4.0), 0.0);
+        // 2^-25 is exactly half an ulp: rounds to even (zero).
+        assert_eq!(f32_to_f16(2.0f32.powi(-25)), 0.0);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f32_to_f16(f32::NAN).is_nan());
+        assert!(f32_to_f16(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to 1.0 (even).
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(v), 1.0);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds to 1+2^-9 (even).
+        let v = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(v), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn tensor_quantization() {
+        let mut g = DataGen::new(2);
+        let mut t = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let orig = t.clone();
+        quantize_tensor_f16(&mut t);
+        let d = t.max_abs_diff(&orig);
+        assert!(d > 0.0, "quantization should change something");
+        assert!(d < 2e-3, "fp16 error too large: {d}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Shape descriptor for 4-D NCHW tensors.
+
+use std::fmt;
+
+/// The shape of a 4-D tensor in `(n, c, h, w)` (batch, channel, height,
+/// width) order, the layout used for feature maps throughout the workspace.
+///
+/// Convolution weights reuse the same type with the convention
+/// `(out_channels, in_channels, kernel_h, kernel_w)`.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_tensor::Shape4;
+///
+/// let s = Shape4::new(2, 3, 8, 8);
+/// assert_eq!(s.len(), 2 * 3 * 8 * 8);
+/// assert_eq!(s.index(1, 2, 7, 7), s.len() - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch dimension (or output channels for weights).
+    pub n: usize,
+    /// Channel dimension (or input channels for weights).
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a shape from its four extents.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linear index of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}");
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Size in bytes assuming `f32` storage.
+    pub const fn bytes_f32(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_extents() {
+        assert_eq!(Shape4::new(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape4::new(1, 1, 1, 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_when_any_extent_is_zero() {
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+        assert!(Shape4::new(2, 3, 0, 5).is_empty());
+        assert!(!Shape4::new(1, 1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn bytes_account_for_f32_width() {
+        assert_eq!(Shape4::new(1, 1, 2, 2).bytes_f32(), 16);
+    }
+
+    #[test]
+    fn display_lists_extents() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1, 2, 3, 4]");
+    }
+}

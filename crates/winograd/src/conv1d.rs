@@ -1,0 +1,168 @@
+//! 1-D Winograd convolution for `r×1` kernels (paper §VII-B: "for the
+//! 3×1 weights, F(2, 3) can be used with a tile size of 4×1").
+//!
+//! Factorized CNNs replace square kernels with `r×1`/`1×r` pairs; the
+//! Winograd treatment applies one 1-D transform along the kernel axis and
+//! leaves the other axis untouched.
+
+use wmpt_tensor::{Shape4, Tensor4};
+
+use crate::WinogradTransform;
+
+/// 1-D (vertical, `r×1`) convolution with "same" padding, direct
+/// reference implementation.
+///
+/// # Panics
+///
+/// Panics if kernel shapes disagree (`w` must be `(J, I, r, 1)` with odd
+/// `r`).
+pub fn direct_conv1d(x: &Tensor4, w: &Tensor4) -> Tensor4 {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(ws.c, xs.c, "channel mismatch");
+    assert_eq!(ws.w, 1, "conv1d expects r x 1 kernels");
+    assert!(ws.h % 2 == 1, "same padding needs odd r");
+    let pad = (ws.h / 2) as isize;
+    let mut y = Tensor4::zeros(Shape4::new(xs.n, ws.n, xs.h, xs.w));
+    for b in 0..xs.n {
+        for j in 0..ws.n {
+            for oy in 0..xs.h {
+                for ox in 0..xs.w {
+                    let mut acc = 0.0f64;
+                    for i in 0..xs.c {
+                        for k in 0..ws.h {
+                            let v = x.get_padded(b, i, oy as isize + k as isize - pad, ox as isize);
+                            acc += v as f64 * w[(j, i, k, 0)] as f64;
+                        }
+                    }
+                    y[(b, j, oy, ox)] = acc as f32;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// 1-D Winograd convolution: tiles the vertical axis into `m`-output
+/// strips (input strips of `T = m + r − 1`), transforms each strip, runs
+/// per-element channel reductions, and inverse-transforms.
+///
+/// # Panics
+///
+/// Panics on kernel-shape mismatch with the transform.
+pub fn winograd_conv1d(x: &Tensor4, w: &Tensor4, tf: &WinogradTransform) -> Tensor4 {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(ws.c, xs.c, "channel mismatch");
+    assert_eq!(ws.w, 1, "conv1d expects r x 1 kernels");
+    assert_eq!(ws.h, tf.r(), "kernel must match the transform");
+    let m = tf.m();
+    let t = tf.t();
+    let pad = (tf.r() - 1) / 2;
+    let strips = xs.h.div_ceil(m);
+    let mut y = Tensor4::zeros(Shape4::new(xs.n, ws.n, xs.h, xs.w));
+
+    // Transform all weights once: (J, I, T).
+    let mut wt = vec![0.0f32; ws.n * ws.c * t];
+    for j in 0..ws.n {
+        for i in 0..ws.c {
+            let col: Vec<f32> = (0..tf.r()).map(|k| w[(j, i, k, 0)]).collect();
+            let tw = tf.weight_1d(&col);
+            wt[(j * ws.c + i) * t..(j * ws.c + i + 1) * t].copy_from_slice(&tw);
+        }
+    }
+
+    let mut strip = vec![0.0f32; t];
+    for b in 0..xs.n {
+        for ox in 0..xs.w {
+            for s in 0..strips {
+                let oy0 = s * m;
+                // Accumulate Winograd-domain output strip over channels.
+                let mut acc = vec![0.0f32; t];
+                for j in 0..ws.n {
+                    acc.iter_mut().for_each(|v| *v = 0.0);
+                    for i in 0..xs.c {
+                        for (u, sv) in strip.iter_mut().enumerate() {
+                            *sv = x.get_padded(
+                                b,
+                                i,
+                                oy0 as isize + u as isize - pad as isize,
+                                ox as isize,
+                            );
+                        }
+                        let xt = tf.input_1d(&strip);
+                        let wrow = &wt[(j * ws.c + i) * t..(j * ws.c + i + 1) * t];
+                        for (a, (xv, wv)) in acc.iter_mut().zip(xt.iter().zip(wrow)) {
+                            *a += xv * wv;
+                        }
+                    }
+                    let out = tf.inverse_1d(&acc);
+                    for (u, val) in out.iter().enumerate().take(m) {
+                        let oy = oy0 + u;
+                        if oy < xs.h {
+                            y[(b, j, oy, ox)] = *val;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_tensor::DataGen;
+
+    #[test]
+    fn winograd_1d_matches_direct() {
+        let mut g = DataGen::new(1);
+        let x = g.normal_tensor(Shape4::new(2, 3, 9, 5), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(4, 3, 3, 1));
+        let direct = direct_conv1d(&x, &w);
+        let wino = winograd_conv1d(&x, &w, &WinogradTransform::f2_3());
+        let d = wino.max_abs_diff(&direct);
+        assert!(d < 1e-4, "diff {d}");
+    }
+
+    #[test]
+    fn identity_kernel_1d() {
+        let mut g = DataGen::new(2);
+        let x = g.normal_tensor(Shape4::new(1, 2, 6, 4), 0.0, 1.0);
+        let mut w = Tensor4::zeros(Shape4::new(2, 2, 3, 1));
+        w[(0, 0, 1, 0)] = 1.0;
+        w[(1, 1, 1, 0)] = 1.0;
+        let y = winograd_conv1d(&x, &w, &WinogradTransform::f2_3());
+        assert!(y.max_abs_diff(&x) < 1e-5);
+    }
+
+    #[test]
+    fn five_tap_1d_kernels_work_too() {
+        let mut g = DataGen::new(3);
+        let x = g.normal_tensor(Shape4::new(1, 2, 8, 3), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(2, 2, 5, 1));
+        let tf = WinogradTransform::cook_toom(2, 5).expect("F(2,5)");
+        let d = winograd_conv1d(&x, &w, &tf).max_abs_diff(&direct_conv1d(&x, &w));
+        assert!(d < 1e-3, "diff {d}");
+    }
+
+    #[test]
+    fn odd_heights_are_cropped_correctly() {
+        let mut g = DataGen::new(4);
+        let x = g.normal_tensor(Shape4::new(1, 1, 7, 2), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(1, 1, 3, 1));
+        let d = winograd_conv1d(&x, &w, &WinogradTransform::f2_3())
+            .max_abs_diff(&direct_conv1d(&x, &w));
+        assert!(d < 1e-4, "diff {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "r x 1 kernels")]
+    fn square_kernels_rejected() {
+        let mut g = DataGen::new(5);
+        let x = g.normal_tensor(Shape4::new(1, 1, 4, 4), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(1, 1, 3, 3));
+        let _ = direct_conv1d(&x, &w);
+    }
+}

@@ -1,0 +1,150 @@
+//! im2col + GEMM direct convolution — the implicit-GEMM formulation the
+//! systolic-array model assumes (§VI-B: "most of the neural network
+//! layers can be mapped to matrix multiplication"), and a much faster
+//! functional path than the naive loops in [`crate::DirectConv`].
+
+use wmpt_tensor::{Shape4, Tensor4};
+
+/// Lowers a "same"-padded convolution input into the im2col matrix:
+/// rows = output pixels (`B·H·W`), cols = `I·r²`.
+///
+/// # Panics
+///
+/// Panics if `r` is even.
+pub fn im2col(x: &Tensor4, r: usize) -> (Vec<f32>, usize, usize) {
+    assert!(r % 2 == 1, "same padding needs odd r");
+    let s = x.shape();
+    let pad = (r / 2) as isize;
+    let rows = s.n * s.h * s.w;
+    let cols = s.c * r * r;
+    let mut m = vec![0.0f32; rows * cols];
+    for b in 0..s.n {
+        for oy in 0..s.h {
+            for ox in 0..s.w {
+                let row = (b * s.h + oy) * s.w + ox;
+                let base = row * cols;
+                let mut col = 0usize;
+                for c in 0..s.c {
+                    for ky in 0..r {
+                        for kx in 0..r {
+                            m[base + col] = x.get_padded(
+                                b,
+                                c,
+                                oy as isize + ky as isize - pad,
+                                ox as isize + kx as isize - pad,
+                            );
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (m, rows, cols)
+}
+
+/// Direct convolution via im2col + GEMM; numerically identical to
+/// [`crate::DirectConv::fprop`] but asymptotically faster in practice.
+///
+/// # Panics
+///
+/// Panics if weights don't match the input channels or `r` is even.
+pub fn conv_gemm(x: &Tensor4, w: &Tensor4) -> Tensor4 {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(ws.c, xs.c, "channel mismatch");
+    assert_eq!(ws.h, ws.w, "square kernels only");
+    let r = ws.h;
+    let (mat, rows, cols) = im2col(x, r);
+    // Weight matrix: cols x J, laid out to match im2col's (c, ky, kx).
+    let j = ws.n;
+    let mut wm = vec![0.0f32; cols * j];
+    for jj in 0..j {
+        let mut col = 0usize;
+        for c in 0..ws.c {
+            for ky in 0..r {
+                for kx in 0..r {
+                    wm[col * j + jj] = w[(jj, c, ky, kx)];
+                    col += 1;
+                }
+            }
+        }
+    }
+    // GEMM: (rows x cols) * (cols x J), f64 accumulation, k-blocked.
+    let mut out = vec![0.0f32; rows * j];
+    for row in 0..rows {
+        let a = &mat[row * cols..(row + 1) * cols];
+        for jj in 0..j {
+            let mut acc = 0.0f64;
+            for (k, av) in a.iter().enumerate() {
+                acc += *av as f64 * wm[k * j + jj] as f64;
+            }
+            out[row * j + jj] = acc as f32;
+        }
+    }
+    // Reshape rows (b, oy, ox) x J -> NCHW.
+    let mut y = Tensor4::zeros(Shape4::new(xs.n, j, xs.h, xs.w));
+    for b in 0..xs.n {
+        for oy in 0..xs.h {
+            for ox in 0..xs.w {
+                let row = (b * xs.h + oy) * xs.w + ox;
+                for jj in 0..j {
+                    y[(b, jj, oy, ox)] = out[row * j + jj];
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectConv;
+    use wmpt_tensor::DataGen;
+
+    #[test]
+    fn im2col_dimensions() {
+        let mut g = DataGen::new(1);
+        let x = g.normal_tensor(Shape4::new(2, 3, 5, 4), 0.0, 1.0);
+        let (m, rows, cols) = im2col(&x, 3);
+        assert_eq!(rows, 2 * 5 * 4);
+        assert_eq!(cols, 3 * 9);
+        assert_eq!(m.len(), rows * cols);
+    }
+
+    #[test]
+    fn center_column_is_the_pixel_itself() {
+        let mut g = DataGen::new(2);
+        let x = g.normal_tensor(Shape4::new(1, 1, 4, 4), 0.0, 1.0);
+        let (m, _, cols) = im2col(&x, 3);
+        // column 4 (ky=1, kx=1) of row (oy, ox) is x[oy][ox].
+        for oy in 0..4 {
+            for ox in 0..4 {
+                let row = oy * 4 + ox;
+                assert_eq!(m[row * cols + 4], x[(0, 0, oy, ox)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_conv_matches_naive_direct() {
+        let mut g = DataGen::new(3);
+        for (r, hw) in [(3usize, 8usize), (5, 7)] {
+            let x = g.normal_tensor(Shape4::new(2, 4, hw, hw), 0.0, 1.0);
+            let w = g.he_weights(Shape4::new(6, 4, r, r));
+            let naive = DirectConv::new(r).fprop(&x, &w);
+            let fast = conv_gemm(&x, &w);
+            let d = fast.max_abs_diff(&naive);
+            assert!(d < 1e-4, "r={r}: diff {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd r")]
+    fn even_kernels_rejected() {
+        let mut g = DataGen::new(4);
+        let x = g.normal_tensor(Shape4::new(1, 1, 4, 4), 0.0, 1.0);
+        let _ = im2col(&x, 4);
+    }
+}

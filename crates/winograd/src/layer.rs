@@ -1,0 +1,448 @@
+//! Winograd-transformed convolution and the *Winograd layer*.
+//!
+//! Two training styles from the paper's Figure 2:
+//!
+//! * [`WinogradConv`] — Fig 2(a): weights live in the *spatial* domain and
+//!   are transformed on the fly; `updateGrad` produces spatial `∂w`
+//!   (`Gᵀ ∂W G`). This is the `w_dp` baseline.
+//! * [`WinogradLayer`] — Fig 2(b), ref [29]: weights are *resident in the
+//!   Winograd domain* and updated there, which is what makes MPT's
+//!   group-partitioned weight storage possible (each group only ever
+//!   touches its own tile elements `W_(u,v)`).
+
+use wmpt_tensor::{Shape4, Tensor4};
+
+use crate::tiling::{
+    from_winograd_output, input_grad_to_spatial, output_grad_to_winograd, to_winograd_input,
+    weights_to_winograd, WgTensor, WgWeights,
+};
+use crate::WinogradTransform;
+
+/// Element-wise batched GEMM over tile elements: `Y_e = X_e · W_e` for
+/// every `e ∈ 0..T²` (the paper's Eq. 2). `X_e` is `tiles × I`,
+/// `W_e` is `I × J`, `Y_e` is `tiles × J`.
+///
+/// # Panics
+///
+/// Panics if element counts or channel counts disagree.
+pub fn elementwise_gemm(x: &WgTensor, w: &WgWeights) -> WgTensor {
+    assert_eq!(x.elems, w.elems, "tile-element count mismatch");
+    assert_eq!(x.chans, w.in_chans, "channel mismatch");
+    let mut y = WgTensor::zeros(x.elems, x.tiles, w.out_chans);
+    for e in 0..x.elems {
+        let xm = x.elem_matrix(e);
+        let wm = w.elem_matrix(e);
+        let ym = y.elem_matrix_mut(e);
+        gemm(xm, x.tiles, x.chans, wm, w.out_chans, ym, false, false);
+    }
+    y
+}
+
+/// Element-wise `∂X_e = ∂Y_e · W_eᵀ`.
+///
+/// # Panics
+///
+/// Panics if element counts or channel counts disagree.
+pub fn elementwise_gemm_bprop(dy: &WgTensor, w: &WgWeights) -> WgTensor {
+    assert_eq!(dy.elems, w.elems, "tile-element count mismatch");
+    assert_eq!(dy.chans, w.out_chans, "channel mismatch");
+    let mut dx = WgTensor::zeros(dy.elems, dy.tiles, w.in_chans);
+    for e in 0..dy.elems {
+        let dym = dy.elem_matrix(e);
+        let wm = w.elem_matrix(e);
+        let dxm = dx.elem_matrix_mut(e);
+        // dX (tiles x I) = dY (tiles x J) * W^T (J x I)
+        gemm(dym, dy.tiles, dy.chans, wm, w.in_chans, dxm, false, true);
+    }
+    dx
+}
+
+/// Element-wise `∇W_e = X_eᵀ · ∂Y_e` (the per-worker partial weight
+/// gradient of the `updateGrad` phase).
+///
+/// # Panics
+///
+/// Panics if element counts or tile counts disagree.
+pub fn elementwise_gemm_wgrad(x: &WgTensor, dy: &WgTensor) -> WgWeights {
+    assert_eq!(x.elems, dy.elems, "tile-element count mismatch");
+    assert_eq!(x.tiles, dy.tiles, "tile count mismatch");
+    let mut dw = WgWeights::zeros(x.elems, x.chans, dy.chans);
+    for e in 0..x.elems {
+        let xm = x.elem_matrix(e);
+        let dym = dy.elem_matrix(e);
+        let dwm = dw.elem_matrix_mut(e);
+        // dW (I x J) = X^T (I x tiles) * dY (tiles x J)
+        gemm(xm, x.tiles, x.chans, dym, dy.chans, dwm, true, false);
+    }
+    dw
+}
+
+/// Minimal f32 GEMM with f64 accumulation.
+/// `a` is `ar × ac`; when `ta` it is used as `ac × ar` (transposed read).
+/// `b` has `bc` columns (rows inferred); when `tb`, `b` is read transposed.
+#[allow(clippy::too_many_arguments)]
+fn gemm(a: &[f32], ar: usize, ac: usize, b: &[f32], bc: usize, out: &mut [f32], ta: bool, tb: bool) {
+    let (m, k) = if ta { (ac, ar) } else { (ar, ac) };
+    let n = bc;
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                let av = if ta { a[l * ac + i] } else { a[i * ac + l] };
+                let bv = if tb { b[j * k + l] } else { b[l * n + j] };
+                acc += av as f64 * bv as f64;
+            }
+            out[i * n + j] = acc as f32;
+        }
+    }
+}
+
+/// Winograd convolution with spatial-domain weights (paper Fig 2(a)).
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_winograd::{WinogradConv, WinogradTransform};
+/// use wmpt_tensor::{DataGen, Shape4};
+///
+/// let conv = WinogradConv::new(WinogradTransform::f2x2_3x3());
+/// let mut g = DataGen::new(0);
+/// let x = g.normal_tensor(Shape4::new(1, 2, 8, 8), 0.0, 1.0);
+/// let w = g.he_weights(Shape4::new(4, 2, 3, 3));
+/// let y = conv.fprop(&x, &w);
+/// assert_eq!(y.shape(), Shape4::new(1, 4, 8, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WinogradConv {
+    tf: WinogradTransform,
+}
+
+impl WinogradConv {
+    /// Creates the operator for a given transform.
+    pub fn new(tf: WinogradTransform) -> Self {
+        Self { tf }
+    }
+
+    /// The underlying transform.
+    pub fn transform(&self) -> &WinogradTransform {
+        &self.tf
+    }
+
+    /// Forward propagation (same semantics as [`crate::DirectConv::fprop`]).
+    pub fn fprop(&self, x: &Tensor4, w: &Tensor4) -> Tensor4 {
+        let wx = to_winograd_input(x, &self.tf);
+        let ww = weights_to_winograd(w, &self.tf);
+        let wy = elementwise_gemm(&wx, &ww);
+        let out_shape = Shape4::new(x.shape().n, w.shape().n, x.shape().h, x.shape().w);
+        from_winograd_output(&wy, &self.tf, out_shape)
+    }
+
+    /// Backward propagation: exact gradient of [`Self::fprop`] w.r.t. `x`.
+    pub fn bprop(&self, dy: &Tensor4, w: &Tensor4) -> Tensor4 {
+        let wdy = output_grad_to_winograd(dy, &self.tf);
+        let ww = weights_to_winograd(w, &self.tf);
+        let wdx = elementwise_gemm_bprop(&wdy, &ww);
+        let in_shape = Shape4::new(dy.shape().n, w.shape().c, dy.shape().h, dy.shape().w);
+        input_grad_to_spatial(&wdx, &self.tf, in_shape)
+    }
+
+    /// Weight-gradient phase producing a *spatial* `∂w` (chain rule
+    /// `∂w = Gᵀ ∂W G` applied per filter).
+    pub fn update_grad(&self, x: &Tensor4, dy: &Tensor4) -> Tensor4 {
+        let wx = to_winograd_input(x, &self.tf);
+        let wdy = output_grad_to_winograd(dy, &self.tf);
+        let dw_wg = elementwise_gemm_wgrad(&wx, &wdy);
+        let r = self.tf.r();
+        let t = self.tf.t();
+        let mut dw = Tensor4::zeros(Shape4::new(dy.shape().c, x.shape().c, r, r));
+        let mut buf = vec![0.0f32; t * t];
+        for j in 0..dw.shape().n {
+            for i in 0..dw.shape().c {
+                for (e, b) in buf.iter_mut().enumerate() {
+                    *b = dw_wg.data[dw_wg.index(e, i, j)];
+                }
+                let sp = self.tf.weight_2d_grad(&buf);
+                for u in 0..r {
+                    for v in 0..r {
+                        dw[(j, i, u, v)] = sp[u * r + v];
+                    }
+                }
+            }
+        }
+        dw
+    }
+}
+
+/// The *Winograd layer*: weights resident and updated in the Winograd
+/// domain (paper Fig 2(b), ref [29]).
+///
+/// Because the layer's forward map is exactly
+/// `y = Aᵀ[(X ⊙ W)]A` with `W` free parameters (not tied to a spatial
+/// `w`), its gradients stay element-wise separable — the property MPT
+/// exploits to confine weight-gradient reduction within groups.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_winograd::{WinogradLayer, WinogradTransform};
+/// use wmpt_tensor::{DataGen, Shape4};
+///
+/// let mut g = DataGen::new(0);
+/// let w = g.he_weights(Shape4::new(4, 2, 3, 3));
+/// let mut layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+/// let x = g.normal_tensor(Shape4::new(1, 2, 8, 8), 0.0, 1.0);
+/// let y = layer.fprop(&x);
+/// assert_eq!(y.shape(), Shape4::new(1, 4, 8, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WinogradLayer {
+    tf: WinogradTransform,
+    weights: WgWeights,
+}
+
+impl WinogradLayer {
+    /// Initializes the layer by transforming spatial weights `(J, I, r, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel size does not match the transform.
+    pub fn from_spatial(tf: WinogradTransform, w: &Tensor4) -> Self {
+        let weights = weights_to_winograd(w, &tf);
+        Self { tf, weights }
+    }
+
+    /// Creates the layer from existing Winograd-domain weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.elems != T²`.
+    pub fn from_winograd(tf: WinogradTransform, weights: WgWeights) -> Self {
+        assert_eq!(weights.elems, tf.t() * tf.t(), "element count mismatch");
+        Self { tf, weights }
+    }
+
+    /// The transform in use.
+    pub fn transform(&self) -> &WinogradTransform {
+        &self.tf
+    }
+
+    /// The Winograd-domain weights.
+    pub fn weights(&self) -> &WgWeights {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (used by the distributed trainer to
+    /// install reduced gradients).
+    pub fn weights_mut(&mut self) -> &mut WgWeights {
+        &mut self.weights
+    }
+
+    /// Forward propagation.
+    pub fn fprop(&self, x: &Tensor4) -> Tensor4 {
+        let wx = to_winograd_input(x, &self.tf);
+        let wy = elementwise_gemm(&wx, &self.weights);
+        let out_shape =
+            Shape4::new(x.shape().n, self.weights.out_chans, x.shape().h, x.shape().w);
+        from_winograd_output(&wy, &self.tf, out_shape)
+    }
+
+    /// Backward propagation (exact gradient of [`Self::fprop`] w.r.t. `x`).
+    pub fn bprop(&self, dy: &Tensor4) -> Tensor4 {
+        let wdy = output_grad_to_winograd(dy, &self.tf);
+        let wdx = elementwise_gemm_bprop(&wdy, &self.weights);
+        let in_shape =
+            Shape4::new(dy.shape().n, self.weights.in_chans, dy.shape().h, dy.shape().w);
+        input_grad_to_spatial(&wdx, &self.tf, in_shape)
+    }
+
+    /// Winograd-domain weight gradient `∇W_e = X_eᵀ ∂Y_e` — exactly what
+    /// each MPT worker produces for its element subset.
+    pub fn update_grad(&self, x: &Tensor4, dy: &Tensor4) -> WgWeights {
+        let wx = to_winograd_input(x, &self.tf);
+        let wdy = output_grad_to_winograd(dy, &self.tf);
+        elementwise_gemm_wgrad(&wx, &wdy)
+    }
+
+    /// Applies an SGD step directly in the Winograd domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gradient shape differs from the weights.
+    pub fn apply_grad(&mut self, grad: &WgWeights, lr: f32) {
+        self.weights.sgd_step(grad, lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectConv;
+    use wmpt_tensor::DataGen;
+
+    fn setup(seed: u64) -> (Tensor4, Tensor4, Tensor4) {
+        let mut g = DataGen::new(seed);
+        let x = g.normal_tensor(Shape4::new(2, 3, 8, 8), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(4, 3, 3, 3));
+        let dy = g.normal_tensor(Shape4::new(2, 4, 8, 8), 0.0, 1.0);
+        (x, w, dy)
+    }
+
+    #[test]
+    fn winograd_fprop_matches_direct_f2x2() {
+        let (x, w, _) = setup(1);
+        let direct = DirectConv::new(3).fprop(&x, &w);
+        let wino = WinogradConv::new(WinogradTransform::f2x2_3x3()).fprop(&x, &w);
+        assert!(wino.max_abs_diff(&direct) < 1e-4, "diff {}", wino.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn winograd_fprop_matches_direct_f4x4() {
+        let (x, w, _) = setup(2);
+        let direct = DirectConv::new(3).fprop(&x, &w);
+        let wino = WinogradConv::new(WinogradTransform::f4x4_3x3()).fprop(&x, &w);
+        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn winograd_fprop_matches_direct_f2x2_5x5() {
+        let mut g = DataGen::new(3);
+        let x = g.normal_tensor(Shape4::new(1, 2, 8, 8), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(3, 2, 5, 5));
+        let direct = DirectConv::new(5).fprop(&x, &w);
+        let wino = WinogradConv::new(WinogradTransform::f2x2_5x5()).fprop(&x, &w);
+        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn winograd_bprop_matches_direct() {
+        let (_, w, dy) = setup(4);
+        let direct = DirectConv::new(3).bprop(&dy, &w);
+        let wino = WinogradConv::new(WinogradTransform::f2x2_3x3()).bprop(&dy, &w);
+        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn winograd_update_grad_matches_direct() {
+        let (x, _, dy) = setup(5);
+        let direct = DirectConv::new(3).update_grad(&x, &dy);
+        let wino = WinogradConv::new(WinogradTransform::f2x2_3x3()).update_grad(&x, &dy);
+        // accumulate over batch*positions -> use relative tolerance
+        let scale = direct.max_abs().max(1.0);
+        assert!(
+            wino.max_abs_diff(&direct) / scale < 1e-3,
+            "diff {}",
+            wino.max_abs_diff(&direct)
+        );
+    }
+
+    #[test]
+    fn winograd_layer_fprop_matches_winograd_conv() {
+        let (x, w, _) = setup(6);
+        let conv = WinogradConv::new(WinogradTransform::f2x2_3x3());
+        let layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        assert!(layer.fprop(&x).max_abs_diff(&conv.fprop(&x, &w)) < 1e-6);
+    }
+
+    #[test]
+    fn winograd_layer_gradcheck_weights() {
+        // Finite-difference check of dL/dW in the Winograd domain,
+        // L = <fprop(x), dy>.
+        let mut g = DataGen::new(7);
+        let x = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(2, 2, 3, 3));
+        let dy = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let mut layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        let grad = layer.update_grad(&x, &dy);
+        let eps = 1e-2f32;
+        for probe in [0usize, 7, 23, grad.data.len() - 1] {
+            let base = layer.weights.data[probe];
+            layer.weights.data[probe] = base + eps;
+            let lp: f64 = layer
+                .fprop(&x)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            layer.weights.data[probe] = base - eps;
+            let lm: f64 = layer
+                .fprop(&x)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            layer.weights.data[probe] = base;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (grad.data[probe] - fd).abs() < 2e-2,
+                "elem {probe}: {} vs {}",
+                grad.data[probe],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_layer_gradcheck_input() {
+        let mut g = DataGen::new(8);
+        let x = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(2, 2, 3, 3));
+        let dy = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        let dx = layer.bprop(&dy);
+        let eps = 1e-2f32;
+        let mut xp = x.clone();
+        for probe in [(0usize, 0usize, 0usize, 0usize), (0, 1, 2, 3), (0, 0, 3, 3)] {
+            let base = x[probe];
+            xp[probe] = base + eps;
+            let lp: f64 = layer
+                .fprop(&xp)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            xp[probe] = base - eps;
+            let lm: f64 = layer
+                .fprop(&xp)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            xp[probe] = base;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((dx[probe] - fd).abs() < 2e-2, "{:?}: {} vs {}", probe, dx[probe], fd);
+        }
+    }
+
+    #[test]
+    fn sgd_in_winograd_domain_reduces_loss() {
+        // One SGD step on L = 0.5*||fprop(x) - target||^2 must reduce L.
+        let mut g = DataGen::new(9);
+        let x = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(2, 2, 3, 3));
+        let target = g.normal_tensor(Shape4::new(1, 2, 4, 4), 0.0, 1.0);
+        let mut layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        let loss = |l: &WinogradLayer| -> f64 {
+            l.fprop(&x)
+                .as_slice()
+                .iter()
+                .zip(target.as_slice())
+                .map(|(a, b)| 0.5 * ((a - b) as f64).powi(2))
+                .sum()
+        };
+        let l0 = loss(&layer);
+        let y = layer.fprop(&x);
+        let mut dy = y.clone();
+        for (d, t) in dy.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            *d -= t;
+        }
+        let grad = layer.update_grad(&x, &dy);
+        layer.apply_grad(&grad, 0.01);
+        let l1 = loss(&layer);
+        assert!(l1 < l0, "loss did not decrease: {l0} -> {l1}");
+    }
+}

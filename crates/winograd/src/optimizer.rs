@@ -1,0 +1,142 @@
+//! SGD with momentum for Winograd-domain weights.
+//!
+//! The paper's updateGrad phase adds gradients scaled by the learning
+//! rate (§II-A); momentum is the ubiquitous extension every evaluated
+//! CNN actually trains with. The key MPT-compatibility property is that
+//! the *optimizer state lives where the weights live*: each group keeps
+//! the velocity for its own tile elements, so momentum adds no
+//! communication — verified by the distributed-equivalence tests in
+//! `wmpt-core`.
+
+use crate::tiling::WgWeights;
+
+/// SGD-with-momentum state over Winograd-domain weights:
+/// `v ← μ·v + g`, `W ← W − lr·v`.
+#[derive(Debug, Clone)]
+pub struct MomentumSgd {
+    /// Momentum coefficient `μ` (0 = plain SGD).
+    pub momentum: f32,
+    /// Learning rate.
+    pub lr: f32,
+    velocity: WgWeights,
+}
+
+impl MomentumSgd {
+    /// Creates the optimizer for weights of the given geometry, with zero
+    /// initial velocity.
+    pub fn new(elems: usize, in_chans: usize, out_chans: usize, lr: f32, momentum: f32) -> Self {
+        Self { momentum, lr, velocity: WgWeights::zeros(elems, in_chans, out_chans) }
+    }
+
+    /// The velocity buffer (group-partitioned exactly like the weights).
+    pub fn velocity(&self) -> &WgWeights {
+        &self.velocity
+    }
+
+    /// Applies one step to `weights` given the reduced gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries disagree.
+    pub fn step(&mut self, weights: &mut WgWeights, grad: &WgWeights) {
+        assert_eq!(
+            (self.velocity.elems, self.velocity.in_chans, self.velocity.out_chans),
+            (grad.elems, grad.in_chans, grad.out_chans),
+            "optimizer/gradient geometry mismatch"
+        );
+        for ((v, g), w) in self
+            .velocity
+            .data
+            .iter_mut()
+            .zip(&grad.data)
+            .zip(&mut weights.data)
+        {
+            *v = self.momentum * *v + g;
+            *w -= self.lr * *v;
+        }
+    }
+
+    /// Applies one step only to the elements a group owns (`owner(e)`
+    /// selects membership) — the per-worker view of the update.
+    pub fn step_elements(
+        &mut self,
+        weights: &mut WgWeights,
+        grad: &WgWeights,
+        mut owns: impl FnMut(usize) -> bool,
+    ) {
+        let per = self.velocity.in_chans * self.velocity.out_chans;
+        for e in 0..self.velocity.elems {
+            if !owns(e) {
+                continue;
+            }
+            for k in e * per..(e + 1) * per {
+                let v = &mut self.velocity.data[k];
+                *v = self.momentum * *v + grad.data[k];
+                weights.data[k] -= self.lr * *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> (WgWeights, WgWeights) {
+        let mut w = WgWeights::zeros(4, 2, 2);
+        let mut g = WgWeights::zeros(4, 2, 2);
+        for (i, v) in w.data.iter_mut().enumerate() {
+            *v = i as f32 * 0.1;
+        }
+        for (i, v) in g.data.iter_mut().enumerate() {
+            *v = 1.0 + i as f32 * 0.01;
+        }
+        (w, g)
+    }
+
+    #[test]
+    fn zero_momentum_is_plain_sgd() {
+        let (mut w, g) = geometry();
+        let mut reference = w.clone();
+        reference.sgd_step(&g, 0.1);
+        let mut opt = MomentumSgd::new(4, 2, 2, 0.1, 0.0);
+        opt.step(&mut w, &g);
+        assert_eq!(w.data, reference.data);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let (mut w, g) = geometry();
+        let mut opt = MomentumSgd::new(4, 2, 2, 0.1, 0.9);
+        opt.step(&mut w, &g);
+        let after_one = w.data[0];
+        opt.step(&mut w, &g);
+        // Second step moves further than the first (velocity built up).
+        let delta1 = 0.0 - after_one;
+        let delta2 = after_one - w.data[0];
+        assert!(delta2.abs() > delta1.abs());
+    }
+
+    #[test]
+    fn elementwise_step_equals_full_step() {
+        let (mut w_full, g) = geometry();
+        let mut w_parts = w_full.clone();
+        let mut opt_full = MomentumSgd::new(4, 2, 2, 0.05, 0.9);
+        let mut opt_parts = MomentumSgd::new(4, 2, 2, 0.05, 0.9);
+        for _ in 0..3 {
+            opt_full.step(&mut w_full, &g);
+            // Two groups each update their own elements; union = all.
+            opt_parts.step_elements(&mut w_parts, &g, |e| e < 2);
+            opt_parts.step_elements(&mut w_parts, &g, |e| e >= 2);
+        }
+        assert_eq!(w_full.data, w_parts.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn geometry_checked() {
+        let (mut w, _) = geometry();
+        let bad = WgWeights::zeros(4, 3, 2);
+        MomentumSgd::new(4, 2, 2, 0.1, 0.9).step(&mut w, &bad);
+    }
+}

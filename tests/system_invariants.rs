@@ -1,0 +1,82 @@
+//! Property tests of the full-system simulator: invariants that must hold
+//! for *any* layer shape and configuration, not just the paper's five.
+
+use proptest::prelude::*;
+
+use winograd_mpt::core::{simulate_layer, simulate_layer_with, SystemConfig, SystemModel};
+use winograd_mpt::models::ConvLayerSpec;
+use winograd_mpt::noc::ClusterConfig;
+
+fn arb_layer() -> impl Strategy<Value = ConvLayerSpec> {
+    // Channels and sizes spanning early -> late regimes.
+    (
+        prop_oneof![Just(16usize), Just(32), Just(64), Just(128), Just(256), Just(512)],
+        prop_oneof![Just(16usize), Just(64), Just(256), Just(512)],
+        prop_oneof![Just(7usize), Just(8), Just(14), Just(28), Just(56)],
+        prop_oneof![Just(3usize), Just(5)],
+    )
+        .prop_map(|(i, j, hw, r)| ConvLayerSpec::new("prop", i, j, hw, hw, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulation never produces non-positive time or energy, for any
+    /// config.
+    #[test]
+    fn results_are_positive(layer in arb_layer()) {
+        let model = SystemModel::paper();
+        for sys in SystemConfig::all() {
+            let r = simulate_layer(&model, &layer, sys);
+            prop_assert!(r.total_cycles() > 0.0, "{sys}: zero cycles");
+            prop_assert!(r.total_energy().total_j() > 0.0, "{sys}: zero energy");
+            prop_assert!(r.forward.cycles >= r.forward.compute_cycles.min(r.forward.comm_cycles));
+        }
+    }
+
+    /// Dynamic clustering is a minimum over the candidates: it never does
+    /// worse than the fixed (16, 16) organization.
+    #[test]
+    fn dynamic_clustering_is_a_min(layer in arb_layer()) {
+        let model = SystemModel::paper();
+        let fixed = simulate_layer(&model, &layer, SystemConfig::WMp).total_cycles();
+        let dynamic = simulate_layer(&model, &layer, SystemConfig::WMpD).total_cycles();
+        prop_assert!(dynamic <= fixed * 1.0001, "dynamic {dynamic} vs fixed {fixed}");
+    }
+
+    /// Activation prediction never makes a configuration slower.
+    #[test]
+    fn prediction_helps_or_is_neutral(layer in arb_layer()) {
+        let model = SystemModel::paper();
+        for cfg in ClusterConfig::paper_configs() {
+            let without = simulate_layer_with(&model, &layer, SystemConfig::WMp, cfg);
+            let with = simulate_layer_with(&model, &layer, SystemConfig::WMpP, cfg);
+            prop_assert!(
+                with.total_cycles() <= without.total_cycles() * 1.0001,
+                "{cfg}: with {} vs without {}",
+                with.total_cycles(),
+                without.total_cycles()
+            );
+        }
+    }
+
+    /// Communication volume identities: a single group means no tile
+    /// traffic; more groups means less weight-collective time.
+    #[test]
+    fn tile_comm_only_with_multiple_groups(layer in arb_layer()) {
+        let model = SystemModel::paper();
+        let dp = simulate_layer_with(&model, &layer, SystemConfig::WMp, ClusterConfig::new(1, 256));
+        // Single-group tile traffic is exactly zero.
+        prop_assert_eq!(dp.forward.comm_cycles, 0.0);
+    }
+
+    /// The simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(layer in arb_layer()) {
+        let model = SystemModel::paper();
+        let a = simulate_layer(&model, &layer, SystemConfig::WMpPD);
+        let b = simulate_layer(&model, &layer, SystemConfig::WMpPD);
+        prop_assert_eq!(a.total_cycles(), b.total_cycles());
+        prop_assert_eq!(a.cluster, b.cluster);
+    }
+}
