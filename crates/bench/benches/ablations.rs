@@ -4,8 +4,8 @@
 //! transform choice (F(2×2) vs F(4×4)). Each bench prints the ablation's
 //! outcome once, then times the underlying evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wmpt_bench::timing::bench;
 
 use wmpt_core::{simulate_layer, SystemConfig, SystemModel};
 use wmpt_models::table2_layers;
@@ -15,64 +15,76 @@ use wmpt_predict::{measure, PredictMode, QuantizerConfig};
 /// Chunk-size ablation: the paper picked 256 B chunks "to reduce packet
 /// overhead"; smaller chunks pay more headers, larger ones lengthen the
 /// pipeline fill.
-fn ablate_chunk_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_chunk_size");
+fn ablate_chunk_size() {
     for chunk in [64usize, 128, 256, 512, 1024] {
-        let params = NocParams { collective_chunk_bytes: chunk, ..NocParams::paper() };
+        let params = NocParams {
+            collective_chunk_bytes: chunk,
+            ..NocParams::paper()
+        };
         let cycles = ring_collective_cycles(8 << 20, 16, 60.0, &params, 0);
         println!("chunk {chunk:>5} B -> ring collective {cycles:.0} cycles");
-        g.bench_with_input(BenchmarkId::from_parameter(chunk), &params, |b, p| {
-            b.iter(|| ring_collective_cycles(black_box(8 << 20), 16, 60.0, p, 0))
+        bench(&format!("ablation_chunk_size/{chunk}"), || {
+            ring_collective_cycles(black_box(8 << 20), 16, 60.0, &params, 0)
         });
     }
-    g.finish();
 }
 
 /// Dynamic clustering on/off per layer (Fig 15's w_mp vs w_mp*).
-fn ablate_dynamic_clustering(c: &mut Criterion) {
+fn ablate_dynamic_clustering() {
     let model = SystemModel::paper();
-    let mut g = c.benchmark_group("ablation_dynamic_clustering");
-    g.sample_size(10);
     for l in table2_layers() {
         let fixed = simulate_layer(&model, &l, SystemConfig::WMp).total_cycles();
         let dynamic = simulate_layer(&model, &l, SystemConfig::WMpD).total_cycles();
-        println!("{:<8} fixed (16,16): {fixed:.0} cy, dynamic: {dynamic:.0} cy ({:.2}x)",
-            l.name, fixed / dynamic);
-        g.bench_with_input(BenchmarkId::from_parameter(&l.name), &l, |b, l| {
-            b.iter(|| simulate_layer(&model, black_box(l), SystemConfig::WMpD))
+        println!(
+            "{:<8} fixed (16,16): {fixed:.0} cy, dynamic: {dynamic:.0} cy ({:.2}x)",
+            l.name,
+            fixed / dynamic
+        );
+        bench(&format!("ablation_dynamic_clustering/{}", l.name), || {
+            simulate_layer(&model, black_box(&l), SystemConfig::WMpD)
         });
     }
-    g.finish();
 }
 
 /// Quantizer geometry sweep (Fig 12's design space).
-fn ablate_quantizer(c: &mut Criterion) {
+fn ablate_quantizer() {
     let (y, _, tf) = wmpt_bench::fig12::synthetic_outputs(99);
-    let mut g = c.benchmark_group("ablation_quantizer");
-    g.sample_size(10);
     for regions in [1u32, 2, 4, 8] {
         let cfg = QuantizerConfig::new(64, regions);
         let s = measure(&y, &tf, cfg, PredictMode::TwoD);
-        println!("regions {regions}: predicted dead tiles {:.3} (actual {:.3})",
-            s.predicted_dead_tiles, s.actual_dead_tiles);
-        g.bench_with_input(BenchmarkId::from_parameter(regions), &cfg, |b, cfg| {
-            b.iter(|| measure(black_box(&y), &tf, *cfg, PredictMode::TwoD))
+        println!(
+            "regions {regions}: predicted dead tiles {:.3} (actual {:.3})",
+            s.predicted_dead_tiles, s.actual_dead_tiles
+        );
+        bench(&format!("ablation_quantizer/{regions}"), || {
+            measure(black_box(&y), &tf, cfg, PredictMode::TwoD)
         });
     }
-    g.finish();
 }
 
 /// The (4, 64) configuration's 1-D-transform-at-source optimization
 /// (§IV): gather volume factor m/T vs 1.
-fn ablate_one_d_transfer(c: &mut Criterion) {
+fn ablate_one_d_transfer() {
     let params = NocParams::paper();
     let cfg = ClusterConfig::new(4, 64);
     let layer = &table2_layers()[2];
-    let tiles =
-        layer.input_tile_bytes(256, 2, 4) + layer.output_tile_bytes(256, 2, 4);
-    let with = estimate_comm(cfg, &params, layer.winograd_weight_bytes(4),
-        (tiles as f64 * cfg.tile_volume_factor(2, 4)) as u64, 60.0, 16);
-    let without = estimate_comm(cfg, &params, layer.winograd_weight_bytes(4), tiles, 60.0, 16);
+    let tiles = layer.input_tile_bytes(256, 2, 4) + layer.output_tile_bytes(256, 2, 4);
+    let with = estimate_comm(
+        cfg,
+        &params,
+        layer.winograd_weight_bytes(4),
+        (tiles as f64 * cfg.tile_volume_factor(2, 4)) as u64,
+        60.0,
+        16,
+    );
+    let without = estimate_comm(
+        cfg,
+        &params,
+        layer.winograd_weight_bytes(4),
+        tiles,
+        60.0,
+        16,
+    );
     println!(
         "1-D at source on {}: tile comm {:.0} -> {:.0} cycles ({:.2}x)",
         layer.name,
@@ -80,26 +92,22 @@ fn ablate_one_d_transfer(c: &mut Criterion) {
         with.tile_cycles,
         without.tile_cycles / with.tile_cycles
     );
-    c.bench_function("ablation_one_d_transfer", |b| {
-        b.iter(|| {
-            estimate_comm(
-                black_box(cfg),
-                &params,
-                layer.winograd_weight_bytes(4),
-                (tiles as f64 * cfg.tile_volume_factor(2, 4)) as u64,
-                60.0,
-                16,
-            )
-        })
+    bench("ablation_one_d_transfer", || {
+        estimate_comm(
+            black_box(cfg),
+            &params,
+            layer.winograd_weight_bytes(4),
+            (tiles as f64 * cfg.tile_volume_factor(2, 4)) as u64,
+            60.0,
+            16,
+        )
     });
 }
 
 /// Single-group transform choice: F(4×4,3×3) (the paper's pick for
 /// compute) vs F(2×2,3×3) at the data-parallel configuration.
-fn ablate_single_group_transform(c: &mut Criterion) {
+fn ablate_single_group_transform() {
     let model = SystemModel::paper();
-    let mut g = c.benchmark_group("ablation_single_group_transform");
-    g.sample_size(10);
     for l in [&table2_layers()[0], &table2_layers()[4]] {
         // The config machinery picks F(4,3) at n_g == 1; quantify the MAC
         // difference of the alternative directly.
@@ -112,34 +120,34 @@ fn ablate_single_group_transform(c: &mut Criterion) {
             macs_f23 as f64 / 1e9,
             macs_f23 as f64 / macs_f43 as f64
         );
-        g.bench_with_input(BenchmarkId::from_parameter(&l.name), l, |b, l| {
-            b.iter(|| simulate_layer(&model, black_box(l), SystemConfig::WDp))
-        });
+        bench(
+            &format!("ablation_single_group_transform/{}", l.name),
+            || simulate_layer(&model, black_box(l), SystemConfig::WDp),
+        );
     }
-    g.finish();
 }
 
 /// Collective algorithm choice: pipelined reduce+broadcast (the paper's
 /// §VI-C scheme) vs NCCL-style reduce-scatter + all-gather.
-fn ablate_collective_algorithm(c: &mut Criterion) {
+fn ablate_collective_algorithm() {
     let p = NocParams::paper();
-    for (name, msg) in [("late_layer_16MiB", 16u64 << 20), ("small_1MiB", 1u64 << 20)] {
+    for (name, msg) in [
+        ("late_layer_16MiB", 16u64 << 20),
+        ("small_1MiB", 1u64 << 20),
+    ] {
         let rb = wmpt_noc::ring_collective_cycles(msg, 16, 60.0, &p, 0);
         let ar = wmpt_noc::ring_allreduce_cycles(msg, 16, 60.0, &p, 0);
         println!("{name}: reduce+broadcast {rb:.0} cy, reduce-scatter+all-gather {ar:.0} cy");
     }
-    c.bench_function("ablation_collective_algorithm", |b| {
-        b.iter(|| {
-            wmpt_noc::best_ring_collective_cycles(black_box(16u64 << 20), 16, 60.0, &p, 0)
-        })
+    bench("ablation_collective_algorithm", || {
+        wmpt_noc::best_ring_collective_cycles(black_box(16u64 << 20), 16, 60.0, &p, 0)
     });
 }
 
 /// Measured-vs-paper prediction savings driving the full system model:
 /// the loop closure from our own Fig 12 measurement into Fig 15.
-fn ablate_measured_savings(c: &mut Criterion) {
+fn ablate_measured_savings() {
     use wmpt_core::PredictionSavings;
-    use wmpt_predict::QuantizerConfig;
     let (y, x, tf) = wmpt_bench::fig12::synthetic_outputs(2018);
     let s2 = measure(&y, &tf, QuantizerConfig::new(64, 4), PredictMode::TwoD);
     let s1 = measure(&y, &tf, QuantizerConfig::new(32, 4), PredictMode::OneD);
@@ -151,28 +159,34 @@ fn ablate_measured_savings(c: &mut Criterion) {
     );
     let layer = &table2_layers()[4];
     let paper_model = SystemModel::paper();
-    let measured_model = SystemModel { savings: measured, ..SystemModel::paper() };
+    let measured_model = SystemModel {
+        savings: measured,
+        ..SystemModel::paper()
+    };
     let t_paper = simulate_layer(&paper_model, layer, SystemConfig::WMpPD).total_cycles();
     let t_meas = simulate_layer(&measured_model, layer, SystemConfig::WMpPD).total_cycles();
     println!(
         "Late-2 w_mp++: paper savings {t_paper:.0} cy, our measured savings {t_meas:.0} cy ({:+.1}%)",
         100.0 * (t_meas - t_paper) / t_paper
     );
-    c.bench_function("ablation_measured_savings", |b| {
-        b.iter(|| simulate_layer(black_box(&measured_model), layer, SystemConfig::WMpPD))
+    bench("ablation_measured_savings", || {
+        simulate_layer(black_box(&measured_model), layer, SystemConfig::WMpPD)
     });
 }
 
 /// Prediction under the larger F(4x4,3x3) tile: more neurons per tile
 /// makes whole-tile deadness rarer, but line granularity recovers much
 /// of it — why the paper predicts on F(2x2) tiles.
-fn ablate_prediction_tile_size(c: &mut Criterion) {
+fn ablate_prediction_tile_size() {
     use wmpt_tensor::{DataGen, Shape4};
     use wmpt_winograd::{
         elementwise_gemm, relu, to_winograd_input, weights_to_winograd, WinogradTransform,
     };
     let mut done_once = false;
-    for (name, tf) in [("F(2,3)", WinogradTransform::f2x2_3x3()), ("F(4,3)", WinogradTransform::f4x4_3x3())] {
+    for (name, tf) in [
+        ("F(2,3)", WinogradTransform::f2x2_3x3()),
+        ("F(4,3)", WinogradTransform::f4x4_3x3()),
+    ] {
         let mut g = DataGen::new(5);
         let x = relu(&g.normal_tensor(Shape4::new(4, 8, 16, 16), -0.4, 1.0));
         let mut w = g.he_weights(Shape4::new(8, 8, 3, 3));
@@ -184,23 +198,26 @@ fn ablate_prediction_tile_size(c: &mut Criterion) {
             s.predicted_dead_tiles, s.actual_dead_tiles, s.predicted_dead_lines
         );
         if !done_once {
-            c.bench_function("ablation_prediction_tile_size", |b| {
-                b.iter(|| measure(black_box(&y), &tf, QuantizerConfig::new(64, 4), PredictMode::TwoD))
+            bench("ablation_prediction_tile_size", || {
+                measure(
+                    black_box(&y),
+                    &tf,
+                    QuantizerConfig::new(64, 4),
+                    PredictMode::TwoD,
+                )
             });
             done_once = true;
         }
     }
 }
 
-criterion_group!(
-    benches,
-    ablate_chunk_size,
-    ablate_dynamic_clustering,
-    ablate_quantizer,
-    ablate_one_d_transfer,
-    ablate_single_group_transform,
-    ablate_collective_algorithm,
-    ablate_measured_savings,
-    ablate_prediction_tile_size
-);
-criterion_main!(benches);
+fn main() {
+    ablate_chunk_size();
+    ablate_dynamic_clustering();
+    ablate_quantizer();
+    ablate_one_d_transfer();
+    ablate_single_group_transform();
+    ablate_collective_algorithm();
+    ablate_measured_savings();
+    ablate_prediction_tile_size();
+}

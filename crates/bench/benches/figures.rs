@@ -3,21 +3,15 @@
 //! data-bearing table and figure (the output of each generator is printed
 //! once per figure) and times the generators themselves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wmpt_bench::timing::bench;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
     for (name, runner) in wmpt_bench::all_experiments() {
         // Print each figure's data once so `cargo bench` regenerates the
         // paper's tables as a side effect of timing them.
         println!("################ {name} ################");
         println!("{}", runner());
-        g.bench_function(name, |b| b.iter(|| black_box(runner())));
+        bench(&format!("figures/{name}"), || black_box(runner()));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! cargo run -p wmpt-bench --release --bin experiments            # all
 //! cargo run -p wmpt-bench --release --bin experiments fig15 fig17
 //! cargo run -p wmpt-bench --release --bin experiments --list
+//! cargo run -p wmpt-bench --release --bin experiments --obs     # BENCH_obs.json
 //! ```
 
 use std::env;
@@ -18,6 +19,23 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     }
+    // The observability report rides along with every full run (and can
+    // be requested alone with --obs): a fixed VGG-like layer at
+    // (N_g, N_c) = (4, 4), per-phase cycle rollup + metric registry.
+    let obs_only = if let Some(i) = args.iter().position(|a| a == "--obs") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if obs_only || args.is_empty() {
+        let path = wmpt_bench::obs_report::write_obs_report(std::path::Path::new("."))
+            .expect("BENCH_obs.json must be writable");
+        eprintln!("wrote {}", path.display());
+        if obs_only {
+            return;
+        }
+    }
     let registry = wmpt_bench::all_experiments();
     if args.iter().any(|a| a == "--list") {
         for (name, _) in &registry {
@@ -28,7 +46,10 @@ fn main() {
     let selected: Vec<&wmpt_bench::Experiment> = if args.is_empty() {
         registry.iter().collect()
     } else {
-        let sel: Vec<_> = registry.iter().filter(|(n, _)| args.iter().any(|a| a == n)).collect();
+        let sel: Vec<_> = registry
+            .iter()
+            .filter(|(n, _)| args.iter().any(|a| a == n))
+            .collect();
         if sel.is_empty() {
             eprintln!("unknown experiment(s) {args:?}; use --list");
             std::process::exit(1);

@@ -6,14 +6,26 @@
 //! mpt-sim network fractalnet w_mp++    # a whole CNN
 //! mpt-sim noc fbfly uniform            # latency/throughput sweep
 //! mpt-sim plan wrn w_mp++              # the host's per-layer plan
+//!
+//! mpt-sim layer Late-2 w_mp++ --trace-out trace.json --metrics-out m.json
 //! ```
+//!
+//! `--trace-out <path>` writes a Chrome `trace_event` JSON of the
+//! simulated iteration (open in `chrome://tracing` or Perfetto) and
+//! prints the per-phase rollup; `--metrics-out <path>` writes the metric
+//! registry. Both apply to the `layer` and `network` commands.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::exit;
 
-use wmpt_core::{simulate_layer, simulate_network, SystemConfig, SystemModel};
+use wmpt_core::{
+    simulate_layer, simulate_layer_observed, simulate_network, simulate_network_observed,
+    SystemConfig, SystemModel,
+};
 use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
+use wmpt_obs::Observer;
 
 fn usage() -> ! {
     eprintln!(
@@ -21,9 +33,59 @@ fn usage() -> ! {
          mpt-sim network <wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
          mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
          mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n\n\
+         options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
+         \x20                     --metrics-out <file> metric registry JSON\n\n\
          configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++"
     );
     exit(2);
+}
+
+/// Observation sinks requested on the command line.
+#[derive(Default)]
+struct ObsArgs {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Extracts `--trace-out X` / `--metrics-out X` from `args`.
+    fn extract(args: &mut Vec<String>) -> ObsArgs {
+        let mut out = ObsArgs::default();
+        for (flag, slot) in [("--trace-out", 0usize), ("--metrics-out", 1)] {
+            if let Some(i) = args.iter().position(|a| a == flag) {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                let v = PathBuf::from(args.remove(i + 1));
+                args.remove(i);
+                match slot {
+                    0 => out.trace_out = Some(v),
+                    _ => out.metrics_out = Some(v),
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the requested sinks and prints the rollup table.
+    fn finish(&self, obs: &Observer) {
+        if let Some(path) = &self.trace_out {
+            obs.trace
+                .write_chrome_trace(path)
+                .expect("trace path must be writable");
+            eprintln!("wrote {}", path.display());
+            println!("\nper-phase rollup:\n{}", obs.trace.rollup_table());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, obs.metrics.to_json().render() + "\n")
+                .expect("metrics path must be writable");
+            eprintln!("wrote {}", path.display());
+        }
+    }
 }
 
 fn parse_config(s: &str) -> Option<SystemConfig> {
@@ -56,8 +118,12 @@ fn find_network(name: &str) -> Option<Network> {
 }
 
 fn run_plan(name: &str, cfg: &str) {
-    let Some(net) = find_network(name) else { usage() };
-    let Some(sys) = parse_config(cfg) else { usage() };
+    let Some(net) = find_network(name) else {
+        usage()
+    };
+    let Some(sys) = parse_config(cfg) else {
+        usage()
+    };
     let model = SystemModel::paper_fp16();
     let plan = wmpt_core::plan_network(&model, &net, sys);
     print!("{}", plan.render());
@@ -68,16 +134,23 @@ fn run_plan(name: &str, cfg: &str) {
     );
 }
 
-fn run_layer(name: &str, cfgs: &[SystemConfig]) {
-    let Some(layer) = find_layer(name) else { usage() };
+fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
+    let Some(layer) = find_layer(name) else {
+        usage()
+    };
     let model = SystemModel::paper();
+    let mut obs = Observer::new();
     println!("{layer}  (p = {}, batch = {})", model.workers, model.batch);
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
     );
     for &sys in cfgs {
-        let r = simulate_layer(&model, &layer, sys);
+        let r = if obs_args.enabled() {
+            simulate_layer_observed(&model, &layer, sys, &mut obs)
+        } else {
+            simulate_layer(&model, &layer, sys)
+        };
         let e = r.total_energy();
         println!(
             "{:<8} {:>12.0} {:>12.0} {:>12.2} {:>10.0} {:>12}",
@@ -89,11 +162,15 @@ fn run_layer(name: &str, cfgs: &[SystemConfig]) {
             r.cluster.to_string()
         );
     }
+    obs_args.finish(&obs);
 }
 
-fn run_network(name: &str, cfgs: &[SystemConfig]) {
-    let Some(net) = find_network(name) else { usage() };
+fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
+    let Some(net) = find_network(name) else {
+        usage()
+    };
     let model = SystemModel::paper_fp16();
+    let mut obs = Observer::new();
     println!(
         "{} ({} conv layers, {:.1}M params)",
         net.name,
@@ -105,7 +182,11 @@ fn run_network(name: &str, cfgs: &[SystemConfig]) {
         "config", "cycles/iter", "images/s", "power (W)", "organization mix"
     );
     for &sys in cfgs {
-        let r = simulate_network(&model, &net, sys);
+        let r = if obs_args.enabled() {
+            simulate_network_observed(&model, &net, sys, &mut obs)
+        } else {
+            simulate_network(&model, &net, sys)
+        };
         let mix = r
             .config_histogram()
             .iter()
@@ -121,6 +202,7 @@ fn run_network(name: &str, cfgs: &[SystemConfig]) {
             mix
         );
     }
+    obs_args.finish(&obs);
 }
 
 fn run_noc(topo_name: &str, pattern_name: &str) {
@@ -137,18 +219,25 @@ fn run_noc(topo_name: &str, pattern_name: &str) {
         _ => usage(),
     };
     println!("flit-level sweep: {topo_name} / {pattern_name}");
-    println!("{:>16} {:>16} {:>18}", "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)");
+    println!(
+        "{:>16} {:>16} {:>18}",
+        "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)"
+    );
     let pts = latency_throughput_sweep(&topo, pattern, 256, &[1000, 100, 30, 15, 8], 1);
     for p in pts {
-        println!("{:>16.3} {:>16.1} {:>18.1}", p.offered, p.latency, p.throughput);
+        println!(
+            "{:>16.3} {:>16.1} {:>18.1}",
+            p.offered, p.latency, p.throughput
+        );
     }
 }
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let obs_args = ObsArgs::extract(&mut args);
     match args.as_slice() {
-        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b)),
-        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b)),
+        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b), &obs_args),
+        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b), &obs_args),
         [cmd, a, b] if cmd == "noc" => run_noc(a, b),
         [cmd, a, b] if cmd == "plan" => run_plan(a, b),
         _ => usage(),

@@ -61,7 +61,10 @@ mod tests {
         let coll = |p: &wmpt_core::TrainingPlan| -> f64 {
             p.layers.iter().map(|l| l.collective_cycles).sum()
         };
-        assert!(coll(&plan_mp) < coll(&plan_dp), "MPT must shrink the collectives");
+        assert!(
+            coll(&plan_mp) < coll(&plan_dp),
+            "MPT must shrink the collectives"
+        );
         assert!(plan_mp.collective_fraction() < 1.0);
     }
 

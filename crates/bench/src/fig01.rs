@@ -14,8 +14,15 @@ pub fn run() -> String {
     out.push_str("== Figure 1: direct vs Winograd computation & memory access ==\n");
     out.push_str(&row(
         "layer",
-        &["direct GMAC", "wino GMAC", "reduction", "direct data", "wino data", "increase"]
-            .map(String::from),
+        &[
+            "direct GMAC",
+            "wino GMAC",
+            "reduction",
+            "direct data",
+            "wino data",
+            "increase",
+        ]
+        .map(String::from),
     ));
     let mut sum_c = 0.0;
     let mut sum_a = 0.0;
@@ -58,7 +65,10 @@ mod tests {
         assert!(out.contains("Early"));
         assert!(out.contains("Late-2"));
         // Every layer line shows a >1x reduction and a >1x increase.
-        for line in out.lines().filter(|l| l.contains('x') && !l.starts_with("average")) {
+        for line in out
+            .lines()
+            .filter(|l| l.contains('x') && !l.starts_with("average"))
+        {
             assert!(!line.contains("0.9x"), "unexpected sub-1 ratio: {line}");
         }
         assert!(out.contains("average"));
@@ -68,10 +78,16 @@ mod tests {
     fn average_ratios_in_paper_regime() {
         let layers = table2_layers();
         let n = layers.len() as f64;
-        let avg_c: f64 =
-            layers.iter().map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction).sum::<f64>() / n;
-        let avg_a: f64 =
-            layers.iter().map(|l| fig1_ratios(l, 256, 4, 6).access_increase).sum::<f64>() / n;
+        let avg_c: f64 = layers
+            .iter()
+            .map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction)
+            .sum::<f64>()
+            / n;
+        let avg_a: f64 = layers
+            .iter()
+            .map(|l| fig1_ratios(l, 256, 4, 6).access_increase)
+            .sum::<f64>()
+            / n;
         assert!(avg_c > 2.0 && avg_c < 4.5, "compute {avg_c}");
         assert!(avg_a > 2.5 && avg_a < 6.5, "access {avg_a}");
     }

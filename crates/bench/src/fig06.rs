@@ -19,8 +19,7 @@ pub fn strategies(layer: &wmpt_models::ConvLayerSpec) -> Vec<(String, PerWorkerC
     let (m, t) = (2, 4);
     let w_spatial = layer.spatial_weight_bytes();
     let w_wino = layer.winograd_weight_bytes(t);
-    let tiles =
-        layer.input_tile_bytes(BATCH, m, t) + layer.output_tile_bytes(BATCH, m, t);
+    let tiles = layer.input_tile_bytes(BATCH, m, t) + layer.output_tile_bytes(BATCH, m, t);
     let mpt = mpt_comm(w_wino, tiles, 16, 16, 2);
     vec![
         ("dp".into(), data_parallel_comm(w_spatial, P)),
@@ -36,7 +35,10 @@ pub fn run() -> String {
     out.push_str("== Figure 6: per-worker communication per iteration (p=256) ==\n");
     for l in [&layers[0], &layers[4]] {
         out.push_str(&format!("--- {} ---\n", l));
-        out.push_str(&row("strategy", &["weights", "tiles", "total"].map(String::from)));
+        out.push_str(&row(
+            "strategy",
+            &["weights", "tiles", "total"].map(String::from),
+        ));
         for (name, c) in strategies(l) {
             out.push_str(&row(
                 &name,
@@ -65,8 +67,14 @@ mod tests {
     fn late_layer_mpt_wins() {
         let layers = table2_layers();
         let s = strategies(&layers[4]);
-        assert!(s[1].1.total() < s[0].1.total(), "mpt should beat dp on the late layer");
-        assert!(s[2].1.total() < s[1].1.total(), "prediction must reduce traffic further");
+        assert!(
+            s[1].1.total() < s[0].1.total(),
+            "mpt should beat dp on the late layer"
+        );
+        assert!(
+            s[2].1.total() < s[1].1.total(),
+            "prediction must reduce traffic further"
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! (the paper quotes a further 1.4× at p = 256).
 
 use wmpt_models::{fractalnet, Network};
-use wmpt_noc::{
-    data_parallel_comm, mpt_comm, with_transfer_savings, ClusterConfig, PerWorkerComm,
-};
+use wmpt_noc::{data_parallel_comm, mpt_comm, with_transfer_savings, ClusterConfig, PerWorkerComm};
 
 const BATCH: usize = 256;
 
@@ -130,7 +128,10 @@ mod tests {
     #[test]
     fn crossover_present() {
         let net = fractalnet();
-        assert!(mpt_total(&net, 4).total() > dp_total(&net, 4).total(), "small p: mpt worse");
+        assert!(
+            mpt_total(&net, 4).total() > dp_total(&net, 4).total(),
+            "small p: mpt worse"
+        );
         assert!(
             mpt_total(&net, 1024).total() < dp_total(&net, 1024).total(),
             "large p: mpt better"

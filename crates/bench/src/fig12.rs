@@ -34,10 +34,10 @@ pub fn synthetic_outputs(seed: u64) -> (WgTensor, wmpt_tensor::Tensor4, Winograd
     // layer's pre-activations negative to match.
     let x_pre = g.normal_tensor(Shape4::new(8, layer.in_chans, layer.h, layer.w), -0.4, 1.0);
     let x = relu(&x_pre); // the previous layer's ReLU output
-    // He weights with a small negative shift: trained CNNs produce
-    // predominantly negative pre-activations (that is where the paper's
-    // 50-80 % dead-tile ratios come from); with non-negative inputs a
-    // negative weight mean reproduces that bias.
+                          // He weights with a small negative shift: trained CNNs produce
+                          // predominantly negative pre-activations (that is where the paper's
+                          // 50-80 % dead-tile ratios come from); with non-negative inputs a
+                          // negative weight mean reproduces that bias.
     let mut w = g.he_weights(Shape4::new(layer.out_chans, layer.in_chans, 3, 3));
     w.map_inplace(|v| v - 0.02);
     let wx = to_winograd_input(&x, &tf);
@@ -63,7 +63,11 @@ pub fn sweep(y: &WgTensor, tf: &WinogradTransform, mode: PredictMode) -> Vec<Swe
     for levels in [16u32, 32, 64, 128] {
         for regions in [1u32, 2, 4, 8] {
             let stats = measure(y, tf, QuantizerConfig::new(levels, regions), mode);
-            out.push(SweepPoint { levels, regions, stats });
+            out.push(SweepPoint {
+                levels,
+                regions,
+                stats,
+            });
         }
     }
     out
@@ -79,9 +83,15 @@ pub fn run() -> String {
         "actual (upper limit): dead tiles {:.3}, dead lines {:.3}\n",
         base.actual_dead_tiles, base.actual_dead_lines
     ));
-    for (mode, name) in [(PredictMode::TwoD, "2-D predict (tiles)"), (PredictMode::OneD, "1-D predict (lines)")] {
+    for (mode, name) in [
+        (PredictMode::TwoD, "2-D predict (tiles)"),
+        (PredictMode::OneD, "1-D predict (lines)"),
+    ] {
         out.push_str(&format!("--- {name} ---\n"));
-        out.push_str(&row("levels \\ regions", &["1(unif)", "2", "4", "8"].map(String::from)));
+        out.push_str(&row(
+            "levels \\ regions",
+            &["1(unif)", "2", "4", "8"].map(String::from),
+        ));
         for levels in [16u32, 32, 64, 128] {
             let cells: Vec<String> = [1u32, 2, 4, 8]
                 .iter()

@@ -12,8 +12,8 @@
 use wmpt_core::winograd_join;
 use wmpt_tensor::{DataGen, Shape4, Tensor4};
 use wmpt_winograd::{
-    elementwise_gemm, from_winograd_output, relu, relu_backward, to_winograd_input,
-    WinogradLayer, WinogradTransform,
+    elementwise_gemm, from_winograd_output, relu, relu_backward, to_winograd_input, WinogradLayer,
+    WinogradTransform,
 };
 
 /// Join style under test.
@@ -150,8 +150,18 @@ pub fn dataset(seed: u64, n: usize) -> (Tensor4, Vec<f32>) {
 /// Accuracy of thresholded scores (scores for class −1 images should be
 /// smaller than for class +1; threshold at the midpoint of class means).
 pub fn accuracy(scores: &[f32], targets: &[f32]) -> f64 {
-    let pos: Vec<f32> = scores.iter().zip(targets).filter(|(_, t)| **t > 0.0).map(|(s, _)| *s).collect();
-    let neg: Vec<f32> = scores.iter().zip(targets).filter(|(_, t)| **t < 0.0).map(|(s, _)| *s).collect();
+    let pos: Vec<f32> = scores
+        .iter()
+        .zip(targets)
+        .filter(|(_, t)| **t > 0.0)
+        .map(|(s, _)| *s)
+        .collect();
+    let neg: Vec<f32> = scores
+        .iter()
+        .zip(targets)
+        .filter(|(_, t)| **t < 0.0)
+        .map(|(s, _)| *s)
+        .collect();
     let mp = pos.iter().sum::<f32>() / pos.len().max(1) as f32;
     let mn = neg.iter().sum::<f32>() / neg.len().max(1) as f32;
     let thr = (mp + mn) / 2.0;
@@ -184,7 +194,10 @@ pub fn train_both(epochs: usize) -> Vec<(f64, f64)> {
     for _ in 0..epochs {
         spatial.train_step(&x, &t, 0.3);
         wino.train_step(&x, &t, 0.3);
-        curve.push((accuracy(&spatial.scores(&xe), &te), accuracy(&wino.scores(&xe), &te)));
+        curve.push((
+            accuracy(&spatial.scores(&xe), &te),
+            accuracy(&wino.scores(&xe), &te),
+        ));
     }
     curve
 }
@@ -193,9 +206,15 @@ pub fn train_both(epochs: usize) -> Vec<(f64, f64)> {
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("== Figure 14: standard vs modified (Winograd-domain) join ==\n");
-    out.push_str(&crate::row("epoch", &["spatial join", "modified join"].map(String::from)));
+    out.push_str(&crate::row(
+        "epoch",
+        &["spatial join", "modified join"].map(String::from),
+    ));
     for (e, (a, b)) in train_both(10).iter().enumerate() {
-        out.push_str(&crate::row(&(e + 1).to_string(), &[format!("{a:.3}"), format!("{b:.3}")]));
+        out.push_str(&crate::row(
+            &(e + 1).to_string(),
+            &[format!("{a:.3}"), format!("{b:.3}")],
+        ));
     }
     out.push_str("modified join matches the spatial join at every epoch (same validation accuracy, paper Fig 14(b))\n");
     out

@@ -14,7 +14,10 @@ use wmpt_models::{table2_layers, ConvLayerSpec};
 use crate::{f, row};
 
 /// All six configurations simulated for one layer.
-pub fn layer_results(model: &SystemModel, layer: &ConvLayerSpec) -> Vec<(SystemConfig, LayerResult)> {
+pub fn layer_results(
+    model: &SystemModel,
+    layer: &ConvLayerSpec,
+) -> Vec<(SystemConfig, LayerResult)> {
     SystemConfig::all()
         .into_iter()
         .map(|sys| (sys, simulate_layer(model, layer, sys)))
@@ -39,11 +42,26 @@ pub fn table() -> crate::report::Table {
     let model = SystemModel::paper();
     let mut t = crate::report::Table::new(
         "fig15_time_energy",
-        &["layer", "config", "fwd_time", "bwd_time", "fwd_energy", "bwd_energy", "n_g", "n_c"],
+        &[
+            "layer",
+            "config",
+            "fwd_time",
+            "bwd_time",
+            "fwd_energy",
+            "bwd_energy",
+            "n_g",
+            "n_c",
+        ],
     );
     for l in table2_layers() {
         let results = layer_results(&model, &l);
-        let base = results.iter().find(|(s, _)| *s == SystemConfig::WDp).expect("w_dp").1.forward.cycles;
+        let base = results
+            .iter()
+            .find(|(s, _)| *s == SystemConfig::WDp)
+            .expect("w_dp")
+            .1
+            .forward
+            .cycles;
         let base_e = results
             .iter()
             .find(|(s, _)| *s == SystemConfig::WDp)
@@ -117,7 +135,14 @@ pub fn run() -> String {
         out.push_str(&format!("--- {} ---\n", l));
         out.push_str(&row(
             "config",
-            &["fwd time", "bwd time", "fwd energy", "bwd energy", "cluster"].map(String::from),
+            &[
+                "fwd time",
+                "bwd time",
+                "fwd energy",
+                "bwd energy",
+                "cluster",
+            ]
+            .map(String::from),
         ));
         for (sys, r) in &results {
             out.push_str(&row(
@@ -167,9 +192,15 @@ mod tests {
         let model = SystemModel::paper();
         let layers = table2_layers();
         let early = simulate_layer(&model, &layers[0], SystemConfig::WMpPD);
-        assert_eq!(early.cluster.n_g, 1, "early layer should fall back to data parallel");
+        assert_eq!(
+            early.cluster.n_g, 1,
+            "early layer should fall back to data parallel"
+        );
         let late = simulate_layer(&model, &layers[4], SystemConfig::WMpPD);
-        assert!(late.cluster.n_g > 1, "late layer should keep intra-tile parallelism");
+        assert!(
+            late.cluster.n_g > 1,
+            "late layer should keep intra-tile parallelism"
+        );
     }
 
     #[test]
@@ -196,7 +227,12 @@ mod tests {
         let late = &table2_layers()[4];
         let res = layer_results(&model, late);
         let dram = |sys: SystemConfig| {
-            res.iter().find(|(s, _)| *s == sys).expect("simulated").1.total_energy().dram_j
+            res.iter()
+                .find(|(s, _)| *s == sys)
+                .expect("simulated")
+                .1
+                .total_energy()
+                .dram_j
         };
         assert!(dram(SystemConfig::WMp) < dram(SystemConfig::WDp));
     }

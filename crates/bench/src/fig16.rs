@@ -28,13 +28,8 @@ pub fn geo_speedup(model: &SystemModel, layers: &[ConvLayerSpec], sys: SystemCon
 pub fn collective_reduction(layer: &ConvLayerSpec, t: usize) -> f64 {
     let noc = wmpt_noc::NocParams::paper();
     let dp = wmpt_noc::ring_collective_cycles(layer.spatial_weight_bytes(), 256, 120.0, &noc, 0);
-    let mpt = wmpt_noc::ring_collective_cycles(
-        layer.winograd_weight_bytes(t) / 16,
-        16,
-        60.0,
-        &noc,
-        0,
-    );
+    let mpt =
+        wmpt_noc::ring_collective_cycles(layer.winograd_weight_bytes(t) / 16, 16, 60.0, &noc, 0);
     dp / mpt
 }
 
@@ -45,11 +40,22 @@ pub fn run() -> String {
     let l5 = table2_layers_5x5();
     let mut out = String::new();
     out.push_str("== Figure 16: normalized performance, 3x3 vs 5x5 weights ==\n");
-    out.push_str(&row("config", &["3x3 speedup", "5x5 speedup"].map(String::from)));
-    for sys in [SystemConfig::WMp, SystemConfig::WMpP, SystemConfig::WMpD, SystemConfig::WMpPD] {
+    out.push_str(&row(
+        "config",
+        &["3x3 speedup", "5x5 speedup"].map(String::from),
+    ));
+    for sys in [
+        SystemConfig::WMp,
+        SystemConfig::WMpP,
+        SystemConfig::WMpD,
+        SystemConfig::WMpPD,
+    ] {
         out.push_str(&row(
             sys.abbrev(),
-            &[f(geo_speedup(&model, &l3, sys)), f(geo_speedup(&model, &l5, sys))],
+            &[
+                f(geo_speedup(&model, &l3, sys)),
+                f(geo_speedup(&model, &l5, sys)),
+            ],
         ));
     }
     let g3 = geo_speedup(&model, &l3, SystemConfig::WMpPD);

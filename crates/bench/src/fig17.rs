@@ -33,7 +33,13 @@ pub fn network_rows(net: &Network) -> Vec<(String, f64)> {
             dgx.images_per_second(net, BATCH, gpus) / single,
         ));
     }
-    for sys in [SystemConfig::WDp, SystemConfig::WMp, SystemConfig::WMpD, SystemConfig::WMpP, SystemConfig::WMpPD] {
+    for sys in [
+        SystemConfig::WDp,
+        SystemConfig::WMp,
+        SystemConfig::WMpD,
+        SystemConfig::WMpP,
+        SystemConfig::WMpPD,
+    ] {
         rows.push((
             format!("NDP-256 {}", sys.abbrev()),
             ndp_ips(&m256, net, sys) / single,
@@ -45,7 +51,10 @@ pub fn network_rows(net: &Network) -> Vec<(String, f64)> {
 /// Machine-readable table: speedup over a single NDP worker per system.
 pub fn table() -> crate::report::Table {
     let nets = [wrn_40_10(), resnet34(), fractalnet()];
-    let labels: Vec<String> = network_rows(&nets[0]).iter().map(|(l, _)| l.clone()).collect();
+    let labels: Vec<String> = network_rows(&nets[0])
+        .iter()
+        .map(|(l, _)| l.clone())
+        .collect();
     let mut cols: Vec<&str> = vec!["network"];
     let owned: Vec<String> = labels;
     for l in &owned {
@@ -54,7 +63,11 @@ pub fn table() -> crate::report::Table {
     let mut t = crate::report::Table::new("fig17_speedups", &cols);
     for net in &nets {
         let mut row = vec![net.name.clone()];
-        row.extend(network_rows(net).into_iter().map(|(_, v)| format!("{v:.2}")));
+        row.extend(
+            network_rows(net)
+                .into_iter()
+                .map(|(_, v)| format!("{v:.2}")),
+        );
         t.push(row);
     }
     t
@@ -65,14 +78,28 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("== Figure 17: entire-CNN speedup over a single NDP worker ==\n");
     let nets = [wrn_40_10(), resnet34(), fractalnet()];
-    let labels: Vec<String> = network_rows(&nets[0]).iter().map(|(l, _)| l.clone()).collect();
+    let labels: Vec<String> = network_rows(&nets[0])
+        .iter()
+        .map(|(l, _)| l.clone())
+        .collect();
     out.push_str(&row("network", &labels));
     let mut avg_ratio = 0.0;
     for net in &nets {
         let rows = network_rows(net);
-        out.push_str(&row(&net.name, &rows.iter().map(|(_, v)| f(*v)).collect::<Vec<_>>()));
-        let gpu8 = rows.iter().find(|(l, _)| l == "8-GPU").expect("8-GPU row").1;
-        let full = rows.iter().find(|(l, _)| l.ends_with("w_mp++")).expect("w_mp++ row").1;
+        out.push_str(&row(
+            &net.name,
+            &rows.iter().map(|(_, v)| f(*v)).collect::<Vec<_>>(),
+        ));
+        let gpu8 = rows
+            .iter()
+            .find(|(l, _)| l == "8-GPU")
+            .expect("8-GPU row")
+            .1;
+        let full = rows
+            .iter()
+            .find(|(l, _)| l.ends_with("w_mp++"))
+            .expect("w_mp++ row")
+            .1;
         avg_ratio += full / gpu8;
     }
     avg_ratio /= nets.len() as f64;
@@ -99,8 +126,16 @@ mod tests {
     fn full_proposal_scales_best_on_ndp() {
         for net in [wrn_40_10(), fractalnet()] {
             let rows = network_rows(&net);
-            let dp = rows.iter().find(|(l, _)| l.ends_with("w_dp")).expect("w_dp").1;
-            let full = rows.iter().find(|(l, _)| l.ends_with("w_mp++")).expect("w_mp++").1;
+            let dp = rows
+                .iter()
+                .find(|(l, _)| l.ends_with("w_dp"))
+                .expect("w_dp")
+                .1;
+            let full = rows
+                .iter()
+                .find(|(l, _)| l.ends_with("w_mp++"))
+                .expect("w_mp++")
+                .1;
             assert!(full > dp, "{}: w_mp++ {full} vs w_dp {dp}", net.name);
         }
     }
@@ -109,7 +144,11 @@ mod tests {
     fn ndp_256_beats_8_gpus_decisively() {
         let rows = network_rows(&fractalnet());
         let gpu8 = rows.iter().find(|(l, _)| l == "8-GPU").expect("8-GPU").1;
-        let full = rows.iter().find(|(l, _)| l.ends_with("w_mp++")).expect("w_mp++").1;
+        let full = rows
+            .iter()
+            .find(|(l, _)| l.ends_with("w_mp++"))
+            .expect("w_mp++")
+            .1;
         assert!(full / gpu8 > 3.0, "ratio {}", full / gpu8);
     }
 
@@ -119,8 +158,16 @@ mod tests {
         // w_mp++/w_dp ratio tops the three networks (paper §VII-C).
         let ratio = |net: &Network| {
             let rows = network_rows(net);
-            let dp = rows.iter().find(|(l, _)| l.ends_with("w_dp")).expect("w_dp").1;
-            let full = rows.iter().find(|(l, _)| l.ends_with("w_mp++")).expect("w_mp++").1;
+            let dp = rows
+                .iter()
+                .find(|(l, _)| l.ends_with("w_dp"))
+                .expect("w_dp")
+                .1;
+            let full = rows
+                .iter()
+                .find(|(l, _)| l.ends_with("w_mp++"))
+                .expect("w_mp++")
+                .1;
             full / dp
         };
         let fr = ratio(&fractalnet());

@@ -60,7 +60,11 @@ pub fn iso_power(net: &Network) -> (usize, f64, f64) {
     let mut best = (4usize, 0.0f64);
     for p in [16usize, 64, 144, 196, 256] {
         let group = (p as f64).sqrt() as usize;
-        let m = SystemModel { workers: p, group_size: group.max(2), ..SystemModel::paper_fp16() };
+        let m = SystemModel {
+            workers: p,
+            group_size: group.max(2),
+            ..SystemModel::paper_fp16()
+        };
         let res = simulate_network(&m, net, SystemConfig::WMpPD);
         if res.average_power_w() <= budget {
             best = (p, res.images_per_second(256));
@@ -75,8 +79,15 @@ pub fn run() -> String {
     out.push_str("== Figure 18: best-batch 8-GPU vs NDP-256 (batch 256) ==\n");
     out.push_str(&row(
         "network",
-        &["GPU batch", "GPU img/s", "GPU W", "NDP img/s", "NDP W", "perf/W ratio"]
-            .map(String::from),
+        &[
+            "GPU batch",
+            "GPU img/s",
+            "GPU W",
+            "NDP img/s",
+            "NDP W",
+            "perf/W ratio",
+        ]
+        .map(String::from),
     ));
     let mut acc = 0.0;
     let nets = [wrn_40_10(), resnet34(), fractalnet()];
@@ -119,7 +130,12 @@ mod tests {
     fn gpu_prefers_large_batches() {
         for net in [wrn_40_10(), fractalnet()] {
             let c = compare(&net);
-            assert!(c.best_batch >= 1024, "{}: best batch {}", net.name, c.best_batch);
+            assert!(
+                c.best_batch >= 1024,
+                "{}: best batch {}",
+                net.name,
+                c.best_batch
+            );
         }
     }
 
@@ -142,14 +158,21 @@ mod tests {
         // kilowatt class.
         let c = compare(&fractalnet());
         assert!(c.gpu_w > 1000.0);
-        assert!(c.ndp_w > 50.0 && c.ndp_w < 10_000.0, "NDP power {}", c.ndp_w);
+        assert!(
+            c.ndp_w > 50.0 && c.ndp_w < 10_000.0,
+            "NDP power {}",
+            c.ndp_w
+        );
     }
 
     #[test]
     fn iso_power_system_still_beats_the_gpus() {
         let (p, ndp_ips, gpu_ips) = iso_power(&fractalnet());
         assert!(p >= 64, "iso-power worker count {p} suspiciously small");
-        assert!(ndp_ips > gpu_ips, "iso-power NDP {ndp_ips} vs GPU {gpu_ips}");
+        assert!(
+            ndp_ips > gpu_ips,
+            "iso-power NDP {ndp_ips} vs GPU {gpu_ips}"
+        );
     }
 
     #[test]

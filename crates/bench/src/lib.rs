@@ -5,8 +5,8 @@
 //! Each `figNN` module exposes `run() -> String` producing the
 //! figure's rows; the `experiments` binary prints them
 //! (`cargo run -p wmpt-bench --bin experiments --release [fig15 ...]`),
-//! and Criterion benches under `benches/` time the underlying kernels and
-//! ablations.
+//! and the plain-harness benches under `benches/` ([`timing`]) time the
+//! underlying kernels and ablations.
 
 pub mod comm_breakdown;
 pub mod fig01;
@@ -18,9 +18,11 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod obs_report;
 pub mod report;
 pub mod scalability;
 pub mod tables;
+pub mod timing;
 
 /// Formats a row of labelled values with fixed column width.
 pub fn row(label: &str, values: &[String]) -> String {
@@ -62,7 +64,12 @@ pub fn bytes(v: f64) -> String {
 /// Machine-readable tables for replotting (written by
 /// `experiments --tsv` into `results/`).
 pub fn all_tsv_tables() -> Vec<report::Table> {
-    vec![fig07::table(), fig15::table(), fig17::table(), scalability::table()]
+    vec![
+        fig07::table(),
+        fig15::table(),
+        fig17::table(),
+        scalability::table(),
+    ]
 }
 
 /// An experiment entry: name plus its runner.
@@ -104,9 +111,20 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        for expect in
-            ["tables", "fig01", "fig06", "fig07", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "scalability", "comm_breakdown"]
-        {
+        for expect in [
+            "tables",
+            "fig01",
+            "fig06",
+            "fig07",
+            "fig12",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "scalability",
+            "comm_breakdown",
+        ] {
             assert!(names.contains(&expect), "missing experiment {expect}");
         }
     }

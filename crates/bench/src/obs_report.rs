@@ -1,0 +1,109 @@
+//! Machine-readable observability report (`BENCH_obs.json`).
+//!
+//! Runs one observed training iteration of a fixed VGG-like layer
+//! (256→256 channels, 3×3 kernel, 28×28 maps) on a 16-worker system at
+//! `(N_g, N_c) = (4, 4)` and serializes the per-phase cycle rollup plus
+//! the full metric registry. The fixed workload makes the file diffable
+//! across commits: any change to the execution model shows up as a
+//! numeric delta here.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wmpt_core::{simulate_layer_with_observed, SystemConfig, SystemModel};
+use wmpt_models::ConvLayerSpec;
+use wmpt_noc::ClusterConfig;
+use wmpt_obs::json::{num, obj, s, Value};
+use wmpt_obs::Observer;
+
+/// The report's fixed workload.
+pub fn obs_report_layer() -> ConvLayerSpec {
+    ConvLayerSpec::new("vgg_conv4_2-like", 256, 256, 28, 28, 3)
+}
+
+/// Builds the report as a JSON value.
+pub fn obs_report() -> Value {
+    let model = SystemModel {
+        workers: 16,
+        group_size: 4,
+        ..SystemModel::paper()
+    };
+    let layer = obs_report_layer();
+    let cfg = ClusterConfig::new(4, 4);
+    let sys = SystemConfig::WMpP;
+    let mut obs = Observer::new();
+    let r = simulate_layer_with_observed(&model, &layer, sys, cfg, &mut obs);
+
+    let phases: Vec<Value> = obs
+        .trace
+        .rollup()
+        .into_iter()
+        .map(|((cat, name), (count, cycles))| {
+            obj(vec![
+                ("cat", s(&cat)),
+                ("name", s(&name)),
+                ("count", num(count as f64)),
+                ("cycles", num(cycles as f64)),
+            ])
+        })
+        .collect();
+
+    obj(vec![
+        ("layer", s(&layer.name)),
+        ("config", s(sys.abbrev())),
+        ("cluster", s(&cfg.to_string())),
+        ("workers", num(model.workers as f64)),
+        ("total_cycles", num(r.total_cycles())),
+        ("forward_cycles", num(r.forward.cycles)),
+        ("backward_cycles", num(r.backward.cycles)),
+        ("collective_cycles", num(r.collective_cycles)),
+        ("tile_comm_cycles", num(r.tile_comm_cycles)),
+        ("phases", Value::Arr(phases)),
+        ("metrics", obs.metrics.to_json()),
+    ])
+}
+
+/// Writes `BENCH_obs.json` into `dir` and returns the path.
+pub fn write_obs_report(dir: &Path) -> io::Result<PathBuf> {
+    let path = dir.join("BENCH_obs.json");
+    std::fs::write(&path, obs_report().render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_obs::json::parse;
+
+    #[test]
+    fn report_round_trips_and_reconciles() {
+        let v = obs_report();
+        let text = v.render();
+        let back = parse(&text).expect("report is valid JSON");
+        let total = back
+            .get("total_cycles")
+            .and_then(|v| v.as_f64())
+            .expect("total");
+        assert!(total > 0.0);
+        // The `layer`-category rollup must reconcile with the headline.
+        let phases = back.get("phases").and_then(|v| v.as_arr()).expect("phases");
+        let layer_cycles: f64 = phases
+            .iter()
+            .filter(|p| p.get("cat").and_then(|c| c.as_str()) == Some("layer"))
+            .filter_map(|p| p.get("cycles").and_then(|c| c.as_f64()))
+            .sum();
+        assert!(
+            (layer_cycles - total).abs() / total < 0.01,
+            "{layer_cycles} vs {total}"
+        );
+        // Spans from the three instrumented subsystems are present.
+        for cat in ["ndp", "noc", "collective"] {
+            assert!(
+                phases
+                    .iter()
+                    .any(|p| p.get("cat").and_then(|c| c.as_str()) == Some(cat)),
+                "missing {cat}"
+            );
+        }
+    }
+}

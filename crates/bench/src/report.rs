@@ -33,7 +33,12 @@ impl Table {
     ///
     /// Panics if the cell count differs from the column count.
     pub fn push(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.name);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.name
+        );
         self.rows.push(cells);
     }
 

@@ -10,7 +10,7 @@
 use wmpt_core::{simulate_layer, SystemConfig, SystemModel};
 use wmpt_models::table2_layers;
 
-use crate::{f, row, report::Table};
+use crate::{f, report::Table, row};
 
 /// Worker counts of the sweep (perfect squares so `N_g = N_c = √p`).
 pub const WORKER_COUNTS: [usize; 4] = [16, 64, 256, 1024];
@@ -28,7 +28,10 @@ pub fn cycles_at(p: usize, layer_idx: usize, sys: SystemConfig) -> f64 {
 
 /// The scaling table as a machine-readable report.
 pub fn table() -> Table {
-    let mut t = Table::new("scalability", &["p", "late_dp", "late_mpt", "mid_dp", "mid_mpt"]);
+    let mut t = Table::new(
+        "scalability",
+        &["p", "late_dp", "late_mpt", "mid_dp", "mid_mpt"],
+    );
     for p in WORKER_COUNTS {
         t.push(vec![
             p.to_string(),
@@ -75,8 +78,7 @@ mod tests {
     #[test]
     fn mpt_scales_better_than_dp_on_late_layers() {
         let dp = cycles_at(64, 4, SystemConfig::WDp) / cycles_at(1024, 4, SystemConfig::WDp);
-        let mpt =
-            cycles_at(64, 4, SystemConfig::WMpPD) / cycles_at(1024, 4, SystemConfig::WMpPD);
+        let mpt = cycles_at(64, 4, SystemConfig::WMpPD) / cycles_at(1024, 4, SystemConfig::WMpPD);
         assert!(mpt > dp, "mpt gain {mpt} should beat dp gain {dp}");
     }
 

@@ -12,7 +12,10 @@ use crate::{f, row};
 pub fn table1() -> String {
     let mut out = String::new();
     out.push_str("== Table I: CNNs used in the evaluation ==\n");
-    out.push_str(&row("network", &["dataset", "params (M)", "3x3 params (M)"].map(String::from)));
+    out.push_str(&row(
+        "network",
+        &["dataset", "params (M)", "3x3 params (M)"].map(String::from),
+    ));
     for net in [wrn_40_10(), resnet34(), fractalnet()] {
         out.push_str(&row(
             &net.name,
@@ -23,15 +26,22 @@ pub fn table1() -> String {
             ],
         ));
     }
-    out.push_str("(paper: WRN-40-10 55.6M/55.5M, FractalNet 164M/163M; see DESIGN.md substitution 5)\n");
+    out.push_str(
+        "(paper: WRN-40-10 55.6M/55.5M, FractalNet 164M/163M; see DESIGN.md substitution 5)\n",
+    );
     out
 }
 
 /// Table II: the five representative layers (reconstructed).
 pub fn table2() -> String {
     let mut out = String::new();
-    out.push_str(&format!("== Table II: five convolution layers (batch {TABLE2_BATCH}) ==\n"));
-    out.push_str(&row("layer", &["I", "J", "HxW", "r", "|w|", "|W| F(2,3)"].map(String::from)));
+    out.push_str(&format!(
+        "== Table II: five convolution layers (batch {TABLE2_BATCH}) ==\n"
+    ));
+    out.push_str(&row(
+        "layer",
+        &["I", "J", "HxW", "r", "|w|", "|W| F(2,3)"].map(String::from),
+    ));
     for l in table2_layers() {
         out.push_str(&row(
             &l.name,
@@ -54,8 +64,12 @@ pub fn table3() -> String {
     let ndp = NdpParams::paper_fp32();
     let mut out = String::new();
     out.push_str("== Table III: simulation parameters ==\n");
-    out.push_str(&format!("router clock: 1 GHz; hop latency {} cycles (SerDes {} + router {})\n",
-        noc.hop_latency(), noc.serdes_cycles, noc.router_cycles));
+    out.push_str(&format!(
+        "router clock: 1 GHz; hop latency {} cycles (SerDes {} + router {})\n",
+        noc.hop_latency(),
+        noc.serdes_cycles,
+        noc.router_cycles
+    ));
     out.push_str(&format!(
         "links: full {} GB/s/dir (16 lanes x 15 Gbps), narrow {} GB/s/dir (8 lanes x 10 Gbps)\n",
         LinkKind::Full.bytes_per_cycle(),
@@ -114,7 +128,12 @@ mod tests {
     #[test]
     fn table2_lists_five_layers() {
         let t = table2();
-        assert_eq!(t.lines().filter(|l| l.contains("x") && !l.contains("==") && !l.contains("HxW")).count(), 5);
+        assert_eq!(
+            t.lines()
+                .filter(|l| l.contains("x") && !l.contains("==") && !l.contains("HxW"))
+                .count(),
+            5
+        );
     }
 
     #[test]

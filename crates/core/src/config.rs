@@ -26,7 +26,14 @@ pub enum SystemConfig {
 impl SystemConfig {
     /// All six, in Table IV order.
     pub fn all() -> [SystemConfig; 6] {
-        [Self::DDp, Self::WDp, Self::WMp, Self::WMpP, Self::WMpD, Self::WMpPD]
+        [
+            Self::DDp,
+            Self::WDp,
+            Self::WMp,
+            Self::WMpP,
+            Self::WMpD,
+            Self::WMpPD,
+        ]
     }
 
     /// Table IV abbreviation.
@@ -129,12 +136,22 @@ pub struct PredictionSavings {
 impl PredictionSavings {
     /// The paper's §V-B numbers.
     pub const fn paper() -> Self {
-        Self { gather_2d: 0.340, gather_1d: 0.781, scatter_2d: 0.393, scatter_1d: 0.647 }
+        Self {
+            gather_2d: 0.340,
+            gather_1d: 0.781,
+            scatter_2d: 0.393,
+            scatter_1d: 0.647,
+        }
     }
 
     /// No savings (prediction disabled).
     pub const fn none() -> Self {
-        Self { gather_2d: 0.0, gather_1d: 0.0, scatter_2d: 0.0, scatter_1d: 0.0 }
+        Self {
+            gather_2d: 0.0,
+            gather_1d: 0.0,
+            scatter_2d: 0.0,
+            scatter_1d: 0.0,
+        }
     }
 
     /// Builds the savings from *measured* fractions (e.g. this
@@ -192,13 +209,21 @@ mod tests {
         assert!(SystemConfig::WMp.uses_mpt() && !SystemConfig::WMp.uses_prediction());
         assert!(SystemConfig::WMpP.uses_prediction());
         assert!(SystemConfig::WMpD.uses_dynamic_clustering());
-        assert!(SystemConfig::WMpPD.uses_prediction() && SystemConfig::WMpPD.uses_dynamic_clustering());
+        assert!(
+            SystemConfig::WMpPD.uses_prediction() && SystemConfig::WMpPD.uses_dynamic_clustering()
+        );
     }
 
     #[test]
     fn candidates_match_paper_on_256() {
-        assert_eq!(SystemConfig::WDp.candidate_configs(256), vec![ClusterConfig::new(1, 256)]);
-        assert_eq!(SystemConfig::WMp.candidate_configs(256), vec![ClusterConfig::new(16, 16)]);
+        assert_eq!(
+            SystemConfig::WDp.candidate_configs(256),
+            vec![ClusterConfig::new(1, 256)]
+        );
+        assert_eq!(
+            SystemConfig::WMp.candidate_configs(256),
+            vec![ClusterConfig::new(16, 16)]
+        );
         assert_eq!(SystemConfig::WMpPD.candidate_configs(256).len(), 3);
     }
 
@@ -223,7 +248,10 @@ mod tests {
         assert_eq!(s.gather_for(ClusterConfig::new(16, 16), 4), 0.340);
         assert_eq!(s.gather_for(ClusterConfig::new(4, 64), 4), 0.781);
         assert_eq!(s.scatter_for(ClusterConfig::new(4, 64), 4), 0.647);
-        assert_eq!(PredictionSavings::none().gather_for(ClusterConfig::new(4, 64), 4), 0.0);
+        assert_eq!(
+            PredictionSavings::none().gather_for(ClusterConfig::new(4, 64), 4),
+            0.0
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use wmpt_ndp::{
     elementwise, gemm, transform_2d, winograd_elementwise_gemms, NdpParams, WorkerCost,
 };
 use wmpt_noc::{ring_collective_cycles, tile_transfer_phase, ClusterConfig, NocParams};
+use wmpt_obs::TrafficClass;
 
 use crate::config::{PredictionSavings, SystemConfig};
 use wmpt_models::ConvLayerSpec;
@@ -66,12 +67,19 @@ impl SystemModel {
 
     /// The entire-CNN evaluation system (FP16 96×96 arrays, §VII-C).
     pub fn paper_fp16() -> Self {
-        Self { ndp: NdpParams::paper_fp16(), ..Self::paper() }
+        Self {
+            ndp: NdpParams::paper_fp16(),
+            ..Self::paper()
+        }
     }
 
     /// A single-worker reference system (the Fig 17 baseline).
     pub fn single_worker() -> Self {
-        Self { workers: 1, group_size: 1, ..Self::paper_fp16() }
+        Self {
+            workers: 1,
+            group_size: 1,
+            ..Self::paper_fp16()
+        }
     }
 
     /// Collective-ring bandwidth in bytes/cycle for a system config: the
@@ -156,14 +164,75 @@ impl LayerResult {
     }
 }
 
+/// One tile-transfer sub-phase of a layer, for observation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommPhase {
+    /// Traffic class (scatter or gather).
+    pub class: TrafficClass,
+    /// Phase duration in cycles.
+    pub cycles: f64,
+    /// Payload bytes actually moved cluster-wide (post-savings).
+    pub payload_bytes: u64,
+}
+
+/// The weight collective's parameters, for observation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CollectiveDetail {
+    /// Message bytes each ring member contributes.
+    pub msg_bytes: u64,
+    /// Ring membership count.
+    pub ring_len: usize,
+    /// Ring link bandwidth, bytes/cycle.
+    pub bandwidth: f64,
+    /// Host-stitching latency added per hop.
+    pub extra_hop_latency: u64,
+    /// Closed-form completion cycles.
+    pub cycles: f64,
+}
+
+/// Per-stage/per-phase breakdown collected while executing a layer, used
+/// by [`crate::observe`] to emit spans and metrics. Cheap to build (a few
+/// small vectors next to the topology allocations the execution already
+/// makes) and never exposed publicly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecDetail {
+    /// Forward NDP stages `(name, busy cycles)` in dataflow order.
+    pub fwd_stages: Vec<(&'static str, f64)>,
+    /// Backward NDP stages `(name, busy cycles)` in dataflow order.
+    pub bwd_stages: Vec<(&'static str, f64)>,
+    /// Forward tile-transfer sub-phases in order.
+    pub fwd_comm: Vec<CommPhase>,
+    /// Backward tile-transfer sub-phases in order.
+    pub bwd_comm: Vec<CommPhase>,
+    /// Weight collective, if any.
+    pub collective: Option<CollectiveDetail>,
+    /// Per-worker forward local cost.
+    pub fwd_cost: WorkerCost,
+    /// Per-worker backward local cost.
+    pub bwd_cost: WorkerCost,
+    /// Cluster-wide tile bytes moved in the forward pass (post-savings).
+    pub tile_bytes_fwd_total: u64,
+    /// Gather bytes avoided by activation prediction (fwd + bwd).
+    pub tile_bytes_saved_gather: u64,
+    /// Scatter bytes avoided by zero-skipping (fwd + bwd).
+    pub tile_bytes_saved_scatter: u64,
+}
+
 /// Simulates one layer under `sys`, letting dynamic clustering pick the
 /// best worker organization when the config allows it (the paper assumes
 /// the optimal per-layer reorganization, §IV footnote).
-pub fn simulate_layer(model: &SystemModel, layer: &ConvLayerSpec, sys: SystemConfig) -> LayerResult {
+pub fn simulate_layer(
+    model: &SystemModel,
+    layer: &ConvLayerSpec,
+    sys: SystemConfig,
+) -> LayerResult {
     let mut best: Option<LayerResult> = None;
     for cfg in sys.candidate_configs(model.workers) {
         let r = simulate_layer_with(model, layer, sys, cfg);
-        if best.as_ref().is_none_or(|b| r.total_cycles() < b.total_cycles()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| r.total_cycles() < b.total_cycles())
+        {
             best = Some(r);
         }
     }
@@ -177,7 +246,22 @@ pub fn simulate_layer_with(
     sys: SystemConfig,
     cfg: ClusterConfig,
 ) -> LayerResult {
-    let tf = if layer.winograd_friendly() { sys.transform_for(layer.r, cfg.n_g) } else { None };
+    simulate_layer_with_detail(model, layer, sys, cfg).0
+}
+
+/// Like [`simulate_layer_with`], additionally returning the execution
+/// breakdown for the observability layer.
+pub(crate) fn simulate_layer_with_detail(
+    model: &SystemModel,
+    layer: &ConvLayerSpec,
+    sys: SystemConfig,
+    cfg: ClusterConfig,
+) -> (LayerResult, ExecDetail) {
+    let tf = if layer.winograd_friendly() {
+        sys.transform_for(layer.r, cfg.n_g)
+    } else {
+        None
+    };
     match tf {
         Some(tf) => winograd_layer_exec(model, layer, sys, cfg, tf.m(), tf.t()),
         None => direct_layer_exec(model, layer, sys),
@@ -186,7 +270,11 @@ pub fn simulate_layer_with(
 
 /// Direct convolution under data parallelism (`d_dp`, and any layer that
 /// cannot run in the Winograd domain).
-fn direct_layer_exec(model: &SystemModel, layer: &ConvLayerSpec, sys: SystemConfig) -> LayerResult {
+fn direct_layer_exec(
+    model: &SystemModel,
+    layer: &ConvLayerSpec,
+    sys: SystemConfig,
+) -> (LayerResult, ExecDetail) {
     let p = model.workers as u64;
     let cfg = ClusterConfig::data_parallel(model.workers);
     let b_local = (model.batch as u64).div_ceil(p);
@@ -208,7 +296,13 @@ fn direct_layer_exec(model: &SystemModel, layer: &ConvLayerSpec, sys: SystemConf
     fwd_cost.dram_bytes = x_share + layer.spatial_weight_bytes() + y_share;
 
     // bprop + updateGrad.
-    let g_b = gemm(&model.ndp, pixels, (layer.out_chans * layer.r * layer.r) as u64, layer.in_chans as u64, 0.5);
+    let g_b = gemm(
+        &model.ndp,
+        pixels,
+        (layer.out_chans * layer.r * layer.r) as u64,
+        layer.in_chans as u64,
+        0.5,
+    );
     let g_u = gemm(&model.ndp, i_rr, pixels, j, 0.5);
     let relu_b = elementwise(&model.ndp, pixels * layer.in_chans as u64);
     let upd = elementwise(&model.ndp, layer.params());
@@ -232,7 +326,31 @@ fn direct_layer_exec(model: &SystemModel, layer: &ConvLayerSpec, sys: SystemConf
         host_extra,
     );
 
-    assemble(model, layer, sys, cfg, None, fwd_cost, 0.0, bwd_cost, 0.0, coll)
+    let detail = ExecDetail {
+        fwd_stages: vec![("gemm_f", g_f.cycles as f64), ("relu", relu.cycles as f64)],
+        bwd_stages: vec![
+            ("gemm_b", g_b.cycles as f64),
+            ("gemm_u", g_u.cycles as f64),
+            ("relu_b", relu_b.cycles as f64),
+            ("upd", upd.cycles as f64),
+        ],
+        collective: Some(CollectiveDetail {
+            msg_bytes: layer.spatial_weight_bytes(),
+            ring_len: cfg.ring_len(),
+            bandwidth: model.ring_bandwidth(sys),
+            extra_hop_latency: host_extra,
+            cycles: coll,
+        }),
+        fwd_cost,
+        bwd_cost,
+        ..ExecDetail::default()
+    };
+    (
+        assemble(
+            model, layer, sys, cfg, None, fwd_cost, 0.0, bwd_cost, 0.0, coll,
+        ),
+        detail,
+    )
 }
 
 /// Winograd execution under MPT (or single-group data parallelism).
@@ -243,7 +361,7 @@ fn winograd_layer_exec(
     cfg: ClusterConfig,
     m: usize,
     t: usize,
-) -> LayerResult {
+) -> (LayerResult, ExecDetail) {
     let (n_g, n_c) = (cfg.n_g as u64, cfg.n_c as u64);
     let b = model.batch as u64;
     let tpi = layer.tiles_per_image(m);
@@ -255,8 +373,16 @@ fn winograd_layer_exec(
 
     let one_d = cfg.uses_one_d_transfer(t);
     let pred = sys.uses_prediction();
-    let s_gather = if pred { model.savings.gather_for(cfg, t) } else { 0.0 };
-    let s_scatter = if pred { model.savings.scatter_for(cfg, t) } else { 0.0 };
+    let s_gather = if pred {
+        model.savings.gather_for(cfg, t)
+    } else {
+        0.0
+    };
+    let s_scatter = if pred {
+        model.savings.scatter_for(cfg, t)
+    } else {
+        0.0
+    };
     // Winograd-domain join (FractalNet modified join): branch outputs are
     // joined before the inverse transform, halving this layer's gather and
     // inverse-transform work.
@@ -273,7 +399,10 @@ fn winograd_layer_exec(
         ((tiles_cluster * j / n_g.min(t2)) as f64 * join_factor) as u64,
         t,
     );
-    let relu = elementwise(&model.ndp, b.div_ceil(n_c) * (layer.h * layer.w) as u64 * j / n_g);
+    let relu = elementwise(
+        &model.ndp,
+        b.div_ceil(n_c) * (layer.h * layer.w) as u64 * j / n_g,
+    );
     // Per-phase Winograd weight reads from DRAM (each worker stores only
     // its group's |W|/N_g share — the paper's DRAM-energy advantage) and
     // the Fig 1 accounting for feature data: spatial maps touch DRAM
@@ -293,17 +422,40 @@ fn winograd_layer_exec(
     fwd_cost.dram_bytes = x_share + 2 * xt_share + w_share + 2 * yt_share + y_share;
 
     // Forward communication: scatter X then gather Y inside each cluster.
+    let mut detail = ExecDetail::default();
     let fwd_comm = if n_g > 1 {
-        let cluster = cfg.cluster_topology().expect("n_g > 1 has a cluster fabric");
+        let cluster = cfg
+            .cluster_topology()
+            .expect("n_g > 1 has a cluster fabric");
         let x_bytes = layer.input_tile_bytes(model.batch, m, t) / n_c;
         let y_bytes = layer.output_tile_bytes(model.batch, m, t) / n_c;
         let gather_factor = if one_d { m as f64 / t as f64 } else { 1.0 };
-        let pred_overhead = if pred { model.prediction_bits as f64 / 32.0 } else { 0.0 };
+        let pred_overhead = if pred {
+            model.prediction_bits as f64 / 32.0
+        } else {
+            0.0
+        };
         let scatter_v = x_bytes as f64 * (1.0 - s_scatter);
         let gather_v =
             y_bytes as f64 * gather_factor * join_factor * (1.0 - s_gather + pred_overhead);
         let ph_s = tile_transfer_phase(&cluster, &model.noc, scatter_v as u64, cfg.n_g);
         let ph_g = tile_transfer_phase(&cluster, &model.noc, gather_v as u64, cfg.n_g);
+        detail.fwd_comm = vec![
+            CommPhase {
+                class: TrafficClass::TileScatter,
+                cycles: ph_s.cycles,
+                payload_bytes: scatter_v as u64,
+            },
+            CommPhase {
+                class: TrafficClass::TileGather,
+                cycles: ph_g.cycles,
+                payload_bytes: gather_v as u64,
+            },
+        ];
+        detail.tile_bytes_fwd_total = (scatter_v + gather_v) as u64;
+        detail.tile_bytes_saved_scatter += (x_bytes as f64 * s_scatter) as u64;
+        detail.tile_bytes_saved_gather +=
+            (y_bytes as f64 * gather_factor * join_factor * s_gather) as u64;
         ph_s.cycles + ph_g.cycles
     } else {
         0.0
@@ -313,7 +465,10 @@ fn winograd_layer_exec(
     let tf_dy = transform_2d(&model.ndp, tiles_cluster * j / n_g.min(t2), t);
     let g_b = winograd_elementwise_gemms(&model.ndp, elems_pw, tiles_cluster, j, i);
     let tf_dx = transform_2d(&model.ndp, tiles_cluster * i / n_g.min(t2), t);
-    let relu_b = elementwise(&model.ndp, b.div_ceil(n_c) * (layer.h * layer.w) as u64 * i / n_g);
+    let relu_b = elementwise(
+        &model.ndp,
+        b.div_ceil(n_c) * (layer.h * layer.w) as u64 * i / n_g,
+    );
     let g_u = gemm(&model.ndp, i, tiles_cluster, j, 0.5);
     let g_u = wmpt_ndp::GemmCost {
         cycles: g_u.cycles * elems_pw,
@@ -323,7 +478,10 @@ fn winograd_layer_exec(
         dram_bytes: g_u.dram_bytes * elems_pw,
         sram_bytes: g_u.sram_bytes * elems_pw,
     };
-    let upd = elementwise(&model.ndp, (layer.in_chans * layer.out_chans) as u64 * t2 / n_g);
+    let upd = elementwise(
+        &model.ndp,
+        (layer.in_chans * layer.out_chans) as u64 * t2 / n_g,
+    );
     let mut bwd_cost = WorkerCost::default()
         .with_vector(&tf_dy)
         .with_gemm(&g_b)
@@ -337,7 +495,9 @@ fn winograd_layer_exec(
         + (xt_share + yt_share + 3 * w_share);
 
     let bwd_tile_comm = if n_g > 1 {
-        let cluster = cfg.cluster_topology().expect("n_g > 1 has a cluster fabric");
+        let cluster = cfg
+            .cluster_topology()
+            .expect("n_g > 1 has a cluster fabric");
         let dy_bytes = layer.output_tile_bytes(model.batch, m, t) / n_c;
         let dx_bytes = layer.input_tile_bytes(model.batch, m, t) / n_c;
         let gather_factor = if one_d { m as f64 / t as f64 } else { 1.0 };
@@ -346,6 +506,19 @@ fn winograd_layer_exec(
         let gather_v = dx_bytes as f64 * gather_factor;
         let ph_s = tile_transfer_phase(&cluster, &model.noc, scatter_v as u64, cfg.n_g);
         let ph_g = tile_transfer_phase(&cluster, &model.noc, gather_v as u64, cfg.n_g);
+        detail.bwd_comm = vec![
+            CommPhase {
+                class: TrafficClass::TileScatter,
+                cycles: ph_s.cycles,
+                payload_bytes: scatter_v as u64,
+            },
+            CommPhase {
+                class: TrafficClass::TileGather,
+                cycles: ph_g.cycles,
+                payload_bytes: gather_v as u64,
+            },
+        ];
+        detail.tile_bytes_saved_scatter += (dy_bytes as f64 * s_scatter) as u64;
         ph_s.cycles + ph_g.cycles
     } else {
         0.0
@@ -372,7 +545,31 @@ fn winograd_layer_exec(
     // Reduce-block adds for the incoming gradient chunks.
     bwd_cost.vector_ops += (coll_msg / 4) * 2;
 
-    assemble(
+    detail.fwd_stages = vec![
+        ("tf_in", tf_in.cycles as f64),
+        ("gemm_f", g_f.cycles as f64),
+        ("tf_out", tf_out.cycles as f64),
+        ("relu", relu.cycles as f64),
+    ];
+    detail.bwd_stages = vec![
+        ("tf_dy", tf_dy.cycles as f64),
+        ("gemm_b", g_b.cycles as f64),
+        ("tf_dx", tf_dx.cycles as f64),
+        ("relu_b", relu_b.cycles as f64),
+        ("gemm_u", g_u.cycles as f64),
+        ("upd", upd.cycles as f64),
+    ];
+    detail.collective = Some(CollectiveDetail {
+        msg_bytes: coll_msg,
+        ring_len: cfg.ring_len(),
+        bandwidth: model.ring_bandwidth(sys),
+        extra_hop_latency: host_extra,
+        cycles: coll,
+    });
+    detail.fwd_cost = fwd_cost;
+    detail.bwd_cost = bwd_cost;
+
+    let result = assemble(
         model,
         layer,
         sys,
@@ -383,7 +580,8 @@ fn winograd_layer_exec(
         bwd_cost,
         bwd_tile_comm,
         coll,
-    )
+    );
+    (result, detail)
 }
 
 /// Combines local costs and communication into phase results with
@@ -407,17 +605,15 @@ fn assemble(
 
     let fwd_cycles = (fwd_cost.pipelined_cycles(&model.ndp) as f64).max(fwd_comm);
     let mut fwd_energy = worker.energy(&fwd_cost, &model.energy).scale(p);
-    fwd_energy.link_j = model.energy.link_energy_j(
-        model.enabled_link_bw_fwd(sys, cfg) * p,
-        fwd_cycles,
-    );
+    fwd_energy.link_j = model
+        .energy
+        .link_energy_j(model.enabled_link_bw_fwd(sys, cfg) * p, fwd_cycles);
 
     let bwd_cycles = (bwd_cost.pipelined_cycles(&model.ndp) as f64).max(bwd_comm);
     let mut bwd_energy = worker.energy(&bwd_cost, &model.energy).scale(p);
-    bwd_energy.link_j = model.energy.link_energy_j(
-        model.enabled_link_bw_bwd(sys, cfg) * p,
-        bwd_cycles,
-    );
+    bwd_energy.link_j = model
+        .energy
+        .link_energy_j(model.enabled_link_bw_bwd(sys, cfg) * p, bwd_cycles);
 
     LayerResult {
         layer: layer.name.clone(),

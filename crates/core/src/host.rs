@@ -116,7 +116,11 @@ pub fn plan_network(model: &SystemModel, net: &Network, sys: SystemConfig) -> Tr
             }
         })
         .collect();
-    TrainingPlan { network: net.name.clone(), config: sys, layers }
+    TrainingPlan {
+        network: net.name.clone(),
+        config: sys,
+        layers,
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod exec;
 pub mod host;
 pub mod net_trainer;
 pub mod network_eval;
+pub mod observe;
 pub mod pipeline;
 pub mod sweep;
 pub mod taskgraph;
@@ -46,6 +47,9 @@ pub use exec::{simulate_layer, simulate_layer_with, LayerResult, PhaseResult, Sy
 pub use host::{plan_network, PlannedLayer, TrainingPlan};
 pub use net_trainer::{Activations, Stage, WinogradNet};
 pub use network_eval::{simulate_network, speedup_vs_single, NetworkResult};
+pub use observe::{
+    simulate_layer_observed, simulate_layer_with_observed, simulate_network_observed,
+};
 pub use pipeline::{pipelined_backward_cycles, pipelined_iteration_cycles, serial_backward_cycles};
 pub use sweep::{batch_sweep, worker_sweep, BatchPoint, WorkerPoint};
 pub use taskgraph::{compile_forward, CompiledForward};

@@ -98,7 +98,13 @@ impl WinogradNet {
             };
         }
         let scores = self.score(&cur);
-        Activations { inputs, pre_relu, post_relu, features: cur, scores }
+        Activations {
+            inputs,
+            pre_relu,
+            post_relu,
+            features: cur,
+            scores,
+        }
     }
 
     /// Mean-pooled channel features dotted with the readout weights.
@@ -222,8 +228,7 @@ impl WinogradNet {
             let s = cur.shape();
             let out_shape = Shape4::new(s.n, st.conv.weights().out_chans, s.h, s.w);
             let sigma = wmpt_predict::sigma_of(&wy.data);
-            let predictor =
-                ActivationPredictor::new(tf, QuantizerConfig::new(levels, 4), sigma);
+            let predictor = ActivationPredictor::new(tf, QuantizerConfig::new(levels, 4), sigma);
             let (post, skipped) =
                 gather_with_prediction(&wy, &predictor, PredictMode::TwoD, out_shape);
             saved += skipped;
@@ -242,7 +247,11 @@ impl WinogradNet {
     ///
     /// Panics if architectures differ.
     pub fn max_weight_diff(&self, other: &WinogradNet) -> f32 {
-        assert_eq!(self.stages.len(), other.stages.len(), "architecture mismatch");
+        assert_eq!(
+            self.stages.len(),
+            other.stages.len(),
+            "architecture mismatch"
+        );
         let mut d = 0.0f32;
         for (a, b) in self.stages.iter().zip(&other.stages) {
             for (x, y) in a.conv.weights().data.iter().zip(&b.conv.weights().data) {
@@ -309,7 +318,10 @@ mod tests {
         for _ in 0..4 {
             let lc = central.train_step(&x, &t, 0.05, None);
             let ld = dist.train_step(&x, &t, 0.05, Some(grid));
-            assert!((lc - ld).abs() < 1e-4 * (1.0 + lc.abs()), "loss {lc} vs {ld}");
+            assert!(
+                (lc - ld).abs() < 1e-4 * (1.0 + lc.abs()),
+                "loss {lc} vs {ld}"
+            );
         }
         let d = central.max_weight_diff(&dist);
         assert!(d < 1e-3, "weights diverged by {d}");
@@ -323,7 +335,11 @@ mod tests {
             n.train_step(&x, &t, 0.05, None);
             n
         };
-        for grid in [ClusterConfig::new(16, 1), ClusterConfig::new(2, 4), ClusterConfig::new(1, 8)] {
+        for grid in [
+            ClusterConfig::new(16, 1),
+            ClusterConfig::new(2, 4),
+            ClusterConfig::new(1, 8),
+        ] {
             let mut n = WinogradNet::new(8, 2, &[4], true);
             n.train_step(&x, &t, 0.05, Some(grid));
             let d = n.max_weight_diff(&reference);

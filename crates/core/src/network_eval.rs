@@ -30,7 +30,9 @@ impl NetworkResult {
     pub fn total_energy(&self) -> EnergyBreakdown {
         self.layers
             .iter()
-            .fold(EnergyBreakdown::default(), |acc, l| acc.add(&l.total_energy()))
+            .fold(EnergyBreakdown::default(), |acc, l| {
+                acc.add(&l.total_energy())
+            })
     }
 
     /// Training throughput in images per second (1 GHz clock).
@@ -61,8 +63,16 @@ impl NetworkResult {
 
 /// Simulates one training iteration of `net` under `sys`.
 pub fn simulate_network(model: &SystemModel, net: &Network, sys: SystemConfig) -> NetworkResult {
-    let layers = net.layers.iter().map(|l| simulate_layer(model, l, sys)).collect();
-    NetworkResult { network: net.name.clone(), config: sys, layers }
+    let layers = net
+        .layers
+        .iter()
+        .map(|l| simulate_layer(model, l, sys))
+        .collect();
+    NetworkResult {
+        network: net.name.clone(),
+        config: sys,
+        layers,
+    }
 }
 
 /// Speedup of a configuration on `p` workers over the single-NDP-worker
@@ -103,18 +113,24 @@ mod tests {
         };
         let g_res = gain(&resnet34());
         let g_fract = gain(&fractalnet());
-        assert!(g_res < g_fract, "ResNet-34 gain {g_res} should trail FractalNet {g_fract}");
+        assert!(
+            g_res < g_fract,
+            "ResNet-34 gain {g_res} should trail FractalNet {g_fract}"
+        );
     }
 
     #[test]
-    fn scaling_vs_single_worker_is_large(){
+    fn scaling_vs_single_worker_is_large() {
         // Fig 17: 256 workers reach O(100x) over one worker.
         let m = SystemModel::paper_fp16();
         let net = wrn_40_10();
         let s_dp = speedup_vs_single(&m, &net, SystemConfig::WDp);
         let s_full = speedup_vs_single(&m, &net, SystemConfig::WMpPD);
         assert!(s_dp > 10.0, "w_dp speedup {s_dp}");
-        assert!(s_full > s_dp, "w_mp++ {s_full} must scale better than w_dp {s_dp}");
+        assert!(
+            s_full > s_dp,
+            "w_mp++ {s_full} must scale better than w_dp {s_dp}"
+        );
         assert!(s_full > 20.0, "w_mp++ speedup {s_full}");
     }
 
@@ -123,7 +139,10 @@ mod tests {
         let m = SystemModel::paper_fp16();
         let res = simulate_network(&m, &fractalnet(), SystemConfig::WMpPD);
         let hist = res.config_histogram();
-        assert!(hist.len() >= 2, "expected a mix of configurations, got {hist:?}");
+        assert!(
+            hist.len() >= 2,
+            "expected a mix of configurations, got {hist:?}"
+        );
     }
 
     #[test]

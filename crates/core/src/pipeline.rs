@@ -52,7 +52,10 @@ mod tests {
 
     fn results(sys: SystemConfig) -> Vec<LayerResult> {
         let m = SystemModel::paper();
-        table2_layers().iter().map(|l| simulate_layer(&m, l, sys)).collect()
+        table2_layers()
+            .iter()
+            .map(|l| simulate_layer(&m, l, sys))
+            .collect()
     }
 
     #[test]
@@ -69,7 +72,10 @@ mod tests {
                 .iter()
                 .map(|l| l.backward.compute_cycles.min(l.backward.comm_cycles))
                 .fold(0.0, f64::max);
-            assert!(p <= s + slack + 1.0, "{sys}: pipelined {p} vs serial {s} (+{slack})");
+            assert!(
+                p <= s + slack + 1.0,
+                "{sys}: pipelined {p} vs serial {s} (+{slack})"
+            );
         }
     }
 
@@ -86,8 +92,11 @@ mod tests {
         // overlap hides part of it behind earlier layers' compute.
         let m = SystemModel::paper_fp16();
         let net = wrn_40_10();
-        let rs: Vec<LayerResult> =
-            net.layers.iter().map(|l| simulate_layer(&m, l, SystemConfig::WDp)).collect();
+        let rs: Vec<LayerResult> = net
+            .layers
+            .iter()
+            .map(|l| simulate_layer(&m, l, SystemConfig::WDp))
+            .collect();
         let p = pipelined_backward_cycles(&rs);
         let s = serial_backward_cycles(&rs);
         assert!(p < s, "pipelining should strictly help w_dp ({p} vs {s})");
@@ -98,9 +107,7 @@ mod tests {
         let rs = results(SystemConfig::WMpPD);
         let fwd: f64 = rs.iter().map(|l| l.forward.cycles).sum();
         assert!(pipelined_iteration_cycles(&rs) >= fwd);
-        assert!(
-            pipelined_iteration_cycles(&rs) <= fwd + serial_backward_cycles(&rs) + 1e-9
-        );
+        assert!(pipelined_iteration_cycles(&rs) <= fwd + serial_backward_cycles(&rs) + 1e-9);
     }
 
     #[test]

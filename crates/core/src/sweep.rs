@@ -65,8 +65,15 @@ pub fn worker_sweep(
         .iter()
         .map(|&p| {
             let group = ((p as f64).sqrt() as usize).max(2);
-            let model = SystemModel { workers: p, group_size: group, ..*base };
-            WorkerPoint { workers: p, cycles: simulate_layer(&model, layer, sys).total_cycles() }
+            let model = SystemModel {
+                workers: p,
+                group_size: group,
+                ..*base
+            };
+            WorkerPoint {
+                workers: p,
+                cycles: simulate_layer(&model, layer, sys).total_cycles(),
+            }
         })
         .collect()
 }
@@ -116,7 +123,10 @@ mod tests {
         let net = wrn_40_10();
         let pts = batch_sweep(&base, &net, SystemConfig::WMpPD, &[256, 512]);
         let ratio = pts[1].iteration_cycles / pts[0].iteration_cycles;
-        assert!(ratio < 2.0, "doubling batch must not double latency ({ratio})");
+        assert!(
+            ratio < 2.0,
+            "doubling batch must not double latency ({ratio})"
+        );
         assert!(ratio > 1.0, "bigger batch is still more work");
     }
 
@@ -126,6 +136,9 @@ mod tests {
         let layer = &table2_layers()[3];
         let pts = worker_sweep(&base, layer, SystemConfig::WMpPD, &[64, 256]);
         assert_eq!(pts.len(), 2);
-        assert!(pts[1].cycles < pts[0].cycles, "more workers should help Late-1");
+        assert!(
+            pts[1].cycles < pts[0].cycles,
+            "more workers should help Late-1"
+        );
     }
 }

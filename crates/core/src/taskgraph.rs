@@ -8,8 +8,8 @@
 //! the compiled task graph *achieves* it through double buffering — the
 //! cross-validation tests check the two agree.
 
-use wmpt_ndp::{gemm, transform_2d, NdpParams, TaskGraph, TaskKind, WorkerCost};
 use wmpt_models::ConvLayerSpec;
+use wmpt_ndp::{gemm, transform_2d, NdpParams, TaskGraph, TaskKind, WorkerCost};
 use wmpt_noc::ClusterConfig;
 
 /// A compiled forward pass: the graph plus the cost the analytical model
@@ -41,7 +41,10 @@ pub fn compile_forward(
     m: usize,
     t: usize,
 ) -> CompiledForward {
-    assert!(layer.winograd_friendly(), "task-graph compile expects a Winograd layer");
+    assert!(
+        layer.winograd_friendly(),
+        "task-graph compile expects a Winograd layer"
+    );
     let (n_g, n_c) = (cfg.n_g as u64, cfg.n_c as u64);
     let t2 = (t * t) as u64;
     let tiles_cluster = (batch as u64).div_ceil(n_c) * layer.tiles_per_image(m);
@@ -66,8 +69,7 @@ pub fn compile_forward(
     let gemm_cycles = g.compute_cycles * elems_pw;
     let tf_out = transform_2d(ndp, chunk_tiles * j / n_g.min(t2), t);
     let chunk_bytes = chunk_tiles * t2 * (i + j) * 4 / n_g.min(t2);
-    let dma_cycles =
-        ((chunk_bytes as f64 / ndp.dram_bytes_per_cycle).ceil() as u64).max(1);
+    let dma_cycles = ((chunk_bytes as f64 / ndp.dram_bytes_per_cycle).ceil() as u64).max(1);
 
     let mut graph = TaskGraph::new();
     let mut prev_load = None;
@@ -100,7 +102,11 @@ pub fn compile_forward(
         .with_gemm(&g_full)
         .with_vector(&tf_out_full);
 
-    CompiledForward { graph, analytical, chunks }
+    CompiledForward {
+        graph,
+        analytical,
+        chunks,
+    }
 }
 
 #[cfg(test)]
@@ -127,10 +133,7 @@ mod tests {
         let c = compile_forward(&ndp, &layer(), ClusterConfig::new(16, 16), 256, 2, 4);
         let sched = c.graph.execute();
         let makespan = sched.makespan();
-        let bottleneck = c
-            .analytical
-            .systolic_cycles
-            .max(c.analytical.vector_cycles);
+        let bottleneck = c.analytical.systolic_cycles.max(c.analytical.vector_cycles);
         assert!(
             makespan >= bottleneck,
             "makespan {makespan} below bottleneck {bottleneck}"
@@ -148,10 +151,7 @@ mod tests {
         let big = ConvLayerSpec::new("big", 256, 256, 28, 28, 3);
         let c = compile_forward(&ndp, &big, ClusterConfig::new(16, 16), 256, 2, 4);
         let makespan = c.graph.execute().makespan() as f64;
-        let pipelined = c
-            .analytical
-            .systolic_cycles
-            .max(c.analytical.vector_cycles) as f64;
+        let pipelined = c.analytical.systolic_cycles.max(c.analytical.vector_cycles) as f64;
         let ratio = makespan / pipelined;
         assert!(
             (0.9..2.0).contains(&ratio),

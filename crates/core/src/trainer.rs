@@ -10,12 +10,12 @@
 //! prediction must not change any output (§V), and the modified join must
 //! equal the spatial join (Fig 14). Each of those claims is a test here.
 
+use wmpt_noc::ClusterConfig;
 use wmpt_predict::{ActivationPredictor, PredictMode};
 use wmpt_tensor::{Shape4, Tensor4};
 use wmpt_winograd::{
     from_winograd_output, relu, to_winograd_input, WgTensor, WgWeights, WinogradLayer,
 };
-use wmpt_noc::ClusterConfig;
 
 /// Returns the group that owns tile element `e` under `n_g` groups
 /// (contiguous block partition; with `F(2×2,3×3)` and 16 groups each
@@ -61,7 +61,13 @@ pub fn slice_batch(x: &Tensor4, start: usize, len: usize) -> Tensor4 {
 pub fn fprop_distributed(layer: &WinogradLayer, cfg: ClusterConfig, x: &Tensor4) -> Tensor4 {
     let tf = layer.transform().clone();
     let s = x.shape();
-    assert_eq!(s.n % cfg.n_c, 0, "batch {} must divide across {} clusters", s.n, cfg.n_c);
+    assert_eq!(
+        s.n % cfg.n_c,
+        0,
+        "batch {} must divide across {} clusters",
+        s.n,
+        cfg.n_c
+    );
     let chunk = s.n / cfg.n_c;
     let w = layer.weights();
     let t2 = tf.t() * tf.t();
@@ -143,7 +149,13 @@ pub fn reduced_gradient_distributed(
 ) -> WgWeights {
     let tf = layer.transform().clone();
     let s = x.shape();
-    assert_eq!(s.n % cfg.n_c, 0, "batch {} must divide across {} clusters", s.n, cfg.n_c);
+    assert_eq!(
+        s.n % cfg.n_c,
+        0,
+        "batch {} must divide across {} clusters",
+        s.n,
+        cfg.n_c
+    );
     let chunk = s.n / cfg.n_c;
     let t2 = tf.t() * tf.t();
     let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
@@ -195,7 +207,9 @@ pub fn train_step_distributed_momentum(
     // Each group applies the update to its own elements only; jointly
     // they cover all of them.
     for g in 0..cfg.n_g {
-        opt.step_elements(layer.weights_mut(), &grad, |e| elem_owner(e, t2, cfg.n_g) == g);
+        opt.step_elements(layer.weights_mut(), &grad, |e| {
+            elem_owner(e, t2, cfg.n_g) == g
+        });
     }
 }
 
@@ -309,7 +323,12 @@ mod tests {
     fn distributed_fprop_matches_centralized() {
         let (layer, x, _) = setup(1, 8);
         let reference = layer.fprop(&x);
-        for cfg in [ClusterConfig::new(1, 8), ClusterConfig::new(4, 2), ClusterConfig::new(16, 1), ClusterConfig::new(8, 4)] {
+        for cfg in [
+            ClusterConfig::new(1, 8),
+            ClusterConfig::new(4, 2),
+            ClusterConfig::new(16, 1),
+            ClusterConfig::new(8, 4),
+        ] {
             if x.shape().n % cfg.n_c != 0 {
                 continue;
             }
@@ -326,7 +345,11 @@ mod tests {
         let grad = central.update_grad(&x, &dy);
         central.apply_grad(&grad, 0.01);
 
-        for cfg in [ClusterConfig::new(4, 2), ClusterConfig::new(16, 1), ClusterConfig::new(1, 4)] {
+        for cfg in [
+            ClusterConfig::new(4, 2),
+            ClusterConfig::new(16, 1),
+            ClusterConfig::new(1, 4),
+        ] {
             let mut dist = layer.clone();
             train_step_distributed(&mut dist, cfg, &x, &dy, 0.01);
             let diff: f32 = dist
@@ -367,7 +390,12 @@ mod tests {
             }
             train_step_distributed(&mut dist, cfg, &x, &dyd, lr);
         }
-        let scale = central.weights().data.iter().fold(0.0f32, |a, v| a.max(v.abs())).max(1.0);
+        let scale = central
+            .weights()
+            .data
+            .iter()
+            .fold(0.0f32, |a, v| a.max(v.abs()))
+            .max(1.0);
         let diff: f32 = dist
             .weights()
             .data
@@ -375,7 +403,10 @@ mod tests {
             .zip(&central.weights().data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
-        assert!(diff / scale < 1e-2, "training trajectories diverged: {diff} (scale {scale})");
+        assert!(
+            diff / scale < 1e-2,
+            "training trajectories diverged: {diff} (scale {scale})"
+        );
     }
 
     #[test]
@@ -446,12 +477,14 @@ mod tests {
         let y_sp = g.normal_tensor(shape, -1.0, 1.0);
         let y = output_grad_to_winograd(&y_sp, &tf);
         let sigma = wmpt_predict::sigma_of(&y.data);
-        let predictor =
-            ActivationPredictor::new(tf.clone(), QuantizerConfig::new(64, 4), sigma);
-        let (with_pred, skipped) =
-            gather_with_prediction(&y, &predictor, PredictMode::TwoD, shape);
+        let predictor = ActivationPredictor::new(tf.clone(), QuantizerConfig::new(64, 4), sigma);
+        let (with_pred, skipped) = gather_with_prediction(&y, &predictor, PredictMode::TwoD, shape);
         let full = relu(&from_winograd_output(&y, &tf, shape));
-        assert_eq!(with_pred.max_abs_diff(&full), 0.0, "prediction changed an output");
+        assert_eq!(
+            with_pred.max_abs_diff(&full),
+            0.0,
+            "prediction changed an output"
+        );
         assert!(skipped > 0, "no traffic was saved");
     }
 }

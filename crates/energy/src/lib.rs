@@ -190,7 +190,12 @@ mod tests {
 
     #[test]
     fn breakdown_arithmetic() {
-        let a = EnergyBreakdown { compute_j: 1.0, sram_j: 2.0, dram_j: 3.0, link_j: 4.0 };
+        let a = EnergyBreakdown {
+            compute_j: 1.0,
+            sram_j: 2.0,
+            dram_j: 3.0,
+            link_j: 4.0,
+        };
         assert_eq!(a.total_j(), 10.0);
         let b = a.add(&a);
         assert_eq!(b.total_j(), 20.0);
@@ -200,7 +205,10 @@ mod tests {
 
     #[test]
     fn average_power() {
-        let e = EnergyBreakdown { compute_j: 1.0, ..Default::default() };
+        let e = EnergyBreakdown {
+            compute_j: 1.0,
+            ..Default::default()
+        };
         // 1 J over 1e9 cycles (1 s) = 1 W.
         assert!((e.average_power_w(1.0e9) - 1.0).abs() < 1e-12);
         assert_eq!(e.average_power_w(0.0), 0.0);

@@ -128,8 +128,8 @@ impl DgxSystem {
     /// compute; the paper's TensorFlow-1.4 baseline exposes all of it).
     pub fn iteration_seconds(&self, net: &Network, batch: usize, n_gpus: usize) -> f64 {
         let comm = self.allreduce_seconds(net, n_gpus);
-        let hidden = (comm * self.params.comm_overlap)
-            .min(self.compute_seconds(net, batch, n_gpus) * 0.5);
+        let hidden =
+            (comm * self.params.comm_overlap).min(self.compute_seconds(net, batch, n_gpus) * 0.5);
         self.compute_seconds(net, batch, n_gpus) + comm - hidden
     }
 
@@ -181,7 +181,10 @@ mod tests {
         let t2 = d.iteration_seconds(&net, 256, 2);
         let t4 = d.iteration_seconds(&net, 256, 4);
         let t8 = d.iteration_seconds(&net, 256, 8);
-        assert!(t1 > t2 && t2 > t4 && t4 > t8, "more GPUs must not slow down");
+        assert!(
+            t1 > t2 && t2 > t4 && t4 > t8,
+            "more GPUs must not slow down"
+        );
         let s8 = t1 / t8;
         assert!(s8 < 7.0, "8-GPU speedup {s8} should be clearly sub-linear");
         assert!(s8 > 2.0, "8 GPUs should still help ({s8})");

@@ -62,7 +62,15 @@ pub fn fractalnet() -> Network {
     let mut in_ch = 128usize;
     for b in 0..BLOCKS {
         let mut idx = 0usize;
-        emit_fractal(COLUMNS, b + 1, in_ch, widths[b], sizes[b], &mut idx, &mut layers);
+        emit_fractal(
+            COLUMNS,
+            b + 1,
+            in_ch,
+            widths[b],
+            sizes[b],
+            &mut idx,
+            &mut layers,
+        );
         in_ch = widths[b];
     }
     let other_params = 1024 * 1000 + 1000; // FC
@@ -109,7 +117,12 @@ mod tests {
         // The reason FractalNet benefits most from MPT (§VII-C): parameter
         // mass concentrates in small-fmap layers.
         let n = fractalnet();
-        let late: u64 = n.layers.iter().filter(|l| l.h <= 14).map(|l| l.params()).sum();
+        let late: u64 = n
+            .layers
+            .iter()
+            .filter(|l| l.h <= 14)
+            .map(|l| l.params())
+            .sum();
         assert!(late as f64 / n.param_count() as f64 > 0.8);
     }
 }

@@ -44,7 +44,14 @@ pub struct ConvLayerSpec {
 
 impl ConvLayerSpec {
     /// A stride-1, ReLU-followed layer (the common case).
-    pub fn new(name: &str, in_chans: usize, out_chans: usize, h: usize, w: usize, r: usize) -> Self {
+    pub fn new(
+        name: &str,
+        in_chans: usize,
+        out_chans: usize,
+        h: usize,
+        w: usize,
+        r: usize,
+    ) -> Self {
         Self {
             name: name.to_string(),
             in_chans,
@@ -98,8 +105,7 @@ impl ConvLayerSpec {
 
     /// Direct-convolution MACs for a batch.
     pub fn direct_macs(&self, batch: usize) -> u64 {
-        batch as u64
-            * (self.in_chans * self.out_chans * self.h * self.w * self.r * self.r) as u64
+        batch as u64 * (self.in_chans * self.out_chans * self.h * self.w * self.r * self.r) as u64
     }
 
     /// Winograd element-wise GEMM MACs for a batch under `F(m, r)` with

@@ -35,6 +35,6 @@ pub use layer::ConvLayerSpec;
 pub use network::{Dataset, Network};
 pub use resnet::resnet34;
 pub use table2::{table2_layers, table2_layers_5x5, TABLE2_BATCH};
-pub use workload::{direct_work, fig1_ratios, winograd_work, PhaseWork, TrainingWork, WorkRatios};
 pub use vgg::vgg16;
+pub use workload::{direct_work, fig1_ratios, winograd_work, PhaseWork, TrainingWork, WorkRatios};
 pub use wrn::wrn_40_10;

@@ -9,8 +9,7 @@ pub fn resnet34() -> Network {
     let mut layers = Vec::new();
     // 7x7/2 stem (not Winograd-friendly; runs as direct convolution).
     layers.push(ConvLayerSpec::new("conv1", 3, 64, 112, 112, 7).with_stride(2));
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 56, 3), (128, 28, 4), (256, 14, 6), (512, 7, 3)];
+    let stages: [(usize, usize, usize); 4] = [(64, 56, 3), (128, 28, 4), (256, 14, 6), (512, 7, 3)];
     let mut in_ch = 64usize;
     let mut other_params = 0u64;
     for (s_idx, &(w, size, blocks)) in stages.iter().enumerate() {
@@ -20,7 +19,14 @@ pub fn resnet34() -> Network {
                 ConvLayerSpec::new(&format!("l{}b{}c1", s_idx + 1, b), in_ch, w, size, size, 3)
                     .with_stride(stride),
             );
-            layers.push(ConvLayerSpec::new(&format!("l{}b{}c2", s_idx + 1, b), w, w, size, size, 3));
+            layers.push(ConvLayerSpec::new(
+                &format!("l{}b{}c2", s_idx + 1, b),
+                w,
+                w,
+                size,
+                size,
+                3,
+            ));
             if b == 0 && s_idx > 0 {
                 other_params += (in_ch * w) as u64; // 1x1 downsample projection
             }
@@ -28,7 +34,12 @@ pub fn resnet34() -> Network {
         }
     }
     other_params += 512 * 1000 + 1000; // FC
-    Network { name: "ResNet-34".into(), dataset: Dataset::ImageNet, layers, other_params }
+    Network {
+        name: "ResNet-34".into(),
+        dataset: Dataset::ImageNet,
+        layers,
+        other_params,
+    }
 }
 
 #[cfg(test)]

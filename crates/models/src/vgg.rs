@@ -20,13 +20,25 @@ pub fn vgg16() -> Network {
     let mut in_ch = 3usize;
     for (bi, &(w, s, convs)) in blocks.iter().enumerate() {
         for c in 0..convs {
-            layers.push(ConvLayerSpec::new(&format!("conv{}_{}", bi + 1, c + 1), in_ch, w, s, s, 3));
+            layers.push(ConvLayerSpec::new(
+                &format!("conv{}_{}", bi + 1, c + 1),
+                in_ch,
+                w,
+                s,
+                s,
+                3,
+            ));
             in_ch = w;
         }
     }
     // FC 7*7*512 -> 4096 -> 4096 -> 1000.
     let other_params = (7 * 7 * 512 * 4096 + 4096) + (4096 * 4096 + 4096) + (4096 * 1000 + 1000);
-    Network { name: "VGG-16".into(), dataset: Dataset::ImageNet, layers, other_params: other_params as u64 }
+    Network {
+        name: "VGG-16".into(),
+        dataset: Dataset::ImageNet,
+        layers,
+        other_params: other_params as u64,
+    }
 }
 
 #[cfg(test)]

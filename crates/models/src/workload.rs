@@ -21,7 +21,10 @@ pub struct PhaseWork {
 impl PhaseWork {
     /// Sum of phases.
     pub fn add(&self, o: &PhaseWork) -> PhaseWork {
-        PhaseWork { macs: self.macs + o.macs, bytes: self.bytes + o.bytes }
+        PhaseWork {
+            macs: self.macs + o.macs,
+            bytes: self.bytes + o.bytes,
+        }
     }
 }
 
@@ -51,9 +54,18 @@ pub fn direct_work(layer: &ConvLayerSpec, batch: usize) -> TrainingWork {
     let y = layer.output_bytes(batch);
     let w = layer.spatial_weight_bytes();
     TrainingWork {
-        fprop: PhaseWork { macs, bytes: x + w + y },
-        bprop: PhaseWork { macs, bytes: y + w + x },
-        update: PhaseWork { macs, bytes: x + y + w },
+        fprop: PhaseWork {
+            macs,
+            bytes: x + w + y,
+        },
+        bprop: PhaseWork {
+            macs,
+            bytes: y + w + x,
+        },
+        update: PhaseWork {
+            macs,
+            bytes: x + y + w,
+        },
     }
 }
 
@@ -68,12 +80,25 @@ pub fn winograd_work(layer: &ConvLayerSpec, batch: usize, m: usize, t: usize) ->
     let yt = layer.output_tile_bytes(batch, m, t);
     let w_wino = layer.winograd_weight_bytes(t);
     // fprop: read x, write X, read X, read W, write Y, read Y, write y.
-    let fprop = PhaseWork { macs, bytes: x + 2 * xt + w_wino + 2 * yt + y };
+    let fprop = PhaseWork {
+        macs,
+        bytes: x + 2 * xt + w_wino + 2 * yt + y,
+    };
     // bprop: same dataflow with dy/dx swapped for y/x.
-    let bprop = PhaseWork { macs, bytes: y + 2 * yt + w_wino + 2 * xt + x };
+    let bprop = PhaseWork {
+        macs,
+        bytes: y + 2 * yt + w_wino + 2 * xt + x,
+    };
     // updateGrad: read X, read dY, write dW (Winograd domain).
-    let update = PhaseWork { macs, bytes: xt + yt + w_wino };
-    TrainingWork { fprop, bprop, update }
+    let update = PhaseWork {
+        macs,
+        bytes: xt + yt + w_wino,
+    };
+    TrainingWork {
+        fprop,
+        bprop,
+        update,
+    }
 }
 
 /// Ratio summary used by the Fig 1 harness.
@@ -107,7 +132,12 @@ mod tests {
     fn winograd_reduces_compute() {
         for l in layers() {
             let r = fig1_ratios(&l, 256, 2, 4);
-            assert!(r.compute_reduction > 1.5, "{}: {}", l.name, r.compute_reduction);
+            assert!(
+                r.compute_reduction > 1.5,
+                "{}: {}",
+                l.name,
+                r.compute_reduction
+            );
             let r4 = fig1_ratios(&l, 256, 4, 6);
             assert!(r4.compute_reduction > r.compute_reduction, "{}", l.name);
         }
@@ -128,10 +158,16 @@ mod tests {
         // land in the same regime for F(4x4,3x3).
         let ls = layers();
         let n = ls.len() as f64;
-        let avg_c: f64 =
-            ls.iter().map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction).sum::<f64>() / n;
-        let avg_a: f64 =
-            ls.iter().map(|l| fig1_ratios(l, 256, 4, 6).access_increase).sum::<f64>() / n;
+        let avg_c: f64 = ls
+            .iter()
+            .map(|l| fig1_ratios(l, 256, 4, 6).compute_reduction)
+            .sum::<f64>()
+            / n;
+        let avg_a: f64 = ls
+            .iter()
+            .map(|l| fig1_ratios(l, 256, 4, 6).access_increase)
+            .sum::<f64>()
+            / n;
         assert!((2.0..4.5).contains(&avg_c), "compute reduction {avg_c}");
         assert!((2.5..6.5).contains(&avg_a), "access increase {avg_a}");
     }

@@ -22,7 +22,14 @@ pub fn wrn_40_10() -> Network {
                 ConvLayerSpec::new(&format!("g{}b{}c1", g + 1, b), in_ch, w, s, s, 3)
                     .with_stride(stride),
             );
-            layers.push(ConvLayerSpec::new(&format!("g{}b{}c2", g + 1, b), w, w, s, s, 3));
+            layers.push(ConvLayerSpec::new(
+                &format!("g{}b{}c2", g + 1, b),
+                w,
+                w,
+                s,
+                s,
+                3,
+            ));
             if b == 0 {
                 // 1x1 projection shortcut when shape changes.
                 other_params += (in_ch * w) as u64;
@@ -31,7 +38,12 @@ pub fn wrn_40_10() -> Network {
         }
     }
     other_params += 640 * 10 + 10; // final FC
-    Network { name: "WRN-40-10".into(), dataset: Dataset::Cifar, layers, other_params }
+    Network {
+        name: "WRN-40-10".into(),
+        dataset: Dataset::Cifar,
+        layers,
+        other_params,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,9 @@ pub struct P2pUnit {
 impl P2pUnit {
     /// Creates the unit for a worker configuration.
     pub fn new(params: &NdpParams) -> Self {
-        Self { lanes: params.vector_lanes as u64 }
+        Self {
+            lanes: params.vector_lanes as u64,
+        }
     }
 
     /// Prepares a tile-gathering send of `values` f32 elements where a
@@ -49,7 +51,10 @@ impl P2pUnit {
         skip_fraction: f64,
         prediction_bits: u32,
     ) -> PreparedSend {
-        assert!((0.0..=1.0).contains(&skip_fraction), "skip fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&skip_fraction),
+            "skip fraction out of range"
+        );
         let kept = ((values as f64) * (1.0 - skip_fraction)).ceil() as u64;
         let map_bytes = values.div_ceil(8);
         let prediction_bytes = (values * prediction_bits as u64).div_ceil(8);
@@ -69,7 +74,10 @@ impl P2pUnit {
     ///
     /// Panics if `zero_fraction` is outside `[0, 1]`.
     pub fn prepare_scatter(&self, values: u64, zero_fraction: f64) -> PreparedSend {
-        assert!((0.0..=1.0).contains(&zero_fraction), "zero fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&zero_fraction),
+            "zero fraction out of range"
+        );
         let kept = ((values as f64) * (1.0 - zero_fraction)).ceil() as u64;
         let map_bytes = values.div_ceil(8);
         PreparedSend {
@@ -96,7 +104,10 @@ impl CollectiveUnit {
     /// The configuration used in the evaluation: enough reduce throughput
     /// to keep two full-width rings busy.
     pub fn paper() -> Self {
-        Self { reduce_blocks: 4, adders_per_block: 16 }
+        Self {
+            reduce_blocks: 4,
+            adders_per_block: 16,
+        }
     }
 
     /// Cycles to reduce one `chunk_bytes` chunk into the communication

@@ -98,6 +98,8 @@ pub struct Dram {
     config: DramConfig,
     vaults: Vec<Vault>,
     served: u64,
+    row_hits: u64,
+    row_misses: u64,
 }
 
 impl Dram {
@@ -105,12 +107,24 @@ impl Dram {
     pub fn new(config: DramConfig) -> Self {
         let vaults = (0..config.vaults)
             .map(|_| Vault {
-                banks: vec![Bank { open_row: None, ready_at: 0 }; config.banks_per_vault],
+                banks: vec![
+                    Bank {
+                        open_row: None,
+                        ready_at: 0
+                    };
+                    config.banks_per_vault
+                ],
                 queue: VecDeque::new(),
                 bus_free: 0,
             })
             .collect();
-        Self { config, vaults, served: 0 }
+        Self {
+            config,
+            vaults,
+            served: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
     }
 
     /// The configuration.
@@ -165,15 +179,24 @@ impl Dram {
                 // the bank is unavailable — row hits pipeline at the
                 // burst interval (tCCD) even though CAS latency is long.
                 let (latency, occupancy) = match bank.open_row {
-                    Some(open) if open == row => (cfg.cas_cycles, cfg.burst_cycles),
-                    Some(_) => (
-                        cfg.pre_cycles + cfg.act_cycles + cfg.cas_cycles,
-                        cfg.pre_cycles + cfg.act_cycles + cfg.burst_cycles,
-                    ),
-                    None => (
-                        cfg.act_cycles + cfg.cas_cycles,
-                        cfg.act_cycles + cfg.burst_cycles,
-                    ),
+                    Some(open) if open == row => {
+                        self.row_hits += 1;
+                        (cfg.cas_cycles, cfg.burst_cycles)
+                    }
+                    Some(_) => {
+                        self.row_misses += 1;
+                        (
+                            cfg.pre_cycles + cfg.act_cycles + cfg.cas_cycles,
+                            cfg.pre_cycles + cfg.act_cycles + cfg.burst_cycles,
+                        )
+                    }
+                    None => {
+                        self.row_misses += 1;
+                        (
+                            cfg.act_cycles + cfg.cas_cycles,
+                            cfg.act_cycles + cfg.burst_cycles,
+                        )
+                    }
                 };
                 bank.open_row = Some(row);
                 bank.ready_at = start + occupancy;
@@ -192,7 +215,10 @@ impl Dram {
     pub fn stream_cycles(&mut self, bytes: u64) -> Time {
         let n = bytes.div_ceil(self.config.burst_bytes as u64);
         let reqs: Vec<DramRequest> = (0..n)
-            .map(|i| DramRequest { addr: i * self.config.burst_bytes as u64, arrive: 0 })
+            .map(|i| DramRequest {
+                addr: i * self.config.burst_bytes as u64,
+                arrive: 0,
+            })
             .collect();
         self.service(&reqs).into_iter().max().unwrap_or(0)
     }
@@ -200,6 +226,18 @@ impl Dram {
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Row-buffer hits (request to an already-open row) — observability
+    /// counter, exported as `ndp.dram_row_hits`.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-buffer misses (conflict precharge+activate or cold activate) —
+    /// observability counter, exported as `ndp.dram_row_misses`.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
     }
 }
 
@@ -249,7 +287,10 @@ mod tests {
         // Hit a single vault and alternate rows in one bank: worst case.
         let row_span = (cfg.row_bytes * cfg.banks_per_vault * cfg.vaults) as u64;
         let reqs: Vec<DramRequest> = (0..256)
-            .map(|i| DramRequest { addr: (i % 2) * row_span * 64, arrive: 0 })
+            .map(|i| DramRequest {
+                addr: (i % 2) * row_span * 64,
+                arrive: 0,
+            })
             .collect();
         let thrash = *d.service(&reqs).iter().max().expect("nonempty");
         let mut d2 = Dram::new(cfg);
@@ -268,12 +309,23 @@ mod tests {
         // Request A opens row 0; B needs row 1 (older), C hits row 0.
         let reqs = vec![
             DramRequest { addr: 0, arrive: 0 },
-            DramRequest { addr: row_span * 64, arrive: 1 },
-            DramRequest { addr: cfg.burst_bytes as u64 * cfg.vaults as u64, arrive: 2 },
+            DramRequest {
+                addr: row_span * 64,
+                arrive: 1,
+            },
+            DramRequest {
+                addr: cfg.burst_bytes as u64 * cfg.vaults as u64,
+                arrive: 2,
+            },
         ];
         let done = d.service(&reqs);
         // C (row hit) completes before B (row miss) despite arriving later.
-        assert!(done[2] < done[1], "row hit {} should beat row miss {}", done[2], done[1]);
+        assert!(
+            done[2] < done[1],
+            "row hit {} should beat row miss {}",
+            done[2],
+            done[1]
+        );
     }
 
     #[test]
@@ -284,8 +336,12 @@ mod tests {
         let t_striped = striped.stream_cycles(4096 * 16);
         let mut single = Dram::new(cfg);
         let stride = (cfg.burst_bytes * cfg.vaults) as u64;
-        let reqs: Vec<DramRequest> =
-            (0..4096 / cfg.burst_bytes as u64 * 16).map(|i| DramRequest { addr: i * stride, arrive: 0 }).collect();
+        let reqs: Vec<DramRequest> = (0..4096 / cfg.burst_bytes as u64 * 16)
+            .map(|i| DramRequest {
+                addr: i * stride,
+                arrive: 0,
+            })
+            .collect();
         let t_single = *single.service(&reqs).iter().max().expect("nonempty");
         assert!(
             t_single > 8 * t_striped,
@@ -296,11 +352,41 @@ mod tests {
     #[test]
     fn completions_cover_all_requests() {
         let mut d = Dram::new(DramConfig::hmc());
-        let reqs: Vec<DramRequest> =
-            (0..100).map(|i| DramRequest { addr: i * 32, arrive: i }).collect();
+        let reqs: Vec<DramRequest> = (0..100)
+            .map(|i| DramRequest {
+                addr: i * 32,
+                arrive: i,
+            })
+            .collect();
         let done = d.service(&reqs);
         assert_eq!(done.len(), 100);
         assert!(done.iter().all(|&t| t > 0));
         assert_eq!(d.served(), 100);
+    }
+
+    #[test]
+    fn row_counters_partition_served_requests() {
+        let mut d = Dram::new(DramConfig::hmc());
+        d.stream_cycles(1 << 16);
+        assert_eq!(d.row_hits() + d.row_misses(), d.served());
+        // Streaming is row-friendly: mostly hits.
+        assert!(
+            d.row_hits() > 4 * d.row_misses(),
+            "streaming should mostly hit: {} hits vs {} misses",
+            d.row_hits(),
+            d.row_misses()
+        );
+        // Thrashing flips the ratio — submit one request at a time so
+        // FR-FCFS cannot batch same-row requests out of the conflict.
+        let cfg = DramConfig::hmc();
+        let mut t = Dram::new(cfg);
+        let row_span = (cfg.row_bytes * cfg.banks_per_vault * cfg.vaults) as u64;
+        for i in 0..64u64 {
+            t.service(&[DramRequest {
+                addr: (i % 2) * row_span * 64,
+                arrive: 0,
+            }]);
+        }
+        assert!(t.row_misses() > t.row_hits());
     }
 }

@@ -1,0 +1,126 @@
+//! Export of worker-local activity into the [`wmpt_obs`] metric registry.
+//!
+//! The worker model is cost-based (it returns totals, not event streams),
+//! so observation is a pure fold: a [`WorkerCost`] or a [`Dram`] is mapped
+//! into counters and gauges after the fact. This keeps the hot path free
+//! of any instrumentation — recording is opt-in and zero-cost when unused.
+
+use wmpt_obs::{MetricKey, MetricRegistry};
+use wmpt_sim::Time;
+
+use crate::dram::Dram;
+use crate::params::NdpParams;
+use crate::worker::WorkerCost;
+
+/// Records a worker-phase cost into `reg`: systolic MACs and busy cycles,
+/// vector busy cycles, DRAM/SRAM traffic.
+pub fn record_worker_cost(reg: &mut MetricRegistry, cost: &WorkerCost) {
+    reg.inc(MetricKey::SystolicMacs, cost.macs);
+    reg.inc(MetricKey::SystolicBusyCycles, cost.systolic_cycles);
+    reg.inc(MetricKey::VectorBusyCycles, cost.vector_cycles);
+    reg.inc(MetricKey::DramBytes, cost.dram_bytes);
+    reg.inc(MetricKey::SramBytes, cost.sram_bytes);
+}
+
+/// Sets the systolic/vector utilization gauges for a phase that spanned
+/// `elapsed` cycles (accumulated busy cycles over wall-clock cycles).
+pub fn record_utilization(
+    reg: &mut MetricRegistry,
+    params: &NdpParams,
+    cost: &WorkerCost,
+    elapsed: Time,
+) {
+    let _ = params;
+    if elapsed == 0 {
+        return;
+    }
+    reg.set_gauge(
+        MetricKey::SystolicUtilization,
+        cost.systolic_cycles as f64 / elapsed as f64,
+    );
+    reg.set_gauge(
+        MetricKey::VectorUtilization,
+        cost.vector_cycles as f64 / elapsed as f64,
+    );
+}
+
+/// Records a detailed-DRAM-model run: row-buffer hits and misses.
+pub fn record_dram(reg: &mut MetricRegistry, dram: &Dram) {
+    reg.inc(MetricKey::DramRowHits, dram.row_hits());
+    reg.inc(MetricKey::DramRowMisses, dram.row_misses());
+}
+
+/// Streams a byte sample through the detailed FR-FCFS model and records
+/// scaled row-hit/miss counters for a phase that actually moved
+/// `total_bytes`. The sample is capped so observation stays cheap even
+/// for multi-GiB phases; hit/miss *ratios* are scale-free for streaming
+/// traffic, so the scaled counts remain representative.
+pub fn record_dram_profile(reg: &mut MetricRegistry, dram: &mut Dram, total_bytes: u64) {
+    const SAMPLE_CAP: u64 = 256 * 1024;
+    if total_bytes == 0 {
+        return;
+    }
+    let sample = total_bytes.min(SAMPLE_CAP);
+    let before = (dram.row_hits(), dram.row_misses());
+    dram.stream_cycles(sample);
+    let hits = dram.row_hits() - before.0;
+    let misses = dram.row_misses() - before.1;
+    let scale = total_bytes as f64 / sample as f64;
+    reg.inc(MetricKey::DramRowHits, (hits as f64 * scale).round() as u64);
+    reg.inc(
+        MetricKey::DramRowMisses,
+        (misses as f64 * scale).round() as u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+    use crate::systolic::gemm;
+
+    #[test]
+    fn worker_cost_maps_to_counters() {
+        let p = NdpParams::paper_fp32();
+        let c = WorkerCost::default().with_gemm(&gemm(&p, 256, 128, 256, 0.5));
+        let mut reg = MetricRegistry::new();
+        record_worker_cost(&mut reg, &c);
+        assert_eq!(reg.counter(MetricKey::SystolicMacs), c.macs);
+        assert_eq!(
+            reg.counter(MetricKey::SystolicBusyCycles),
+            c.systolic_cycles
+        );
+        assert_eq!(reg.counter(MetricKey::DramBytes), c.dram_bytes);
+    }
+
+    #[test]
+    fn utilization_gauges_are_fractions() {
+        let p = NdpParams::paper_fp32();
+        let c = WorkerCost {
+            systolic_cycles: 80,
+            vector_cycles: 20,
+            ..Default::default()
+        };
+        let mut reg = MetricRegistry::new();
+        record_utilization(&mut reg, &p, &c, 100);
+        assert_eq!(reg.gauge(MetricKey::SystolicUtilization), Some(0.8));
+        assert_eq!(reg.gauge(MetricKey::VectorUtilization), Some(0.2));
+    }
+
+    #[test]
+    fn dram_profile_scales_sample_to_total() {
+        let mut dram = Dram::new(DramConfig::hmc());
+        let mut reg = MetricRegistry::new();
+        record_dram_profile(&mut reg, &mut dram, 4 << 20);
+        let hits = reg.counter(MetricKey::DramRowHits);
+        let misses = reg.counter(MetricKey::DramRowMisses);
+        // Scaled totals approximate one burst per burst_bytes of traffic.
+        let bursts = (4u64 << 20) / 32;
+        let total = hits + misses;
+        assert!(
+            total.abs_diff(bursts) * 20 < bursts,
+            "scaled {total} vs expected {bursts}"
+        );
+        assert!(hits > misses);
+    }
+}

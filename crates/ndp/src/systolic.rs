@@ -32,8 +32,14 @@ pub struct GemmCost {
 
 impl GemmCost {
     /// A zero-cost placeholder (empty GEMM).
-    pub const ZERO: GemmCost =
-        GemmCost { cycles: 0, compute_cycles: 0, dram_cycles: 0, macs: 0, dram_bytes: 0, sram_bytes: 0 };
+    pub const ZERO: GemmCost = GemmCost {
+        cycles: 0,
+        compute_cycles: 0,
+        dram_cycles: 0,
+        macs: 0,
+        dram_bytes: 0,
+        sram_bytes: 0,
+    };
 
     /// Accumulates another cost, assuming sequential execution.
     pub fn add(&self, other: &GemmCost) -> GemmCost {
@@ -79,8 +85,8 @@ pub fn gemm(params: &NdpParams, m: u64, k: u64, n: u64, streamed_fraction: f64) 
     let out_bytes = (m * n * elem) as f64;
     let dram_bytes = (input_bytes * streamed_fraction + out_bytes) as u64;
     let sram_bytes = (input_bytes * (1.0 - streamed_fraction)) as u64 + m * n * elem;
-    let dram_cycles = (dram_bytes as f64 / params.dram_bytes_per_cycle).ceil() as Time
-        + params.dram_latency;
+    let dram_cycles =
+        (dram_bytes as f64 / params.dram_bytes_per_cycle).ceil() as Time + params.dram_latency;
 
     GemmCost {
         cycles: compute_cycles.max(dram_cycles),

@@ -60,6 +60,7 @@ pub struct TaskGraph {
 #[derive(Debug, Clone)]
 pub struct Schedule {
     finish: Vec<Time>,
+    events: u64,
 }
 
 impl Schedule {
@@ -75,6 +76,12 @@ impl Schedule {
     /// Completion cycle of the whole graph.
     pub fn makespan(&self) -> Time {
         self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Scheduler events processed (one push/pop pair per task becoming
+    /// eligible; observability counter, exported as `sim.events_*`).
+    pub fn events(&self) -> u64 {
+        self.events
     }
 }
 
@@ -97,7 +104,11 @@ impl TaskGraph {
         for &d in deps {
             assert!(d < id, "dependency {d} of task {id} not yet defined");
         }
-        self.tasks.push(Task { kind, cycles, deps: deps.to_vec() });
+        self.tasks.push(Task {
+            kind,
+            cycles,
+            deps: deps.to_vec(),
+        });
         id
     }
 
@@ -156,7 +167,11 @@ impl TaskGraph {
             }
         }
         assert_eq!(done, n, "task graph contains a dependency cycle");
-        Schedule { finish }
+        debug_assert_eq!(queue.pushed(), queue.popped());
+        Schedule {
+            finish,
+            events: queue.popped(),
+        }
     }
 }
 

@@ -75,7 +75,9 @@ impl WorkerCost {
     /// Phase-local execution time with systolic/vector/DMA pipelining —
     /// the bottleneck resource sets the pace.
     pub fn pipelined_cycles(&self, params: &NdpParams) -> Time {
-        self.systolic_cycles.max(self.vector_cycles).max(self.dram_cycles(params))
+        self.systolic_cycles
+            .max(self.vector_cycles)
+            .max(self.dram_cycles(params))
     }
 }
 
@@ -93,7 +95,11 @@ pub struct NdpWorker {
 impl NdpWorker {
     /// Builds a worker from parameters.
     pub fn new(params: NdpParams) -> Self {
-        Self { params, p2p: P2pUnit::new(&params), collective: CollectiveUnit::paper() }
+        Self {
+            params,
+            p2p: P2pUnit::new(&params),
+            collective: CollectiveUnit::paper(),
+        }
     }
 
     /// Converts a local cost into its energy breakdown. Link energy is
@@ -142,7 +148,10 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.pipelined_cycles(&p), 300);
-        let c2 = WorkerCost { systolic_cycles: 1000, ..c };
+        let c2 = WorkerCost {
+            systolic_cycles: 1000,
+            ..c
+        };
         assert_eq!(c2.pipelined_cycles(&p), 1000);
     }
 
@@ -170,7 +179,10 @@ mod tests {
     #[test]
     fn fp16_worker_spends_less_compute_energy() {
         let ep = EnergyParams::paper();
-        let c = WorkerCost { macs: 1_000_000, ..Default::default() };
+        let c = WorkerCost {
+            macs: 1_000_000,
+            ..Default::default()
+        };
         let e32 = NdpWorker::new(NdpParams::paper_fp32()).energy(&c, &ep);
         let e16 = NdpWorker::new(NdpParams::paper_fp16()).energy(&c, &ep);
         assert!(e16.compute_j < e32.compute_j);

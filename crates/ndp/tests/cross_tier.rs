@@ -3,9 +3,7 @@
 //! agree on the streaming workloads CNN training generates, and the task
 //! graph must realize the pipelined-overlap assumption of `WorkerCost`.
 
-use wmpt_ndp::{
-    elementwise, gemm, Dram, DramConfig, NdpParams, TaskGraph, TaskKind, WorkerCost,
-};
+use wmpt_ndp::{elementwise, gemm, Dram, DramConfig, NdpParams, TaskGraph, TaskKind, WorkerCost};
 
 #[test]
 fn detailed_dram_matches_roofline_for_streaming() {
@@ -60,7 +58,10 @@ fn task_graph_achieves_worker_cost_overlap() {
 #[test]
 fn dram_latency_visible_for_single_requests() {
     let mut dram = Dram::new(DramConfig::hmc());
-    let done = dram.service(&[wmpt_ndp::DramRequest { addr: 64, arrive: 0 }]);
+    let done = dram.service(&[wmpt_ndp::DramRequest {
+        addr: 64,
+        arrive: 0,
+    }]);
     let cfg = DramConfig::hmc();
     // One cold access: activation + CAS + burst.
     let expect = cfg.act_cycles + cfg.cas_cycles + cfg.burst_cycles;

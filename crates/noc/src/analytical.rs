@@ -65,7 +65,10 @@ pub fn mpt_comm(
         let per_worker = tile_bytes_per_transfer as f64 / (n_c * n_g) as f64;
         per_worker * (n_g as f64 - 1.0) / n_g as f64 * tile_transfers as f64
     };
-    PerWorkerComm { weight_bytes, tile_bytes }
+    PerWorkerComm {
+        weight_bytes,
+        tile_bytes,
+    }
 }
 
 /// Applies activation-prediction and zero-skipping savings to the tile
@@ -83,10 +86,16 @@ pub fn with_transfer_savings(
     scatter_fraction_saved: f64,
 ) -> PerWorkerComm {
     for f in [gather_fraction_saved, scatter_fraction_saved] {
-        assert!((0.0..=1.0).contains(&f), "savings fraction {f} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "savings fraction {f} outside [0,1]"
+        );
     }
     let keep = 1.0 - (gather_fraction_saved + scatter_fraction_saved) / 2.0;
-    PerWorkerComm { weight_bytes: comm.weight_bytes, tile_bytes: comm.tile_bytes * keep }
+    PerWorkerComm {
+        weight_bytes: comm.weight_bytes,
+        tile_bytes: comm.tile_bytes * keep,
+    }
 }
 
 #[cfg(test)]
@@ -169,8 +178,14 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let a = PerWorkerComm { weight_bytes: 1.0, tile_bytes: 2.0 };
-        let b = PerWorkerComm { weight_bytes: 10.0, tile_bytes: 20.0 };
+        let a = PerWorkerComm {
+            weight_bytes: 1.0,
+            tile_bytes: 2.0,
+        };
+        let b = PerWorkerComm {
+            weight_bytes: 10.0,
+            tile_bytes: 20.0,
+        };
         let c = a.add(&b);
         assert_eq!(c.total(), 33.0);
     }

@@ -163,8 +163,8 @@ pub fn estimate_comm(
     // Weight collective: each group reduces+broadcasts |W|/N_g around its
     // ring of N_c workers.
     let msg = winograd_weight_bytes / cfg.n_g as u64;
-    let host_extra =
-        cfg.host_traversals(group_size) as u64 * 2 * params.hop_latency() / cfg.ring_len().max(1) as u64;
+    let host_extra = cfg.host_traversals(group_size) as u64 * 2 * params.hop_latency()
+        / cfg.ring_len().max(1) as u64;
     let weight_cycles = crate::collective::ring_collective_cycles(
         msg,
         cfg.ring_len(),
@@ -181,7 +181,10 @@ pub fn estimate_comm(
             tile_transfer_phase(&cluster, params, cluster_bytes, cfg.n_g).cycles
         }
     };
-    CommEstimate { weight_cycles, tile_cycles }
+    CommEstimate {
+        weight_cycles,
+        tile_cycles,
+    }
 }
 
 /// Chooses the configuration with the smallest estimated communication
@@ -197,12 +200,31 @@ pub fn choose_config_with(
     ring_bandwidth: f64,
     group_size: usize,
 ) -> ClusterConfig {
-    assert!(!candidates.is_empty(), "need at least one candidate configuration");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate configuration"
+    );
     *candidates
         .iter()
         .min_by(|a, b| {
-            let ta = estimate_comm(**a, params, winograd_weight_bytes, tile_bytes_for(**a), ring_bandwidth, group_size).total();
-            let tb = estimate_comm(**b, params, winograd_weight_bytes, tile_bytes_for(**b), ring_bandwidth, group_size).total();
+            let ta = estimate_comm(
+                **a,
+                params,
+                winograd_weight_bytes,
+                tile_bytes_for(**a),
+                ring_bandwidth,
+                group_size,
+            )
+            .total();
+            let tb = estimate_comm(
+                **b,
+                params,
+                winograd_weight_bytes,
+                tile_bytes_for(**b),
+                ring_bandwidth,
+                group_size,
+            )
+            .total();
             ta.partial_cmp(&tb).expect("estimates are finite")
         })
         .expect("candidates nonempty")
@@ -229,7 +251,11 @@ pub fn choose_config(
 
 /// Convenience re-export of the tile-transfer phase for callers that have
 /// a config rather than a topology.
-pub fn tile_phase_for(cfg: ClusterConfig, params: &NocParams, tile_bytes_total: u64) -> Option<PhaseTime> {
+pub fn tile_phase_for(
+    cfg: ClusterConfig,
+    params: &NocParams,
+    tile_bytes_total: u64,
+) -> Option<PhaseTime> {
     cfg.cluster_topology().map(|cluster| {
         tile_transfer_phase(&cluster, params, tile_bytes_total / cfg.n_c as u64, cfg.n_g)
     })
@@ -356,7 +382,14 @@ mod tests {
     #[test]
     fn data_parallel_has_no_tile_cost() {
         let p = NocParams::paper();
-        let est = estimate_comm(ClusterConfig::new(1, 256), &p, 64 << 20, 512 << 20, 120.0, 16);
+        let est = estimate_comm(
+            ClusterConfig::new(1, 256),
+            &p,
+            64 << 20,
+            512 << 20,
+            120.0,
+            16,
+        );
         assert_eq!(est.tile_cycles, 0.0);
         assert!(est.weight_cycles > 0.0);
     }

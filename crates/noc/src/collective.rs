@@ -83,9 +83,20 @@ pub fn best_ring_collective_cycles(
     params: &NocParams,
     extra_hop_latency: Time,
 ) -> f64 {
-    ring_collective_cycles(msg_bytes, ring_len, bytes_per_cycle, params, extra_hop_latency).min(
-        ring_allreduce_cycles(msg_bytes, ring_len, bytes_per_cycle, params, extra_hop_latency),
+    ring_collective_cycles(
+        msg_bytes,
+        ring_len,
+        bytes_per_cycle,
+        params,
+        extra_hop_latency,
     )
+    .min(ring_allreduce_cycles(
+        msg_bytes,
+        ring_len,
+        bytes_per_cycle,
+        params,
+        extra_hop_latency,
+    ))
 }
 
 /// Event-driven simulation of the same collective on an arbitrary network.
@@ -116,13 +127,27 @@ pub fn simulate_ring_reduce_broadcast(
         // Reduce: chunk travels ring[0] -> ring[1] -> ... -> ring[k-1].
         let mut t = reduce_arrivals[0];
         for i in 1..k {
-            t = net.transfer(ring[i - 1], ring[i], chunk, t.max(reduce_arrivals[i - 1]), chunk as usize, chunk as usize);
+            t = net.transfer(
+                ring[i - 1],
+                ring[i],
+                chunk,
+                t.max(reduce_arrivals[i - 1]),
+                chunk as usize,
+                chunk as usize,
+            );
             reduce_arrivals[i] = t;
         }
         // Broadcast: final chunk travels back ring[k-1] -> ... -> ring[0].
         let mut b = t;
         for i in (1..k).rev() {
-            b = net.transfer(ring[i], ring[i - 1], chunk, b, chunk as usize, chunk as usize);
+            b = net.transfer(
+                ring[i],
+                ring[i - 1],
+                chunk,
+                b,
+                chunk as usize,
+                chunk as usize,
+            );
         }
         done = done.max(b);
     }
@@ -214,7 +239,10 @@ mod tests {
         let floor = 2.0 * 255.0 * p.hop_latency() as f64;
         let rb = ring_collective_cycles(tiny, 256, 60.0, &p, 0);
         let ar = ring_allreduce_cycles(tiny, 256, 60.0, &p, 0);
-        assert!(rb >= floor && ar >= floor, "rb {rb}, ar {ar}, floor {floor}");
+        assert!(
+            rb >= floor && ar >= floor,
+            "rb {rb}, ar {ar}, floor {floor}"
+        );
         let ratio = rb / ar;
         assert!((0.5..2.0).contains(&ratio), "rb {rb} vs ar {ar}");
     }

@@ -149,9 +149,7 @@ pub fn simulate_flits(
     // Link service interval in 1/256 cycle fixed-point: flit_bytes / bw.
     let service: Vec<u64> = edges
         .iter()
-        .map(|(_, _, k)| {
-            ((config.flit_bytes as f64 / k.bytes_per_cycle()) * 256.0).ceil() as u64
-        })
+        .map(|(_, _, k)| ((config.flit_bytes as f64 / k.bytes_per_cycle()) * 256.0).ceil() as u64)
         .collect();
 
     // State: per directed edge, `vcs` downstream buffers + credit view.
@@ -198,7 +196,10 @@ pub fn simulate_flits(
                     flits_arrived += 1;
                     if f.is_tail {
                         done[pi] = true;
-                        deliveries.push(Delivery { packet: pi, delivered_at: cycle });
+                        deliveries.push(Delivery {
+                            packet: pi,
+                            delivered_at: cycle,
+                        });
                     }
                     if vc.flits.is_empty() {
                         vc.owner = None;
@@ -218,7 +219,9 @@ pub fn simulate_flits(
                 for step in 0..config.vcs {
                     let vci = (rr[ei] + step) % config.vcs;
                     // Peek the head flit in this VC.
-                    let Some(&f) = bufs[ei][vci].flits.front() else { continue };
+                    let Some(&f) = bufs[ei][vci].flits.front() else {
+                        continue;
+                    };
                     let pi = f.packet;
                     let route = &routes[pi];
                     if f.hop >= route.len() {
@@ -263,7 +266,10 @@ pub fn simulate_flits(
                 delivered_flits += remaining[pi];
                 remaining[pi] = 0;
                 done[pi] = true;
-                deliveries.push(Delivery { packet: pi, delivered_at: cycle });
+                deliveries.push(Delivery {
+                    packet: pi,
+                    delivered_at: cycle,
+                });
                 continue;
             }
             let first = edge_index(route[0].from, route[0].to);
@@ -277,7 +283,11 @@ pub fn simulate_flits(
                     src_started[pi] = true;
                 }
                 remaining[pi] -= 1;
-                let f = Flit { packet: pi, is_tail: remaining[pi] == 0, hop: 1 };
+                let f = Flit {
+                    packet: pi,
+                    is_tail: remaining[pi] == 0,
+                    hop: 1,
+                };
                 let nb = &mut bufs[first][vc];
                 nb.owner = Some(pi);
                 nb.flits.push_back(f);
@@ -296,7 +306,11 @@ pub fn simulate_flits(
     }
     let makespan = deliveries.iter().map(|d| d.delivered_at).max().unwrap_or(0);
     deliveries.sort_by_key(|d| d.packet);
-    FlitStats { deliveries, makespan, flits: delivered_flits }
+    FlitStats {
+        deliveries,
+        makespan,
+        flits: delivered_flits,
+    }
 }
 
 /// Finds a VC that packet `pi` may use on a downstream buffer set:
@@ -305,7 +319,8 @@ fn alloc_vc(bufs: &[VcBuf], pi: usize, depth: usize) -> Option<usize> {
     if let Some(i) = bufs.iter().position(|b| b.owner == Some(pi)) {
         return (bufs[i].flits.len() < depth).then_some(i);
     }
-    bufs.iter().position(|b| b.owner.is_none() && b.flits.len() < depth)
+    bufs.iter()
+        .position(|b| b.owner.is_none() && b.flits.len() < depth)
 }
 
 #[cfg(test)]
@@ -333,7 +348,12 @@ mod tests {
     #[test]
     fn single_packet_latency_close_to_ideal() {
         let topo = line3();
-        let p = [FlitPacket { src: 0, dst: 2, bytes: 56, inject_at: 0 }];
+        let p = [FlitPacket {
+            src: 0,
+            dst: 2,
+            bytes: 56,
+            inject_at: 0,
+        }];
         let stats = run(&topo, &p);
         assert_eq!(stats.deliveries.len(), 1);
         // 64 wire bytes = 4 flits; serialization ~0.54 cy/flit on a full
@@ -345,7 +365,12 @@ mod tests {
     #[test]
     fn local_delivery_is_immediate() {
         let topo = line3();
-        let p = [FlitPacket { src: 1, dst: 1, bytes: 1024, inject_at: 7 }];
+        let p = [FlitPacket {
+            src: 1,
+            dst: 1,
+            bytes: 1024,
+            inject_at: 7,
+        }];
         let stats = run(&topo, &p);
         assert_eq!(stats.deliveries[0].delivered_at, 7);
     }
@@ -354,13 +379,22 @@ mod tests {
     fn bulk_transfer_throughput_matches_link_bandwidth() {
         let topo = line3();
         let bytes = 120_000u64;
-        let p = [FlitPacket { src: 0, dst: 2, bytes, inject_at: 0 }];
+        let p = [FlitPacket {
+            src: 0,
+            dst: 2,
+            bytes,
+            inject_at: 0,
+        }];
         let stats = run(&topo, &p);
         // Full link: 30 B/cycle; wire bytes ~ bytes + headers.
         let wire = NocParams::paper().wire_bytes(bytes as usize, 64) as f64;
         let ideal = wire / 30.0;
         let ratio = stats.makespan as f64 / ideal;
-        assert!((0.9..1.6).contains(&ratio), "makespan {} vs ideal {ideal}", stats.makespan);
+        assert!(
+            (0.9..1.6).contains(&ratio),
+            "makespan {} vs ideal {ideal}",
+            stats.makespan
+        );
     }
 
     #[test]
@@ -368,12 +402,31 @@ mod tests {
         // Two flows share link 1->2.
         let topo = line3();
         let bytes = 60_000u64;
-        let solo = run(&topo, &[FlitPacket { src: 0, dst: 2, bytes, inject_at: 0 }]).makespan;
+        let solo = run(
+            &topo,
+            &[FlitPacket {
+                src: 0,
+                dst: 2,
+                bytes,
+                inject_at: 0,
+            }],
+        )
+        .makespan;
         let both = run(
             &topo,
             &[
-                FlitPacket { src: 0, dst: 2, bytes, inject_at: 0 },
-                FlitPacket { src: 1, dst: 2, bytes, inject_at: 0 },
+                FlitPacket {
+                    src: 0,
+                    dst: 2,
+                    bytes,
+                    inject_at: 0,
+                },
+                FlitPacket {
+                    src: 1,
+                    dst: 2,
+                    bytes,
+                    inject_at: 0,
+                },
             ],
         )
         .makespan;
@@ -403,18 +456,34 @@ mod tests {
             pkt_done = pkt_done.max(pkt.transfer(p.src, p.dst, p.bytes, 0, 64, 1024));
         }
         let ratio = flit as f64 / pkt_done as f64;
-        assert!((0.5..2.0).contains(&ratio), "flit {flit} vs packet {pkt_done}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "flit {flit} vs packet {pkt_done}"
+        );
     }
 
     #[test]
     fn vc_count_affects_interleaving_not_correctness() {
         let topo = line3();
         let packets = [
-            FlitPacket { src: 0, dst: 2, bytes: 6_000, inject_at: 0 },
-            FlitPacket { src: 0, dst: 1, bytes: 6_000, inject_at: 0 },
+            FlitPacket {
+                src: 0,
+                dst: 2,
+                bytes: 6_000,
+                inject_at: 0,
+            },
+            FlitPacket {
+                src: 0,
+                dst: 1,
+                bytes: 6_000,
+                inject_at: 0,
+            },
         ];
         for vcs in [1usize, 2, 4] {
-            let cfg = FlitConfig { vcs, ..FlitConfig::paper() };
+            let cfg = FlitConfig {
+                vcs,
+                ..FlitConfig::paper()
+            };
             let stats = simulate_flits(&topo, &NocParams::paper(), &cfg, &packets);
             assert_eq!(stats.deliveries.len(), 2, "vcs={vcs}");
         }
@@ -425,21 +494,40 @@ mod tests {
         // Neighbour ring traffic, the collective's steady-state pattern.
         let topo = Topology::ring(8, LinkKind::FullX2);
         let packets: Vec<FlitPacket> = (0..8)
-            .map(|i| FlitPacket { src: i, dst: (i + 1) % 8, bytes: 8_192, inject_at: 0 })
+            .map(|i| FlitPacket {
+                src: i,
+                dst: (i + 1) % 8,
+                bytes: 8_192,
+                inject_at: 0,
+            })
             .collect();
         let stats = run(&topo, &packets);
         assert_eq!(stats.deliveries.len(), 8);
         // All transfers are disjoint links: completion near the solo time.
         let solo = run(&topo, &packets[..1]).makespan;
-        assert!(stats.makespan as f64 <= solo as f64 * 1.5, "{} vs solo {solo}", stats.makespan);
+        assert!(
+            stats.makespan as f64 <= solo as f64 * 1.5,
+            "{} vs solo {solo}",
+            stats.makespan
+        );
     }
 
     #[test]
     fn deliveries_sorted_by_packet_index() {
         let topo = line3();
         let packets = [
-            FlitPacket { src: 0, dst: 2, bytes: 12_000, inject_at: 0 },
-            FlitPacket { src: 2, dst: 0, bytes: 100, inject_at: 0 },
+            FlitPacket {
+                src: 0,
+                dst: 2,
+                bytes: 12_000,
+                inject_at: 0,
+            },
+            FlitPacket {
+                src: 2,
+                dst: 0,
+                bytes: 100,
+                inject_at: 0,
+            },
         ];
         let stats = run(&topo, &packets);
         assert_eq!(stats.deliveries[0].packet, 0);
@@ -451,9 +539,17 @@ mod tests {
     #[test]
     fn mean_latency_accounts_injection_time() {
         let topo = line3();
-        let packets = [FlitPacket { src: 0, dst: 1, bytes: 56, inject_at: 100 }];
+        let packets = [FlitPacket {
+            src: 0,
+            dst: 1,
+            bytes: 56,
+            inject_at: 100,
+        }];
         let stats = run(&topo, &packets);
         let lat = stats.mean_latency(&packets);
-        assert!(lat < 50.0, "latency {lat} should not include the injection delay");
+        assert!(
+            lat < 50.0,
+            "latency {lat} should not include the injection delay"
+        );
     }
 }

@@ -38,25 +38,34 @@
 //! ```
 
 pub mod analytical;
-pub mod flit;
-pub mod mapping;
 pub mod clustering;
 pub mod collective;
+pub mod flit;
+pub mod mapping;
 pub mod network;
+pub mod observe;
 pub mod params;
 pub mod tile_transfer;
-pub mod traffic;
 pub mod topology;
+pub mod traffic;
 
 pub use analytical::{data_parallel_comm, mpt_comm, with_transfer_savings, PerWorkerComm};
-pub use clustering::{choose_config, choose_config_with, estimate_comm, tile_phase_for, ClusterConfig, CommEstimate};
-pub use collective::{best_ring_collective_cycles, ring_allreduce_cycles, ring_collective_cycles, simulate_ring_reduce_broadcast};
-pub use network::{bottleneck_phase, PacketNetwork, PhaseTime};
+pub use clustering::{
+    choose_config, choose_config_with, estimate_comm, tile_phase_for, ClusterConfig, CommEstimate,
+};
+pub use collective::{
+    best_ring_collective_cycles, ring_allreduce_cycles, ring_collective_cycles,
+    simulate_ring_reduce_broadcast,
+};
 pub use flit::{simulate_flits, Delivery, FlitConfig, FlitPacket, FlitStats};
 pub use mapping::PhysicalMapping;
+pub use network::{bottleneck_phase, PacketNetwork, PhaseTime};
+pub use observe::{
+    record_flows, record_network, ring_collective_cycles_observed, tile_transfer_phase_observed,
+};
 pub use params::{LinkKind, NocParams};
-pub use traffic::{build_workload, latency_throughput_sweep, LoadPoint, TrafficPattern};
 pub use tile_transfer::{
     all_to_all_flows, simulate_all_to_all, tile_pair_bytes, tile_transfer_phase,
 };
 pub use topology::{Edge, MemoryCentricNetwork, Topology, WorkerId};
+pub use traffic::{build_workload, latency_throughput_sweep, LoadPoint, TrafficPattern};

@@ -37,7 +37,11 @@ impl PhysicalMapping {
     /// Panics if `config.workers()` differs from the network size, or if
     /// the group count does not divide the physical group count.
     pub fn new(net: &MemoryCentricNetwork, config: ClusterConfig) -> Self {
-        assert_eq!(config.workers(), net.workers(), "organization must cover all workers");
+        assert_eq!(
+            config.workers(),
+            net.workers(),
+            "organization must cover all workers"
+        );
         assert!(
             net.groups.is_multiple_of(config.n_g.max(1)) || config.n_g <= net.groups,
             "groups must merge physical rings evenly"
@@ -72,12 +76,21 @@ impl PhysicalMapping {
         for pos in 0..net.group_size {
             for k in 0..phys_per_logical {
                 let members: Vec<usize> = (0..config.n_g)
-                    .map(|lg| net.node(WorkerId { group: lg * phys_per_logical + k, pos }))
+                    .map(|lg| {
+                        net.node(WorkerId {
+                            group: lg * phys_per_logical + k,
+                            pos,
+                        })
+                    })
                     .collect();
                 clusters.push(members);
             }
         }
-        Self { config, rings, clusters }
+        Self {
+            config,
+            rings,
+            clusters,
+        }
     }
 
     /// Host traversals per lap of each collective ring (host entries in
@@ -187,7 +200,10 @@ mod tests {
                     seen[w] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "{cfg}: clusters must cover all workers");
+            assert!(
+                seen.iter().all(|&s| s),
+                "{cfg}: clusters must cover all workers"
+            );
         }
     }
 
@@ -195,8 +211,17 @@ mod tests {
     fn cluster_diameters_match_fig9() {
         let n = net();
         // (16,16): FBFLY, max 2 hops. (4,64): fully connected column, 1 hop.
-        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(16, 16)).max_cluster_hops(&n), 2);
-        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(4, 64)).max_cluster_hops(&n), 1);
-        assert_eq!(PhysicalMapping::new(&n, ClusterConfig::new(1, 256)).max_cluster_hops(&n), 0);
+        assert_eq!(
+            PhysicalMapping::new(&n, ClusterConfig::new(16, 16)).max_cluster_hops(&n),
+            2
+        );
+        assert_eq!(
+            PhysicalMapping::new(&n, ClusterConfig::new(4, 64)).max_cluster_hops(&n),
+            1
+        );
+        assert_eq!(
+            PhysicalMapping::new(&n, ClusterConfig::new(1, 256)).max_cluster_hops(&n),
+            0
+        );
     }
 }

@@ -28,12 +28,19 @@ pub struct PacketNetwork {
     params: NocParams,
     links: HashMap<(usize, usize), ResourceTimeline>,
     bytes_on_wire: u64,
+    packets_injected: u64,
 }
 
 impl PacketNetwork {
     /// Creates a fresh simulator over `topo`.
     pub fn new(topo: Topology, params: NocParams) -> Self {
-        Self { topo, params, links: HashMap::new(), bytes_on_wire: 0 }
+        Self {
+            topo,
+            params,
+            links: HashMap::new(),
+            bytes_on_wire: 0,
+            packets_injected: 0,
+        }
     }
 
     /// The underlying topology.
@@ -73,6 +80,7 @@ impl PacketNetwork {
         let hop_lat = self.params.hop_latency();
         let wire = self.params.wire_bytes(bytes as usize, real_packet) as u64;
         self.bytes_on_wire += wire * route.len() as u64;
+        self.packets_injected += bytes.div_ceil(real_packet as u64);
         let sim_packet = sim_packet.max(real_packet) as u64;
         let n_pkts = wire.div_ceil(sim_packet);
         let mut done = ready;
@@ -102,12 +110,26 @@ impl PacketNetwork {
 
     /// Busy cycles accumulated on a directed link so far (0 if unused).
     pub fn link_busy(&self, from: usize, to: usize) -> Time {
-        self.links.get(&(from, to)).map(|t| t.busy_cycles()).unwrap_or(0)
+        self.links
+            .get(&(from, to))
+            .map(|t| t.busy_cycles())
+            .unwrap_or(0)
     }
 
     /// Total wire bytes × hops transported (for energy accounting).
     pub fn bytes_hops(&self) -> u64 {
         self.bytes_on_wire
+    }
+
+    /// Real packets injected so far (headers are charged per real packet;
+    /// observability counter, exported per traffic class).
+    pub fn packets_injected(&self) -> u64 {
+        self.packets_injected
+    }
+
+    /// Flit-hops transported so far for a given flit width in bytes.
+    pub fn flit_hops(&self, flit_bytes: usize) -> u64 {
+        self.bytes_on_wire.div_ceil(flit_bytes.max(1) as u64)
     }
 
     /// Sum of busy cycles over all links.
@@ -162,7 +184,11 @@ pub fn bottleneck_phase(
         cycles = cycles.max(bytes / bw);
         max_link = max_link.max(*bytes);
     }
-    PhaseTime { cycles: cycles + max_route_lat as f64, max_link_bytes: max_link, bytes_hops }
+    PhaseTime {
+        cycles: cycles + max_route_lat as f64,
+        max_link_bytes: max_link,
+        bytes_hops,
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +226,10 @@ mod tests {
             n2.transfer(0, 2, 56, 0, 64, 64)
         };
         let two = net.transfer(0, 2, 112, 0, 64, 64);
-        assert!(two < 2 * one, "pipelining should beat serial: {two} vs 2x{one}");
+        assert!(
+            two < 2 * one,
+            "pipelining should beat serial: {two} vs 2x{one}"
+        );
         assert!(two > one);
     }
 
@@ -242,7 +271,11 @@ mod tests {
         assert!((ph.max_link_bytes - 2.0 * wire).abs() < 1e-9);
         // bottleneck: 2*wire / 30 + 2 hops * 6
         let expect = 2.0 * wire / 30.0 + 12.0;
-        assert!((ph.cycles - expect).abs() < 1e-6, "{} vs {expect}", ph.cycles);
+        assert!(
+            (ph.cycles - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            ph.cycles
+        );
         assert!((ph.bytes_hops - 3.0 * wire).abs() < 1e-9);
     }
 
@@ -255,7 +288,11 @@ mod tests {
         // rounding that inflates 64 B-granularity runs by ~40 %.
         let sim = PacketNetwork::new(line3(), p).transfer(0, 2, 64_000, 0, 64, 1024);
         let ratio = sim as f64 / ph.cycles;
-        assert!((0.8..1.3).contains(&ratio), "sim {sim} vs model {}", ph.cycles);
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "sim {sim} vs model {}",
+            ph.cycles
+        );
     }
 
     #[test]
@@ -265,6 +302,9 @@ mod tests {
         assert!(net.link_busy(0, 1) > 0);
         assert!(net.link_busy(1, 2) > 0);
         assert_eq!(net.link_busy(1, 0), 0);
-        assert_eq!(net.total_link_busy(), net.link_busy(0, 1) + net.link_busy(1, 2));
+        assert_eq!(
+            net.total_link_busy(),
+            net.link_busy(0, 1) + net.link_busy(1, 2)
+        );
     }
 }

@@ -108,7 +108,12 @@ mod tests {
             let flows = all_to_all_flows(&nodes, tile_pair_bytes(16 << 20, 16));
             bottleneck_phase(&ring, &p, &flows, p.packet_bytes)
         };
-        assert!(t_f.cycles < t_r.cycles, "FBFLY {} vs ring {}", t_f.cycles, t_r.cycles);
+        assert!(
+            t_f.cycles < t_r.cycles,
+            "FBFLY {} vs ring {}",
+            t_f.cycles,
+            t_r.cycles
+        );
     }
 
     #[test]
@@ -135,7 +140,11 @@ mod tests {
         let mut net = PacketNetwork::new(topo, p);
         let sim = simulate_all_to_all(&mut net, &nodes, pair, 0, 1024);
         let ratio = sim as f64 / model.cycles;
-        assert!((0.5..2.5).contains(&ratio), "sim {sim} vs model {}", model.cycles);
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "sim {sim} vs model {}",
+            model.cycles
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! rings together, which is how dynamic clustering realizes the (4, 64)
 //! and (1, 256) configurations.
 
-
 use crate::params::LinkKind;
 
 /// A directed edge of the network.
@@ -250,7 +249,11 @@ impl MemoryCentricNetwork {
     pub fn new(groups: usize, group_size: usize) -> Self {
         assert!(groups >= 2 && group_size >= 2, "need at least 2x2 workers");
         let side = (groups as f64).sqrt().round() as usize;
-        assert_eq!(side * side, groups, "groups must be a perfect square for the FBFLY grid");
+        assert_eq!(
+            side * side,
+            groups,
+            "groups must be a perfect square for the FBFLY grid"
+        );
         let n_workers = groups * group_size;
         let host = n_workers;
         let mut edges = Vec::new();
@@ -290,7 +293,11 @@ impl MemoryCentricNetwork {
             }
         }
         let topology = Topology::from_edges(n_workers + 1, &edges);
-        Self { groups, group_size, topology }
+        Self {
+            groups,
+            group_size,
+            topology,
+        }
     }
 
     /// Total worker count (excluding the host).
@@ -305,7 +312,10 @@ impl MemoryCentricNetwork {
 
     /// Node index of a worker.
     pub fn node(&self, w: WorkerId) -> usize {
-        assert!(w.group < self.groups && w.pos < self.group_size, "worker out of range");
+        assert!(
+            w.group < self.groups && w.pos < self.group_size,
+            "worker out of range"
+        );
         w.group * self.group_size + w.pos
     }
 
@@ -316,7 +326,10 @@ impl MemoryCentricNetwork {
     /// Panics if `node` is the host or out of range.
     pub fn worker(&self, node: usize) -> WorkerId {
         assert!(node < self.workers(), "node {node} is not a worker");
-        WorkerId { group: node / self.group_size, pos: node % self.group_size }
+        WorkerId {
+            group: node / self.group_size,
+            pos: node % self.group_size,
+        }
     }
 }
 

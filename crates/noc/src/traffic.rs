@@ -142,15 +142,14 @@ mod tests {
     #[test]
     fn latency_rises_with_load() {
         let topo = Topology::flattened_butterfly(2, 2, LinkKind::Narrow);
-        let pts = latency_throughput_sweep(
-            &topo,
-            TrafficPattern::UniformRandom,
-            256,
-            &[2000, 40],
-            7,
+        let pts =
+            latency_throughput_sweep(&topo, TrafficPattern::UniformRandom, 256, &[2000, 40], 7);
+        assert!(
+            pts[1].latency >= pts[0].latency * 0.95,
+            "heavy load latency {} should not be below light load {}",
+            pts[1].latency,
+            pts[0].latency
         );
-        assert!(pts[1].latency >= pts[0].latency * 0.95,
-            "heavy load latency {} should not be below light load {}", pts[1].latency, pts[0].latency);
         assert!(pts[1].offered > pts[0].offered);
     }
 
@@ -171,8 +170,11 @@ mod tests {
     fn throughput_bounded_by_bisection() {
         // Neighbour traffic on a ring cannot exceed per-link capacity x n.
         let topo = Topology::ring(8, LinkKind::Narrow);
-        let pts =
-            latency_throughput_sweep(&topo, TrafficPattern::NeighborRing, 512, &[30], 5);
-        assert!(pts[0].throughput <= 8.0 * 10.0 * 1.05, "throughput {}", pts[0].throughput);
+        let pts = latency_throughput_sweep(&topo, TrafficPattern::NeighborRing, 512, &[30], 5);
+        assert!(
+            pts[0].throughput <= 8.0 * 10.0 * 1.05,
+            "throughput {}",
+            pts[0].throughput
+        );
     }
 }

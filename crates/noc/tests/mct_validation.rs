@@ -21,7 +21,10 @@ fn physical_ring_collective_matches_closed_form() {
     let simulated = simulate_ring_reduce_broadcast(&mut sim, &ring, msg, 0);
     let model = ring_collective_cycles(msg, ring.len(), 60.0, &params, 0);
     let ratio = simulated as f64 / model;
-    assert!((0.5..2.0).contains(&ratio), "sim {simulated} vs model {model}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "sim {simulated} vs model {model}"
+    );
 }
 
 #[test]
@@ -45,7 +48,10 @@ fn host_stitched_ring_works_and_costs_more_latency() {
     let ideal_ring: Vec<usize> = (0..64).collect();
     let ideal = simulate_ring_reduce_broadcast(&mut sim2, &ideal_ring, msg, 0);
 
-    assert!(stitched >= ideal, "stitching cannot be faster than a flat ring");
+    assert!(
+        stitched >= ideal,
+        "stitching cannot be faster than a flat ring"
+    );
     assert!(
         (stitched as f64) < ideal as f64 * 1.6,
         "host stitching overhead too large: {stitched} vs {ideal}"
@@ -88,11 +94,17 @@ fn cluster_all_to_all_on_physical_fbfly_matches_model() {
     let t = wmpt_noc::simulate_all_to_all(&mut sim, members, pair, 0, 1024);
 
     // Closed form on the standalone FBFLY.
-    let cluster = ClusterConfig::new(16, 16).cluster_topology().expect("fbfly");
+    let cluster = ClusterConfig::new(16, 16)
+        .cluster_topology()
+        .expect("fbfly");
     let flows = wmpt_noc::all_to_all_flows(&(0..16).collect::<Vec<_>>(), pair);
     let model = bottleneck_phase(&cluster, &params, &flows, params.packet_bytes);
     let ratio = t as f64 / model.cycles;
-    assert!((0.5..2.5).contains(&ratio), "sim {t} vs model {}", model.cycles);
+    assert!(
+        (0.5..2.5).contains(&ratio),
+        "sim {t} vs model {}",
+        model.cycles
+    );
 }
 
 #[test]
@@ -109,7 +121,13 @@ fn concurrent_clusters_share_nothing() {
     let mut all_net = PacketNetwork::new(net.topology.clone(), params);
     let mut worst = 0;
     for cl in &mapping.clusters {
-        worst = worst.max(wmpt_noc::simulate_all_to_all(&mut all_net, cl, pair, 0, 1024));
+        worst = worst.max(wmpt_noc::simulate_all_to_all(
+            &mut all_net,
+            cl,
+            pair,
+            0,
+            1024,
+        ));
     }
     assert!(
         (worst as f64) < solo as f64 * 1.1,
@@ -125,7 +143,12 @@ fn flit_level_ring_chunks_match_packet_tier() {
     let topo = wmpt_noc::Topology::ring(8, wmpt_noc::LinkKind::FullX2);
     let params = NocParams::paper();
     let packets: Vec<FlitPacket> = (0..8)
-        .map(|i| FlitPacket { src: i, dst: (i + 1) % 8, bytes: 256, inject_at: 0 })
+        .map(|i| FlitPacket {
+            src: i,
+            dst: (i + 1) % 8,
+            bytes: 256,
+            inject_at: 0,
+        })
         .collect();
     let flit = simulate_flits(&topo, &params, &FlitConfig::paper(), &packets);
 
@@ -135,5 +158,9 @@ fn flit_level_ring_chunks_match_packet_tier() {
         pkt_done = pkt_done.max(pkt.transfer(p.src, p.dst, p.bytes, 0, 256, 256));
     }
     let ratio = flit.makespan as f64 / pkt_done as f64;
-    assert!((0.4..2.5).contains(&ratio), "flit {} vs packet {pkt_done}", flit.makespan);
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "flit {} vs packet {pkt_done}",
+        flit.makespan
+    );
 }

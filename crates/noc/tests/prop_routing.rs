@@ -1,10 +1,12 @@
-//! Property tests of topology construction and routing: routes exist, are
-//! minimal-monotone, and the packet simulator delivers everything —
-//! over randomized topologies, not just the hand-built ones.
-
-use proptest::prelude::*;
+//! Randomized-property tests of topology construction and routing: routes
+//! exist, are minimal-monotone, and the packet simulator delivers
+//! everything — over randomized topologies, not just the hand-built ones.
+//!
+//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
+//! hermetically, so `proptest` is substituted with explicit loops).
 
 use wmpt_noc::{LinkKind, NocParams, PacketNetwork, Topology};
+use wmpt_tensor::Rng64;
 
 /// Builds a random connected bidirectional topology: a ring backbone plus
 /// random chords.
@@ -25,82 +27,107 @@ fn random_topology(n: usize, chords: &[(usize, usize)]) -> Topology {
     Topology::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_chords(rng: &mut Rng64, max: usize, bound: usize) -> Vec<(usize, usize)> {
+    let count = rng.index(max + 1);
+    (0..count)
+        .map(|_| (rng.index(bound), rng.index(bound)))
+        .collect()
+}
 
-    /// Every route starts at src, ends at dst, follows existing edges,
-    /// and never exceeds n-1 hops.
-    #[test]
-    fn routes_are_well_formed(
-        n in 3usize..24,
-        chords in proptest::collection::vec((0usize..24, 0usize..24), 0..8),
-        src in 0usize..24,
-        dst in 0usize..24,
-    ) {
+/// Every route starts at src, ends at dst, follows existing edges,
+/// and never exceeds n-1 hops.
+#[test]
+fn routes_are_well_formed() {
+    let mut rng = Rng64::new(0x0001_07e5);
+    for case in 0..64 {
+        let n = 3 + rng.index(21);
+        let chords = random_chords(&mut rng, 7, 24);
+        let src = rng.index(n);
+        let dst = rng.index(n);
         let topo = random_topology(n, &chords);
-        let (src, dst) = (src % n, dst % n);
         let route = topo.route(src, dst);
         if src == dst {
-            prop_assert!(route.is_empty());
+            assert!(route.is_empty(), "case {case}: self-route not empty");
         } else {
-            prop_assert_eq!(route[0].from, src);
-            prop_assert_eq!(route[route.len() - 1].to, dst);
+            assert_eq!(route[0].from, src, "case {case}");
+            assert_eq!(route[route.len() - 1].to, dst, "case {case}");
             for pair in route.windows(2) {
-                prop_assert_eq!(pair[0].to, pair[1].from);
+                assert_eq!(
+                    pair[0].to, pair[1].from,
+                    "case {case}: route not contiguous"
+                );
             }
-            prop_assert!(route.len() < n, "route too long: {}", route.len());
+            assert!(
+                route.len() < n,
+                "case {case}: route too long: {}",
+                route.len()
+            );
             for e in &route {
                 let _ = topo.link_kind(e.from, e.to); // panics if missing
             }
         }
     }
+}
 
-    /// Chords never make routes longer than the pure ring's.
-    #[test]
-    fn chords_only_help(
-        n in 4usize..20,
-        chords in proptest::collection::vec((0usize..20, 0usize..20), 1..6),
-        src in 0usize..20,
-        dst in 0usize..20,
-    ) {
-        let (src, dst) = (src % n, dst % n);
+/// Chords never make routes longer than the pure ring's.
+#[test]
+fn chords_only_help() {
+    let mut rng = Rng64::new(0xc404d);
+    for case in 0..64 {
+        let n = 4 + rng.index(16);
+        let mut chords = random_chords(&mut rng, 5, 20);
+        chords.push((rng.index(20), rng.index(20))); // at least one chord
+        let src = rng.index(n);
+        let dst = rng.index(n);
         let plain = random_topology(n, &[]);
         let chorded = random_topology(n, &chords);
-        prop_assert!(chorded.hops(src, dst) <= plain.hops(src, dst));
+        assert!(
+            chorded.hops(src, dst) <= plain.hops(src, dst),
+            "case {case}: chords lengthened {src}->{dst}"
+        );
     }
+}
 
-    /// The packet simulator delivers every message exactly when sizes are
-    /// positive, and later-injected traffic never finishes before it
-    /// could start.
-    #[test]
-    fn packet_network_delivers(
-        n in 3usize..12,
-        bytes in 1u64..10_000,
-        ready in 0u64..1000,
-        src in 0usize..12,
-        dst in 0usize..12,
-    ) {
+/// The packet simulator delivers every message exactly when sizes are
+/// positive, and later-injected traffic never finishes before it
+/// could start.
+#[test]
+fn packet_network_delivers() {
+    let mut rng = Rng64::new(0xde_11);
+    for case in 0..64 {
+        let n = 3 + rng.index(9);
+        let bytes = 1 + rng.below_u64(9_999);
+        let ready = rng.below_u64(1000);
+        let src = rng.index(n);
+        let dst = rng.index(n);
         let topo = random_topology(n, &[]);
-        let (src, dst) = (src % n, dst % n);
         let mut net = PacketNetwork::new(topo, NocParams::paper());
         let t = net.transfer(src, dst, bytes, ready, 64, 1024);
-        prop_assert!(t >= ready);
+        assert!(t >= ready, "case {case}: finished before ready");
         if src != dst {
             let min_ser = (bytes as f64 / 120.0).floor() as u64; // widest link
-            prop_assert!(t >= ready + min_ser, "{t} too fast for {bytes} bytes");
+            assert!(
+                t >= ready + min_ser,
+                "case {case}: {t} too fast for {bytes} bytes"
+            );
         }
     }
+}
 
-    /// Hop counts are symmetric on these bidirectional topologies.
-    #[test]
-    fn hops_symmetric(
-        n in 3usize..16,
-        chords in proptest::collection::vec((0usize..16, 0usize..16), 0..5),
-        a in 0usize..16,
-        b in 0usize..16,
-    ) {
+/// Hop counts are symmetric on these bidirectional topologies.
+#[test]
+fn hops_symmetric() {
+    let mut rng = Rng64::new(0x5e_3a);
+    for case in 0..64 {
+        let n = 3 + rng.index(13);
+        let chords = random_chords(&mut rng, 4, 16);
+        let a = rng.index(n);
+        let b = rng.index(n);
         let topo = random_topology(n, &chords);
-        let (a, b) = (a % n, b % n);
-        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        assert_eq!(
+            topo.hops(a, b),
+            topo.hops(b, a),
+            "case {case}: asymmetric {a}<->{b}"
+        );
     }
 }

@@ -1,0 +1,111 @@
+//! Observability for the MPT simulation stack: a typed metric registry,
+//! span tracing on the simulator's virtual clock, and Chrome-trace export.
+//!
+//! The simulation crates (`wmpt-noc`, `wmpt-ndp`, `wmpt-core`) expose
+//! `*_observed` variants of their entry points that accept an
+//! [`Observer`]; the plain variants stay untouched, so observability is
+//! zero-cost when not requested — no flags checked on the hot path.
+//!
+//! Three pieces:
+//!
+//! * [`MetricRegistry`] — counters/gauges/histograms keyed by the typed
+//!   [`MetricKey`] enum. Plain values, no global state; merge per-worker
+//!   registries upward, serialize to JSON, parse back.
+//! * [`Tracer`] — records `(track, category, name, start, end)` spans in
+//!   virtual cycles and exports Chrome `trace_event` JSON (open in
+//!   `chrome://tracing` or Perfetto) plus a plain-text per-phase rollup.
+//! * [`json`] — a minimal JSON writer/parser; the workspace builds
+//!   hermetically, so this substitutes for `serde_json` (see DESIGN.md).
+//!
+//! # Metric keys
+//!
+//! Every key is documented on its [`MetricKey`] variant; the serialized
+//! names (and what increments them) are:
+//!
+//! | key | kind | meaning |
+//! |-----|------|---------|
+//! | `noc.flits_injected.<tc>` | counter | 16 B flits entering the network per [`TrafficClass`] |
+//! | `noc.flits_delivered.<tc>` | counter | flits arriving at their destination per class |
+//! | `noc.packets_injected.<tc>` | counter | packets (payload + 8 B header) per class |
+//! | `noc.bytes_on_wire.<tc>` | counter | payload+header bytes per class, once per packet |
+//! | `noc.link_busy_cycles` | counter | busy cycles summed over links |
+//! | `noc.max_link_utilization` | gauge | utilization of the most-loaded link |
+//! | `tile.bytes_fwd_total` | counter | forward gather bytes before prediction |
+//! | `tile.bytes_saved_gather` | counter | bytes skipped by activation prediction |
+//! | `tile.bytes_saved_scatter` | counter | bytes skipped by zero-skip on backward |
+//! | `pred.dead_tiles_actual` | counter | truly all-dead output tiles |
+//! | `pred.true_positive_tiles` | counter | tiles correctly predicted dead |
+//! | `pred.false_positive_tiles` | counter | live tiles wrongly predicted dead (0 when sound) |
+//! | `ndp.systolic_macs` | counter | MACs executed by systolic arrays |
+//! | `ndp.systolic_busy_cycles` | counter | systolic busy cycles |
+//! | `ndp.vector_busy_cycles` | counter | vector-unit busy cycles |
+//! | `ndp.systolic_utilization` | gauge | systolic utilization over the layer |
+//! | `ndp.vector_utilization` | gauge | vector utilization over the layer |
+//! | `ndp.dram_bytes` | counter | DRAM↔SRAM traffic |
+//! | `ndp.sram_bytes` | counter | SRAM↔compute traffic |
+//! | `ndp.dram_row_hits` | counter | FR-FCFS row-buffer hits |
+//! | `ndp.dram_row_misses` | counter | row misses (activate+precharge) |
+//! | `coll.reduce_cycles` | counter | ring reduce cycles |
+//! | `coll.broadcast_cycles` | counter | ring broadcast cycles |
+//! | `coll.total_cycles` | counter | collective cycles charged to the layer |
+//! | `sim.events_pushed` | counter | events pushed into event queues |
+//! | `sim.events_popped` | counter | events popped from event queues |
+//! | `exec.compute_cycles` | counter | compute cycles over simulated phases |
+//! | `exec.comm_cycles` | counter | communication cycles over simulated phases |
+//! | `exec.total_cycles` | counter | end-to-end cycles |
+//! | `hist.tile_pair_bytes` | histogram | bytes per tile-transfer (src, dst) pair |
+//! | `hist.phase_cycles` | histogram | cycles per simulated phase |
+//!
+//! # Example
+//!
+//! ```
+//! use wmpt_obs::{MetricKey, Observer, TrafficClass};
+//!
+//! let mut obs = Observer::new();
+//! let worker = obs.trace.track("worker0");
+//! obs.trace.span(worker, "ndp", "fwd.gemm", 0, 1200);
+//! obs.metrics.inc(MetricKey::FlitsInjected(TrafficClass::TileScatter), 64);
+//!
+//! let doc = obs.trace.chrome_trace(); // loadable in chrome://tracing
+//! assert!(doc.get("traceEvents").is_some());
+//! assert!(obs.metrics.render_table().contains("noc.flits_injected.tile_scatter"));
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricKey, MetricRegistry, TrafficClass};
+pub use trace::{Span, Tracer, TrackId};
+
+/// A metric registry and a tracer bundled together — the single handle
+/// instrumented code threads through `*_observed` entry points.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    /// Counters, gauges, histograms for this run.
+    pub metrics: MetricRegistry,
+    /// Span tracer on the virtual clock.
+    pub trace: Tracer,
+}
+
+impl Observer {
+    /// An empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observer_bundles_metrics_and_trace() {
+        let mut obs = Observer::new();
+        obs.metrics.inc(MetricKey::TotalCycles, 500);
+        let t = obs.trace.track("iter");
+        obs.trace.span(t, "layer", "fwd", 0, 500);
+        assert_eq!(obs.metrics.counter(MetricKey::TotalCycles), 500);
+        assert_eq!(obs.trace.category_cycles("layer"), 500);
+    }
+}

@@ -1,0 +1,335 @@
+//! Span-based event tracing on the simulator's virtual clock, with Chrome
+//! `trace_event` export.
+//!
+//! A [`Tracer`] records `(track, category, name, start, end)` spans where
+//! times are virtual [`Time`] cycles (1 cycle = 1 ns at the 1 GHz clock,
+//! so the exported `ts`/`dur` microsecond fields are cycles / 1000 and the
+//! file opens directly in `chrome://tracing` / Perfetto with correct
+//! relative scale). Tracks map to Chrome threads; each worker, the NoC,
+//! and the iteration rollup get their own track.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use wmpt_sim::Time;
+
+/// Handle to a named track (a Chrome `tid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(usize);
+
+/// One completed span on a track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which track the span lives on.
+    pub track: TrackId,
+    /// Category (Chrome `cat`), e.g. `"ndp"`, `"noc"`, `"collective"`,
+    /// `"layer"`.
+    pub cat: String,
+    /// Human-readable name (Chrome `name`), e.g. `"fwd.gemm"`.
+    pub name: String,
+    /// Start cycle (inclusive).
+    pub start: Time,
+    /// End cycle (exclusive); `end >= start`.
+    pub end: Time,
+}
+
+impl Span {
+    /// Span duration in cycles.
+    pub fn cycles(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    cat: String,
+    name: String,
+    start: Time,
+}
+
+/// Records spans against named tracks and exports Chrome-trace JSON.
+///
+/// Spans can be recorded directly with [`Tracer::span`] or bracketed with
+/// [`Tracer::begin`]/[`Tracer::end`], which nest per track (ends close the
+/// most recent open span, stack-wise).
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    tracks: Vec<String>,
+    spans: Vec<Span>,
+    open: Vec<Vec<OpenSpan>>,
+}
+
+impl Tracer {
+    /// An empty tracer with no tracks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a track (Chrome thread) and returns its handle.
+    /// Re-registering an existing name returns the original handle.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            return TrackId(i);
+        }
+        self.tracks.push(name.to_string());
+        self.open.push(Vec::new());
+        TrackId(self.tracks.len() - 1)
+    }
+
+    /// Records a completed span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or the track is unknown.
+    pub fn span(&mut self, track: TrackId, cat: &str, name: &str, start: Time, end: Time) {
+        assert!(end >= start, "span '{name}' ends before it starts");
+        assert!(track.0 < self.tracks.len(), "unknown track");
+        self.spans.push(Span {
+            track,
+            cat: cat.to_string(),
+            name: name.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// Opens a span at `start`; closed by the matching [`Tracer::end`].
+    /// Opens nest per track.
+    pub fn begin(&mut self, track: TrackId, cat: &str, name: &str, start: Time) {
+        assert!(track.0 < self.tracks.len(), "unknown track");
+        self.open[track.0].push(OpenSpan {
+            cat: cat.to_string(),
+            name: name.to_string(),
+            start,
+        });
+    }
+
+    /// Closes the most recently opened span on `track` at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open on the track or `end` precedes its start.
+    pub fn end(&mut self, track: TrackId, end: Time) {
+        let open = self.open[track.0]
+            .pop()
+            .expect("end() without matching begin()");
+        self.span(
+            track,
+            &open.cat.clone(),
+            &open.name.clone(),
+            open.start,
+            end,
+        );
+    }
+
+    /// Number of open (unclosed) spans across all tracks.
+    pub fn open_spans(&self) -> usize {
+        self.open.iter().map(Vec::len).sum()
+    }
+
+    /// All completed spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Name of a track.
+    pub fn track_name(&self, track: TrackId) -> &str {
+        &self.tracks[track.0]
+    }
+
+    /// Builds the Chrome `trace_event` document:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ns"}` with one `ph:"M"`
+    /// `thread_name` metadata event per track and one `ph:"X"` complete
+    /// event per span. `ts`/`dur` are microseconds (cycles / 1000).
+    pub fn chrome_trace(&self) -> Value {
+        let mut events = Vec::new();
+        for (tid, name) in self.tracks.iter().enumerate() {
+            events.push(json::obj(vec![
+                ("ph", json::s("M")),
+                ("name", json::s("thread_name")),
+                ("pid", json::num(0.0)),
+                ("tid", json::num(tid as f64)),
+                ("args", json::obj(vec![("name", json::s(name))])),
+            ]));
+        }
+        for sp in &self.spans {
+            events.push(json::obj(vec![
+                ("ph", json::s("X")),
+                ("name", json::s(&sp.name)),
+                ("cat", json::s(&sp.cat)),
+                ("pid", json::num(0.0)),
+                ("tid", json::num(sp.track.0 as f64)),
+                ("ts", json::num(sp.start as f64 / 1000.0)),
+                ("dur", json::num(sp.cycles() as f64 / 1000.0)),
+                (
+                    "args",
+                    json::obj(vec![
+                        ("start_cycle", json::num(sp.start as f64)),
+                        ("cycles", json::num(sp.cycles() as f64)),
+                    ]),
+                ),
+            ]));
+        }
+        json::obj(vec![
+            ("traceEvents", Value::Arr(events)),
+            ("displayTimeUnit", json::s("ns")),
+        ])
+    }
+
+    /// Writes [`Tracer::chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace().render())
+    }
+
+    /// Total cycles per `(category, name)`, with span counts, sorted by
+    /// category then name.
+    pub fn rollup(&self) -> BTreeMap<(String, String), (u64, Time)> {
+        let mut out: BTreeMap<(String, String), (u64, Time)> = BTreeMap::new();
+        for sp in &self.spans {
+            let slot = out
+                .entry((sp.cat.clone(), sp.name.clone()))
+                .or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += sp.cycles();
+        }
+        out
+    }
+
+    /// Sum of cycles over spans of one category.
+    pub fn category_cycles(&self, cat: &str) -> Time {
+        self.spans
+            .iter()
+            .filter(|s| s.cat == cat)
+            .map(Span::cycles)
+            .sum()
+    }
+
+    /// Plain-text per-phase rollup table:
+    ///
+    /// ```text
+    /// cat         name          spans       cycles   share
+    /// layer       fwd               1       12,340   41.2%
+    /// ```
+    ///
+    /// `share` is relative to total cycles of the span's category, so
+    /// categories that tile the timeline (like `layer`) sum to 100%.
+    pub fn rollup_table(&self) -> String {
+        let rollup = self.rollup();
+        let mut cat_totals: BTreeMap<&str, Time> = BTreeMap::new();
+        for ((cat, _), (_, cycles)) in &rollup {
+            *cat_totals.entry(cat.as_str()).or_insert(0) += cycles;
+        }
+        let name_w = rollup
+            .keys()
+            .map(|(_, n)| n.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let cat_w = rollup
+            .keys()
+            .map(|(c, _)| c.len())
+            .chain(std::iter::once(3))
+            .max()
+            .unwrap_or(3);
+        let mut out = format!(
+            "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>6}\n",
+            "cat", "name", "spans", "cycles", "share"
+        );
+        for ((cat, name), (count, cycles)) in &rollup {
+            let total = cat_totals[cat.as_str()].max(1);
+            out.push_str(&format!(
+                "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>5.1}%\n",
+                cat,
+                name,
+                count,
+                cycles,
+                100.0 * *cycles as f64 / total as f64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_roll_up() {
+        let mut t = Tracer::new();
+        let w0 = t.track("worker0");
+        t.span(w0, "ndp", "gemm", 0, 100);
+        t.span(w0, "ndp", "gemm", 100, 150);
+        t.span(w0, "noc", "scatter", 150, 200);
+        let rollup = t.rollup();
+        assert_eq!(rollup[&("ndp".to_string(), "gemm".to_string())], (2, 150));
+        assert_eq!(rollup[&("noc".to_string(), "scatter".to_string())], (1, 50));
+        assert_eq!(t.category_cycles("ndp"), 150);
+    }
+
+    #[test]
+    fn begin_end_nest_per_track() {
+        let mut t = Tracer::new();
+        let w = t.track("w");
+        t.begin(w, "layer", "outer", 0);
+        t.begin(w, "ndp", "inner", 10);
+        t.end(w, 20); // closes inner
+        assert_eq!(t.open_spans(), 1);
+        t.end(w, 100); // closes outer
+        assert_eq!(t.open_spans(), 0);
+        let spans = t.spans();
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!((spans[0].start, spans[0].end), (10, 20));
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!((spans[1].start, spans[1].end), (0, 100));
+    }
+
+    #[test]
+    fn track_registration_is_idempotent() {
+        let mut t = Tracer::new();
+        let a = t.track("noc");
+        let b = t.track("noc");
+        assert_eq!(a, b);
+        assert_eq!(t.track_name(a), "noc");
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_complete_events() {
+        let mut t = Tracer::new();
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm", 1000, 3000);
+        let doc = t.chrome_trace();
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("M"));
+        let x = &events[1];
+        assert_eq!(x.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(x.get("cat").and_then(Value::as_str), Some("ndp"));
+        assert_eq!(x.get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(x.get("dur").and_then(Value::as_f64), Some(2.0));
+        // The document round-trips through our own parser.
+        let text = doc.render();
+        assert_eq!(crate::json::parse(&text).expect("parse"), doc);
+    }
+
+    #[test]
+    fn rollup_table_shares_sum_per_category() {
+        let mut t = Tracer::new();
+        let iter = t.track("iter");
+        t.span(iter, "layer", "fwd", 0, 600);
+        t.span(iter, "layer", "bwd", 600, 1000);
+        let table = t.rollup_table();
+        assert!(table.contains("60.0%"), "table:\n{table}");
+        assert!(table.contains("40.0%"), "table:\n{table}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn rejects_negative_spans() {
+        let mut t = Tracer::new();
+        let w = t.track("w");
+        t.span(w, "ndp", "oops", 10, 5);
+    }
+}

@@ -38,7 +38,12 @@ impl IntervalMat {
     /// Panics if `vals.len() != rows * cols`.
     pub fn exact(rows: usize, cols: usize, vals: &[f32]) -> Self {
         assert_eq!(vals.len(), rows * cols);
-        Self { rows, cols, lo: vals.to_vec(), hi: vals.to_vec() }
+        Self {
+            rows,
+            cols,
+            lo: vals.to_vec(),
+            hi: vals.to_vec(),
+        }
     }
 
     /// Builds from per-element bounds.
@@ -109,7 +114,10 @@ impl IntervalMat {
                 let mut h = 0.0f64;
                 for k in 0..self.cols {
                     let c = m.row(j)[k];
-                    let (a, b) = (self.lo[i * self.cols + k] as f64, self.hi[i * self.cols + k] as f64);
+                    let (a, b) = (
+                        self.lo[i * self.cols + k] as f64,
+                        self.hi[i * self.cols + k] as f64,
+                    );
                     if c >= 0.0 {
                         l += c * a;
                         h += c * b;
@@ -134,7 +142,11 @@ impl IntervalMat {
     /// Per-row version of [`Self::certainly_negative`].
     pub fn rows_certainly_negative(&self) -> Vec<bool> {
         (0..self.rows)
-            .map(|i| self.hi[i * self.cols..(i + 1) * self.cols].iter().all(|&v| v < 0.0))
+            .map(|i| {
+                self.hi[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .all(|&v| v < 0.0)
+            })
             .collect()
     }
 }

@@ -40,13 +40,17 @@
 //! ```
 
 pub mod bounds;
+pub mod observe;
 pub mod predictor;
 pub mod quantize;
 pub mod stats;
 pub mod zero_skip;
 
 pub use bounds::IntervalMat;
-pub use predictor::{predict_tensor, ActivationPredictor, PredictMode, TensorPrediction, TilePrediction};
+pub use observe::record_prediction;
+pub use predictor::{
+    predict_tensor, ActivationPredictor, PredictMode, TensorPrediction, TilePrediction,
+};
 pub use quantize::{sigma_of, NonUniformQuantizer, Quantized, QuantizerConfig, OVERFLOW_BOUND};
 pub use stats::{measure, PredictionStats};
 pub use zero_skip::{

@@ -1,0 +1,61 @@
+//! Export of prediction-quality measurements into the [`wmpt_obs`]
+//! metric registry.
+
+use wmpt_obs::{MetricKey, MetricRegistry};
+
+use crate::stats::PredictionStats;
+
+/// Records a [`PredictionStats`] measurement over `total_tiles`
+/// (tile, channel) pairs as absolute tile counts.
+///
+/// The predictor is conservative — it only skips tiles it can prove dead
+/// from interval bounds — so every predicted-dead tile should be actually
+/// dead: true positives are `min(predicted, actual)` and false positives
+/// (`max(0, predicted − actual)`) stay at zero while the soundness
+/// invariant holds. A nonzero `pred.false_positive_tiles` counter in a
+/// metrics dump is therefore itself a bug detector.
+pub fn record_prediction(reg: &mut MetricRegistry, stats: &PredictionStats, total_tiles: u64) {
+    let t = total_tiles as f64;
+    let actual = (stats.actual_dead_tiles * t).round() as u64;
+    let predicted = (stats.predicted_dead_tiles * t).round() as u64;
+    reg.inc(MetricKey::PredDeadTilesActual, actual);
+    reg.inc(MetricKey::PredTruePositiveTiles, predicted.min(actual));
+    reg.inc(
+        MetricKey::PredFalsePositiveTiles,
+        predicted.saturating_sub(actual),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_prediction_has_no_false_positives() {
+        let s = PredictionStats {
+            actual_dead_tiles: 0.4,
+            predicted_dead_tiles: 0.3,
+            actual_dead_lines: 0.5,
+            predicted_dead_lines: 0.45,
+        };
+        let mut reg = MetricRegistry::new();
+        record_prediction(&mut reg, &s, 1000);
+        assert_eq!(reg.counter(MetricKey::PredDeadTilesActual), 400);
+        assert_eq!(reg.counter(MetricKey::PredTruePositiveTiles), 300);
+        assert_eq!(reg.counter(MetricKey::PredFalsePositiveTiles), 0);
+    }
+
+    #[test]
+    fn overprediction_surfaces_as_false_positives() {
+        let s = PredictionStats {
+            actual_dead_tiles: 0.1,
+            predicted_dead_tiles: 0.25,
+            actual_dead_lines: 0.0,
+            predicted_dead_lines: 0.0,
+        };
+        let mut reg = MetricRegistry::new();
+        record_prediction(&mut reg, &s, 200);
+        assert_eq!(reg.counter(MetricKey::PredTruePositiveTiles), 20);
+        assert_eq!(reg.counter(MetricKey::PredFalsePositiveTiles), 30);
+    }
+}

@@ -100,7 +100,11 @@ impl ActivationPredictor {
                 NonUniformQuantizer::new(config, sigma * norm.max(1e-9))
             })
             .collect();
-        Self { tf, quantizer: NonUniformQuantizer::new(config, sigma), one_d_quantizers }
+        Self {
+            tf,
+            quantizer: NonUniformQuantizer::new(config, sigma),
+            one_d_quantizers,
+        }
     }
 
     /// The underlying quantizer.
@@ -204,7 +208,6 @@ impl ActivationPredictor {
     }
 }
 
-
 /// Batched prediction over a whole Winograd-domain output tensor — what a
 /// worker's P2P unit computes for every tile it is about to gather.
 #[derive(Debug, Clone)]
@@ -255,7 +258,12 @@ pub fn predict_tensor(
             dead_lines.extend_from_slice(&pred.rows_dead);
         }
     }
-    TensorPrediction { dead_tiles, dead_lines, m, chans: y.chans }
+    TensorPrediction {
+        dead_tiles,
+        dead_lines,
+        m,
+        chans: y.chans,
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +398,10 @@ mod tests {
                 .filter(|t| p.predict(t, PredictMode::TwoD).tile_dead)
                 .count()
         };
-        assert!(rate(128) >= rate(16), "finer quantization should not predict fewer dead tiles");
+        assert!(
+            rate(128) >= rate(16),
+            "finer quantization should not predict fewer dead tiles"
+        );
     }
     #[test]
     fn bias_shifts_bounds_soundly() {
@@ -400,8 +411,7 @@ mod tests {
             let tile = random_tile(&mut g, 16, 1.0);
             for bias in [-2.0f32, -0.5, 0.5] {
                 let pred = p.predict_with_bias(&tile, PredictMode::TwoD, bias);
-                let actual: Vec<f32> =
-                    p.actual(&tile).iter().map(|v| v + bias).collect();
+                let actual: Vec<f32> = p.actual(&tile).iter().map(|v| v + bias).collect();
                 for (i, a) in actual.iter().enumerate() {
                     assert!(
                         pred.lower[i] - 1e-4 <= *a && *a <= pred.upper[i] + 1e-4,

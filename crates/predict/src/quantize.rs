@@ -45,10 +45,20 @@ impl QuantizerConfig {
     /// Panics unless `levels` is a power of two ≥ 4, `regions ≥ 1`, and
     /// `regions` divides `levels / 2`.
     pub fn new(levels: u32, regions: u32) -> Self {
-        assert!(levels >= 4 && levels.is_power_of_two(), "levels must be a power of two >= 4");
+        assert!(
+            levels >= 4 && levels.is_power_of_two(),
+            "levels must be a power of two >= 4"
+        );
         assert!(regions >= 1, "need at least one region");
-        assert!((levels / 2).is_multiple_of(regions), "regions must divide levels/2");
-        Self { levels, regions, range_sigmas: 4.0 }
+        assert!(
+            (levels / 2).is_multiple_of(regions),
+            "regions must divide levels/2"
+        );
+        Self {
+            levels,
+            regions,
+            range_sigmas: 4.0,
+        }
     }
 
     /// Uniform quantizer with the given level count.
@@ -119,7 +129,10 @@ impl NonUniformQuantizer {
     ///
     /// Panics if `sigma` is not finite and positive.
     pub fn new(config: QuantizerConfig, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "sigma must be positive, got {sigma}"
+        );
         let steps = config.steps_per_region() as f64;
         let r = config.regions;
         // Range = Σ_{k<R} steps * 2^k * Δ = steps * (2^R - 1) * Δ
@@ -132,7 +145,11 @@ impl NonUniformQuantizer {
             acc += steps * (1u64 << k) as f64 * delta;
             offsets.push(acc);
         }
-        Self { config, delta, offsets }
+        Self {
+            config,
+            delta,
+            offsets,
+        }
     }
 
     /// The quantizer's configuration.
@@ -186,13 +203,22 @@ impl NonUniformQuantizer {
                     lo = q;
                     hi = q + step;
                 }
-                Quantized { lo: lo as f32, hi: hi as f32 }
+                Quantized {
+                    lo: lo as f32,
+                    hi: hi as f32,
+                }
             }
             None => {
                 if x >= 0.0 {
-                    Quantized { lo: self.max_range() as f32, hi: OVERFLOW_BOUND }
+                    Quantized {
+                        lo: self.max_range() as f32,
+                        hi: OVERFLOW_BOUND,
+                    }
                 } else {
-                    Quantized { lo: -OVERFLOW_BOUND, hi: -(self.max_range() as f32) }
+                    Quantized {
+                        lo: -OVERFLOW_BOUND,
+                        hi: -(self.max_range() as f32),
+                    }
                 }
             }
         }
@@ -255,7 +281,12 @@ mod tests {
         for i in -2000..=2000 {
             let v = i as f32 * 0.005; // within +-10 sigma -> includes overflow
             let iv = q.quantize(v);
-            assert!(iv.lo <= v && v <= iv.hi, "{v} not in [{}, {}]", iv.lo, iv.hi);
+            assert!(
+                iv.lo <= v && v <= iv.hi,
+                "{v} not in [{}, {}]",
+                iv.lo,
+                iv.hi
+            );
         }
     }
 

@@ -133,7 +133,11 @@ mod tests {
         let y = synthetic_outputs(2, -2.0);
         let s = measure(&y, &tf, QuantizerConfig::new(64, 4), PredictMode::TwoD);
         assert!(s.actual_dead_tiles > 0.5, "actual {}", s.actual_dead_tiles);
-        assert!(s.predicted_dead_tiles > 0.2, "predicted {}", s.predicted_dead_tiles);
+        assert!(
+            s.predicted_dead_tiles > 0.2,
+            "predicted {}",
+            s.predicted_dead_tiles
+        );
     }
 
     #[test]

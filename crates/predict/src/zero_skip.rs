@@ -30,7 +30,9 @@ pub struct ActivationMap {
 impl ActivationMap {
     /// Builds the map for a value slice, keeping non-zero entries.
     pub fn from_values(vals: &[f32]) -> Self {
-        Self { kept: vals.iter().map(|v| *v != 0.0).collect() }
+        Self {
+            kept: vals.iter().map(|v| *v != 0.0).collect(),
+        }
     }
 
     /// Number of entries kept.
@@ -86,7 +88,13 @@ impl ActivationMap {
         let mut it = packed.iter();
         self.kept
             .iter()
-            .map(|k| if *k { *it.next().expect("length checked") } else { 0.0 })
+            .map(|k| {
+                if *k {
+                    *it.next().expect("length checked")
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }
@@ -106,7 +114,11 @@ pub fn scatter_zero_fraction_2d(x: &Tensor4, tf: &WinogradTransform) -> f64 {
             total += t * t;
         }
     }
-    if total == 0 { 0.0 } else { zeros as f64 / total as f64 }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
 }
 
 /// Zero fraction of half-transformed input lines (`Bᵀ x`, 1-D only) — the
@@ -135,7 +147,11 @@ pub fn scatter_zero_fraction_1d(x: &Tensor4, tf: &WinogradTransform) -> f64 {
             }
         }
     }
-    if total == 0 { 0.0 } else { zeros as f64 / total as f64 }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
 }
 
 /// Zero fraction of the raw spatial feature map (upper bound on what any

@@ -1,43 +1,49 @@
-//! Property tests of the activation predictor's headline guarantee:
-//! *no false negatives* — a tile or line predicted non-activated really is
-//! non-activated, for any input values, quantizer geometry, transform and
-//! prediction flow. This is the property that lets the paper claim the
-//! traffic reduction is accuracy-neutral.
-
-use proptest::prelude::*;
+//! Randomized-property tests of the activation predictor's headline
+//! guarantee: *no false negatives* — a tile or line predicted
+//! non-activated really is non-activated, for any input values, quantizer
+//! geometry, transform and prediction flow. This is the property that lets
+//! the paper claim the traffic reduction is accuracy-neutral.
+//!
+//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
+//! hermetically, so `proptest` is substituted with explicit loops).
 
 use wmpt_predict::{ActivationPredictor, PredictMode, QuantizerConfig};
+use wmpt_tensor::Rng64;
 use wmpt_winograd::WinogradTransform;
 
-fn transforms() -> impl Strategy<Value = WinogradTransform> {
-    prop_oneof![
-        Just(WinogradTransform::f2x2_3x3()),
-        Just(WinogradTransform::f4x4_3x3()),
-        Just(WinogradTransform::f2x2_5x5()),
-    ]
+fn random_transform(rng: &mut Rng64) -> WinogradTransform {
+    match rng.index(3) {
+        0 => WinogradTransform::f2x2_3x3(),
+        1 => WinogradTransform::f4x4_3x3(),
+        _ => WinogradTransform::f2x2_5x5(),
+    }
 }
 
-fn configs() -> impl Strategy<Value = QuantizerConfig> {
-    (prop_oneof![Just(16u32), Just(32), Just(64), Just(128)], 0u32..3).prop_map(|(levels, rexp)| {
-        // regions in {1, 2, 4}, all divide levels/2
-        QuantizerConfig::new(levels, 1 << rexp)
-    })
+fn random_config(rng: &mut Rng64) -> QuantizerConfig {
+    let levels = [16u32, 32, 64, 128][rng.index(4)];
+    // regions in {1, 2, 4}, all divide levels/2
+    QuantizerConfig::new(levels, 1 << rng.index(3))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_mode(rng: &mut Rng64) -> PredictMode {
+    if rng.next_bool() {
+        PredictMode::TwoD
+    } else {
+        PredictMode::OneD
+    }
+}
 
-    /// Predicted intervals always contain the exact neuron values.
-    #[test]
-    fn intervals_contain_actual(
-        tf in transforms(),
-        cfg in configs(),
-        mode in prop_oneof![Just(PredictMode::TwoD), Just(PredictMode::OneD)],
-        sigma in 0.1f64..5.0,
-        seed in any::<u64>(),
-    ) {
+/// Predicted intervals always contain the exact neuron values.
+#[test]
+fn intervals_contain_actual() {
+    let mut rng = Rng64::new(0x50_a1);
+    for case in 0..256 {
+        let tf = random_transform(&mut rng);
+        let cfg = random_config(&mut rng);
+        let mode = random_mode(&mut rng);
+        let sigma = rng.range_f64(0.1, 5.0);
         let t = tf.t();
-        let mut gen = wmpt_tensor::DataGen::new(seed);
+        let mut gen = wmpt_tensor::DataGen::new(rng.next_u64());
         let tile: Vec<f32> = (0..t * t).map(|_| gen.normal(0.0, sigma) as f32).collect();
         // Quantizer sized for sigma=1 regardless of data sigma: exercises
         // both the fine-grained path and overflow handling.
@@ -46,65 +52,94 @@ proptest! {
         let pred = p.predict(&tile, mode);
         for (i, a) in actual.iter().enumerate() {
             let slack = 1e-3f32 * (1.0 + a.abs());
-            prop_assert!(pred.lower[i] - slack <= *a, "neuron {i} below lower bound");
-            prop_assert!(*a <= pred.upper[i] + slack, "neuron {i} above upper bound");
+            assert!(
+                pred.lower[i] - slack <= *a,
+                "case {case}: neuron {i} below lower bound"
+            );
+            assert!(
+                *a <= pred.upper[i] + slack,
+                "case {case}: neuron {i} above upper bound"
+            );
         }
     }
+}
 
-    /// Tiles predicted dead have no activated neuron (no false negatives).
-    #[test]
-    fn no_false_negative_tiles(
-        tf in transforms(),
-        cfg in configs(),
-        mode in prop_oneof![Just(PredictMode::TwoD), Just(PredictMode::OneD)],
-        bias in -3.0f64..0.5,
-        seed in any::<u64>(),
-    ) {
+/// Tiles predicted dead have no activated neuron (no false negatives).
+#[test]
+fn no_false_negative_tiles() {
+    let mut rng = Rng64::new(0xdead);
+    for case in 0..256 {
+        let tf = random_transform(&mut rng);
+        let cfg = random_config(&mut rng);
+        let mode = random_mode(&mut rng);
+        let bias = rng.range_f64(-3.0, 0.5);
         let t = tf.t();
         let m = tf.m();
-        let mut gen = wmpt_tensor::DataGen::new(seed);
+        let mut gen = wmpt_tensor::DataGen::new(rng.next_u64());
         // Bias the *spatial* neurons negative, then map to the Winograd
         // domain with the adjoint so many tiles are genuinely dead.
         let dy: Vec<f32> = (0..m * m).map(|_| gen.normal(bias, 1.0) as f32).collect();
         let tile = tf.inverse_2d_grad(&dy);
-        prop_assert_eq!(tile.len(), t * t);
+        assert_eq!(tile.len(), t * t);
         let p = ActivationPredictor::new(tf, cfg, 1.0);
         let actual = p.actual(&tile);
         let pred = p.predict(&tile, mode);
         if pred.tile_dead {
             for a in &actual {
-                prop_assert!(*a <= 1e-3, "false negative: activated neuron {a}");
+                assert!(
+                    *a <= 1e-3,
+                    "case {case}: false negative: activated neuron {a}"
+                );
             }
         }
         for (row, dead) in pred.rows_dead.iter().enumerate() {
             if *dead {
                 for a in &actual[row * m..(row + 1) * m] {
-                    prop_assert!(*a <= 1e-3, "false-negative line {row}: {a}");
+                    assert!(*a <= 1e-3, "case {case}: false-negative line {row}: {a}");
                 }
             }
         }
     }
+}
 
-    /// Quantization intervals always contain the quantized value.
-    #[test]
-    fn quantizer_interval_contains_value(
-        cfg in configs(),
-        sigma in 0.01f64..10.0,
-        v in -50.0f32..50.0,
-    ) {
+/// Quantization intervals always contain the quantized value.
+#[test]
+fn quantizer_interval_contains_value() {
+    let mut rng = Rng64::new(0x9_0a17);
+    for case in 0..256 {
+        let cfg = random_config(&mut rng);
+        let sigma = rng.range_f64(0.01, 10.0);
+        let v = rng.range_f32(-50.0, 50.0);
         let q = wmpt_predict::NonUniformQuantizer::new(cfg, sigma);
         let iv = q.quantize(v);
-        prop_assert!(iv.lo <= v && v <= iv.hi, "{v} outside [{}, {}]", iv.lo, iv.hi);
+        assert!(
+            iv.lo <= v && v <= iv.hi,
+            "case {case}: {v} outside [{}, {}]",
+            iv.lo,
+            iv.hi
+        );
     }
+}
 
-    /// Activation-map pack/unpack is lossless for the kept values.
-    #[test]
-    fn activation_map_round_trip(vals in proptest::collection::vec(
-        prop_oneof![Just(0.0f32), -10.0f32..10.0], 0..200)) {
+/// Activation-map pack/unpack is lossless for the kept values.
+#[test]
+fn activation_map_round_trip() {
+    let mut rng = Rng64::new(0xac7);
+    for case in 0..256 {
+        let len = rng.index(200);
+        let vals: Vec<f32> = (0..len)
+            .map(|_| {
+                if rng.next_bool() {
+                    0.0
+                } else {
+                    rng.range_f32(-10.0, 10.0)
+                }
+            })
+            .collect();
         let map = wmpt_predict::ActivationMap::from_values(&vals);
         let unpacked = map.unpack(&map.pack(&vals));
         for (a, b) in vals.iter().zip(&unpacked) {
-            prop_assert_eq!(*a, *b);
+            assert_eq!(*a, *b, "case {case}: pack/unpack changed a value");
         }
     }
 }

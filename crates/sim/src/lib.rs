@@ -53,11 +53,17 @@ pub fn serialization_cycles(bytes: u64, bytes_per_cycle: f64) -> Time {
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// Determinism contract: among events pushed with equal timestamps, pops
+/// return them in push order — the heap key is `(time, seq)` with a
+/// monotonic per-queue sequence number, so iteration order of no hash map
+/// ever leaks into simulation results.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Time, u64)>>,
     payloads: std::collections::HashMap<u64, E>,
     seq: u64,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,7 +75,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), payloads: std::collections::HashMap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            popped: 0,
+        }
     }
 
     /// Schedules `event` at `time`.
@@ -83,7 +94,11 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let Reverse((time, id)) = self.heap.pop()?;
-        let ev = self.payloads.remove(&id).expect("payload tracked with heap entry");
+        let ev = self
+            .payloads
+            .remove(&id)
+            .expect("payload tracked with heap entry");
+        self.popped += 1;
         Some((time, ev))
     }
 
@@ -100,6 +115,18 @@ impl<E> EventQueue<E> {
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Events pushed over the queue's lifetime (observability counter,
+    /// exported as `sim.events_pushed`).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events popped over the queue's lifetime (observability counter,
+    /// exported as `sim.events_popped`).
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 }
 
@@ -122,6 +149,7 @@ impl<E> EventQueue<E> {
 pub struct ResourceTimeline {
     free_at: Time,
     busy: Time,
+    reservations: u64,
 }
 
 impl ResourceTimeline {
@@ -137,6 +165,7 @@ impl ResourceTimeline {
         let end = start + duration;
         self.free_at = end;
         self.busy += duration;
+        self.reservations += 1;
         (start, end)
     }
 
@@ -149,6 +178,11 @@ impl ResourceTimeline {
     /// accounting).
     pub fn busy_cycles(&self) -> Time {
         self.busy
+    }
+
+    /// Number of reservations made (observability counter).
+    pub fn reservations(&self) -> u64 {
+        self.reservations
     }
 
     /// Utilization over `[0, horizon]`.
@@ -186,6 +220,50 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((7, i)));
         }
+    }
+
+    #[test]
+    fn queue_is_fifo_under_interleaved_push_pop() {
+        // Regression for determinism: FIFO order among equal timestamps
+        // must survive pops interleaved with pushes (the sequence counter
+        // is monotonic for the queue's lifetime, not per heap epoch).
+        let mut q = EventQueue::new();
+        q.push(5, "a");
+        q.push(5, "b");
+        assert_eq!(q.pop(), Some((5, "a")));
+        q.push(5, "c"); // pushed after a pop, same timestamp as "b"
+        q.push(3, "early");
+        q.push(5, "d");
+        assert_eq!(q.pop(), Some((3, "early")));
+        assert_eq!(q.pop(), Some((5, "b")));
+        assert_eq!(q.pop(), Some((5, "c")));
+        assert_eq!(q.pop(), Some((5, "d")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pushed(), 5);
+        assert_eq!(q.popped(), 5);
+    }
+
+    #[test]
+    fn queue_counters_track_traffic() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(i, i);
+        }
+        assert_eq!(q.pushed(), 10);
+        assert_eq!(q.popped(), 0);
+        q.pop();
+        q.pop();
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn timeline_counts_reservations() {
+        let mut r = ResourceTimeline::new();
+        assert_eq!(r.reservations(), 0);
+        r.reserve(0, 10);
+        r.reserve(0, 10);
+        assert_eq!(r.reservations(), 2);
     }
 
     #[test]

@@ -3,15 +3,13 @@
 //! Every experiment in the workspace seeds a [`DataGen`] explicitly, so all
 //! results (tables, figures, tests) are bit-reproducible across runs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
+use crate::rng::Rng64;
 use crate::{Shape4, Tensor4};
 
 /// Seedable generator of tensors and scalar streams.
 ///
 /// Normal variates use the Box–Muller transform over the crate-local
-/// `StdRng`, avoiding any dependency beyond `rand` itself.
+/// [`Rng64`] (xoshiro256++), keeping the workspace dependency-free.
 ///
 /// # Examples
 ///
@@ -25,7 +23,7 @@ use crate::{Shape4, Tensor4};
 /// ```
 #[derive(Debug)]
 pub struct DataGen {
-    rng: StdRng,
+    rng: Rng64,
     /// Spare normal variate from the last Box–Muller draw.
     spare: Option<f64>,
 }
@@ -33,12 +31,15 @@ pub struct DataGen {
 impl DataGen {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+        Self {
+            rng: Rng64::new(seed),
+            spare: None,
+        }
     }
 
     /// Uniform value in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.random_range(lo..hi)
+        self.rng.range_f32(lo, hi)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -47,8 +48,7 @@ impl DataGen {
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        assert!(n > 0, "cannot sample an index from an empty range");
-        self.rng.random_range(0..n)
+        self.rng.index(n)
     }
 
     /// Standard-normal scaled to `mean + sigma * z` (Box–Muller).
@@ -57,8 +57,8 @@ impl DataGen {
             s
         } else {
             // Box–Muller: two uniforms -> two independent normals.
-            let u1 = self.rng.random_range(f64::MIN_POSITIVE..1.0_f64);
-            let u2: f64 = self.rng.random_range(0.0..1.0);
+            let u1 = (1.0 - self.rng.next_f64()).max(f64::MIN_POSITIVE);
+            let u2: f64 = self.rng.next_f64();
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f64::consts::PI * u2;
             self.spare = Some(r * theta.sin());
@@ -69,7 +69,9 @@ impl DataGen {
 
     /// Tensor with i.i.d. `N(mean, sigma²)` entries.
     pub fn normal_tensor(&mut self, shape: Shape4, mean: f64, sigma: f64) -> Tensor4 {
-        let data = (0..shape.len()).map(|_| self.normal(mean, sigma) as f32).collect();
+        let data = (0..shape.len())
+            .map(|_| self.normal(mean, sigma) as f32)
+            .collect();
         Tensor4::from_vec(shape, data)
     }
 

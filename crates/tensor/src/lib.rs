@@ -11,6 +11,9 @@
 //! * [`gen`] — deterministic, seedable random data generators (uniform and
 //!   Box–Muller normal) so every experiment in the workspace is exactly
 //!   reproducible.
+//! * [`rng`] — the self-contained xoshiro256++ PRNG underneath [`gen`],
+//!   also used directly by randomized tests across the workspace (the
+//!   build is hermetic: no `rand` crate).
 //!
 //! # Examples
 //!
@@ -27,11 +30,13 @@
 pub mod fp16;
 pub mod gen;
 pub mod matrix;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use fp16::{f16_bits_to_f32, f32_to_f16, f32_to_f16_bits, quantize_tensor_f16};
 pub use gen::DataGen;
 pub use matrix::Matrix;
+pub use rng::Rng64;
 pub use shape::Shape4;
 pub use tensor::Tensor4;

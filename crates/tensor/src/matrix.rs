@@ -44,7 +44,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -69,7 +73,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "inconsistent row length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -109,8 +117,11 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows,
-            "matmul dimension mismatch: {}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -191,10 +202,14 @@ impl Matrix {
     /// `1e-12`) or not square.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         if self.rows != self.cols {
-            return Err(SolveError { what: "matrix is not square" });
+            return Err(SolveError {
+                what: "matrix is not square",
+            });
         }
         if b.len() != self.rows {
-            return Err(SolveError { what: "rhs length mismatch" });
+            return Err(SolveError {
+                what: "rhs length mismatch",
+            });
         }
         let n = self.rows;
         let mut a = self.data.clone();
@@ -211,7 +226,9 @@ impl Matrix {
                 }
             }
             if best < 1e-12 {
-                return Err(SolveError { what: "singular matrix" });
+                return Err(SolveError {
+                    what: "singular matrix",
+                });
             }
             if piv != col {
                 for j in 0..n {
@@ -252,7 +269,9 @@ impl Matrix {
     /// Returns [`SolveError`] when `AᵀA` is singular.
     pub fn lstsq(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         if b.len() != self.rows {
-            return Err(SolveError { what: "rhs length mismatch" });
+            return Err(SolveError {
+                what: "rhs length mismatch",
+            });
         }
         let at = self.transpose();
         let ata = at.matmul(self);

@@ -52,8 +52,10 @@ impl Shape4 {
     /// Panics in debug builds if any coordinate is out of bounds.
     #[inline]
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for {self}");
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}"
+        );
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 

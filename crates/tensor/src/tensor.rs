@@ -31,7 +31,10 @@ pub struct Tensor4 {
 impl Tensor4 {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -40,8 +43,12 @@ impl Tensor4 {
     ///
     /// Panics if `data.len() != shape.len()`.
     pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), shape.len(),
-            "data length {} does not match shape {shape}", data.len());
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
         Self { shape, data }
     }
 

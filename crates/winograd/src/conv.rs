@@ -36,8 +36,14 @@ impl DirectConv {
     ///
     /// Panics if `r` is even or zero.
     pub fn new(r: usize) -> Self {
-        assert!(r % 2 == 1 && r > 0, "same-padding direct conv requires odd r");
-        Self { r, pad: (r - 1) / 2 }
+        assert!(
+            r % 2 == 1 && r > 0,
+            "same-padding direct conv requires odd r"
+        );
+        Self {
+            r,
+            pad: (r - 1) / 2,
+        }
     }
 
     /// Kernel size.
@@ -273,7 +279,13 @@ mod tests {
                 .sum();
             w[probe] = base;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((dw[probe] - fd).abs() < 2e-2, "{:?}: {} vs {}", probe, dw[probe], fd);
+            assert!(
+                (dw[probe] - fd).abs() < 2e-2,
+                "{:?}: {} vs {}",
+                probe,
+                dw[probe],
+                fd
+            );
         }
     }
 

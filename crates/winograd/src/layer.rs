@@ -81,7 +81,16 @@ pub fn elementwise_gemm_wgrad(x: &WgTensor, dy: &WgTensor) -> WgWeights {
 /// `a` is `ar × ac`; when `ta` it is used as `ac × ar` (transposed read).
 /// `b` has `bc` columns (rows inferred); when `tb`, `b` is read transposed.
 #[allow(clippy::too_many_arguments)]
-fn gemm(a: &[f32], ar: usize, ac: usize, b: &[f32], bc: usize, out: &mut [f32], ta: bool, tb: bool) {
+fn gemm(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    ta: bool,
+    tb: bool,
+) {
     let (m, k) = if ta { (ac, ar) } else { (ar, ac) };
     let n = bc;
     debug_assert_eq!(out.len(), m * n);
@@ -242,8 +251,12 @@ impl WinogradLayer {
     pub fn fprop(&self, x: &Tensor4) -> Tensor4 {
         let wx = to_winograd_input(x, &self.tf);
         let wy = elementwise_gemm(&wx, &self.weights);
-        let out_shape =
-            Shape4::new(x.shape().n, self.weights.out_chans, x.shape().h, x.shape().w);
+        let out_shape = Shape4::new(
+            x.shape().n,
+            self.weights.out_chans,
+            x.shape().h,
+            x.shape().w,
+        );
         from_winograd_output(&wy, &self.tf, out_shape)
     }
 
@@ -251,8 +264,12 @@ impl WinogradLayer {
     pub fn bprop(&self, dy: &Tensor4) -> Tensor4 {
         let wdy = output_grad_to_winograd(dy, &self.tf);
         let wdx = elementwise_gemm_bprop(&wdy, &self.weights);
-        let in_shape =
-            Shape4::new(dy.shape().n, self.weights.in_chans, dy.shape().h, dy.shape().w);
+        let in_shape = Shape4::new(
+            dy.shape().n,
+            self.weights.in_chans,
+            dy.shape().h,
+            dy.shape().w,
+        );
         input_grad_to_spatial(&wdx, &self.tf, in_shape)
     }
 
@@ -293,7 +310,11 @@ mod tests {
         let (x, w, _) = setup(1);
         let direct = DirectConv::new(3).fprop(&x, &w);
         let wino = WinogradConv::new(WinogradTransform::f2x2_3x3()).fprop(&x, &w);
-        assert!(wino.max_abs_diff(&direct) < 1e-4, "diff {}", wino.max_abs_diff(&direct));
+        assert!(
+            wino.max_abs_diff(&direct) < 1e-4,
+            "diff {}",
+            wino.max_abs_diff(&direct)
+        );
     }
 
     #[test]
@@ -301,7 +322,11 @@ mod tests {
         let (x, w, _) = setup(2);
         let direct = DirectConv::new(3).fprop(&x, &w);
         let wino = WinogradConv::new(WinogradTransform::f4x4_3x3()).fprop(&x, &w);
-        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+        assert!(
+            wino.max_abs_diff(&direct) < 1e-3,
+            "diff {}",
+            wino.max_abs_diff(&direct)
+        );
     }
 
     #[test]
@@ -311,7 +336,11 @@ mod tests {
         let w = g.he_weights(Shape4::new(3, 2, 5, 5));
         let direct = DirectConv::new(5).fprop(&x, &w);
         let wino = WinogradConv::new(WinogradTransform::f2x2_5x5()).fprop(&x, &w);
-        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+        assert!(
+            wino.max_abs_diff(&direct) < 1e-3,
+            "diff {}",
+            wino.max_abs_diff(&direct)
+        );
     }
 
     #[test]
@@ -319,7 +348,11 @@ mod tests {
         let (_, w, dy) = setup(4);
         let direct = DirectConv::new(3).bprop(&dy, &w);
         let wino = WinogradConv::new(WinogradTransform::f2x2_3x3()).bprop(&dy, &w);
-        assert!(wino.max_abs_diff(&direct) < 1e-3, "diff {}", wino.max_abs_diff(&direct));
+        assert!(
+            wino.max_abs_diff(&direct) < 1e-3,
+            "diff {}",
+            wino.max_abs_diff(&direct)
+        );
     }
 
     #[test]
@@ -414,7 +447,13 @@ mod tests {
                 .sum();
             xp[probe] = base;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((dx[probe] - fd).abs() < 2e-2, "{:?}: {} vs {}", probe, dx[probe], fd);
+            assert!(
+                (dx[probe] - fd).abs() < 2e-2,
+                "{:?}: {} vs {}",
+                probe,
+                dx[probe],
+                fd
+            );
         }
     }
 

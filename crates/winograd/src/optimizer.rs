@@ -25,7 +25,11 @@ impl MomentumSgd {
     /// Creates the optimizer for weights of the given geometry, with zero
     /// initial velocity.
     pub fn new(elems: usize, in_chans: usize, out_chans: usize, lr: f32, momentum: f32) -> Self {
-        Self { momentum, lr, velocity: WgWeights::zeros(elems, in_chans, out_chans) }
+        Self {
+            momentum,
+            lr,
+            velocity: WgWeights::zeros(elems, in_chans, out_chans),
+        }
     }
 
     /// The velocity buffer (group-partitioned exactly like the weights).
@@ -40,7 +44,11 @@ impl MomentumSgd {
     /// Panics if geometries disagree.
     pub fn step(&mut self, weights: &mut WgWeights, grad: &WgWeights) {
         assert_eq!(
-            (self.velocity.elems, self.velocity.in_chans, self.velocity.out_chans),
+            (
+                self.velocity.elems,
+                self.velocity.in_chans,
+                self.velocity.out_chans
+            ),
             (grad.elems, grad.in_chans, grad.out_chans),
             "optimizer/gradient geometry mismatch"
         );

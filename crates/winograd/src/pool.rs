@@ -51,7 +51,10 @@ impl Pool2x2 {
     /// Panics if the spatial dimensions are not even (the evaluated CNNs
     /// only pool even maps).
     pub fn output_shape(&self, s: Shape4) -> Shape4 {
-        assert!(s.h.is_multiple_of(2) && s.w.is_multiple_of(2), "2x2 pooling needs even spatial dims");
+        assert!(
+            s.h.is_multiple_of(2) && s.w.is_multiple_of(2),
+            "2x2 pooling needs even spatial dims"
+        );
         Shape4::new(s.n, s.c, s.h / 2, s.w / 2)
     }
 
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn output_shape_halves_spatial() {
         let p = Pool2x2::new(PoolKind::Max);
-        assert_eq!(p.output_shape(Shape4::new(2, 3, 8, 6)), Shape4::new(2, 3, 4, 3));
+        assert_eq!(
+            p.output_shape(Shape4::new(2, 3, 8, 6)),
+            Shape4::new(2, 3, 4, 3)
+        );
     }
 
     #[test]

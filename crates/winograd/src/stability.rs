@@ -95,8 +95,7 @@ pub struct StabilityPoint {
 pub fn stability_sweep(ms: &[usize], trials: usize, seed: u64) -> Vec<StabilityPoint> {
     ms.iter()
         .map(|&m| {
-            let tf = WinogradTransform::cook_toom(m, 3)
-                .unwrap_or_else(|e| panic!("F({m},3): {e}"));
+            let tf = WinogradTransform::cook_toom(m, 3).unwrap_or_else(|e| panic!("F({m},3): {e}"));
             StabilityPoint {
                 m,
                 amplification: amplification_factor(&tf),

@@ -99,7 +99,12 @@ pub struct WgTensor {
 impl WgTensor {
     /// Creates a zeroed Winograd-domain tensor.
     pub fn zeros(elems: usize, tiles: usize, chans: usize) -> Self {
-        Self { elems, tiles, chans, data: vec![0.0; elems * tiles * chans] }
+        Self {
+            elems,
+            tiles,
+            chans,
+            data: vec![0.0; elems * tiles * chans],
+        }
     }
 
     /// Linear index of `(elem, tile, chan)`.
@@ -121,7 +126,9 @@ impl WgTensor {
 
     /// Gathers the full `T²`-element tile `tile` of channel `c`.
     pub fn gather_tile(&self, tile: usize, c: usize) -> Vec<f32> {
-        (0..self.elems).map(|e| self.data[self.index(e, tile, c)]).collect()
+        (0..self.elems)
+            .map(|e| self.data[self.index(e, tile, c)])
+            .collect()
     }
 
     /// Scatters a full tile back into element-major storage.
@@ -161,7 +168,12 @@ pub struct WgWeights {
 impl WgWeights {
     /// Creates zeroed Winograd-domain weights.
     pub fn zeros(elems: usize, in_chans: usize, out_chans: usize) -> Self {
-        Self { elems, in_chans, out_chans, data: vec![0.0; elems * in_chans * out_chans] }
+        Self {
+            elems,
+            in_chans,
+            out_chans,
+            data: vec![0.0; elems * in_chans * out_chans],
+        }
     }
 
     /// Linear index of `(elem, in_chan, out_chan)`.
@@ -465,7 +477,11 @@ mod tests {
             }
         }
         let back = from_winograd_output(&y, &tf, shape);
-        assert!(back.max_abs_diff(&x) < 1e-4, "diff {}", back.max_abs_diff(&x));
+        assert!(
+            back.max_abs_diff(&x) < 1e-4,
+            "diff {}",
+            back.max_abs_diff(&x)
+        );
     }
 
     #[test]

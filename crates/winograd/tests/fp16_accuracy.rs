@@ -42,11 +42,9 @@ fn fp16_error_larger_for_bigger_tiles() {
     let e2 = WinogradConv::new(WinogradTransform::f2x2_3x3())
         .fprop(&x, &w)
         .max_abs_diff(&reference);
-    let e6 = WinogradConv::new(
-        WinogradTransform::cook_toom(6, 3).expect("F(6,3) constructible"),
-    )
-    .fprop(&x, &w)
-    .max_abs_diff(&reference);
+    let e6 = WinogradConv::new(WinogradTransform::cook_toom(6, 3).expect("F(6,3) constructible"))
+        .fprop(&x, &w)
+        .max_abs_diff(&reference);
     assert!(e6 > e2, "F(6,3) err {e6} should exceed F(2,3) err {e2}");
 }
 
@@ -60,8 +58,7 @@ fn fp16_gradients_remain_usable() {
     let mut w = g.he_weights(Shape4::new(4, 4, 3, 3));
     quantize_tensor_f16(&mut w);
     let target = g.normal_tensor(Shape4::new(2, 4, 8, 8), 0.0, 1.0);
-    let mut layer =
-        wmpt_winograd::WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+    let mut layer = wmpt_winograd::WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
     let loss = |l: &wmpt_winograd::WinogradLayer| -> f64 {
         l.fprop(&x)
             .as_slice()

@@ -1,60 +1,71 @@
-//! Property tests of the Winograd substrate: the Cook–Toom generator is
-//! correct for arbitrary `(m, r)`, tiling round-trips arbitrary feature
-//! geometries, and Winograd convolution agrees with direct convolution
-//! over random shapes — the invariants every higher layer of the
-//! reproduction stands on.
+//! Randomized-property tests of the Winograd substrate: the Cook–Toom
+//! generator is correct for arbitrary `(m, r)`, tiling round-trips
+//! arbitrary feature geometries, and Winograd convolution agrees with
+//! direct convolution over random shapes — the invariants every higher
+//! layer of the reproduction stands on.
+//!
+//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
+//! hermetically, so `proptest` is substituted with explicit loops); every
+//! run checks the same cases, and a failure message names the case index.
 
-use proptest::prelude::*;
-
-use wmpt_tensor::{DataGen, Shape4, Tensor4};
+use wmpt_tensor::{DataGen, Rng64, Shape4, Tensor4};
 use wmpt_winograd::{
     from_winograd_output, to_winograd_input, weights_to_winograd, DirectConv, WinogradConv,
     WinogradTransform,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Cook–Toom construction satisfies the Winograd identity for any
-    /// small (m, r).
-    #[test]
-    fn cook_toom_identity(m in 2usize..6, r in 2usize..6) {
-        let tf = WinogradTransform::cook_toom(m, r).expect("constructible");
-        prop_assert!(tf.identity_residual() < 1e-6, "residual {}", tf.identity_residual());
+/// Cook–Toom construction satisfies the Winograd identity for any
+/// small (m, r).
+#[test]
+fn cook_toom_identity() {
+    for m in 2..6 {
+        for r in 2..6 {
+            let tf = WinogradTransform::cook_toom(m, r).expect("constructible");
+            assert!(
+                tf.identity_residual() < 1e-6,
+                "F({m},{r}): residual {}",
+                tf.identity_residual()
+            );
+        }
     }
+}
 
-    /// 1-D Winograd correlation equals direct correlation for random data
-    /// and any generated transform.
-    #[test]
-    fn winograd_1d_equals_direct(
-        m in 2usize..5,
-        r in 2usize..5,
-        seed in any::<u64>(),
-    ) {
+/// 1-D Winograd correlation equals direct correlation for random data
+/// and any generated transform.
+#[test]
+fn winograd_1d_equals_direct() {
+    let mut rng = Rng64::new(0x1dc0);
+    for case in 0..48 {
+        let m = 2 + rng.index(3);
+        let r = 2 + rng.index(3);
         let tf = WinogradTransform::cook_toom(m, r).expect("constructible");
-        let mut gen = DataGen::new(seed);
+        let mut gen = DataGen::new(rng.next_u64());
         let t = tf.t();
         let d: Vec<f32> = (0..t).map(|_| gen.normal(0.0, 1.0) as f32).collect();
         let g: Vec<f32> = (0..r).map(|_| gen.normal(0.0, 0.5) as f32).collect();
         let got = tf.correlate_1d(&d, &g);
         for (i, y) in got.iter().enumerate() {
             let want: f32 = (0..r).map(|k| d[i + k] * g[k]).sum();
-            prop_assert!((y - want).abs() < 2e-3 * (1.0 + want.abs()), "{y} vs {want}");
+            assert!(
+                (y - want).abs() < 2e-3 * (1.0 + want.abs()),
+                "case {case} F({m},{r}): {y} vs {want}"
+            );
         }
     }
+}
 
-    /// Identity-kernel Winograd convolution reproduces the input for any
-    /// geometry (tiling extraction + inverse assembly round trip).
-    #[test]
-    fn tiling_round_trip(
-        b in 1usize..3,
-        c in 1usize..4,
-        h in 4usize..12,
-        w in 4usize..12,
-        seed in any::<u64>(),
-    ) {
+/// Identity-kernel Winograd convolution reproduces the input for any
+/// geometry (tiling extraction + inverse assembly round trip).
+#[test]
+fn tiling_round_trip() {
+    let mut rng = Rng64::new(0x7171);
+    for case in 0..48 {
+        let b = 1 + rng.index(2);
+        let c = 1 + rng.index(3);
+        let h = 4 + rng.index(8);
+        let w = 4 + rng.index(8);
         let tf = WinogradTransform::f2x2_3x3();
-        let mut gen = DataGen::new(seed);
+        let mut gen = DataGen::new(rng.next_u64());
         let shape = Shape4::new(b, c, h, w);
         let x = gen.normal_tensor(shape, 0.0, 1.0);
         let mut ident = Tensor4::zeros(Shape4::new(c, c, 3, 3));
@@ -65,48 +76,53 @@ proptest! {
         let ww = weights_to_winograd(&ident, &tf);
         let wy = wmpt_winograd::elementwise_gemm(&wx, &ww);
         let back = from_winograd_output(&wy, &tf, shape);
-        prop_assert!(back.max_abs_diff(&x) < 1e-4, "diff {}", back.max_abs_diff(&x));
+        assert!(
+            back.max_abs_diff(&x) < 1e-4,
+            "case {case} {b}x{c}x{h}x{w}: diff {}",
+            back.max_abs_diff(&x)
+        );
     }
+}
 
-    /// Winograd convolution equals direct convolution over random small
-    /// shapes for both of the paper's transforms.
-    #[test]
-    fn conv_equivalence(
-        b in 1usize..3,
-        i in 1usize..4,
-        j in 1usize..4,
-        hw in 4usize..10,
-        big_tile in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let tf = if big_tile {
+/// Winograd convolution equals direct convolution over random small
+/// shapes for both of the paper's transforms.
+#[test]
+fn conv_equivalence() {
+    let mut rng = Rng64::new(0xc0_e0);
+    for case in 0..48 {
+        let b = 1 + rng.index(2);
+        let i = 1 + rng.index(3);
+        let j = 1 + rng.index(3);
+        let hw = 4 + rng.index(6);
+        let tf = if rng.next_bool() {
             WinogradTransform::f4x4_3x3()
         } else {
             WinogradTransform::f2x2_3x3()
         };
-        let mut gen = DataGen::new(seed);
+        let mut gen = DataGen::new(rng.next_u64());
         let x = gen.normal_tensor(Shape4::new(b, i, hw, hw), 0.0, 1.0);
         let w = gen.he_weights(Shape4::new(j, i, 3, 3));
         let direct = DirectConv::new(3).fprop(&x, &w);
         let wino = WinogradConv::new(tf).fprop(&x, &w);
         let scale = direct.max_abs().max(1.0);
-        prop_assert!(
+        assert!(
             wino.max_abs_diff(&direct) / scale < 1e-3,
-            "relative diff {}",
+            "case {case}: relative diff {}",
             wino.max_abs_diff(&direct) / scale
         );
     }
+}
 
-    /// bprop is the exact adjoint of fprop for random shapes.
-    #[test]
-    fn bprop_adjoint(
-        b in 1usize..3,
-        i in 1usize..3,
-        j in 1usize..3,
-        hw in 4usize..9,
-        seed in any::<u64>(),
-    ) {
-        let mut gen = DataGen::new(seed);
+/// bprop is the exact adjoint of fprop for random shapes.
+#[test]
+fn bprop_adjoint() {
+    let mut rng = Rng64::new(0xad_01);
+    for case in 0..48 {
+        let b = 1 + rng.index(2);
+        let i = 1 + rng.index(2);
+        let j = 1 + rng.index(2);
+        let hw = 4 + rng.index(5);
+        let mut gen = DataGen::new(rng.next_u64());
         let x = gen.normal_tensor(Shape4::new(b, i, hw, hw), 0.0, 1.0);
         let w = gen.he_weights(Shape4::new(j, i, 3, 3));
         let dy = gen.normal_tensor(Shape4::new(b, j, hw, hw), 0.0, 1.0);
@@ -125,6 +141,9 @@ proptest! {
             .map(|(a, b)| (*a as f64) * (*b as f64))
             .sum();
         let scale = lhs.abs().max(1.0);
-        prop_assert!((lhs - rhs).abs() / scale < 1e-3, "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() / scale < 1e-3,
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
 }

@@ -28,7 +28,10 @@ fn main() {
     let out_shape = Shape4::new(4, 16, 16, 16);
 
     let sigma = sigma_of(&y.data);
-    println!("Winograd-domain output sigma: {sigma:.3} ({} values)", y.data.len());
+    println!(
+        "Winograd-domain output sigma: {sigma:.3} ({} values)",
+        y.data.len()
+    );
 
     for (levels, mode, name) in [
         (64u32, PredictMode::TwoD, "2-D predict, 6-bit"),

@@ -14,7 +14,10 @@ fn main() {
     let model = SystemModel::paper();
 
     println!("== per-layer organization choice (dynamic clustering) ==");
-    println!("{:<10} {:>14} {:>14} {:>14} {:>12}", "layer", "(16,16)", "(4,64)", "(1,256)", "chosen");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>12}",
+        "layer", "(16,16)", "(4,64)", "(1,256)", "chosen"
+    );
     for layer in table2_layers() {
         let mut cells = Vec::new();
         for cfg in ClusterConfig::paper_configs() {
@@ -38,5 +41,7 @@ fn main() {
         let mpt = mpt_comm(layer.winograd_weight_bytes(4), tiles, sq, p / sq, 2).total();
         println!("{p:<8} {dp:>14.0} {mpt:>14.0}");
     }
-    println!("\nDP traffic stays flat; MPT traffic keeps falling — the paper's scalability argument.");
+    println!(
+        "\nDP traffic stays flat; MPT traffic keeps falling — the paper's scalability argument."
+    );
 }

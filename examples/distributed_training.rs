@@ -34,9 +34,12 @@ fn main() {
         for (d, t) in dy.as_mut_slice().iter_mut().zip(target.as_slice()) {
             *d = (*d - t) / n; // mean-squared-error gradient
         }
-        let loss: f64 =
-            dy.as_slice().iter().map(|v| 0.5 * (*v as f64 * n as f64).powi(2)).sum::<f64>()
-                / n as f64;
+        let loss: f64 = dy
+            .as_slice()
+            .iter()
+            .map(|v| 0.5 * (*v as f64 * n as f64).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let g = central.update_grad(&x, &dy);
         central.apply_grad(&g, 0.05);
 
@@ -56,7 +59,10 @@ fn main() {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
         println!("  step {step}: mse {loss:>9.4}, max |w_dist - w_central| = {wdiff:.2e}");
-        assert!(wdiff < 1e-2, "distributed training diverged from centralized");
+        assert!(
+            wdiff < 1e-2,
+            "distributed training diverged from centralized"
+        );
     }
     println!("distributed MPT training matches centralized SGD step for step.");
 }

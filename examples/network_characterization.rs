@@ -7,16 +7,20 @@
 //! cargo run --release --example network_characterization
 //! ```
 
-use winograd_mpt::noc::{
-    latency_throughput_sweep, LinkKind, Topology, TrafficPattern,
-};
+use winograd_mpt::noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
 use winograd_mpt::winograd::stability_sweep;
 
 fn main() {
     println!("== Winograd transform stability, F(m, 3) ==");
-    println!("{:>4} {:>16} {:>18}", "m", "amplification", "rel. FP32 error");
+    println!(
+        "{:>4} {:>16} {:>18}",
+        "m", "amplification", "rel. FP32 error"
+    );
     for p in stability_sweep(&[2, 3, 4, 5, 6], 400, 7) {
-        println!("{:>4} {:>16.1} {:>18.2e}", p.m, p.amplification, p.relative_error);
+        println!(
+            "{:>4} {:>16.1} {:>18.2e}",
+            p.m, p.amplification, p.relative_error
+        );
     }
     println!("(error grows with tile size -> the paper stays at F(2x2)/F(4x4); ref [31] would be needed beyond)\n");
 
@@ -29,17 +33,29 @@ fn main() {
         let topo = Topology::flattened_butterfly(4, 4, LinkKind::Narrow);
         let pts = latency_throughput_sweep(&topo, pattern, 256, &[1000, 100, 30, 12], 1);
         println!("--- {name} ---");
-        println!("{:>18} {:>18} {:>18}", "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)");
+        println!(
+            "{:>18} {:>18} {:>18}",
+            "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)"
+        );
         for p in pts {
-            println!("{:>18.2} {:>18.1} {:>18.1}", p.offered, p.latency, p.throughput);
+            println!(
+                "{:>18.2} {:>18.1} {:>18.1}",
+                p.offered, p.latency, p.throughput
+            );
         }
     }
     println!("== 16-worker ring (bonded full links), neighbour traffic ==");
     let ring = Topology::ring(16, LinkKind::FullX2);
     let pts = latency_throughput_sweep(&ring, TrafficPattern::NeighborRing, 256, &[100, 10, 4], 1);
-    println!("{:>18} {:>18} {:>18}", "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)");
+    println!(
+        "{:>18} {:>18} {:>18}",
+        "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)"
+    );
     for p in pts {
-        println!("{:>18.2} {:>18.1} {:>18.1}", p.offered, p.latency, p.throughput);
+        println!(
+            "{:>18.2} {:>18.1} {:>18.1}",
+            p.offered, p.latency, p.throughput
+        );
     }
     println!("\nhotspots saturate the FBFLY earliest, uniform all-to-all uses it best, and\nneighbour (collective) traffic belongs on the ring — the division of labour\nbehind the paper's hybrid topology.");
 }

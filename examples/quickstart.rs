@@ -13,7 +13,10 @@ use winograd_mpt::winograd::{DirectConv, WinogradConv, WinogradLayer, WinogradTr
 fn main() {
     // 1. A Winograd transform and its correctness against direct conv.
     let tf = WinogradTransform::f2x2_3x3();
-    println!("transform: {tf} (multiplication reduction {:.2}x)", tf.mul_reduction_2d());
+    println!(
+        "transform: {tf} (multiplication reduction {:.2}x)",
+        tf.mul_reduction_2d()
+    );
 
     let mut gen = DataGen::new(42);
     let x = gen.normal_tensor(Shape4::new(2, 3, 16, 16), 0.0, 1.0);

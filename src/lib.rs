@@ -23,6 +23,8 @@
 //! * [`core`] — multi-dimensional parallel training (MPT): worker grids,
 //!   communication model, full-system execution simulation, dynamic
 //!   clustering, functional distributed trainer.
+//! * [`obs`] — observability: typed metric registry, span tracing on the
+//!   simulator's virtual clock, Chrome-trace export.
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@ pub use wmpt_gpu as gpu;
 pub use wmpt_models as models;
 pub use wmpt_ndp as ndp;
 pub use wmpt_noc as noc;
+pub use wmpt_obs as obs;
 pub use wmpt_predict as predict;
 pub use wmpt_sim as sim;
 pub use wmpt_tensor as tensor;

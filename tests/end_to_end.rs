@@ -33,7 +33,11 @@ fn mpt_numerics_end_to_end() {
 
     // 2. Distributed == centralized, for every paper grid shape that
     // divides this batch.
-    for grid in [ClusterConfig::new(16, 1), ClusterConfig::new(4, 4), ClusterConfig::new(1, 4)] {
+    for grid in [
+        ClusterConfig::new(16, 1),
+        ClusterConfig::new(4, 4),
+        ClusterConfig::new(1, 4),
+    ] {
         let dist = fprop_distributed(&layer, grid, &x);
         assert!(dist.max_abs_diff(&direct) < 1e-4, "grid {grid}");
 

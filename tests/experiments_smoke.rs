@@ -28,17 +28,32 @@ fn all_experiments_run_and_mention_their_figures() {
             .find(|(n, _)| n == name)
             .unwrap_or_else(|| panic!("experiment {name} missing"));
         let out = runner();
-        assert!(out.contains(marker), "{name}: output lacks '{marker}'\n{out}");
-        assert!(out.lines().count() >= 3, "{name}: suspiciously short output");
+        assert!(
+            out.contains(marker),
+            "{name}: output lacks '{marker}'\n{out}"
+        );
+        assert!(
+            out.lines().count() >= 3,
+            "{name}: suspiciously short output"
+        );
     }
 }
 
 #[test]
 fn headline_numbers_are_reported() {
     let fig15 = wmpt_bench::fig15::run();
-    assert!(fig15.contains("headline"), "fig15 must report the w_mp++ headline");
+    assert!(
+        fig15.contains("headline"),
+        "fig15 must report the w_mp++ headline"
+    );
     let fig17 = wmpt_bench::fig17::run();
-    assert!(fig17.contains("8-GPU"), "fig17 must compare against the GPU system");
+    assert!(
+        fig17.contains("8-GPU"),
+        "fig17 must compare against the GPU system"
+    );
     let fig18 = wmpt_bench::fig18::run();
-    assert!(fig18.contains("perf/W"), "fig18 must report performance per watt");
+    assert!(
+        fig18.contains("perf/W"),
+        "fig18 must report performance per watt"
+    );
 }

@@ -1,82 +1,113 @@
-//! Property tests of the full-system simulator: invariants that must hold
-//! for *any* layer shape and configuration, not just the paper's five.
-
-use proptest::prelude::*;
+//! Randomized-property tests of the full-system simulator: invariants that
+//! must hold for *any* layer shape and configuration, not just the
+//! paper's five.
+//!
+//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
+//! hermetically, so `proptest` is substituted with explicit loops).
 
 use winograd_mpt::core::{simulate_layer, simulate_layer_with, SystemConfig, SystemModel};
 use winograd_mpt::models::ConvLayerSpec;
 use winograd_mpt::noc::ClusterConfig;
+use winograd_mpt::tensor::Rng64;
 
-fn arb_layer() -> impl Strategy<Value = ConvLayerSpec> {
-    // Channels and sizes spanning early -> late regimes.
-    (
-        prop_oneof![Just(16usize), Just(32), Just(64), Just(128), Just(256), Just(512)],
-        prop_oneof![Just(16usize), Just(64), Just(256), Just(512)],
-        prop_oneof![Just(7usize), Just(8), Just(14), Just(28), Just(56)],
-        prop_oneof![Just(3usize), Just(5)],
-    )
-        .prop_map(|(i, j, hw, r)| ConvLayerSpec::new("prop", i, j, hw, hw, r))
+/// A random layer with channels and sizes spanning early -> late regimes.
+fn random_layer(rng: &mut Rng64) -> ConvLayerSpec {
+    let i = [16usize, 32, 64, 128, 256, 512][rng.index(6)];
+    let j = [16usize, 64, 256, 512][rng.index(4)];
+    let hw = [7usize, 8, 14, 28, 56][rng.index(5)];
+    let r = [3usize, 5][rng.index(2)];
+    ConvLayerSpec::new("prop", i, j, hw, hw, r)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Simulation never produces non-positive time or energy, for any
-    /// config.
-    #[test]
-    fn results_are_positive(layer in arb_layer()) {
+/// Simulation never produces non-positive time or energy, for any
+/// config.
+#[test]
+fn results_are_positive() {
+    let mut rng = Rng64::new(0x9051);
+    for case in 0..48 {
+        let layer = random_layer(&mut rng);
         let model = SystemModel::paper();
         for sys in SystemConfig::all() {
             let r = simulate_layer(&model, &layer, sys);
-            prop_assert!(r.total_cycles() > 0.0, "{sys}: zero cycles");
-            prop_assert!(r.total_energy().total_j() > 0.0, "{sys}: zero energy");
-            prop_assert!(r.forward.cycles >= r.forward.compute_cycles.min(r.forward.comm_cycles));
+            assert!(r.total_cycles() > 0.0, "case {case} {sys}: zero cycles");
+            assert!(
+                r.total_energy().total_j() > 0.0,
+                "case {case} {sys}: zero energy"
+            );
+            assert!(r.forward.cycles >= r.forward.compute_cycles.min(r.forward.comm_cycles));
         }
     }
+}
 
-    /// Dynamic clustering is a minimum over the candidates: it never does
-    /// worse than the fixed (16, 16) organization.
-    #[test]
-    fn dynamic_clustering_is_a_min(layer in arb_layer()) {
+/// Dynamic clustering is a minimum over the candidates: it never does
+/// worse than the fixed (16, 16) organization.
+#[test]
+fn dynamic_clustering_is_a_min() {
+    let mut rng = Rng64::new(0xd1_4a);
+    for case in 0..48 {
+        let layer = random_layer(&mut rng);
         let model = SystemModel::paper();
         let fixed = simulate_layer(&model, &layer, SystemConfig::WMp).total_cycles();
         let dynamic = simulate_layer(&model, &layer, SystemConfig::WMpD).total_cycles();
-        prop_assert!(dynamic <= fixed * 1.0001, "dynamic {dynamic} vs fixed {fixed}");
+        assert!(
+            dynamic <= fixed * 1.0001,
+            "case {case}: dynamic {dynamic} vs fixed {fixed}"
+        );
     }
+}
 
-    /// Activation prediction never makes a configuration slower.
-    #[test]
-    fn prediction_helps_or_is_neutral(layer in arb_layer()) {
+/// Activation prediction never makes a configuration slower.
+#[test]
+fn prediction_helps_or_is_neutral() {
+    let mut rng = Rng64::new(0x93ed);
+    for case in 0..48 {
+        let layer = random_layer(&mut rng);
         let model = SystemModel::paper();
         for cfg in ClusterConfig::paper_configs() {
             let without = simulate_layer_with(&model, &layer, SystemConfig::WMp, cfg);
             let with = simulate_layer_with(&model, &layer, SystemConfig::WMpP, cfg);
-            prop_assert!(
+            assert!(
                 with.total_cycles() <= without.total_cycles() * 1.0001,
-                "{cfg}: with {} vs without {}",
+                "case {case} {cfg}: with {} vs without {}",
                 with.total_cycles(),
                 without.total_cycles()
             );
         }
     }
+}
 
-    /// Communication volume identities: a single group means no tile
-    /// traffic; more groups means less weight-collective time.
-    #[test]
-    fn tile_comm_only_with_multiple_groups(layer in arb_layer()) {
+/// Communication volume identities: a single group means no tile
+/// traffic; more groups means less weight-collective time.
+#[test]
+fn tile_comm_only_with_multiple_groups() {
+    let mut rng = Rng64::new(0x711e);
+    for case in 0..48 {
+        let layer = random_layer(&mut rng);
         let model = SystemModel::paper();
-        let dp = simulate_layer_with(&model, &layer, SystemConfig::WMp, ClusterConfig::new(1, 256));
+        let dp = simulate_layer_with(
+            &model,
+            &layer,
+            SystemConfig::WMp,
+            ClusterConfig::new(1, 256),
+        );
         // Single-group tile traffic is exactly zero.
-        prop_assert_eq!(dp.forward.comm_cycles, 0.0);
+        assert_eq!(
+            dp.forward.comm_cycles, 0.0,
+            "case {case}: tile traffic without groups"
+        );
     }
+}
 
-    /// The simulation is deterministic.
-    #[test]
-    fn simulation_is_deterministic(layer in arb_layer()) {
+/// The simulation is deterministic.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng64::new(0xde7e);
+    for case in 0..48 {
+        let layer = random_layer(&mut rng);
         let model = SystemModel::paper();
         let a = simulate_layer(&model, &layer, SystemConfig::WMpPD);
         let b = simulate_layer(&model, &layer, SystemConfig::WMpPD);
-        prop_assert_eq!(a.total_cycles(), b.total_cycles());
-        prop_assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.total_cycles(), b.total_cycles(), "case {case}");
+        assert_eq!(a.cluster, b.cluster, "case {case}");
     }
 }
