@@ -6,6 +6,8 @@
 //! mpt-sim network fractalnet w_mp++    # a whole CNN
 //! mpt-sim noc fbfly uniform            # latency/throughput sweep
 //! mpt-sim plan wrn w_mp++              # the host's per-layer plan
+//! mpt-sim faults --scenario single-link --seed 7   # resilient training
+//!                                      # under an injected fault
 //!
 //! mpt-sim layer Late-2 w_mp++ --trace-out trace.json --metrics-out m.json
 //! ```
@@ -23,6 +25,7 @@ use wmpt_core::{
     simulate_layer, simulate_layer_observed, simulate_network, simulate_network_observed,
     SystemConfig, SystemModel,
 };
+use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, ResilienceConfig, Scenario};
 use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
 use wmpt_obs::Observer;
@@ -32,12 +35,23 @@ fn usage() -> ! {
         "usage:\n  mpt-sim layer <Early|Mid-1|Mid-2|Late-1|Late-2> <config|all>\n  \
          mpt-sim network <wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
          mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
-         mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n\n\
+         mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n  \
+         mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n\n\
          options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
          \x20                     --metrics-out <file> metric registry JSON\n\n\
-         configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++"
+         configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++\n\
+         scenarios: single-link dead-worker bit-flip straggler host-flap chaos"
     );
     exit(2);
+}
+
+/// Rejects leftover `--flags` the command does not understand, so a typo
+/// fails loudly (exit 2) instead of being silently dropped.
+fn reject_unknown_flags(args: &[String]) {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("unknown option: {flag}");
+        usage();
+    }
 }
 
 /// Observation sinks requested on the command line.
@@ -232,9 +246,113 @@ fn run_noc(topo_name: &str, pattern_name: &str) {
     }
 }
 
+/// Runs a seeded fault scenario through the resilient functional trainer
+/// and prints a greppable recovery summary.
+fn run_faults(args: &[String]) {
+    let mut scenario: Option<Scenario> = None;
+    let mut seed: u64 = 7;
+    let mut iters: usize = 6;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            if i + 1 >= args.len() {
+                eprintln!("{} needs a value", args[i]);
+                usage();
+            }
+            &args[i + 1]
+        };
+        match args[i].as_str() {
+            "--scenario" => {
+                let v = value(i);
+                scenario = match Scenario::parse(v) {
+                    Some(sc) => Some(sc),
+                    None => {
+                        eprintln!("unknown scenario: {v}");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = match value(i).parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed must be a u64");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--iters" => {
+                iters = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--iters must be a positive integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(sc) = scenario else {
+        eprintln!("faults requires --scenario");
+        usage();
+    };
+
+    let shape = GridShape::small();
+    let cfg = ResilienceConfig::small(iters);
+    let (x, t) = demo_dataset(77, 8);
+    let run = |plan: &FaultPlan| {
+        let mut net = wmpt_core::WinogradNet::new(55, 2, &[4], true);
+        let mut obs = Observer::new();
+        let report =
+            train_resilient(&mut net, &x, &t, shape, plan, &cfg, &mut obs).unwrap_or_else(|e| {
+                eprintln!("resilient run failed: {e}");
+                exit(1);
+            });
+        (report, obs)
+    };
+    let (clean, _) = run(&FaultPlan::empty(cfg.horizon()));
+    let plan = FaultPlan::scenario(sc, shape, seed, cfg.horizon());
+    let (report, obs) = run(&plan);
+
+    println!("fault scenario '{sc}' (seed {seed}) on an 8-worker grid, {iters} iterations");
+    for (cycle, ev) in plan.events() {
+        println!("  @{cycle:>8}  {ev}");
+    }
+    println!("\n{}", obs.metrics.render_table());
+    let identical = report.final_checkpoint == clean.final_checkpoint;
+    println!(
+        "resilience: scenario={sc} seed={seed} rollbacks={} replayed={} recoveries={} \
+         recovery_cycles={} stall_cycles={} slowdown={:.3}x bit_identical={identical}",
+        report.rollbacks,
+        report.replayed_iterations,
+        report.events_injected,
+        report.recovery_cycles,
+        report.stall_cycles,
+        report.slowdown(),
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("faults") {
+        // `faults` owns its flags; the obs sinks do not apply to it.
+        run_faults(&args[1..]);
+        return;
+    }
     let obs_args = ObsArgs::extract(&mut args);
+    if obs_args.enabled() && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
+    {
+        eprintln!("--trace-out/--metrics-out only apply to 'layer' and 'network'");
+        usage();
+    }
+    reject_unknown_flags(&args);
     match args.as_slice() {
         [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b), &obs_args),
         [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b), &obs_args),

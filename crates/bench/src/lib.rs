@@ -20,6 +20,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod obs_report;
 pub mod report;
+pub mod resilience;
 pub mod scalability;
 pub mod tables;
 pub mod timing;
@@ -90,6 +91,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("fig18", fig18::run),
         ("scalability", scalability::run),
         ("comm_breakdown", comm_breakdown::run),
+        ("resilience", resilience::run),
     ]
 }
 
@@ -124,6 +126,7 @@ mod tests {
             "fig18",
             "scalability",
             "comm_breakdown",
+            "resilience",
         ] {
             assert!(names.contains(&expect), "missing experiment {expect}");
         }

@@ -9,6 +9,9 @@
 //! tile gather/scatter inside clusters, which dynamic clustering and
 //! activation prediction keep in check.
 //!
+//! * [`checkpoint`] — bit-exact JSON checkpoint/restore of the
+//!   functional trainer (weights + optimizer state), the substrate of
+//!   fault rollback in `wmpt-fault`.
 //! * [`config`] — the Table IV system configurations and §V-B savings.
 //! * [`exec`] — full-system per-layer simulation (time + energy) on the
 //!   256-worker memory-centric NDP architecture (Figs 15–16).
@@ -31,6 +34,7 @@
 //! assert!(full.total_cycles() < dp.total_cycles()); // late layers love MPT
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod exec;
 pub mod host;
@@ -42,6 +46,7 @@ pub mod sweep;
 pub mod taskgraph;
 pub mod trainer;
 
+pub use checkpoint::{checkpoint_layer, checkpoint_net, restore_layer, restore_net};
 pub use config::{PredictionSavings, SystemConfig};
 pub use exec::{simulate_layer, simulate_layer_with, LayerResult, PhaseResult, SystemModel};
 pub use host::{plan_network, PlannedLayer, TrainingPlan};
@@ -54,6 +59,7 @@ pub use pipeline::{pipelined_backward_cycles, pipelined_iteration_cycles, serial
 pub use sweep::{batch_sweep, worker_sweep, BatchPoint, WorkerPoint};
 pub use taskgraph::{compile_forward, CompiledForward};
 pub use trainer::{
-    elem_owner, fprop_distributed, gather_with_prediction, reduced_gradient_distributed,
-    slice_batch, train_step_distributed, train_step_distributed_momentum, winograd_join,
+    degraded_grid, elem_owner, fprop_distributed, gather_with_prediction,
+    reduced_gradient_distributed, slice_batch, train_step_distributed,
+    train_step_distributed_momentum, winograd_join,
 };

@@ -76,6 +76,35 @@ impl WinogradNet {
         self.stages.len()
     }
 
+    /// The conv stages, in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Mutable access to the conv stages (fault injection flips weight
+    /// bits through this; ordinary training should not need it).
+    pub fn stages_mut(&mut self) -> &mut [Stage] {
+        &mut self.stages
+    }
+
+    /// The readout weights over the mean-pooled final features.
+    pub fn readout(&self) -> &[f32] {
+        &self.readout
+    }
+
+    /// Rebuilds a net from parts (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages or the readout width does not match
+    /// the last stage's output channels.
+    pub fn from_parts(stages: Vec<Stage>, readout: Vec<f32>) -> Self {
+        assert!(!stages.is_empty(), "net needs at least one stage");
+        let last = stages.last().expect("nonempty").conv.weights().out_chans;
+        assert_eq!(readout.len(), last, "readout width must match last stage");
+        Self { stages, readout }
+    }
+
     /// Forward pass; `grid = None` runs centralized, `Some(cfg)` runs
     /// every conv with the MPT partitioning.
     pub fn forward(&self, x: &Tensor4, grid: Option<ClusterConfig>) -> Activations {

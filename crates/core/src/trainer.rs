@@ -291,12 +291,55 @@ pub fn gather_with_prediction(
     (out, skipped_bytes)
 }
 
+/// Picks the training grid for a degraded worker pool: like
+/// [`wmpt_noc::degraded_configs`], `N_g` ranges over the paper's
+/// supported powers of 4 up to `T²`, but `N_c` additionally respects the
+/// functional trainer's divisibility constraint (`batch % N_c == 0`) by
+/// shrinking to the largest batch divisor that fits the survivors.
+/// Picks the candidate keeping the most workers busy; ties go to more
+/// groups (smaller collectives). `None` only when no worker survives.
+pub fn degraded_grid(alive: usize, t2: usize, batch: usize) -> Option<ClusterConfig> {
+    let mut best: Option<ClusterConfig> = None;
+    let mut n_g = 1;
+    while n_g <= t2 {
+        if n_g <= alive && batch >= 1 {
+            let cap = (alive / n_g).min(batch);
+            if let Some(n_c) = (1..=cap).filter(|c| batch.is_multiple_of(*c)).max() {
+                let cand = ClusterConfig::new(n_g, n_c);
+                if best.is_none_or(|b| (cand.workers(), cand.n_g) > (b.workers(), b.n_g)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        n_g *= 4;
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wmpt_predict::QuantizerConfig;
     use wmpt_tensor::DataGen;
     use wmpt_winograd::{output_grad_to_winograd, WinogradTransform};
+
+    #[test]
+    fn degraded_grid_respects_batch_divisibility() {
+        // Full 256-worker grid, batch 256: the (16,16) organization wins.
+        assert_eq!(
+            degraded_grid(256, 16, 256),
+            Some(ClusterConfig::new(16, 16))
+        );
+        // One worker dead: (16, 15) oversubscribes nothing but 15 does
+        // not divide 256, so N_c shrinks to the largest divisor <= 15.
+        let g = degraded_grid(255, 16, 256).expect("grid exists");
+        assert_eq!(g, ClusterConfig::new(16, 8));
+        assert!(256 % g.n_c == 0 && g.workers() <= 255);
+        // Tiny survivor pool: falls back to data parallelism.
+        assert_eq!(degraded_grid(3, 16, 8), Some(ClusterConfig::new(1, 2)));
+        // No survivors: no grid.
+        assert_eq!(degraded_grid(0, 16, 8), None);
+    }
 
     fn setup(seed: u64, batch: usize) -> (WinogradLayer, Tensor4, Tensor4) {
         let mut g = DataGen::new(seed);

@@ -1,0 +1,204 @@
+//! Performance model of an MPT iteration on a degraded machine: what a
+//! fault costs in steady state, after recovery is done.
+//!
+//! Given an accumulated [`FaultState`], the model degrades the network,
+//! lets the dynamic-clustering optimizer pick the best surviving
+//! `(N_g, N_c)` ([`wmpt_noc::choose_degraded_config`]), re-forms the
+//! collective rings ([`DegradedMapping`]), and prices the weight
+//! collective with the reroute hop penalty folded into the per-step
+//! latency. The result feeds the `resilience` bench's
+//! slowdown-vs-fault-rate table.
+
+use crate::event::FaultState;
+use crate::plan::GridShape;
+use wmpt_noc::{
+    choose_config, choose_degraded_config, ring_collective_cycles, ClusterConfig, DegradedMapping,
+    NocParams,
+};
+
+/// Steady-state cost of one iteration's weight collective under faults.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedIterCost {
+    /// Surviving workers.
+    pub alive: usize,
+    /// The organization the optimizer picked for the survivors.
+    pub config: ClusterConfig,
+    /// Collective cycles on the degraded machine.
+    pub collective_cycles: f64,
+    /// Collective cycles of the healthy machine's best organization.
+    pub healthy_cycles: f64,
+    /// Worst single-ring reroute penalty, in hops per lap.
+    pub extra_ring_hops: usize,
+    /// Rings whose lap or membership changed.
+    pub rerouted_rings: usize,
+}
+
+impl DegradedIterCost {
+    /// Collective slowdown vs. healthy (≥ 1.0 barring optimizer wins;
+    /// straggler scaling included).
+    pub fn slowdown(&self) -> f64 {
+        if self.healthy_cycles <= 0.0 {
+            1.0
+        } else {
+            self.collective_cycles / self.healthy_cycles
+        }
+    }
+}
+
+/// Prices the weight-gradient collective of one iteration under the
+/// permanent faults in `state`.
+///
+/// `weight_bytes` is the layer's full Winograd-domain weight volume,
+/// `ring_bandwidth` the ring link bytes/cycle, `t2` the tile element
+/// count bounding `N_g`. Errors if the faults partition the network.
+pub fn iteration_under_faults(
+    shape: GridShape,
+    state: &FaultState,
+    params: &NocParams,
+    weight_bytes: u64,
+    ring_bandwidth: f64,
+    t2: usize,
+) -> Result<DegradedIterCost, String> {
+    let healthy = shape.build();
+    let degraded = healthy.degrade(&state.dead_links, &state.dead_workers)?;
+    let alive = degraded.alive_workers();
+
+    // Healthy baseline: the optimizer's pick over the full grid.
+    let healthy_cfg = choose_config(
+        &wmpt_noc::degraded_configs(shape.workers(), t2),
+        params,
+        weight_bytes,
+        0,
+        ring_bandwidth,
+        shape.group_size,
+    );
+    let healthy_cycles = collective_for(healthy_cfg, weight_bytes, ring_bandwidth, params, 0);
+
+    // Degraded: re-optimize over the survivors, re-form the rings on the
+    // nominal grid, spread the worst lap penalty over the ring steps.
+    let config = choose_degraded_config(
+        alive,
+        t2,
+        params,
+        weight_bytes,
+        0,
+        ring_bandwidth,
+        shape.group_size,
+    );
+    let mapping = DegradedMapping::new(&healthy, &degraded, healthy_cfg)?;
+    let extra_ring_hops = mapping.max_extra_hops();
+    let steps = config.ring_len().saturating_sub(1).max(1);
+    let extra_per_step = (extra_ring_hops as u64 * params.hop_latency()).div_ceil(steps as u64);
+    let collective = collective_for(config, weight_bytes, ring_bandwidth, params, extra_per_step)
+        * state.max_slowdown();
+
+    Ok(DegradedIterCost {
+        alive,
+        config,
+        collective_cycles: collective,
+        healthy_cycles,
+        extra_ring_hops,
+        rerouted_rings: mapping.rerouted_rings(),
+    })
+}
+
+fn collective_for(
+    cfg: ClusterConfig,
+    weight_bytes: u64,
+    ring_bandwidth: f64,
+    params: &NocParams,
+    extra_hop_latency: u64,
+) -> f64 {
+    let msg = weight_bytes / cfg.n_g.max(1) as u64;
+    ring_collective_cycles(
+        msg,
+        cfg.ring_len(),
+        ring_bandwidth,
+        params,
+        extra_hop_latency,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultEvent;
+
+    const W: u64 = 8 << 20;
+    const BW: f64 = 60.0;
+
+    fn cost(state: &FaultState) -> DegradedIterCost {
+        iteration_under_faults(GridShape::paper(), state, &NocParams::paper(), W, BW, 16)
+            .expect("model")
+    }
+
+    #[test]
+    fn no_faults_is_the_healthy_baseline() {
+        let c = cost(&FaultState::default());
+        assert_eq!(c.alive, 256);
+        assert_eq!(c.extra_ring_hops, 0);
+        assert_eq!(c.rerouted_rings, 0);
+        assert!((c.slowdown() - 1.0).abs() < 1e-12, "{}", c.slowdown());
+    }
+
+    #[test]
+    fn link_failure_costs_hops_but_keeps_all_workers() {
+        let mut st = FaultState::default();
+        st.apply(&FaultEvent::LinkDown { a: 16, b: 17 });
+        let c = cost(&st);
+        assert_eq!(c.alive, 256);
+        assert!(c.extra_ring_hops > 0);
+        assert_eq!(c.rerouted_rings, 1);
+        assert!(c.slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn worker_loss_shrinks_the_grid_and_slows_the_collective() {
+        let mut st = FaultState::default();
+        st.apply(&FaultEvent::WorkerDown { node: 40 });
+        let c = cost(&st);
+        assert_eq!(c.alive, 255);
+        assert!(c.config.workers() <= 255);
+        assert!(c.slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn straggler_scales_the_whole_collective() {
+        let mut st = FaultState::default();
+        st.apply(&FaultEvent::Straggler {
+            node: 3,
+            factor: 2.0,
+        });
+        let c = cost(&st);
+        assert!((c.slowdown() - 2.0).abs() < 1e-9, "{}", c.slowdown());
+    }
+
+    #[test]
+    fn slowdown_grows_with_fault_count() {
+        let mut st = FaultState::default();
+        let mut last = cost(&st).slowdown();
+        for k in 0..4 {
+            // Kill a ring link in a different group each round.
+            let a = k * 16 + 2;
+            st.apply(&FaultEvent::LinkDown { a, b: a + 1 });
+            st.apply(&FaultEvent::WorkerDown { node: k * 16 + 9 });
+            let s = cost(&st).slowdown();
+            assert!(s >= last, "slowdown fell from {last} to {s} at {k} faults");
+            last = s;
+        }
+        assert!(last > 1.0);
+    }
+
+    #[test]
+    fn partitioned_network_is_an_error() {
+        let mut st = FaultState::default();
+        // Killing every worker leaves only the host — no machine left.
+        for w in 0..256 {
+            st.dead_workers.push(w);
+        }
+        assert!(
+            iteration_under_faults(GridShape::paper(), &st, &NocParams::paper(), W, BW, 16)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Seeded fault plans: named scenarios expanded into a deterministic
+//! schedule of `(cycle, FaultEvent)` pairs.
+//!
+//! The same `(scenario, grid shape, seed, horizon)` tuple always produces
+//! the same plan, so a failing resilience run is reproducible from four
+//! integers — the fault-injection analogue of seeded weight init.
+
+use crate::event::{FaultEvent, FaultState};
+use wmpt_noc::MemoryCentricNetwork;
+use wmpt_obs::json::{self, Value};
+use wmpt_tensor::Rng64;
+
+/// Physical extent of the worker grid a plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Number of ring groups (must be a perfect square for the FBFLY).
+    pub groups: usize,
+    /// Workers per group.
+    pub group_size: usize,
+}
+
+impl GridShape {
+    /// The paper's 256-worker machine (16 × 16).
+    pub fn paper() -> Self {
+        GridShape {
+            groups: 16,
+            group_size: 16,
+        }
+    }
+
+    /// A small 8-worker machine (4 × 2) for functional tests.
+    pub fn small() -> Self {
+        GridShape {
+            groups: 4,
+            group_size: 2,
+        }
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        self.groups * self.group_size
+    }
+
+    /// Builds the healthy memory-centric network of this shape.
+    pub fn build(&self) -> MemoryCentricNetwork {
+        MemoryCentricNetwork::new(self.groups, self.group_size)
+    }
+}
+
+/// A named fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One permanent ring-link failure mid-run.
+    SingleLink,
+    /// One worker dies mid-run (forces a degraded grid).
+    DeadWorker,
+    /// One transient DRAM bit flip in the Winograd-domain weights.
+    BitFlip,
+    /// One worker throttles to a fraction of its speed.
+    Straggler,
+    /// One group's host links flap (outage, then recovery).
+    HostFlap,
+    /// All of the above, spread across the run.
+    Chaos,
+}
+
+impl Scenario {
+    /// Every scenario, in CLI listing order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::SingleLink,
+        Scenario::DeadWorker,
+        Scenario::BitFlip,
+        Scenario::Straggler,
+        Scenario::HostFlap,
+        Scenario::Chaos,
+    ];
+
+    /// Stable kebab-case name (the `--scenario` CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::SingleLink => "single-link",
+            Scenario::DeadWorker => "dead-worker",
+            Scenario::BitFlip => "bit-flip",
+            Scenario::Straggler => "straggler",
+            Scenario::HostFlap => "host-flap",
+            Scenario::Chaos => "chaos",
+        }
+    }
+
+    /// Inverts [`Scenario::name`].
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// `true` when the scenario never changes the logical `(N_g, N_c)`
+    /// grid, so fault-then-recover training is guaranteed bit-identical
+    /// to the fault-free run (link failures reroute physically; bit flips
+    /// roll back; stragglers and flaps only cost time). Worker loss
+    /// remaps the grid, which changes reduction orders.
+    pub fn keeps_grid(self) -> bool {
+        !matches!(self, Scenario::DeadWorker | Scenario::Chaos)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic schedule of fault events over a cycle horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Nominal run length in cycles the plan was laid out for.
+    pub horizon: u64,
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit events (sorted by cycle, stably).
+    pub fn new(horizon: u64, mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|(c, _)| *c);
+        FaultPlan { horizon, events }
+    }
+
+    /// The fault-free plan.
+    pub fn empty(horizon: u64) -> Self {
+        FaultPlan {
+            horizon,
+            events: Vec::new(),
+        }
+    }
+
+    /// Expands a named scenario into a concrete plan for `shape`,
+    /// deterministically from `seed`. Single-event scenarios land in the
+    /// middle half of the horizon; `chaos` spreads one event of each kind
+    /// across it.
+    pub fn scenario(sc: Scenario, shape: GridShape, seed: u64, horizon: u64) -> Self {
+        let mut rng = Rng64::new(seed ^ 0xFA01_7000 ^ sc.name().len() as u64);
+        let mid = |rng: &mut Rng64| horizon / 4 + rng.below_u64((horizon / 2).max(1));
+        let events = match sc {
+            Scenario::SingleLink => vec![(mid(&mut rng), random_ring_link(&mut rng, shape))],
+            Scenario::DeadWorker => vec![(
+                mid(&mut rng),
+                FaultEvent::WorkerDown {
+                    node: rng.index(shape.workers()),
+                },
+            )],
+            Scenario::BitFlip => vec![(mid(&mut rng), random_bit_flip(&mut rng))],
+            Scenario::Straggler => vec![(mid(&mut rng), random_straggler(&mut rng, shape))],
+            Scenario::HostFlap => vec![(mid(&mut rng), random_host_flap(&mut rng, shape, horizon))],
+            Scenario::Chaos => {
+                // One of each kind, staggered over the horizon's 8ths so
+                // recoveries do not pile onto a single iteration.
+                let at =
+                    |k: u64, rng: &mut Rng64| horizon * k / 8 + rng.below_u64((horizon / 8).max(1));
+                vec![
+                    (at(1, &mut rng), random_straggler(&mut rng, shape)),
+                    (at(2, &mut rng), random_ring_link(&mut rng, shape)),
+                    (at(3, &mut rng), random_bit_flip(&mut rng)),
+                    (at(4, &mut rng), random_host_flap(&mut rng, shape, horizon)),
+                    (
+                        at(5, &mut rng),
+                        FaultEvent::WorkerDown {
+                            node: rng.index(shape.workers()),
+                        },
+                    ),
+                ]
+            }
+        };
+        FaultPlan::new(horizon, events)
+    }
+
+    /// The schedule, sorted by cycle.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Permanent fault state after every event at or before `cycle`.
+    pub fn state_at(&self, cycle: u64) -> FaultState {
+        let mut st = FaultState::default();
+        for (c, ev) in &self.events {
+            if *c <= cycle {
+                st.apply(ev);
+            }
+        }
+        st
+    }
+
+    /// Serializes the plan (schema `wmpt-fault-plan` v1).
+    pub fn to_json(&self) -> Value {
+        let events = self
+            .events
+            .iter()
+            .map(|(c, ev)| {
+                json::obj(vec![
+                    ("cycle", json::num(*c as f64)),
+                    ("event", ev.to_json()),
+                ])
+            })
+            .collect();
+        json::obj(vec![
+            ("kind", json::s("wmpt-fault-plan")),
+            ("version", json::num(1.0)),
+            ("horizon", json::num(self.horizon as f64)),
+            ("events", Value::Arr(events)),
+        ])
+    }
+
+    /// Parses [`FaultPlan::to_json`] output back.
+    pub fn from_json(v: &Value) -> Result<FaultPlan, String> {
+        if v.get("kind").and_then(Value::as_str) != Some("wmpt-fault-plan") {
+            return Err("not a wmpt-fault-plan document".into());
+        }
+        let horizon = v
+            .get("horizon")
+            .and_then(Value::as_u64)
+            .ok_or("plan missing 'horizon'")?;
+        let raw = v
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or("plan missing 'events'")?;
+        let mut events = Vec::with_capacity(raw.len());
+        for e in raw {
+            let cycle = e
+                .get("cycle")
+                .and_then(Value::as_u64)
+                .ok_or("event missing 'cycle'")?;
+            let ev = FaultEvent::from_json(e.get("event").ok_or("event missing 'event'")?)?;
+            events.push((cycle, ev));
+        }
+        Ok(FaultPlan::new(horizon, events))
+    }
+}
+
+/// A random intra-group ring link (never a host stitch, so the network
+/// stays connected and the reroute is the interesting FBFLY detour).
+fn random_ring_link(rng: &mut Rng64, shape: GridShape) -> FaultEvent {
+    let g = rng.index(shape.groups);
+    let p = rng.index(shape.group_size);
+    let a = g * shape.group_size + p;
+    let b = g * shape.group_size + (p + 1) % shape.group_size;
+    FaultEvent::LinkDown { a, b }
+}
+
+fn random_bit_flip(rng: &mut Rng64) -> FaultEvent {
+    FaultEvent::BitFlip {
+        stage: rng.index(64),
+        index: rng.index(1 << 20),
+        bit: rng.index(32) as u8,
+    }
+}
+
+fn random_straggler(rng: &mut Rng64, shape: GridShape) -> FaultEvent {
+    FaultEvent::Straggler {
+        node: rng.index(shape.workers()),
+        factor: rng.range_f64(1.5, 4.0),
+    }
+}
+
+fn random_host_flap(rng: &mut Rng64, shape: GridShape, horizon: u64) -> FaultEvent {
+    FaultEvent::HostLinkFlap {
+        group: rng.index(shape.groups),
+        down_for: (horizon / 16).max(1) + rng.below_u64((horizon / 16).max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_the_seed() {
+        let shape = GridShape::paper();
+        for sc in Scenario::ALL {
+            let a = FaultPlan::scenario(sc, shape, 7, 100_000);
+            let b = FaultPlan::scenario(sc, shape, 7, 100_000);
+            let c = FaultPlan::scenario(sc, shape, 8, 100_000);
+            assert_eq!(a, b, "{sc} not deterministic");
+            assert_ne!(a.events(), c.events(), "{sc} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn events_land_inside_the_horizon() {
+        let shape = GridShape::paper();
+        for sc in Scenario::ALL {
+            for seed in 0..20 {
+                let plan = FaultPlan::scenario(sc, shape, seed, 80_000);
+                assert!(!plan.is_empty());
+                for (c, _) in plan.events() {
+                    assert!(*c < 80_000, "{sc} event at {c} past horizon");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_covers_every_fault_kind_in_cycle_order() {
+        let plan = FaultPlan::scenario(Scenario::Chaos, GridShape::paper(), 3, 100_000);
+        let kinds: Vec<&str> = plan.events().iter().map(|(_, e)| e.kind()).collect();
+        for k in [
+            "link-down",
+            "worker-down",
+            "bit-flip",
+            "straggler",
+            "host-link-flap",
+        ] {
+            assert!(kinds.contains(&k), "chaos missing {k}");
+        }
+        let cycles: Vec<u64> = plan.events().iter().map(|(c, _)| *c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn grid_preservation_classification() {
+        assert!(Scenario::SingleLink.keeps_grid());
+        assert!(Scenario::BitFlip.keeps_grid());
+        assert!(Scenario::Straggler.keeps_grid());
+        assert!(Scenario::HostFlap.keeps_grid());
+        assert!(!Scenario::DeadWorker.keeps_grid());
+        assert!(!Scenario::Chaos.keeps_grid());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::scenario(Scenario::Chaos, GridShape::small(), 11, 50_000);
+        let text = plan.to_json().render();
+        let back = FaultPlan::from_json(&json::parse(&text).expect("parse")).expect("plan");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn state_at_accumulates_in_cycle_order() {
+        let plan = FaultPlan::new(
+            1000,
+            vec![
+                (600, FaultEvent::WorkerDown { node: 2 }),
+                (200, FaultEvent::LinkDown { a: 0, b: 1 }),
+            ],
+        );
+        assert!(plan.state_at(100).is_clean());
+        let mid = plan.state_at(300);
+        assert_eq!(mid.dead_links, vec![(0, 1)]);
+        assert!(mid.dead_workers.is_empty());
+        let end = plan.state_at(1000);
+        assert_eq!(end.dead_workers, vec![2]);
+    }
+
+    #[test]
+    fn single_link_picks_a_ring_link() {
+        let shape = GridShape::small();
+        let plan = FaultPlan::scenario(Scenario::SingleLink, shape, 5, 10_000);
+        let (_, ev) = &plan.events()[0];
+        match ev {
+            FaultEvent::LinkDown { a, b } => {
+                assert!(*a < shape.workers() && *b < shape.workers());
+                assert_eq!(
+                    a / shape.group_size,
+                    b / shape.group_size,
+                    "not a ring link"
+                );
+            }
+            other => panic!("expected link-down, got {other}"),
+        }
+    }
+}

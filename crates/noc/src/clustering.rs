@@ -249,6 +249,48 @@ pub fn choose_config(
     )
 }
 
+/// Candidate degraded organizations over `alive` surviving workers.
+///
+/// The dynamic-clustering optimizer normally assumes the full grid; after
+/// permanent worker loss it must remap `(N_g, N_c)` onto the survivors.
+/// The group dimension keeps the paper's supported values (`N_g` a power
+/// of 4 up to `t2`, the tile element count) because the intra-tile split
+/// is structural; the data-parallel dimension shrinks to
+/// `N_c = alive / N_g`. Workers beyond `N_g · N_c` idle as spares.
+pub fn degraded_configs(alive: usize, t2: usize) -> Vec<ClusterConfig> {
+    let mut out = Vec::new();
+    let mut n_g = 1;
+    while n_g <= t2 {
+        if alive >= n_g {
+            out.push(ClusterConfig::new(n_g, alive / n_g));
+        }
+        n_g *= 4;
+    }
+    out
+}
+
+/// [`choose_config_with`] over [`degraded_configs`]: the offline
+/// optimizer's decision for a degraded grid of `alive` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_degraded_config(
+    alive: usize,
+    t2: usize,
+    params: &NocParams,
+    winograd_weight_bytes: u64,
+    tile_bytes_total: u64,
+    ring_bandwidth: f64,
+    group_size: usize,
+) -> ClusterConfig {
+    choose_config(
+        &degraded_configs(alive, t2),
+        params,
+        winograd_weight_bytes,
+        tile_bytes_total,
+        ring_bandwidth,
+        group_size,
+    )
+}
+
 /// Convenience re-export of the tile-transfer phase for callers that have
 /// a config rather than a topology.
 pub fn tile_phase_for(
@@ -397,5 +439,35 @@ mod tests {
     #[test]
     fn display_formats_like_paper() {
         assert_eq!(ClusterConfig::new(16, 16).to_string(), "(16 Ng, 16 Nc)");
+    }
+
+    #[test]
+    fn degraded_configs_cover_survivors() {
+        // Full 256-worker grid reproduces the paper's three configurations.
+        assert_eq!(
+            degraded_configs(256, 16),
+            vec![
+                ClusterConfig::new(1, 256),
+                ClusterConfig::new(4, 64),
+                ClusterConfig::new(16, 16)
+            ]
+        );
+        // One dead worker: every config shrinks N_c, never exceeding the
+        // survivor count.
+        for cfg in degraded_configs(255, 16) {
+            assert!(cfg.workers() <= 255, "{cfg} oversubscribes the grid");
+        }
+        assert!(degraded_configs(255, 16).contains(&ClusterConfig::new(16, 15)));
+        // Tiny remnant grid: only data parallelism fits.
+        assert_eq!(degraded_configs(3, 16), vec![ClusterConfig::new(1, 3)]);
+    }
+
+    #[test]
+    fn degraded_choice_prefers_groups_for_weight_heavy_layers() {
+        let p = NocParams::paper();
+        let picked = choose_degraded_config(250, 16, &p, 512 << 20, 1 << 20, 60.0, 16);
+        assert_eq!(picked, ClusterConfig::new(16, 15));
+        let picked = choose_degraded_config(250, 16, &p, 1 << 20, 8192 << 20, 60.0, 16);
+        assert_eq!(picked, ClusterConfig::new(1, 250));
     }
 }

@@ -18,8 +18,9 @@
 //! * [`collective`] — pipelined ring reduce+broadcast (event-driven and
 //!   closed form).
 //! * [`tile_transfer`] — intra-cluster all-to-all.
-//! * [`clustering`] — the three `(N_g, N_c)` configurations and the
-//!   per-layer dynamic-clustering optimizer.
+//! * [`clustering`] — the three `(N_g, N_c)` configurations, the
+//!   per-layer dynamic-clustering optimizer, and its degraded-grid
+//!   remapping after worker loss.
 //! * [`analytical`] — §III-C per-worker volume formulas (Figs 6–7).
 //!
 //! # Example: dynamic clustering picks per-layer configurations
@@ -51,14 +52,15 @@ pub mod traffic;
 
 pub use analytical::{data_parallel_comm, mpt_comm, with_transfer_savings, PerWorkerComm};
 pub use clustering::{
-    choose_config, choose_config_with, estimate_comm, tile_phase_for, ClusterConfig, CommEstimate,
+    choose_config, choose_config_with, choose_degraded_config, degraded_configs, estimate_comm,
+    tile_phase_for, ClusterConfig, CommEstimate,
 };
 pub use collective::{
     best_ring_collective_cycles, ring_allreduce_cycles, ring_collective_cycles,
     simulate_ring_reduce_broadcast,
 };
 pub use flit::{simulate_flits, Delivery, FlitConfig, FlitPacket, FlitStats};
-pub use mapping::PhysicalMapping;
+pub use mapping::{DegradedMapping, DegradedRing, PhysicalMapping};
 pub use network::{bottleneck_phase, PacketNetwork, PhaseTime};
 pub use observe::{
     record_flows, record_network, ring_collective_cycles_observed, tile_transfer_phase_observed,

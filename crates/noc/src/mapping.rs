@@ -119,6 +119,114 @@ impl PhysicalMapping {
     }
 }
 
+/// One collective ring re-formed around failed links/workers.
+#[derive(Debug, Clone)]
+pub struct DegradedRing {
+    /// Surviving members in ring order (host waypoints kept).
+    pub members: Vec<usize>,
+    /// Member count of the ring on the healthy network.
+    pub nominal_members: usize,
+    /// Physical hops to complete one lap over the surviving members on
+    /// the degraded topology.
+    pub hops_per_lap: usize,
+    /// Hop-count penalty vs. the same ring on the healthy network.
+    pub extra_hops: usize,
+}
+
+/// A [`PhysicalMapping`] re-formed on a degraded network: dead workers
+/// are dropped from rings and clusters, and each ring's lap is re-routed
+/// over minimal surviving paths, with the hop-count penalty reported per
+/// ring.
+///
+/// The pipelined collective still works on a re-formed ring — each
+/// surviving member forwards to the next along the recomputed minimal
+/// route — but every extra physical hop adds store-and-forward latency,
+/// which [`DegradedMapping::total_extra_hops`] quantifies (fed to
+/// `ring_collective_cycles` as `extra_hop_latency`).
+#[derive(Debug, Clone)]
+pub struct DegradedMapping {
+    /// The organization being realized (the original logical grid).
+    pub config: ClusterConfig,
+    /// Re-formed collective rings, one per logical group.
+    pub rings: Vec<DegradedRing>,
+    /// Logical clusters with dead members dropped.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl DegradedMapping {
+    /// Re-forms the mapping of `config` on `degraded`, using `healthy`
+    /// for the baseline hop counts. Both networks must have the same
+    /// shape (`degraded` is typically `healthy.degrade(..)`).
+    pub fn new(
+        healthy: &MemoryCentricNetwork,
+        degraded: &MemoryCentricNetwork,
+        config: ClusterConfig,
+    ) -> Result<Self, String> {
+        if healthy.groups != degraded.groups || healthy.group_size != degraded.group_size {
+            return Err("healthy and degraded networks differ in shape".to_string());
+        }
+        let nominal = PhysicalMapping::new(healthy, config);
+        let lap = |topo: &crate::topology::Topology, ring: &[usize]| -> usize {
+            if ring.len() < 2 {
+                return 0;
+            }
+            (0..ring.len())
+                .map(|i| topo.hops(ring[i], ring[(i + 1) % ring.len()]))
+                .sum()
+        };
+        let mut rings = Vec::with_capacity(nominal.rings.len());
+        for ring in &nominal.rings {
+            let healthy_lap = lap(&healthy.topology, ring);
+            let members: Vec<usize> = ring
+                .iter()
+                .copied()
+                .filter(|&n| degraded.topology.is_alive(n))
+                .collect();
+            let hops_per_lap = lap(&degraded.topology, &members);
+            rings.push(DegradedRing {
+                hops_per_lap,
+                extra_hops: hops_per_lap.saturating_sub(healthy_lap),
+                nominal_members: ring.len(),
+                members,
+            });
+        }
+        let clusters: Vec<Vec<usize>> = nominal
+            .clusters
+            .iter()
+            .map(|cl| {
+                cl.iter()
+                    .copied()
+                    .filter(|&n| degraded.topology.is_alive(n))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            config,
+            rings,
+            clusters,
+        })
+    }
+
+    /// Total hop-count penalty across all rings.
+    pub fn total_extra_hops(&self) -> usize {
+        self.rings.iter().map(|r| r.extra_hops).sum()
+    }
+
+    /// Worst single-ring hop-count penalty (the pipelined collectives
+    /// finish with the slowest ring).
+    pub fn max_extra_hops(&self) -> usize {
+        self.rings.iter().map(|r| r.extra_hops).max().unwrap_or(0)
+    }
+
+    /// Number of rings whose membership or lap changed vs. healthy.
+    pub fn rerouted_rings(&self) -> usize {
+        self.rings
+            .iter()
+            .filter(|r| r.extra_hops > 0 || r.members.len() < r.nominal_members)
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +312,53 @@ mod tests {
                 seen.iter().all(|&s| s),
                 "{cfg}: clusters must cover all workers"
             );
+        }
+    }
+
+    #[test]
+    fn degraded_mapping_reroutes_around_a_dead_ring_link() {
+        let n = net();
+        let a = n.node(WorkerId { group: 3, pos: 5 });
+        let b = n.node(WorkerId { group: 3, pos: 6 });
+        let d = n.degrade(&[(a, b)], &[]).expect("survives one link");
+        let m = DegradedMapping::new(&n, &d, ClusterConfig::new(16, 16)).expect("mapping");
+        // Only group 3's ring pays a penalty; membership is unchanged.
+        assert_eq!(m.rerouted_rings(), 1);
+        assert!(m.rings[3].extra_hops > 0, "ring 3 must detour");
+        assert_eq!(m.rings[3].members.len(), 16);
+        for (i, r) in m.rings.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(r.extra_hops, 0, "ring {i} unaffected");
+            }
+        }
+        assert_eq!(m.total_extra_hops(), m.rings[3].extra_hops);
+        assert_eq!(m.max_extra_hops(), m.rings[3].extra_hops);
+    }
+
+    #[test]
+    fn degraded_mapping_drops_dead_workers_from_rings_and_clusters() {
+        let n = net();
+        let w = n.node(WorkerId { group: 2, pos: 7 });
+        let d = n.degrade(&[], &[w]).expect("survives one death");
+        let m = DegradedMapping::new(&n, &d, ClusterConfig::new(16, 16)).expect("mapping");
+        assert_eq!(m.rings[2].members.len(), 15);
+        assert!(!m.rings[2].members.contains(&w));
+        assert!(m.rerouted_rings() >= 1);
+        let members: usize = m.clusters.iter().map(Vec::len).sum();
+        assert_eq!(members, 255);
+        // Lap over the gap: 14 single hops + a 4-hop detour around w
+        // (narrow link to a sibling group, two ring hops, narrow back).
+        assert_eq!(m.rings[2].hops_per_lap, 18);
+        assert_eq!(m.rings[2].extra_hops, 2);
+    }
+
+    #[test]
+    fn degraded_mapping_healthy_network_is_a_no_op() {
+        let n = net();
+        for cfg in ClusterConfig::paper_configs() {
+            let m = DegradedMapping::new(&n, &n, cfg).expect("mapping");
+            assert_eq!(m.rerouted_rings(), 0, "{cfg}");
+            assert_eq!(m.total_extra_hops(), 0, "{cfg}");
         }
     }
 

@@ -38,6 +38,7 @@ pub struct Topology {
     n: usize,
     adj: Vec<Vec<(usize, LinkKind)>>,
     next_hop: Vec<Vec<usize>>,
+    alive: Vec<bool>,
 }
 
 impl Topology {
@@ -49,17 +50,101 @@ impl Topology {
     /// Panics if an edge references a node `>= n` or the graph is not
     /// strongly connected.
     pub fn from_edges(n: usize, edges: &[(usize, usize, LinkKind)]) -> Self {
+        match Self::try_from_edges(n, edges) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Topology::from_edges`]: returns an error
+    /// instead of panicking when an edge is out of range or the graph is
+    /// not strongly connected. Fault-injection paths use this to test
+    /// whether a degraded network still routes.
+    pub fn try_from_edges(n: usize, edges: &[(usize, usize, LinkKind)]) -> Result<Self, String> {
         let mut adj = vec![Vec::new(); n];
         for &(a, b, k) in edges {
-            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} nodes");
+            if a >= n || b >= n {
+                return Err(format!("edge ({a},{b}) out of range for {n} nodes"));
+            }
             adj[a].push((b, k));
         }
         for neighbors in &mut adj {
             neighbors.sort_by_key(|(j, _)| *j);
             neighbors.dedup_by_key(|(j, _)| *j);
         }
-        let next_hop = compute_next_hops(n, &adj);
-        Self { n, adj, next_hop }
+        let alive = vec![true; n];
+        let next_hop = compute_next_hops(n, &adj, &alive)?;
+        Ok(Self {
+            n,
+            adj,
+            next_hop,
+            alive,
+        })
+    }
+
+    /// The topology with the given undirected links removed (both
+    /// directions of each `(a, b)` pair) and routes recomputed.
+    ///
+    /// Errors if a surviving pair of alive nodes can no longer reach each
+    /// other — the degraded network would partition and cannot carry the
+    /// collectives, so callers must treat it as unrecoverable.
+    pub fn without_links(&self, dead: &[(usize, usize)]) -> Result<Topology, String> {
+        let mut adj = self.adj.clone();
+        for &(a, b) in dead {
+            if a >= self.n || b >= self.n {
+                return Err(format!("link ({a},{b}) out of range for {} nodes", self.n));
+            }
+            adj[a].retain(|(j, _)| *j != b);
+            adj[b].retain(|(j, _)| *j != a);
+        }
+        let next_hop = compute_next_hops(self.n, &adj, &self.alive)?;
+        Ok(Topology {
+            n: self.n,
+            adj,
+            next_hop,
+            alive: self.alive.clone(),
+        })
+    }
+
+    /// The topology with the given nodes marked dead: all their links are
+    /// removed and routes are recomputed over the survivors.
+    ///
+    /// Errors if the surviving alive nodes are no longer strongly
+    /// connected.
+    pub fn without_nodes(&self, dead: &[usize]) -> Result<Topology, String> {
+        let mut adj = self.adj.clone();
+        let mut alive = self.alive.clone();
+        for &d in dead {
+            if d >= self.n {
+                return Err(format!("node {d} out of range for {} nodes", self.n));
+            }
+            alive[d] = false;
+            adj[d].clear();
+        }
+        for neighbors in adj.iter_mut() {
+            neighbors.retain(|(j, _)| alive[*j]);
+        }
+        if alive.iter().filter(|a| **a).count() < 2 {
+            return Err("fewer than 2 nodes survive".to_string());
+        }
+        let next_hop = compute_next_hops(self.n, &adj, &alive)?;
+        Ok(Topology {
+            n: self.n,
+            adj,
+            next_hop,
+            alive,
+        })
+    }
+
+    /// `true` when the node has not been marked dead by
+    /// [`Topology::without_nodes`].
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
     }
 
     /// Number of nodes.
@@ -104,6 +189,10 @@ impl Topology {
     /// panics if indices are out of range.
     pub fn route(&self, src: usize, dst: usize) -> Vec<Edge> {
         assert!(src < self.n && dst < self.n, "route endpoints out of range");
+        assert!(
+            self.alive[src] && self.alive[dst],
+            "route endpoint is a dead node"
+        );
         let mut edges = Vec::new();
         let mut cur = src;
         while cur != dst {
@@ -172,15 +261,23 @@ impl Topology {
     }
 }
 
-fn compute_next_hops(n: usize, adj: &[Vec<(usize, LinkKind)>]) -> Vec<Vec<usize>> {
+fn compute_next_hops(
+    n: usize,
+    adj: &[Vec<(usize, LinkKind)>],
+    alive: &[bool],
+) -> Result<Vec<Vec<usize>>, String> {
     // Minimal-hop BFS with lowest-index tie-breaking. The host node
     // carries the highest index, so ordinary traffic never detours
     // through it on a tie; configurations that *want* host routing (the
     // dynamically clustered collective rings) name the host as an
     // explicit waypoint instead (see `PhysicalMapping`), mirroring the
-    // paper's per-layer route reconfiguration (§IV).
+    // paper's per-layer route reconfiguration (§IV). Dead nodes are
+    // excluded: they neither originate, terminate, nor forward traffic.
     let mut tables = vec![vec![usize::MAX; n]; n];
     for src in 0..n {
+        if !alive[src] {
+            continue;
+        }
         let mut dist = vec![usize::MAX; n];
         let mut first = vec![usize::MAX; n]; // first hop from src toward node
         dist[src] = 0;
@@ -188,7 +285,7 @@ fn compute_next_hops(n: usize, adj: &[Vec<(usize, LinkKind)>]) -> Vec<Vec<usize>
         q.push_back(src);
         while let Some(u) = q.pop_front() {
             for &(v, _) in &adj[u] {
-                if dist[v] == usize::MAX {
+                if alive[v] && dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     first[v] = if u == src { v } else { first[u] };
                     q.push_back(v);
@@ -196,17 +293,18 @@ fn compute_next_hops(n: usize, adj: &[Vec<(usize, LinkKind)>]) -> Vec<Vec<usize>
             }
         }
         for dst in 0..n {
-            if dst == src {
+            if dst == src || !alive[dst] {
                 continue;
             }
-            assert!(
-                dist[dst] != usize::MAX,
-                "topology not strongly connected: no path {src} -> {dst}"
-            );
+            if dist[dst] == usize::MAX {
+                return Err(format!(
+                    "topology not strongly connected: no path {src} -> {dst}"
+                ));
+            }
             tables[src][dst] = first[dst];
         }
     }
-    tables
+    Ok(tables)
 }
 
 /// Identifies a worker in the 16 × 16 physical arrangement.
@@ -331,6 +429,38 @@ impl MemoryCentricNetwork {
             pos: node % self.group_size,
         }
     }
+
+    /// The network after permanent faults: `dead_links` (undirected
+    /// pairs) removed and `dead_workers` marked dead, with minimal routes
+    /// recomputed over the survivors.
+    ///
+    /// Errors if the surviving nodes partition (no recovery possible) or
+    /// a dead "worker" is actually the host.
+    pub fn degrade(
+        &self,
+        dead_links: &[(usize, usize)],
+        dead_workers: &[usize],
+    ) -> Result<MemoryCentricNetwork, String> {
+        if let Some(w) = dead_workers.iter().find(|w| **w >= self.workers()) {
+            return Err(format!("node {w} is not a worker"));
+        }
+        let topology = self
+            .topology
+            .without_links(dead_links)?
+            .without_nodes(dead_workers)?;
+        Ok(MemoryCentricNetwork {
+            groups: self.groups,
+            group_size: self.group_size,
+            topology,
+        })
+    }
+
+    /// Number of surviving workers (host excluded).
+    pub fn alive_workers(&self) -> usize {
+        (0..self.workers())
+            .filter(|&w| self.topology.is_alive(w))
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -447,5 +577,76 @@ mod tests {
     #[should_panic(expected = "perfect square")]
     fn non_square_groups_rejected() {
         let _ = MemoryCentricNetwork::new(6, 4);
+    }
+
+    #[test]
+    fn try_from_edges_reports_disconnection() {
+        let err = Topology::try_from_edges(3, &[(0, 1, LinkKind::Full), (1, 0, LinkKind::Full)])
+            .unwrap_err();
+        assert!(err.contains("not strongly connected"), "{err}");
+    }
+
+    #[test]
+    fn removing_a_ring_link_reroutes_the_long_way() {
+        let t = Topology::ring(8, LinkKind::Full);
+        assert_eq!(t.hops(0, 1), 1);
+        let d = t.without_links(&[(0, 1)]).expect("ring stays connected");
+        // 0 -> 1 must now go the other way around: 7 hops.
+        assert_eq!(d.hops(0, 1), 7);
+        // Unrelated routes keep their length.
+        assert_eq!(d.hops(2, 4), 2);
+    }
+
+    #[test]
+    fn removing_a_bridge_link_is_an_error() {
+        // A path graph 0 - 1 - 2: the 0-1 link is a bridge.
+        let t = Topology::from_edges(
+            3,
+            &[
+                (0, 1, LinkKind::Full),
+                (1, 0, LinkKind::Full),
+                (1, 2, LinkKind::Full),
+                (2, 1, LinkKind::Full),
+            ],
+        );
+        assert!(t.without_links(&[(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn dead_node_is_excluded_from_routes() {
+        let t = Topology::flattened_butterfly(4, 4, LinkKind::Narrow);
+        let d = t.without_nodes(&[5]).expect("fbfly survives one death");
+        assert!(!d.is_alive(5));
+        assert_eq!(d.alive_count(), 15);
+        for a in 0..16 {
+            for b in 0..16 {
+                if a == b || a == 5 || b == 5 {
+                    continue;
+                }
+                for e in d.route(a, b) {
+                    assert_ne!(e.from, 5, "route {a}->{b} crosses dead node");
+                    assert_ne!(e.to, 5, "route {a}->{b} crosses dead node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degrade_keeps_survivors_routable() {
+        let m = MemoryCentricNetwork::new(4, 4);
+        let a = m.node(WorkerId { group: 0, pos: 0 });
+        let b = m.node(WorkerId { group: 0, pos: 1 });
+        let w = m.node(WorkerId { group: 2, pos: 2 });
+        let d = m.degrade(&[(a, b)], &[w]).expect("network survives");
+        assert_eq!(d.alive_workers(), 15);
+        assert!(!d.topology.is_alive(w));
+        // The broken ring link forces a longer route between its ends.
+        assert!(d.topology.hops(a, b) > 1);
+    }
+
+    #[test]
+    fn degrade_rejects_host_as_dead_worker() {
+        let m = MemoryCentricNetwork::new(4, 4);
+        assert!(m.degrade(&[], &[m.host()]).is_err());
     }
 }

@@ -53,8 +53,19 @@
 //! | `exec.compute_cycles` | counter | compute cycles over simulated phases |
 //! | `exec.comm_cycles` | counter | communication cycles over simulated phases |
 //! | `exec.total_cycles` | counter | end-to-end cycles |
+//! | `fault.events_injected` | counter | fault events injected from a `FaultPlan` |
+//! | `fault.links_failed` | counter | links failed permanently |
+//! | `fault.workers_lost` | counter | workers lost permanently |
+//! | `fault.bit_flips_detected` | counter | DRAM bit flips detected and repaired |
+//! | `fault.reroutes` | counter | collective rings re-formed around failures |
+//! | `fault.extra_ring_hops` | counter | hop-count penalty of rerouted rings |
+//! | `fault.checkpoints` | counter | trainer checkpoints taken |
+//! | `fault.rollbacks` | counter | rollbacks to the last checkpoint |
+//! | `fault.replayed_iterations` | counter | iterations replayed after a rollback |
+//! | `fault.recovery_cycles` | counter | cycles spent on detect/restore/replay |
 //! | `hist.tile_pair_bytes` | histogram | bytes per tile-transfer (src, dst) pair |
 //! | `hist.phase_cycles` | histogram | cycles per simulated phase |
+//! | `hist.recovery_cycles` | histogram | cycles per fault-recovery episode |
 //!
 //! # Example
 //!

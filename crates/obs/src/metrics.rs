@@ -130,11 +130,36 @@ pub enum MetricKey {
     /// End-to-end cycles of the simulated iteration/layer.
     TotalCycles,
 
+    // --- Fault injection & recovery (counter, see `wmpt-fault`) ---
+    /// Fault events injected from a `FaultPlan` (all kinds).
+    FaultEventsInjected,
+    /// Physical links failed permanently.
+    FaultLinksFailed,
+    /// Workers lost permanently.
+    FaultWorkersLost,
+    /// Transient DRAM bit flips detected (and repaired by rollback).
+    FaultBitFlipsDetected,
+    /// Collective rings re-formed around failed links/nodes.
+    FaultReroutes,
+    /// Extra ring hops accumulated by rerouted collectives (the
+    /// documented hop-count penalty of degraded routing).
+    FaultExtraRingHops,
+    /// Trainer checkpoints taken.
+    FaultCheckpoints,
+    /// Rollbacks to the last checkpoint.
+    FaultRollbacks,
+    /// Iterations replayed after a rollback.
+    FaultReplayedIterations,
+    /// Cycles spent detecting faults, restoring state, and replaying.
+    FaultRecoveryCycles,
+
     // --- Histograms ---
     /// Histogram: bytes per (source, destination) tile-transfer pair.
     HistTilePairBytes,
     /// Histogram: cycles per simulated phase.
     HistPhaseCycles,
+    /// Histogram: cycles per fault-recovery episode.
+    HistRecoveryCycles,
 }
 
 impl MetricKey {
@@ -180,8 +205,19 @@ impl MetricKey {
             MetricKey::ComputeCycles,
             MetricKey::CommCycles,
             MetricKey::TotalCycles,
+            MetricKey::FaultEventsInjected,
+            MetricKey::FaultLinksFailed,
+            MetricKey::FaultWorkersLost,
+            MetricKey::FaultBitFlipsDetected,
+            MetricKey::FaultReroutes,
+            MetricKey::FaultExtraRingHops,
+            MetricKey::FaultCheckpoints,
+            MetricKey::FaultRollbacks,
+            MetricKey::FaultReplayedIterations,
+            MetricKey::FaultRecoveryCycles,
             MetricKey::HistTilePairBytes,
             MetricKey::HistPhaseCycles,
+            MetricKey::HistRecoveryCycles,
         ]);
         keys
     }
@@ -218,8 +254,19 @@ impl MetricKey {
             MetricKey::ComputeCycles => "exec.compute_cycles".to_string(),
             MetricKey::CommCycles => "exec.comm_cycles".to_string(),
             MetricKey::TotalCycles => "exec.total_cycles".to_string(),
+            MetricKey::FaultEventsInjected => "fault.events_injected".to_string(),
+            MetricKey::FaultLinksFailed => "fault.links_failed".to_string(),
+            MetricKey::FaultWorkersLost => "fault.workers_lost".to_string(),
+            MetricKey::FaultBitFlipsDetected => "fault.bit_flips_detected".to_string(),
+            MetricKey::FaultReroutes => "fault.reroutes".to_string(),
+            MetricKey::FaultExtraRingHops => "fault.extra_ring_hops".to_string(),
+            MetricKey::FaultCheckpoints => "fault.checkpoints".to_string(),
+            MetricKey::FaultRollbacks => "fault.rollbacks".to_string(),
+            MetricKey::FaultReplayedIterations => "fault.replayed_iterations".to_string(),
+            MetricKey::FaultRecoveryCycles => "fault.recovery_cycles".to_string(),
             MetricKey::HistTilePairBytes => "hist.tile_pair_bytes".to_string(),
             MetricKey::HistPhaseCycles => "hist.phase_cycles".to_string(),
+            MetricKey::HistRecoveryCycles => "hist.recovery_cycles".to_string(),
         }
     }
 
@@ -296,6 +343,40 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]` (0 when empty).
+    ///
+    /// Walks the power-of-two buckets to the one holding the sample of
+    /// rank `ceil(q * count)` and interpolates linearly inside it, then
+    /// clamps to the exact `[min, max]` observed — so p0 is `min`, p100
+    /// is `max`, and any quantile is within one bucket width (a factor
+    /// of 2) of the true sample value.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if below + c >= rank {
+                let lo = if i == 0 { 0.0 } else { 2f64.powi(i as i32) };
+                let hi = 2f64.powi(i as i32 + 1);
+                let frac = (rank - below) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            below += c;
+        }
+        self.max
     }
 
     /// Adds every sample of `other` into `self`, bucket-wise.
@@ -514,12 +595,15 @@ impl MetricRegistry {
         }
         for (k, h) in &self.histograms {
             out.push_str(&format!(
-                "{:<width$}  n={} mean={:.1} min={} max={}\n",
+                "{:<width$}  n={} mean={:.1} min={} max={} p50={:.1} p95={:.1} p99={:.1}\n",
                 k.name(),
                 h.count,
                 h.mean(),
                 h.min,
-                h.max
+                h.max,
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
             ));
         }
         out
@@ -607,6 +691,46 @@ mod tests {
         assert_eq!(h.buckets[1], 1);
         assert_eq!(h.buckets[9], 1);
         assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        // Bucketed estimates are within one power-of-two bucket of truth.
+        let p50 = h.percentile(0.50);
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        let p95 = h.percentile(0.95);
+        assert!((64.0..=100.0).contains(&p95), "p95 = {p95}");
+        let p99 = h.percentile(0.99);
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        // Extremes clamp to the exact observed range.
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+        assert!(h.percentile(0.5) >= h.percentile(0.1));
+        assert!(h.percentile(0.99) >= h.percentile(0.5));
+    }
+
+    #[test]
+    fn percentile_of_empty_and_singleton() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0.0);
+        let mut h = Histogram::new();
+        h.observe(42.0);
+        assert_eq!(h.percentile(0.5), 42.0);
+        assert_eq!(h.percentile(0.99), 42.0);
+    }
+
+    #[test]
+    fn table_includes_percentiles() {
+        let mut r = MetricRegistry::new();
+        r.observe(MetricKey::HistRecoveryCycles, 10.0);
+        let table = r.render_table();
+        assert!(table.contains("hist.recovery_cycles"));
+        assert!(table.contains("p50="));
+        assert!(table.contains("p99="));
     }
 
     #[test]

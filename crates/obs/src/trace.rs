@@ -203,17 +203,42 @@ impl Tracer {
             .sum()
     }
 
+    /// Exact per-span-duration percentiles for every `(category, name)`
+    /// pair: `(p50, p95, p99)` in cycles, computed from the sorted span
+    /// durations (sample of rank `ceil(q * n)`).
+    pub fn duration_percentiles(&self) -> BTreeMap<(String, String), (Time, Time, Time)> {
+        let mut durs: BTreeMap<(String, String), Vec<Time>> = BTreeMap::new();
+        for sp in &self.spans {
+            durs.entry((sp.cat.clone(), sp.name.clone()))
+                .or_default()
+                .push(sp.cycles());
+        }
+        durs.into_iter()
+            .map(|(k, mut v)| {
+                v.sort_unstable();
+                let at = |q: f64| {
+                    let rank = (q * v.len() as f64).ceil().max(1.0) as usize;
+                    v[rank - 1]
+                };
+                (k, (at(0.50), at(0.95), at(0.99)))
+            })
+            .collect()
+    }
+
     /// Plain-text per-phase rollup table:
     ///
     /// ```text
-    /// cat         name          spans       cycles   share
-    /// layer       fwd               1       12,340   41.2%
+    /// cat         name          spans       cycles   share      p50      p95      p99
+    /// layer       fwd               1       12,340   41.2%   12,340   12,340   12,340
     /// ```
     ///
     /// `share` is relative to total cycles of the span's category, so
     /// categories that tile the timeline (like `layer`) sum to 100%.
+    /// `p50`/`p95`/`p99` are exact percentiles over the individual span
+    /// durations of the row (see [`Tracer::duration_percentiles`]).
     pub fn rollup_table(&self) -> String {
         let rollup = self.rollup();
+        let pct = self.duration_percentiles();
         let mut cat_totals: BTreeMap<&str, Time> = BTreeMap::new();
         for ((cat, _), (_, cycles)) in &rollup {
             *cat_totals.entry(cat.as_str()).or_insert(0) += cycles;
@@ -231,18 +256,22 @@ impl Tracer {
             .max()
             .unwrap_or(3);
         let mut out = format!(
-            "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>6}\n",
-            "cat", "name", "spans", "cycles", "share"
+            "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>6}  {:>12}  {:>12}  {:>12}\n",
+            "cat", "name", "spans", "cycles", "share", "p50", "p95", "p99"
         );
         for ((cat, name), (count, cycles)) in &rollup {
             let total = cat_totals[cat.as_str()].max(1);
+            let (p50, p95, p99) = pct[&(cat.clone(), name.clone())];
             out.push_str(&format!(
-                "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>5.1}%\n",
+                "{:<cat_w$}  {:<name_w$}  {:>7}  {:>14}  {:>5.1}%  {:>12}  {:>12}  {:>12}\n",
                 cat,
                 name,
                 count,
                 cycles,
-                100.0 * *cycles as f64 / total as f64
+                100.0 * *cycles as f64 / total as f64,
+                p50,
+                p95,
+                p99
             ));
         }
         out
@@ -323,6 +352,24 @@ mod tests {
         let table = t.rollup_table();
         assert!(table.contains("60.0%"), "table:\n{table}");
         assert!(table.contains("40.0%"), "table:\n{table}");
+    }
+
+    #[test]
+    fn duration_percentiles_are_exact() {
+        let mut t = Tracer::new();
+        let w = t.track("w");
+        let mut at = 0;
+        for d in [10u64, 20, 30, 40, 100] {
+            t.span(w, "ndp", "gemm", at, at + d);
+            at += d;
+        }
+        let pct = t.duration_percentiles();
+        let (p50, p95, p99) = pct[&("ndp".to_string(), "gemm".to_string())];
+        assert_eq!(p50, 30); // rank ceil(0.5*5) = 3rd of [10,20,30,40,100]
+        assert_eq!(p95, 100);
+        assert_eq!(p99, 100);
+        let table = t.rollup_table();
+        assert!(table.contains("p95"), "table:\n{table}");
     }
 
     #[test]

@@ -37,6 +37,17 @@ impl MomentumSgd {
         &self.velocity
     }
 
+    /// Rebuilds an optimizer from saved state (checkpoint restore): the
+    /// exact inverse of reading `lr`, `momentum`, and
+    /// [`MomentumSgd::velocity`].
+    pub fn from_state(lr: f32, momentum: f32, velocity: WgWeights) -> Self {
+        Self {
+            momentum,
+            lr,
+            velocity,
+        }
+    }
+
     /// Applies one step to `weights` given the reduced gradient.
     ///
     /// # Panics

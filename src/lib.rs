@@ -25,6 +25,9 @@
 //!   clustering, functional distributed trainer.
 //! * [`obs`] — observability: typed metric registry, span tracing on the
 //!   simulator's virtual clock, Chrome-trace export.
+//! * [`fault`] — deterministic fault injection and resilient execution:
+//!   seeded fault plans, ring re-forming, degraded clustering,
+//!   checkpoint/rollback with bit-identical recovery.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 
 pub use wmpt_core as core;
 pub use wmpt_energy as energy;
+pub use wmpt_fault as fault;
 pub use wmpt_gpu as gpu;
 pub use wmpt_models as models;
 pub use wmpt_ndp as ndp;

@@ -19,6 +19,7 @@ fn all_experiments_run_and_mention_their_figures() {
         ("fig18", "Figure 18"),
         ("scalability", "strong scaling"),
         ("comm_breakdown", "Communication breakdown"),
+        ("resilience", "Resilience"),
     ];
     let registry = wmpt_bench::all_experiments();
     assert_eq!(registry.len(), markers.len());
