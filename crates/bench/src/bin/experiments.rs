@@ -5,12 +5,47 @@
 //! cargo run -p wmpt-bench --release --bin experiments fig15 fig17
 //! cargo run -p wmpt-bench --release --bin experiments --list
 //! cargo run -p wmpt-bench --release --bin experiments --obs     # BENCH_obs.json
+//! cargo run -p wmpt-bench --release --bin experiments --jobs 4  # host threads
 //! ```
+//!
+//! `--jobs N` runs the selected experiments on `N` host worker threads
+//! via the deterministic `wmpt-par` runtime (`0` or omitted = the host's
+//! available parallelism). Output stays in submission order regardless of
+//! completion order, and every experiment is itself bit-identical across
+//! jobs values, so the printed tables never depend on `N`. A footer
+//! reports per-experiment host wall-clock ms alongside the simulated
+//! cycle counts in the tables.
 
 use std::env;
+use std::time::Instant;
+
+use wmpt_obs::{MetricKey, MetricShards};
+use wmpt_par::{available_jobs, ParPool};
+
+/// Extracts `--jobs N` (0 = auto) and returns the worker-thread count.
+fn parse_jobs(args: &mut Vec<String>) -> usize {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return available_jobs();
+    };
+    if i + 1 >= args.len() {
+        eprintln!("--jobs needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    match v.parse::<usize>() {
+        Ok(0) => available_jobs(),
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--jobs must be a non-negative integer");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    let jobs = parse_jobs(&mut args);
     if let Some(i) = args.iter().position(|a| a == "--tsv") {
         args.remove(i);
         let dir = std::path::Path::new("results");
@@ -56,8 +91,34 @@ fn main() {
         }
         sel
     };
-    for (name, runner) in selected {
+    // Run experiments concurrently; each records its host wall-clock into
+    // its own metric shard, and results print in submission order.
+    let pool = ParPool::new(jobs);
+    let shards = MetricShards::new(selected.len());
+    let timed: Vec<(f64, String)> = pool.map_indexed(selected.len(), |i| {
+        let (_, runner) = *selected[i];
+        let t0 = Instant::now();
+        let out = runner();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        shards.record(i, |r| r.observe(MetricKey::HistExperimentHostMs, ms));
+        (ms, out)
+    });
+    for ((name, _), (ms, out)) in selected.iter().zip(&timed) {
         println!("################ {name} ################");
-        println!("{}", runner());
+        println!("{out}");
+        println!("[{name}: {ms:.1} ms host wall-clock]\n");
+    }
+    let mut metrics = shards.merge();
+    metrics.set_gauge(MetricKey::ParJobs, pool.jobs() as f64);
+    if let Some(h) = metrics.histogram(MetricKey::HistExperimentHostMs) {
+        println!(
+            "ran {} experiment(s) in {:.1} ms of host work on {} thread(s) \
+             (mean {:.1} ms, max {:.1} ms)",
+            h.count,
+            h.sum,
+            pool.jobs(),
+            h.mean(),
+            h.max,
+        );
     }
 }

@@ -16,6 +16,12 @@
 //! simulated iteration (open in `chrome://tracing` or Perfetto) and
 //! prints the per-phase rollup; `--metrics-out <path>` writes the metric
 //! registry. Both apply to the `layer` and `network` commands.
+//!
+//! `--jobs <n>` simulates the configs of a `layer <l> all` /
+//! `network <n> all` sweep on `n` host threads via the deterministic
+//! `wmpt-par` runtime (`0` or omitted = available parallelism); rows
+//! print in config order and are bit-identical for any `n`. Runs with
+//! observation sinks stay serial — spans land in one trace.
 
 use std::env;
 use std::path::PathBuf;
@@ -29,6 +35,7 @@ use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, Resilience
 use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
 use wmpt_obs::Observer;
+use wmpt_par::{available_jobs, ParPool};
 
 fn usage() -> ! {
     eprintln!(
@@ -38,7 +45,8 @@ fn usage() -> ! {
          mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n  \
          mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n\n\
          options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
-         \x20                     --metrics-out <file> metric registry JSON\n\n\
+         \x20                     --metrics-out <file> metric registry JSON\n\
+         \x20                     --jobs <n>           host threads (0 = auto)\n\n\
          configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++\n\
          scenarios: single-link dead-worker bit-flip straggler host-flap chaos"
     );
@@ -59,6 +67,26 @@ fn reject_unknown_flags(args: &[String]) {
 struct ObsArgs {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+}
+
+/// Extracts `--jobs N` (0 = auto) and returns the worker-thread count.
+fn extract_jobs(args: &mut Vec<String>) -> usize {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return available_jobs();
+    };
+    if i + 1 >= args.len() {
+        usage();
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    match v.parse::<usize>() {
+        Ok(0) => available_jobs(),
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--jobs must be a non-negative integer");
+            usage();
+        }
+    }
 }
 
 impl ObsArgs {
@@ -148,7 +176,7 @@ fn run_plan(name: &str, cfg: &str) {
     );
 }
 
-fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
+fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPool) {
     let Some(layer) = find_layer(name) else {
         usage()
     };
@@ -159,12 +187,15 @@ fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
         "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
     );
-    for &sys in cfgs {
-        let r = if obs_args.enabled() {
-            simulate_layer_observed(&model, &layer, sys, &mut obs)
-        } else {
-            simulate_layer(&model, &layer, sys)
-        };
+    // Observed runs stay serial: all spans must land in one trace.
+    let results = if obs_args.enabled() {
+        cfgs.iter()
+            .map(|&sys| simulate_layer_observed(&model, &layer, sys, &mut obs))
+            .collect()
+    } else {
+        pool.map_indexed(cfgs.len(), |i| simulate_layer(&model, &layer, cfgs[i]))
+    };
+    for (&sys, r) in cfgs.iter().zip(&results) {
         let e = r.total_energy();
         println!(
             "{:<8} {:>12.0} {:>12.0} {:>12.2} {:>10.0} {:>12}",
@@ -179,7 +210,7 @@ fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
     obs_args.finish(&obs);
 }
 
-fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
+fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPool) {
     let Some(net) = find_network(name) else {
         usage()
     };
@@ -195,12 +226,14 @@ fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs) {
         "{:<8} {:>14} {:>12} {:>10} {:>24}",
         "config", "cycles/iter", "images/s", "power (W)", "organization mix"
     );
-    for &sys in cfgs {
-        let r = if obs_args.enabled() {
-            simulate_network_observed(&model, &net, sys, &mut obs)
-        } else {
-            simulate_network(&model, &net, sys)
-        };
+    let results = if obs_args.enabled() {
+        cfgs.iter()
+            .map(|&sys| simulate_network_observed(&model, &net, sys, &mut obs))
+            .collect()
+    } else {
+        pool.map_indexed(cfgs.len(), |i| simulate_network(&model, &net, cfgs[i]))
+    };
+    for (&sys, r) in cfgs.iter().zip(&results) {
         let mix = r
             .config_histogram()
             .iter()
@@ -347,6 +380,7 @@ fn main() {
         return;
     }
     let obs_args = ObsArgs::extract(&mut args);
+    let pool = ParPool::new(extract_jobs(&mut args));
     if obs_args.enabled() && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
     {
         eprintln!("--trace-out/--metrics-out only apply to 'layer' and 'network'");
@@ -354,8 +388,8 @@ fn main() {
     }
     reject_unknown_flags(&args);
     match args.as_slice() {
-        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b), &obs_args),
-        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b), &obs_args),
+        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b), &obs_args, &pool),
+        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b), &obs_args, &pool),
         [cmd, a, b] if cmd == "noc" => run_noc(a, b),
         [cmd, a, b] if cmd == "plan" => run_plan(a, b),
         _ => usage(),

@@ -19,6 +19,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod obs_report;
+pub mod par_speedup;
 pub mod report;
 pub mod resilience;
 pub mod scalability;
@@ -92,6 +93,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("scalability", scalability::run),
         ("comm_breakdown", comm_breakdown::run),
         ("resilience", resilience::run),
+        ("par_speedup", par_speedup::run),
     ]
 }
 
@@ -127,6 +129,7 @@ mod tests {
             "scalability",
             "comm_breakdown",
             "resilience",
+            "par_speedup",
         ] {
             assert!(names.contains(&expect), "missing experiment {expect}");
         }

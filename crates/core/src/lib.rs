@@ -59,7 +59,8 @@ pub use pipeline::{pipelined_backward_cycles, pipelined_iteration_cycles, serial
 pub use sweep::{batch_sweep, worker_sweep, BatchPoint, WorkerPoint};
 pub use taskgraph::{compile_forward, CompiledForward};
 pub use trainer::{
-    degraded_grid, elem_owner, fprop_distributed, gather_with_prediction,
-    reduced_gradient_distributed, slice_batch, train_step_distributed,
-    train_step_distributed_momentum, winograd_join,
+    degraded_grid, elem_owner, fprop_distributed, fprop_distributed_par, gather_with_prediction,
+    reduced_gradient_distributed, reduced_gradient_distributed_par, slice_batch,
+    train_step_distributed, train_step_distributed_momentum, train_step_distributed_par,
+    winograd_join,
 };

@@ -9,6 +9,7 @@
 //! centralized SGD step for step.
 
 use wmpt_noc::ClusterConfig;
+use wmpt_par::ParPool;
 use wmpt_predict::{ActivationPredictor, PredictMode, QuantizerConfig};
 use wmpt_tensor::{DataGen, Shape4, Tensor4};
 use wmpt_winograd::{
@@ -16,7 +17,7 @@ use wmpt_winograd::{
     WinogradTransform,
 };
 
-use crate::trainer::{fprop_distributed, gather_with_prediction, train_step_distributed};
+use crate::trainer::{fprop_distributed_par, gather_with_prediction, train_step_distributed_par};
 
 /// One conv stage of the network.
 #[derive(Debug, Clone)]
@@ -108,6 +109,19 @@ impl WinogradNet {
     /// Forward pass; `grid = None` runs centralized, `Some(cfg)` runs
     /// every conv with the MPT partitioning.
     pub fn forward(&self, x: &Tensor4, grid: Option<ClusterConfig>) -> Activations {
+        self.forward_with(x, grid, &ParPool::serial())
+    }
+
+    /// [`Self::forward`] executed over a host thread pool: centralized
+    /// convs use the layer's parallel phases, distributed convs map the
+    /// `N_c` logical clusters onto threads. Bit-identical to
+    /// [`Self::forward`] for any job count.
+    pub fn forward_with(
+        &self,
+        x: &Tensor4,
+        grid: Option<ClusterConfig>,
+        pool: &ParPool,
+    ) -> Activations {
         let mut inputs = Vec::with_capacity(self.stages.len());
         let mut pre_relu = Vec::with_capacity(self.stages.len());
         let mut post_relu = Vec::with_capacity(self.stages.len());
@@ -115,8 +129,8 @@ impl WinogradNet {
         for st in &self.stages {
             inputs.push(cur.clone());
             let pre = match grid {
-                Some(cfg) => fprop_distributed(&st.conv, cfg, &cur),
-                None => st.conv.fprop(&cur),
+                Some(cfg) => fprop_distributed_par(pool, &st.conv, cfg, &cur),
+                None => st.conv.fprop_par(pool, &cur),
             };
             let post = relu(&pre);
             pre_relu.push(pre);
@@ -171,7 +185,25 @@ impl WinogradNet {
         lr: f32,
         grid: Option<ClusterConfig>,
     ) -> f64 {
-        let acts = self.forward(x, grid);
+        self.train_step_with(x, targets, lr, grid, &ParPool::serial())
+    }
+
+    /// [`Self::train_step`] executed over a host thread pool (forward,
+    /// input-gradient and weight-gradient phases all fan out).
+    /// Bit-identical to [`Self::train_step`] for any job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the batch size.
+    pub fn train_step_with(
+        &mut self,
+        x: &Tensor4,
+        targets: &[f32],
+        lr: f32,
+        grid: Option<ClusterConfig>,
+        pool: &ParPool,
+    ) -> f64 {
+        let acts = self.forward_with(x, grid, pool);
         let s = acts.features.shape();
         assert_eq!(targets.len(), s.n, "target count must match batch");
         let per = (s.h * s.w) as f32;
@@ -223,15 +255,17 @@ impl WinogradNet {
             let d_pre = relu_backward(&acts.pre_relu[k], &d_post);
             // Input gradient for the next (earlier) stage.
             if k > 0 {
-                dcur = st.conv.bprop(&d_pre);
+                dcur = st.conv.bprop_par(pool, &d_pre);
             } else {
                 dcur = Tensor4::zeros(acts.inputs[0].shape());
             }
             // Weight update, centralized or distributed.
             match grid {
-                Some(cfg) => train_step_distributed(&mut st.conv, cfg, &acts.inputs[k], &d_pre, lr),
+                Some(cfg) => {
+                    train_step_distributed_par(pool, &mut st.conv, cfg, &acts.inputs[k], &d_pre, lr)
+                }
                 None => {
-                    let g = st.conv.update_grad(&acts.inputs[k], &d_pre);
+                    let g = st.conv.update_grad_par(pool, &acts.inputs[k], &d_pre);
                     st.conv.apply_grad(&g, lr);
                 }
             }

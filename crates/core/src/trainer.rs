@@ -11,6 +11,7 @@
 //! equal the spatial join (Fig 14). Each of those claims is a test here.
 
 use wmpt_noc::ClusterConfig;
+use wmpt_par::ParPool;
 use wmpt_predict::{ActivationPredictor, PredictMode};
 use wmpt_tensor::{Shape4, Tensor4};
 use wmpt_winograd::{
@@ -59,7 +60,6 @@ pub fn slice_batch(x: &Tensor4, start: usize, len: usize) -> Tensor4 {
 ///
 /// Panics if the batch is not divisible by `N_c`.
 pub fn fprop_distributed(layer: &WinogradLayer, cfg: ClusterConfig, x: &Tensor4) -> Tensor4 {
-    let tf = layer.transform().clone();
     let s = x.shape();
     assert_eq!(
         s.n % cfg.n_c,
@@ -69,45 +69,89 @@ pub fn fprop_distributed(layer: &WinogradLayer, cfg: ClusterConfig, x: &Tensor4)
         cfg.n_c
     );
     let chunk = s.n / cfg.n_c;
+    let out_shape = Shape4::new(s.n, layer.weights().out_chans, s.h, s.w);
+    let mut out = Tensor4::zeros(out_shape);
+    let stride = chunk * out_shape.c * s.h * s.w;
+    for (c, region) in out.as_mut_slice().chunks_mut(stride).enumerate() {
+        fprop_cluster_into(layer, cfg, x, c, chunk, region);
+    }
+    out
+}
+
+/// Computes cluster `c`'s share of the distributed forward pass (its
+/// `chunk` images, all `N_g` group workers) into the cluster's contiguous
+/// NCHW output region. One cluster is independent of every other — the
+/// unit of fan-out shared by the serial loop and the parallel trainer.
+fn fprop_cluster_into(
+    layer: &WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    c: usize,
+    chunk: usize,
+    region: &mut [f32],
+) {
+    let tf = layer.transform();
+    let s = x.shape();
     let w = layer.weights();
     let t2 = tf.t() * tf.t();
-    let out_shape = Shape4::new(s.n, w.out_chans, s.h, s.w);
-    let mut out = Tensor4::zeros(out_shape);
-
-    for c in 0..cfg.n_c {
-        let xc = slice_batch(x, c * chunk, chunk);
-        // Tile scattering: every worker of cluster c receives its group's
-        // elements of the transformed input.
-        let wx = to_winograd_input(&xc, &tf);
-        let mut wy = WgTensor::zeros(t2, wx.tiles, w.out_chans);
-        for g in 0..cfg.n_g {
-            // Worker (g, c): element-GEMMs for the elements group g owns.
-            for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
-                for tile in 0..wx.tiles {
-                    for j in 0..w.out_chans {
-                        let mut acc = 0.0f64;
-                        for i in 0..w.in_chans {
-                            acc += wx.data[wx.index(e, tile, i)] as f64
-                                * w.data[w.index(e, i, j)] as f64;
-                        }
-                        let idx = wy.index(e, tile, j);
-                        wy.data[idx] = acc as f32;
+    let xc = slice_batch(x, c * chunk, chunk);
+    // Tile scattering: every worker of cluster c receives its group's
+    // elements of the transformed input.
+    let wx = to_winograd_input(&xc, tf);
+    let mut wy = WgTensor::zeros(t2, wx.tiles, w.out_chans);
+    for g in 0..cfg.n_g {
+        // Worker (g, c): element-GEMMs for the elements group g owns.
+        for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
+            for tile in 0..wx.tiles {
+                for j in 0..w.out_chans {
+                    let mut acc = 0.0f64;
+                    for i in 0..w.in_chans {
+                        acc +=
+                            wx.data[wx.index(e, tile, i)] as f64 * w.data[w.index(e, i, j)] as f64;
                     }
-                }
-            }
-        }
-        // Tile gathering + inverse transform at each tile's home worker.
-        let yc = from_winograd_output(&wy, &tf, Shape4::new(chunk, w.out_chans, s.h, s.w));
-        for b in 0..chunk {
-            for j in 0..w.out_chans {
-                for h in 0..s.h {
-                    for ww in 0..s.w {
-                        out[(c * chunk + b, j, h, ww)] = yc[(b, j, h, ww)];
-                    }
+                    let idx = wy.index(e, tile, j);
+                    wy.data[idx] = acc as f32;
                 }
             }
         }
     }
+    // Tile gathering + inverse transform at each tile's home worker.
+    let yc = from_winograd_output(&wy, tf, Shape4::new(chunk, w.out_chans, s.h, s.w));
+    region.copy_from_slice(yc.as_slice());
+}
+
+/// Parallel [`fprop_distributed`]: the paper's `N_c` logical clusters map
+/// onto host threads (each cluster's batch chunk is an independent work
+/// unit writing a disjoint contiguous output region). Bit-identical to
+/// the serial version for any job count.
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn fprop_distributed_par(
+    pool: &ParPool,
+    layer: &WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+) -> Tensor4 {
+    if pool.jobs() <= 1 || cfg.n_c <= 1 {
+        return fprop_distributed(layer, cfg, x);
+    }
+    let s = x.shape();
+    assert_eq!(
+        s.n % cfg.n_c,
+        0,
+        "batch {} must divide across {} clusters",
+        s.n,
+        cfg.n_c
+    );
+    let chunk = s.n / cfg.n_c;
+    let out_shape = Shape4::new(s.n, layer.weights().out_chans, s.h, s.w);
+    let mut out = Tensor4::zeros(out_shape);
+    let stride = chunk * out_shape.c * s.h * s.w;
+    pool.for_each_chunk_mut(out.as_mut_slice(), stride, |c, region| {
+        fprop_cluster_into(layer, cfg, x, c, chunk, region);
+    });
     out
 }
 
@@ -147,7 +191,6 @@ pub fn reduced_gradient_distributed(
     x: &Tensor4,
     dy: &Tensor4,
 ) -> WgWeights {
-    let tf = layer.transform().clone();
     let s = x.shape();
     assert_eq!(
         s.n % cfg.n_c,
@@ -157,34 +200,119 @@ pub fn reduced_gradient_distributed(
         cfg.n_c
     );
     let chunk = s.n / cfg.n_c;
-    let t2 = tf.t() * tf.t();
+    let t2 = layer.transform().t() * layer.transform().t();
     let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
     let mut total = WgWeights::zeros(t2, i_ch, j_ch);
-
     for g in 0..cfg.n_g {
         // The group's ring reduction: sum the partial gradients of the
         // N_c workers holding this group's elements.
         for c in 0..cfg.n_c {
-            let xc = slice_batch(x, c * chunk, chunk);
-            let dyc = slice_batch(dy, c * chunk, chunk);
-            let wx = to_winograd_input(&xc, &tf);
-            let wdy = wmpt_winograd::output_grad_to_winograd(&dyc, &tf);
-            for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
-                for ii in 0..i_ch {
-                    for jj in 0..j_ch {
-                        let mut acc = 0.0f64;
-                        for tile in 0..wx.tiles {
-                            acc += wx.data[wx.index(e, tile, ii)] as f64
-                                * wdy.data[wdy.index(e, tile, jj)] as f64;
-                        }
-                        let idx = total.index(e, ii, jj);
-                        total.data[idx] += acc as f32;
-                    }
-                }
-            }
+            worker_partial_grad_into(layer, cfg, x, dy, g, c, chunk, &mut total);
         }
     }
     total
+}
+
+/// Accumulates worker `(g, c)`'s partial Winograd-domain weight gradient
+/// (its batch chunk, its group's elements) into `out`. The independent
+/// work unit of the `updateGrad` phase, shared by the serial loop and the
+/// parallel reduction.
+#[allow(clippy::too_many_arguments)]
+fn worker_partial_grad_into(
+    layer: &WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    dy: &Tensor4,
+    g: usize,
+    c: usize,
+    chunk: usize,
+    out: &mut WgWeights,
+) {
+    let tf = layer.transform();
+    let t2 = tf.t() * tf.t();
+    let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
+    let xc = slice_batch(x, c * chunk, chunk);
+    let dyc = slice_batch(dy, c * chunk, chunk);
+    let wx = to_winograd_input(&xc, tf);
+    let wdy = wmpt_winograd::output_grad_to_winograd(&dyc, tf);
+    for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
+        for ii in 0..i_ch {
+            for jj in 0..j_ch {
+                let mut acc = 0.0f64;
+                for tile in 0..wx.tiles {
+                    acc += wx.data[wx.index(e, tile, ii)] as f64
+                        * wdy.data[wdy.index(e, tile, jj)] as f64;
+                }
+                let idx = out.index(e, ii, jj);
+                out.data[idx] += acc as f32;
+            }
+        }
+    }
+}
+
+/// Parallel [`reduced_gradient_distributed`]: all `N_g × N_c` logical
+/// workers fan out across the pool, each producing its partial gradient;
+/// the partials merge in worker order `(g, c)` — the same order the
+/// serial ring reduction visits — so the result is bit-identical for any
+/// job count. (A worker's unowned entries stay `+0.0`, and adding `+0.0`
+/// never changes the bits of a running sum that started at `+0.0`.)
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn reduced_gradient_distributed_par(
+    pool: &ParPool,
+    layer: &WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    dy: &Tensor4,
+) -> WgWeights {
+    if pool.jobs() <= 1 || cfg.workers() <= 1 {
+        return reduced_gradient_distributed(layer, cfg, x, dy);
+    }
+    let s = x.shape();
+    assert_eq!(
+        s.n % cfg.n_c,
+        0,
+        "batch {} must divide across {} clusters",
+        s.n,
+        cfg.n_c
+    );
+    let chunk = s.n / cfg.n_c;
+    let t2 = layer.transform().t() * layer.transform().t();
+    let (i_ch, j_ch) = (layer.weights().in_chans, layer.weights().out_chans);
+    let partials = pool.map_indexed(cfg.n_g * cfg.n_c, |wk| {
+        let (g, c) = (wk / cfg.n_c, wk % cfg.n_c);
+        let mut p = WgWeights::zeros(t2, i_ch, j_ch);
+        worker_partial_grad_into(layer, cfg, x, dy, g, c, chunk, &mut p);
+        p
+    });
+    let mut total = WgWeights::zeros(t2, i_ch, j_ch);
+    for p in &partials {
+        for (t, v) in total.data.iter_mut().zip(&p.data) {
+            *t += v;
+        }
+    }
+    total
+}
+
+/// Parallel [`train_step_distributed`] (gradient via
+/// [`reduced_gradient_distributed_par`], bit-identical to serial for any
+/// job count).
+///
+/// # Panics
+///
+/// Panics if the batch is not divisible by `N_c`.
+pub fn train_step_distributed_par(
+    pool: &ParPool,
+    layer: &mut WinogradLayer,
+    cfg: ClusterConfig,
+    x: &Tensor4,
+    dy: &Tensor4,
+    lr: f32,
+) {
+    let total = reduced_gradient_distributed_par(pool, layer, cfg, x, dy);
+    layer.apply_grad(&total, lr);
 }
 
 /// Distributed momentum-SGD step: the optimizer state is partitioned

@@ -1,0 +1,110 @@
+//! The bit-exactness gate for the host-parallel runtime: every phase of
+//! the Winograd layer and a multi-step functional MPT training run must
+//! produce **byte-identical** results for `jobs ∈ {1, 2, 7}` — and equal
+//! the serial implementation. f32 values are compared as their IEEE-754
+//! bit patterns, reusing the `core::checkpoint` rendering (which
+//! serializes weights as `to_bits()` integers) for whole-net state.
+
+use wmpt_core::{
+    checkpoint_net, fprop_distributed, fprop_distributed_par, reduced_gradient_distributed,
+    reduced_gradient_distributed_par, WinogradNet,
+};
+use wmpt_noc::ClusterConfig;
+use wmpt_par::ParPool;
+use wmpt_tensor::{DataGen, Shape4, Tensor4};
+use wmpt_winograd::{WinogradLayer, WinogradTransform};
+
+const JOBS: [usize; 3] = [1, 2, 7];
+
+fn bits(t: &[f32]) -> Vec<u32> {
+    t.iter().map(|v| v.to_bits()).collect()
+}
+
+fn layer_setup() -> (WinogradLayer, Tensor4, Tensor4) {
+    let mut g = DataGen::new(41);
+    let w = g.he_weights(Shape4::new(4, 3, 3, 3));
+    let layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+    let x = g.normal_tensor(Shape4::new(8, 3, 8, 8), 0.0, 1.0);
+    let dy = g.normal_tensor(Shape4::new(8, 4, 8, 8), 0.0, 1.0);
+    (layer, x, dy)
+}
+
+#[test]
+fn layer_phases_bit_identical_across_jobs() {
+    let (layer, x, dy) = layer_setup();
+    let y0 = bits(layer.fprop(&x).as_slice());
+    let dx0 = bits(layer.bprop(&dy).as_slice());
+    let dw0 = bits(&layer.update_grad(&x, &dy).data);
+    for jobs in JOBS {
+        let pool = ParPool::new(jobs);
+        assert_eq!(
+            y0,
+            bits(layer.fprop_par(&pool, &x).as_slice()),
+            "fprop diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            dx0,
+            bits(layer.bprop_par(&pool, &dy).as_slice()),
+            "bprop diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            dw0,
+            bits(&layer.update_grad_par(&pool, &x, &dy).data),
+            "updateGrad diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn distributed_phases_bit_identical_across_jobs() {
+    let (layer, x, dy) = layer_setup();
+    for cfg in [ClusterConfig::new(4, 2), ClusterConfig::new(16, 1)] {
+        let y0 = bits(fprop_distributed(&layer, cfg, &x).as_slice());
+        let g0 = bits(&reduced_gradient_distributed(&layer, cfg, &x, &dy).data);
+        for jobs in JOBS {
+            let pool = ParPool::new(jobs);
+            assert_eq!(
+                y0,
+                bits(fprop_distributed_par(&pool, &layer, cfg, &x).as_slice()),
+                "{cfg}: distributed fprop diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                g0,
+                bits(&reduced_gradient_distributed_par(&pool, &layer, cfg, &x, &dy).data),
+                "{cfg}: reduced gradient diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// Trains a fresh net for 3 MPT steps under `jobs` host threads and
+/// renders the final checkpoint (f32-as-bits JSON).
+fn train_3_steps(jobs: usize) -> (String, Vec<String>) {
+    let mut g = DataGen::new(42);
+    let x = g.normal_tensor(Shape4::new(8, 2, 8, 8), 0.0, 1.0);
+    let targets: Vec<f32> = (0..8)
+        .map(|b| if b % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let mut net = WinogradNet::new(7, 2, &[4, 4], false);
+    let pool = ParPool::new(jobs);
+    let grid = ClusterConfig::new(4, 2);
+    let mut losses = Vec::new();
+    for _ in 0..3 {
+        let loss = net.train_step_with(&x, &targets, 0.05, Some(grid), &pool);
+        losses.push(format!("{loss:?}"));
+    }
+    (checkpoint_net(3, &net).render(), losses)
+}
+
+#[test]
+fn three_step_mpt_training_checkpoints_byte_identical_across_jobs() {
+    let (reference, ref_losses) = train_3_steps(1);
+    for jobs in JOBS {
+        let (ckpt, losses) = train_3_steps(jobs);
+        assert_eq!(
+            reference, ckpt,
+            "checkpoint rendering diverged at jobs={jobs}"
+        );
+        assert_eq!(ref_losses, losses, "losses diverged at jobs={jobs}");
+    }
+}

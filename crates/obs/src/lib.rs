@@ -10,7 +10,9 @@
 //!
 //! * [`MetricRegistry`] — counters/gauges/histograms keyed by the typed
 //!   [`MetricKey`] enum. Plain values, no global state; merge per-worker
-//!   registries upward, serialize to JSON, parse back.
+//!   registries upward, serialize to JSON, parse back. For host-parallel
+//!   runs, [`MetricShards`] gives each worker thread its own registry and
+//!   merges them in deterministic shard-index order.
 //! * [`Tracer`] — records `(track, category, name, start, end)` spans in
 //!   virtual cycles and exports Chrome `trace_event` JSON (open in
 //!   `chrome://tracing` or Perfetto) plus a plain-text per-phase rollup.
@@ -63,9 +65,11 @@
 //! | `fault.rollbacks` | counter | rollbacks to the last checkpoint |
 //! | `fault.replayed_iterations` | counter | iterations replayed after a rollback |
 //! | `fault.recovery_cycles` | counter | cycles spent on detect/restore/replay |
+//! | `par.jobs` | gauge | host worker threads (`--jobs`) the run executed with |
 //! | `hist.tile_pair_bytes` | histogram | bytes per tile-transfer (src, dst) pair |
 //! | `hist.phase_cycles` | histogram | cycles per simulated phase |
 //! | `hist.recovery_cycles` | histogram | cycles per fault-recovery episode |
+//! | `hist.experiment_host_ms` | histogram | host wall-clock ms per experiment |
 //!
 //! # Example
 //!
@@ -84,9 +88,11 @@
 
 pub mod json;
 pub mod metrics;
+pub mod shard;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricKey, MetricRegistry, TrafficClass};
+pub use shard::MetricShards;
 pub use trace::{Span, Tracer, TrackId};
 
 /// A metric registry and a tracer bundled together — the single handle

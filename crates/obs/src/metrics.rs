@@ -153,6 +153,10 @@ pub enum MetricKey {
     /// Cycles spent detecting faults, restoring state, and replaying.
     FaultRecoveryCycles,
 
+    // --- Host-parallel runtime (`wmpt-par`) ---
+    /// Gauge: host worker threads (`--jobs`) the run executed with.
+    ParJobs,
+
     // --- Histograms ---
     /// Histogram: bytes per (source, destination) tile-transfer pair.
     HistTilePairBytes,
@@ -160,6 +164,8 @@ pub enum MetricKey {
     HistPhaseCycles,
     /// Histogram: cycles per fault-recovery episode.
     HistRecoveryCycles,
+    /// Histogram: host wall-clock milliseconds per experiment.
+    HistExperimentHostMs,
 }
 
 impl MetricKey {
@@ -215,9 +221,11 @@ impl MetricKey {
             MetricKey::FaultRollbacks,
             MetricKey::FaultReplayedIterations,
             MetricKey::FaultRecoveryCycles,
+            MetricKey::ParJobs,
             MetricKey::HistTilePairBytes,
             MetricKey::HistPhaseCycles,
             MetricKey::HistRecoveryCycles,
+            MetricKey::HistExperimentHostMs,
         ]);
         keys
     }
@@ -264,9 +272,11 @@ impl MetricKey {
             MetricKey::FaultRollbacks => "fault.rollbacks".to_string(),
             MetricKey::FaultReplayedIterations => "fault.replayed_iterations".to_string(),
             MetricKey::FaultRecoveryCycles => "fault.recovery_cycles".to_string(),
+            MetricKey::ParJobs => "par.jobs".to_string(),
             MetricKey::HistTilePairBytes => "hist.tile_pair_bytes".to_string(),
             MetricKey::HistPhaseCycles => "hist.phase_cycles".to_string(),
             MetricKey::HistRecoveryCycles => "hist.recovery_cycles".to_string(),
+            MetricKey::HistExperimentHostMs => "hist.experiment_host_ms".to_string(),
         }
     }
 

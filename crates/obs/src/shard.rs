@@ -1,0 +1,148 @@
+//! Per-thread metric shards with a deterministic merge.
+//!
+//! The host-parallel runtime (`wmpt-par`) runs work units concurrently;
+//! instrumented code must not serialize on one global registry lock in
+//! the hot path, and the merged result must not depend on thread timing.
+//! [`MetricShards`] solves both: each worker records into its own
+//! [`MetricRegistry`] behind its own mutex (no contention when workers
+//! use distinct shards), and [`MetricShards::merge`] folds the shards in
+//! **shard-index order**. Because every [`MetricRegistry::merge`]
+//! operation is commutative and associative — counters add, gauges keep
+//! the larger magnitude, histogram buckets add — the merged registry
+//! equals one produced by serial recording, regardless of interleaving.
+
+use std::sync::Mutex;
+
+use crate::metrics::MetricRegistry;
+
+/// A fixed set of independently lockable [`MetricRegistry`] shards,
+/// typically one per worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use wmpt_obs::{MetricKey, MetricShards};
+///
+/// let shards = MetricShards::new(4);
+/// std::thread::scope(|s| {
+///     for w in 0..4 {
+///         let shards = &shards;
+///         s.spawn(move || {
+///             shards.record(w, |r| r.inc(MetricKey::SystolicMacs, 100));
+///         });
+///     }
+/// });
+/// assert_eq!(shards.merge().counter(MetricKey::SystolicMacs), 400);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricShards {
+    shards: Vec<Mutex<MetricRegistry>>,
+}
+
+impl MetricShards {
+    /// Creates `n` empty shards.
+    pub fn new(n: usize) -> Self {
+        Self {
+            shards: (0..n).map(|_| Mutex::new(MetricRegistry::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when there are no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Runs `f` against shard `i`'s registry under its lock. Workers that
+    /// stick to their own shard index never contend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or a recording closure previously
+    /// panicked while holding this shard's lock.
+    pub fn record<F: FnOnce(&mut MetricRegistry)>(&self, i: usize, f: F) {
+        let mut reg = self.shards[i].lock().expect("metric shard poisoned");
+        f(&mut reg);
+    }
+
+    /// Folds all shards into one registry **in shard-index order** —
+    /// deterministic by construction, and (because registry merge is
+    /// commutative) equal to recording everything serially into a single
+    /// registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording closure previously panicked while holding a
+    /// shard lock.
+    pub fn merge(&self) -> MetricRegistry {
+        let mut total = MetricRegistry::new();
+        for shard in &self.shards {
+            total.merge(&shard.lock().expect("metric shard poisoned"));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+
+    /// The recording each logical worker performs; parameterized by a
+    /// worker id so shards receive *different* contributions.
+    fn workload(r: &mut MetricRegistry, w: usize) {
+        r.inc(MetricKey::SystolicMacs, 100 + w as u64);
+        r.inc(MetricKey::DramBytes, 64);
+        r.set_gauge(MetricKey::SystolicUtilization, 0.1 * (w + 1) as f64);
+        r.observe(MetricKey::HistPhaseCycles, (1 << w) as f64);
+    }
+
+    #[test]
+    fn concurrent_recording_then_merge_equals_serial_recording() {
+        const WORKERS: usize = 8;
+        // Serial reference: one registry, workers recorded in order.
+        let mut serial = MetricRegistry::new();
+        for w in 0..WORKERS {
+            workload(&mut serial, w);
+        }
+        // Concurrent: one shard per worker, real threads, then merge.
+        // Run several rounds so distinct interleavings actually occur.
+        for round in 0..5 {
+            let shards = MetricShards::new(WORKERS);
+            std::thread::scope(|s| {
+                for w in 0..WORKERS {
+                    let shards = &shards;
+                    s.spawn(move || shards.record(w, |r| workload(r, w)));
+                }
+            });
+            assert_eq!(shards.merge(), serial, "round {round} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_order_is_shard_index_order_not_completion_order() {
+        // Give the *last* shard the largest-magnitude gauge; whichever
+        // thread finishes first, the merged gauge must be the largest
+        // magnitude (commutative rule), and counters the exact sum.
+        let shards = MetricShards::new(3);
+        shards.record(2, |r| r.set_gauge(MetricKey::VectorUtilization, 0.9));
+        shards.record(0, |r| r.set_gauge(MetricKey::VectorUtilization, 0.4));
+        shards.record(1, |r| r.inc(MetricKey::CommCycles, 5));
+        shards.record(0, |r| r.inc(MetricKey::CommCycles, 7));
+        let merged = shards.merge();
+        assert_eq!(merged.gauge(MetricKey::VectorUtilization), Some(0.9));
+        assert_eq!(merged.counter(MetricKey::CommCycles), 12);
+    }
+
+    #[test]
+    fn empty_shards_merge_to_empty_registry() {
+        assert!(MetricShards::new(4).merge().is_empty());
+        assert!(MetricShards::new(0).merge().is_empty());
+        assert!(MetricShards::new(0).is_empty());
+        assert_eq!(MetricShards::new(4).len(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared dense kernels: the workspace GEMM and element-wise maps, each
+//! with a serial and a [`ParPool`]-parallel entry point.
+//!
+//! The parallel variants follow the `wmpt-par` determinism contract: work
+//! is split into chunks whose boundaries depend only on the problem shape
+//! (fixed `const` chunk sizes below), and every output element is computed
+//! by exactly the same arithmetic as the serial code — so the results are
+//! bit-identical for any job count.
+
+use wmpt_par::ParPool;
+
+/// Output rows per parallel GEMM chunk. A fixed constant so that chunk
+/// boundaries depend only on the matrix shape, never on the job count.
+pub const GEMM_ROW_CHUNK: usize = 8;
+
+/// Elements per parallel element-wise-map chunk (same fixed-boundary rule).
+pub const MAP_CHUNK: usize = 4096;
+
+/// Minimal f32 GEMM with f64 accumulation — the one matrix multiply every
+/// numeric path in the workspace funnels through.
+///
+/// `a` is `ar × ac`; when `ta` it is used as `ac × ar` (transposed read).
+/// `b` has `bc` columns (rows inferred from `k`); when `tb`, `b` is read
+/// transposed. `out` must hold `m × bc` values where `m = ac` if `ta`
+/// else `ar`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    ta: bool,
+    tb: bool,
+) {
+    let (m, _) = if ta { (ac, ar) } else { (ar, ac) };
+    debug_assert_eq!(out.len(), m * bc);
+    gemm_rows(a, ar, ac, b, bc, out, ta, tb, 0);
+}
+
+/// Computes rows `row0 .. row0 + out.len()/bc` of the product into `out`.
+/// Shared by the serial and parallel GEMM so both run identical per-element
+/// arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    ta: bool,
+    tb: bool,
+    row0: usize,
+) {
+    let k = if ta { ar } else { ac };
+    let n = bc;
+    let rows = out.len() / n;
+    for ri in 0..rows {
+        let i = row0 + ri;
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                let av = if ta { a[l * ac + i] } else { a[i * ac + l] };
+                let bv = if tb { b[j * k + l] } else { b[l * n + j] };
+                acc += av as f64 * bv as f64;
+            }
+            out[ri * n + j] = acc as f32;
+        }
+    }
+}
+
+/// Parallel [`gemm_f32`]: output rows are computed in fixed
+/// [`GEMM_ROW_CHUNK`]-row bands distributed across the pool. Each output
+/// element runs the same f64-accumulated dot product as the serial kernel,
+/// so the result is bit-identical for any `jobs` value.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `out.len()` does not match the product
+/// shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32_par(
+    pool: &ParPool,
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    ta: bool,
+    tb: bool,
+) {
+    let (m, _) = if ta { (ac, ar) } else { (ar, ac) };
+    debug_assert_eq!(out.len(), m * bc);
+    if pool.jobs() <= 1 {
+        gemm_rows(a, ar, ac, b, bc, out, ta, tb, 0);
+        return;
+    }
+    pool.for_each_chunk_mut(out, GEMM_ROW_CHUNK * bc, |ci, band| {
+        gemm_rows(a, ar, ac, b, bc, band, ta, tb, ci * GEMM_ROW_CHUNK);
+    });
+}
+
+/// Applies `f` to every element of `data` in place, in fixed
+/// [`MAP_CHUNK`]-element chunks across the pool. Element-wise maps touch
+/// each slot independently, so parallel equals serial bit for bit.
+pub fn par_map_slice<F>(pool: &ParPool, data: &mut [f32], f: F)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    pool.for_each_chunk_mut(data, MAP_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = f(*v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataGen;
+
+    fn random(n: usize, seed: u64) -> Vec<f32> {
+        let mut g = DataGen::new(seed);
+        (0..n).map(|_| g.normal(0.0, 1.0) as f32).collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn gemm_par_is_bit_identical_for_any_jobs() {
+        // Odd sizes so the last row band is partial, all four transpose
+        // combinations so every indexing path is covered.
+        let (m, k, n) = (37, 13, 11);
+        let a = random(m * k, 1);
+        let bv = random(k * n, 3);
+        for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let (ar, ac) = if ta { (k, m) } else { (m, k) };
+            let mut serial = vec![0.0f32; m * n];
+            gemm_f32(&a, ar, ac, &bv, n, &mut serial, ta, tb);
+            for jobs in [1, 2, 7] {
+                let pool = ParPool::new(jobs);
+                let mut par = vec![0.0f32; m * n];
+                gemm_f32_par(&pool, &a, ar, ac, &bv, n, &mut par, ta, tb);
+                assert_eq!(
+                    bits(&serial),
+                    bits(&par),
+                    "ta={ta} tb={tb} jobs={jobs} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_hand_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0f32; 4];
+        gemm_f32(&a, 2, 2, &b, 2, &mut out, false, false);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+        // Aᵀ * B with A stored as 2×2: same matrix transposed.
+        let mut out_t = [0.0f32; 4];
+        gemm_f32(&a, 2, 2, &b, 2, &mut out_t, true, false);
+        assert_eq!(out_t, [26.0, 30.0, 38.0, 44.0]);
+    }
+
+    #[test]
+    fn par_map_is_bit_identical_for_any_jobs() {
+        let base = random(10_000, 4);
+        let mut serial = base.clone();
+        for v in serial.iter_mut() {
+            *v = v.max(0.0) * 1.7 + 0.3;
+        }
+        for jobs in [1, 2, 7] {
+            let pool = ParPool::new(jobs);
+            let mut par = base.clone();
+            par_map_slice(&pool, &mut par, |v| v.max(0.0) * 1.7 + 0.3);
+            assert_eq!(bits(&serial), bits(&par), "jobs={jobs} diverged");
+        }
+    }
+}

@@ -10,11 +10,14 @@
 //!   group-partitioned weight storage possible (each group only ever
 //!   touches its own tile elements `W_(u,v)`).
 
+use wmpt_par::ParPool;
+use wmpt_tensor::ops::gemm_f32 as gemm;
 use wmpt_tensor::{Shape4, Tensor4};
 
 use crate::tiling::{
-    from_winograd_output, input_grad_to_spatial, output_grad_to_winograd, to_winograd_input,
-    weights_to_winograd, WgTensor, WgWeights,
+    from_winograd_output, from_winograd_output_par, input_grad_to_spatial,
+    input_grad_to_spatial_par, output_grad_to_winograd, output_grad_to_winograd_par,
+    to_winograd_input, to_winograd_input_par, weights_to_winograd, WgTensor, WgWeights,
 };
 use crate::WinogradTransform;
 
@@ -77,34 +80,91 @@ pub fn elementwise_gemm_wgrad(x: &WgTensor, dy: &WgTensor) -> WgWeights {
     dw
 }
 
-/// Minimal f32 GEMM with f64 accumulation.
-/// `a` is `ar × ac`; when `ta` it is used as `ac × ar` (transposed read).
-/// `b` has `bc` columns (rows inferred); when `tb`, `b` is read transposed.
-#[allow(clippy::too_many_arguments)]
-fn gemm(
-    a: &[f32],
-    ar: usize,
-    ac: usize,
-    b: &[f32],
-    bc: usize,
-    out: &mut [f32],
-    ta: bool,
-    tb: bool,
-) {
-    let (m, k) = if ta { (ac, ar) } else { (ar, ac) };
-    let n = bc;
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f64;
-            for l in 0..k {
-                let av = if ta { a[l * ac + i] } else { a[i * ac + l] };
-                let bv = if tb { b[j * k + l] } else { b[l * n + j] };
-                acc += av as f64 * bv as f64;
-            }
-            out[i * n + j] = acc as f32;
-        }
+/// Parallel [`elementwise_gemm`]: the `T²` independent per-element GEMMs
+/// are distributed across the pool, one element matrix per chunk (chunk
+/// boundaries are fixed by the tensor shape). Each element's product runs
+/// the identical serial kernel, so the result is bit-identical to
+/// [`elementwise_gemm`] for any job count.
+///
+/// # Panics
+///
+/// Panics if element counts or channel counts disagree.
+pub fn elementwise_gemm_par(pool: &ParPool, x: &WgTensor, w: &WgWeights) -> WgTensor {
+    assert_eq!(x.elems, w.elems, "tile-element count mismatch");
+    assert_eq!(x.chans, w.in_chans, "channel mismatch");
+    if pool.jobs() <= 1 {
+        return elementwise_gemm(x, w);
     }
+    let mut y = WgTensor::zeros(x.elems, x.tiles, w.out_chans);
+    pool.for_each_chunk_mut(&mut y.data, x.tiles * w.out_chans, |e, ym| {
+        gemm(
+            x.elem_matrix(e),
+            x.tiles,
+            x.chans,
+            w.elem_matrix(e),
+            w.out_chans,
+            ym,
+            false,
+            false,
+        );
+    });
+    y
+}
+
+/// Parallel [`elementwise_gemm_bprop`] (same contract as
+/// [`elementwise_gemm_par`]).
+///
+/// # Panics
+///
+/// Panics if element counts or channel counts disagree.
+pub fn elementwise_gemm_bprop_par(pool: &ParPool, dy: &WgTensor, w: &WgWeights) -> WgTensor {
+    assert_eq!(dy.elems, w.elems, "tile-element count mismatch");
+    assert_eq!(dy.chans, w.out_chans, "channel mismatch");
+    if pool.jobs() <= 1 {
+        return elementwise_gemm_bprop(dy, w);
+    }
+    let mut dx = WgTensor::zeros(dy.elems, dy.tiles, w.in_chans);
+    pool.for_each_chunk_mut(&mut dx.data, dy.tiles * w.in_chans, |e, dxm| {
+        gemm(
+            dy.elem_matrix(e),
+            dy.tiles,
+            dy.chans,
+            w.elem_matrix(e),
+            w.in_chans,
+            dxm,
+            false,
+            true,
+        );
+    });
+    dx
+}
+
+/// Parallel [`elementwise_gemm_wgrad`] (same contract as
+/// [`elementwise_gemm_par`]).
+///
+/// # Panics
+///
+/// Panics if element counts or tile counts disagree.
+pub fn elementwise_gemm_wgrad_par(pool: &ParPool, x: &WgTensor, dy: &WgTensor) -> WgWeights {
+    assert_eq!(x.elems, dy.elems, "tile-element count mismatch");
+    assert_eq!(x.tiles, dy.tiles, "tile count mismatch");
+    if pool.jobs() <= 1 {
+        return elementwise_gemm_wgrad(x, dy);
+    }
+    let mut dw = WgWeights::zeros(x.elems, x.chans, dy.chans);
+    pool.for_each_chunk_mut(&mut dw.data, x.chans * dy.chans, |e, dwm| {
+        gemm(
+            x.elem_matrix(e),
+            x.tiles,
+            x.chans,
+            dy.elem_matrix(e),
+            dy.chans,
+            dwm,
+            true,
+            false,
+        );
+    });
+    dw
 }
 
 /// Winograd convolution with spatial-domain weights (paper Fig 2(a)).
@@ -289,6 +349,53 @@ impl WinogradLayer {
     pub fn apply_grad(&mut self, grad: &WgWeights, lr: f32) {
         self.weights.sgd_step(grad, lr);
     }
+
+    /// Parallel [`Self::fprop`]: tile extraction, the per-element GEMMs
+    /// and the inverse transform each fan out across `pool`. Bit-identical
+    /// to the serial path for any job count (the `wmpt-par` determinism
+    /// contract).
+    pub fn fprop_par(&self, pool: &ParPool, x: &Tensor4) -> Tensor4 {
+        if pool.jobs() <= 1 {
+            return self.fprop(x);
+        }
+        let wx = to_winograd_input_par(pool, x, &self.tf);
+        let wy = elementwise_gemm_par(pool, &wx, &self.weights);
+        let out_shape = Shape4::new(
+            x.shape().n,
+            self.weights.out_chans,
+            x.shape().h,
+            x.shape().w,
+        );
+        from_winograd_output_par(pool, &wy, &self.tf, out_shape)
+    }
+
+    /// Parallel [`Self::bprop`] (same determinism contract as
+    /// [`Self::fprop_par`]).
+    pub fn bprop_par(&self, pool: &ParPool, dy: &Tensor4) -> Tensor4 {
+        if pool.jobs() <= 1 {
+            return self.bprop(dy);
+        }
+        let wdy = output_grad_to_winograd_par(pool, dy, &self.tf);
+        let wdx = elementwise_gemm_bprop_par(pool, &wdy, &self.weights);
+        let in_shape = Shape4::new(
+            dy.shape().n,
+            self.weights.in_chans,
+            dy.shape().h,
+            dy.shape().w,
+        );
+        input_grad_to_spatial_par(pool, &wdx, &self.tf, in_shape)
+    }
+
+    /// Parallel [`Self::update_grad`] (same determinism contract as
+    /// [`Self::fprop_par`]).
+    pub fn update_grad_par(&self, pool: &ParPool, x: &Tensor4, dy: &Tensor4) -> WgWeights {
+        if pool.jobs() <= 1 {
+            return self.update_grad(x, dy);
+        }
+        let wx = to_winograd_input_par(pool, x, &self.tf);
+        let wdy = output_grad_to_winograd_par(pool, dy, &self.tf);
+        elementwise_gemm_wgrad_par(pool, &wx, &wdy)
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +561,59 @@ mod tests {
                 dx[probe],
                 fd
             );
+        }
+    }
+
+    #[test]
+    fn parallel_layer_phases_are_bit_identical_to_serial() {
+        // Satellite gate (layer half): fprop/bprop/updateGrad under
+        // jobs ∈ {1, 2, 7} must equal the serial path bit for bit.
+        let mut g = DataGen::new(12);
+        let x = g.normal_tensor(Shape4::new(3, 3, 9, 9), 0.0, 1.0);
+        let w = g.he_weights(Shape4::new(4, 3, 3, 3));
+        let dy = g.normal_tensor(Shape4::new(3, 4, 9, 9), 0.0, 1.0);
+        let layer = WinogradLayer::from_spatial(WinogradTransform::f2x2_3x3(), &w);
+        let y0: Vec<u32> = layer
+            .fprop(&x)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let dx0: Vec<u32> = layer
+            .bprop(&dy)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let dw0: Vec<u32> = layer
+            .update_grad(&x, &dy)
+            .data
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for jobs in [1usize, 2, 7] {
+            let pool = wmpt_par::ParPool::new(jobs);
+            let y: Vec<u32> = layer
+                .fprop_par(&pool, &x)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let dx: Vec<u32> = layer
+                .bprop_par(&pool, &dy)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let dw: Vec<u32> = layer
+                .update_grad_par(&pool, &x, &dy)
+                .data
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(y0, y, "fprop diverged at jobs={jobs}");
+            assert_eq!(dx0, dx, "bprop diverged at jobs={jobs}");
+            assert_eq!(dw0, dw, "update_grad diverged at jobs={jobs}");
         }
     }
 

@@ -9,6 +9,7 @@
 //! `T²` independent GEMMs of the paper's Eq. 2 and the unit of intra-tile
 //! parallelism that MPT distributes across groups.
 
+use wmpt_par::ParPool;
 use wmpt_tensor::{Shape4, Tensor4};
 
 use crate::WinogradTransform;
@@ -217,33 +218,81 @@ impl WgWeights {
     }
 }
 
+/// Extracts and transforms every tile of image `b` into `out`, placing
+/// tile `(ty, tx)` at `tile_base + ty * tiles_w + tx`. Shared by the
+/// serial and parallel input transforms so both run identical arithmetic.
+fn image_to_winograd_into(
+    x: &Tensor4,
+    b: usize,
+    tf: &WinogradTransform,
+    tl: &Tiling,
+    out: &mut WgTensor,
+    tile_base: usize,
+) {
+    let t = tl.t;
+    let mut tile_buf = vec![0.0f32; t * t];
+    for c in 0..x.shape().c {
+        for ty in 0..tl.tiles_h {
+            for tx in 0..tl.tiles_w {
+                let (oy, ox) = tl.tile_origin(ty, tx);
+                for u in 0..t {
+                    for v in 0..t {
+                        tile_buf[u * t + v] = x.get_padded(b, c, oy + u as isize, ox + v as isize);
+                    }
+                }
+                let tx_dom = tf.input_2d(&tile_buf);
+                out.scatter_tile(tile_base + ty * tl.tiles_w + tx, c, &tx_dom);
+            }
+        }
+    }
+}
+
+/// Copies per-image element-major tensors (each `tpi` tiles) into their
+/// batch positions of `out` — image `b`'s tiles land at
+/// `tile index b * tpi ..` of every element. A pure relayout, so the
+/// merged tensor is bit-identical to one produced serially.
+fn merge_per_image_wg(per_image: &[WgTensor], out: &mut WgTensor, tpi: usize) {
+    let chans = out.chans;
+    let run = tpi * chans;
+    for (b, img) in per_image.iter().enumerate() {
+        for e in 0..out.elems {
+            let dst = (e * out.tiles + b * tpi) * chans;
+            out.data[dst..dst + run].copy_from_slice(&img.data[e * run..(e + 1) * run]);
+        }
+    }
+}
+
 /// Transforms a spatial feature map into the Winograd domain
 /// (tile extraction + 2-D input transform, `Bᵀ x B` per tile).
 pub fn to_winograd_input(x: &Tensor4, tf: &WinogradTransform) -> WgTensor {
     let s = x.shape();
     let tl = Tiling::new(tf, s.h, s.w);
-    let t = tl.t;
     let tpi = tl.tiles_per_image();
-    let mut out = WgTensor::zeros(t * t, s.n * tpi, s.c);
-    let mut tile_buf = vec![0.0f32; t * t];
+    let mut out = WgTensor::zeros(tl.t * tl.t, s.n * tpi, s.c);
     for b in 0..s.n {
-        for c in 0..s.c {
-            for ty in 0..tl.tiles_h {
-                for tx in 0..tl.tiles_w {
-                    let (oy, ox) = tl.tile_origin(ty, tx);
-                    for u in 0..t {
-                        for v in 0..t {
-                            tile_buf[u * t + v] =
-                                x.get_padded(b, c, oy + u as isize, ox + v as isize);
-                        }
-                    }
-                    let tx_dom = tf.input_2d(&tile_buf);
-                    let tile_idx = b * tpi + ty * tl.tiles_w + tx;
-                    out.scatter_tile(tile_idx, c, &tx_dom);
-                }
-            }
-        }
+        image_to_winograd_into(x, b, tf, &tl, &mut out, b * tpi);
     }
+    out
+}
+
+/// Parallel [`to_winograd_input`]: images are extracted and transformed
+/// independently across the pool, then relaid out into the batch-wide
+/// element-major tensor in image order. Bit-identical to the serial
+/// version for any job count.
+pub fn to_winograd_input_par(pool: &ParPool, x: &Tensor4, tf: &WinogradTransform) -> WgTensor {
+    let s = x.shape();
+    if pool.jobs() <= 1 || s.n <= 1 {
+        return to_winograd_input(x, tf);
+    }
+    let tl = Tiling::new(tf, s.h, s.w);
+    let tpi = tl.tiles_per_image();
+    let per_image = pool.map_indexed(s.n, |b| {
+        let mut img = WgTensor::zeros(tl.t * tl.t, tpi, s.c);
+        image_to_winograd_into(x, b, tf, &tl, &mut img, 0);
+        img
+    });
+    let mut out = WgTensor::zeros(tl.t * tl.t, s.n * tpi, s.c);
+    merge_per_image_wg(&per_image, &mut out, tpi);
     out
 }
 
@@ -317,32 +366,78 @@ pub fn from_winograd_output(y: &WgTensor, tf: &WinogradTransform, out_shape: Sha
     assert_eq!(y.tiles, out_shape.n * tpi, "tile count mismatch");
     assert_eq!(y.chans, out_shape.c, "channel count mismatch");
     assert_eq!(y.elems, tl.t * tl.t, "element count mismatch");
-    let m = tl.m;
     let mut out = Tensor4::zeros(out_shape);
-    for b in 0..out_shape.n {
-        for j in 0..out_shape.c {
-            for ty in 0..tl.tiles_h {
-                for tx in 0..tl.tiles_w {
-                    let tile_idx = b * tpi + ty * tl.tiles_w + tx;
-                    let full = y.gather_tile(tile_idx, j);
-                    let sp = tf.inverse_2d(&full);
-                    for u in 0..m {
-                        let oy = ty * m + u;
-                        if oy >= out_shape.h {
+    let stride = out_shape.c * out_shape.h * out_shape.w;
+    for (b, img) in out.as_mut_slice().chunks_mut(stride).enumerate() {
+        image_from_winograd_into(y, tf, &tl, b, out_shape, img);
+    }
+    out
+}
+
+/// Inverse-transforms every tile of image `b` of `y` into the image's
+/// contiguous NCHW slice `img` (length `c * h * w`). Shared by the serial
+/// and parallel inverse transforms.
+fn image_from_winograd_into(
+    y: &WgTensor,
+    tf: &WinogradTransform,
+    tl: &Tiling,
+    b: usize,
+    out_shape: Shape4,
+    img: &mut [f32],
+) {
+    let tpi = tl.tiles_per_image();
+    let m = tl.m;
+    let (h, w) = (out_shape.h, out_shape.w);
+    for j in 0..out_shape.c {
+        for ty in 0..tl.tiles_h {
+            for tx in 0..tl.tiles_w {
+                let tile_idx = b * tpi + ty * tl.tiles_w + tx;
+                let full = y.gather_tile(tile_idx, j);
+                let sp = tf.inverse_2d(&full);
+                for u in 0..m {
+                    let oy = ty * m + u;
+                    if oy >= h {
+                        break;
+                    }
+                    for v in 0..m {
+                        let ox = tx * m + v;
+                        if ox >= w {
                             break;
                         }
-                        for v in 0..m {
-                            let ox = tx * m + v;
-                            if ox >= out_shape.w {
-                                break;
-                            }
-                            out[(b, j, oy, ox)] = sp[u * m + v];
-                        }
+                        img[(j * h + oy) * w + ox] = sp[u * m + v];
                     }
                 }
             }
         }
     }
+}
+
+/// Parallel [`from_winograd_output`]: each image's inverse transform and
+/// tile assembly writes a disjoint contiguous NCHW slice, fanned out
+/// across the pool. Bit-identical to the serial version for any job count.
+///
+/// # Panics
+///
+/// Panics if the tile geometry of `y` does not match `out_shape` under `tf`.
+pub fn from_winograd_output_par(
+    pool: &ParPool,
+    y: &WgTensor,
+    tf: &WinogradTransform,
+    out_shape: Shape4,
+) -> Tensor4 {
+    if pool.jobs() <= 1 || out_shape.n <= 1 {
+        return from_winograd_output(y, tf, out_shape);
+    }
+    let tl = Tiling::new(tf, out_shape.h, out_shape.w);
+    let tpi = tl.tiles_per_image();
+    assert_eq!(y.tiles, out_shape.n * tpi, "tile count mismatch");
+    assert_eq!(y.chans, out_shape.c, "channel count mismatch");
+    assert_eq!(y.elems, tl.t * tl.t, "element count mismatch");
+    let mut out = Tensor4::zeros(out_shape);
+    let stride = out_shape.c * out_shape.h * out_shape.w;
+    pool.for_each_chunk_mut(out.as_mut_slice(), stride, |b, img| {
+        image_from_winograd_into(y, tf, &tl, b, out_shape, img);
+    });
     out
 }
 
@@ -351,36 +446,73 @@ pub fn from_winograd_output(y: &WgTensor, tf: &WinogradTransform, out_shape: Sha
 pub fn output_grad_to_winograd(dy: &Tensor4, tf: &WinogradTransform) -> WgTensor {
     let s = dy.shape();
     let tl = Tiling::new(tf, s.h, s.w);
-    let t = tl.t;
-    let m = tl.m;
     let tpi = tl.tiles_per_image();
-    let mut out = WgTensor::zeros(t * t, s.n * tpi, s.c);
-    let mut buf = vec![0.0f32; m * m];
+    let mut out = WgTensor::zeros(tl.t * tl.t, s.n * tpi, s.c);
     for b in 0..s.n {
-        for j in 0..s.c {
-            for ty in 0..tl.tiles_h {
-                for tx in 0..tl.tiles_w {
-                    buf.iter_mut().for_each(|v| *v = 0.0);
-                    for u in 0..m {
-                        let oy = ty * m + u;
-                        if oy >= s.h {
+        image_grad_to_winograd_into(dy, b, tf, &tl, &mut out, b * tpi);
+    }
+    out
+}
+
+/// Pushes the output gradient of image `b` into `out` (adjoint of the
+/// inverse transform), placing tile `(ty, tx)` at
+/// `tile_base + ty * tiles_w + tx`. Shared by the serial and parallel
+/// adjoint transforms.
+fn image_grad_to_winograd_into(
+    dy: &Tensor4,
+    b: usize,
+    tf: &WinogradTransform,
+    tl: &Tiling,
+    out: &mut WgTensor,
+    tile_base: usize,
+) {
+    let s = dy.shape();
+    let m = tl.m;
+    let mut buf = vec![0.0f32; m * m];
+    for j in 0..s.c {
+        for ty in 0..tl.tiles_h {
+            for tx in 0..tl.tiles_w {
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                for u in 0..m {
+                    let oy = ty * m + u;
+                    if oy >= s.h {
+                        break;
+                    }
+                    for v in 0..m {
+                        let ox = tx * m + v;
+                        if ox >= s.w {
                             break;
                         }
-                        for v in 0..m {
-                            let ox = tx * m + v;
-                            if ox >= s.w {
-                                break;
-                            }
-                            buf[u * m + v] = dy[(b, j, oy, ox)];
-                        }
+                        buf[u * m + v] = dy[(b, j, oy, ox)];
                     }
-                    let wg = tf.inverse_2d_grad(&buf);
-                    let tile_idx = b * tpi + ty * tl.tiles_w + tx;
-                    out.scatter_tile(tile_idx, j, &wg);
                 }
+                let wg = tf.inverse_2d_grad(&buf);
+                out.scatter_tile(tile_base + ty * tl.tiles_w + tx, j, &wg);
             }
         }
     }
+}
+
+/// Parallel [`output_grad_to_winograd`] (per-image fan-out, merged in
+/// image order; bit-identical to serial for any job count).
+pub fn output_grad_to_winograd_par(
+    pool: &ParPool,
+    dy: &Tensor4,
+    tf: &WinogradTransform,
+) -> WgTensor {
+    let s = dy.shape();
+    if pool.jobs() <= 1 || s.n <= 1 {
+        return output_grad_to_winograd(dy, tf);
+    }
+    let tl = Tiling::new(tf, s.h, s.w);
+    let tpi = tl.tiles_per_image();
+    let per_image = pool.map_indexed(s.n, |b| {
+        let mut img = WgTensor::zeros(tl.t * tl.t, tpi, s.c);
+        image_grad_to_winograd_into(dy, b, tf, &tl, &mut img, 0);
+        img
+    });
+    let mut out = WgTensor::zeros(tl.t * tl.t, s.n * tpi, s.c);
+    merge_per_image_wg(&per_image, &mut out, tpi);
     out
 }
 
@@ -392,33 +524,80 @@ pub fn input_grad_to_spatial(dx: &WgTensor, tf: &WinogradTransform, in_shape: Sh
     let tpi = tl.tiles_per_image();
     assert_eq!(dx.tiles, in_shape.n * tpi, "tile count mismatch");
     assert_eq!(dx.chans, in_shape.c, "channel count mismatch");
-    let t = tl.t;
     let mut out = Tensor4::zeros(in_shape);
-    for b in 0..in_shape.n {
-        for c in 0..in_shape.c {
-            for ty in 0..tl.tiles_h {
-                for tx in 0..tl.tiles_w {
-                    let tile_idx = b * tpi + ty * tl.tiles_w + tx;
-                    let full = dx.gather_tile(tile_idx, c);
-                    let sp = tf.input_2d_grad(&full);
-                    let (oy, ox) = tl.tile_origin(ty, tx);
-                    for u in 0..t {
-                        let y = oy + u as isize;
-                        if y < 0 || y as usize >= in_shape.h {
+    let stride = in_shape.c * in_shape.h * in_shape.w;
+    for (b, img) in out.as_mut_slice().chunks_mut(stride).enumerate() {
+        image_input_grad_into(dx, tf, &tl, b, in_shape, img);
+    }
+    out
+}
+
+/// Accumulates image `b`'s overlapped tile gradients into the image's
+/// contiguous NCHW slice `img`. Tiles only ever overlap within one image,
+/// so images are independent. The accumulation order over `(ty, tx)` is
+/// the same for serial and parallel callers.
+fn image_input_grad_into(
+    dx: &WgTensor,
+    tf: &WinogradTransform,
+    tl: &Tiling,
+    b: usize,
+    in_shape: Shape4,
+    img: &mut [f32],
+) {
+    let tpi = tl.tiles_per_image();
+    let t = tl.t;
+    let (h, w) = (in_shape.h, in_shape.w);
+    for c in 0..in_shape.c {
+        for ty in 0..tl.tiles_h {
+            for tx in 0..tl.tiles_w {
+                let tile_idx = b * tpi + ty * tl.tiles_w + tx;
+                let full = dx.gather_tile(tile_idx, c);
+                let sp = tf.input_2d_grad(&full);
+                let (oy, ox) = tl.tile_origin(ty, tx);
+                for u in 0..t {
+                    let y = oy + u as isize;
+                    if y < 0 || y as usize >= h {
+                        continue;
+                    }
+                    for v in 0..t {
+                        let x = ox + v as isize;
+                        if x < 0 || x as usize >= w {
                             continue;
                         }
-                        for v in 0..t {
-                            let x = ox + v as isize;
-                            if x < 0 || x as usize >= in_shape.w {
-                                continue;
-                            }
-                            out[(b, c, y as usize, x as usize)] += sp[u * t + v];
-                        }
+                        img[(c * h + y as usize) * w + x as usize] += sp[u * t + v];
                     }
                 }
             }
         }
     }
+}
+
+/// Parallel [`input_grad_to_spatial`]: each image's overlapped
+/// accumulation stays on one thread (preserving the serial addition
+/// order), images fan out across the pool into disjoint NCHW slices.
+/// Bit-identical to the serial version for any job count.
+///
+/// # Panics
+///
+/// Panics if the tile geometry of `dx` does not match `in_shape` under `tf`.
+pub fn input_grad_to_spatial_par(
+    pool: &ParPool,
+    dx: &WgTensor,
+    tf: &WinogradTransform,
+    in_shape: Shape4,
+) -> Tensor4 {
+    if pool.jobs() <= 1 || in_shape.n <= 1 {
+        return input_grad_to_spatial(dx, tf, in_shape);
+    }
+    let tl = Tiling::new(tf, in_shape.h, in_shape.w);
+    let tpi = tl.tiles_per_image();
+    assert_eq!(dx.tiles, in_shape.n * tpi, "tile count mismatch");
+    assert_eq!(dx.chans, in_shape.c, "channel count mismatch");
+    let mut out = Tensor4::zeros(in_shape);
+    let stride = in_shape.c * in_shape.h * in_shape.w;
+    pool.for_each_chunk_mut(out.as_mut_slice(), stride, |b, img| {
+        image_input_grad_into(dx, tf, &tl, b, in_shape, img);
+    });
     out
 }
 

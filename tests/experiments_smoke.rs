@@ -20,6 +20,7 @@ fn all_experiments_run_and_mention_their_figures() {
         ("scalability", "strong scaling"),
         ("comm_breakdown", "Communication breakdown"),
         ("resilience", "Resilience"),
+        ("par_speedup", "host-parallel speedup"),
     ];
     let registry = wmpt_bench::all_experiments();
     assert_eq!(registry.len(), markers.len());
