@@ -1,0 +1,157 @@
+//! Bounded greedy shrinking over choice sequences.
+//!
+//! A failing case is its recorded choice sequence; a candidate is
+//! "interesting" when replaying it still fails the property. Three passes
+//! run to a fixed point (or until the attempt budget runs out):
+//!
+//! 1. **delete** — remove blocks of trailing/interior choices (shorter
+//!    sequences mean structurally smaller cases: fewer chords, smaller
+//!    tensors, fewer events);
+//! 2. **zero** — replace blocks with zeros (generators map zero to their
+//!    simplest value);
+//! 3. **minimize** — binary-search each choice individually toward zero.
+//!
+//! Greedy and deterministic: the same failure always shrinks to the same
+//! minimal sequence.
+
+/// Shrinks `choices` while `interesting` holds, spending at most `budget`
+/// replay attempts. Returns the smallest interesting sequence found.
+pub(crate) fn shrink(
+    choices: Vec<u64>,
+    mut interesting: impl FnMut(&[u64]) -> bool,
+    budget: usize,
+) -> (Vec<u64>, usize) {
+    let mut cur = choices;
+    let mut attempts = 0usize;
+    loop {
+        let before = cur.clone();
+
+        // Pass 1: delete blocks, largest first, scanning from the tail.
+        for k in [8usize, 4, 2, 1] {
+            let mut i = cur.len();
+            while i > 0 {
+                if attempts >= budget {
+                    return (cur, attempts);
+                }
+                let lo = i.saturating_sub(k);
+                let mut cand = cur.clone();
+                cand.drain(lo..i);
+                attempts += 1;
+                if interesting(&cand) {
+                    cur = cand;
+                    i = lo.min(cur.len());
+                } else {
+                    i -= 1;
+                }
+            }
+        }
+
+        // Pass 2: zero blocks.
+        for k in [8usize, 4, 2, 1] {
+            let mut i = cur.len();
+            while i > 0 {
+                let lo = i.saturating_sub(k);
+                if cur[lo..i].iter().all(|&v| v == 0) {
+                    if lo == 0 {
+                        break;
+                    }
+                    i = lo;
+                    continue;
+                }
+                if attempts >= budget {
+                    return (cur, attempts);
+                }
+                let mut cand = cur.clone();
+                cand[lo..i].iter_mut().for_each(|v| *v = 0);
+                attempts += 1;
+                if interesting(&cand) {
+                    cur = cand;
+                }
+                if lo == 0 {
+                    break;
+                }
+                i = lo;
+            }
+        }
+
+        // Pass 3: minimize each choice by binary search toward zero.
+        for idx in 0..cur.len() {
+            if cur[idx] == 0 {
+                continue;
+            }
+            if attempts >= budget {
+                return (cur, attempts);
+            }
+            // Try zero outright first.
+            let mut cand = cur.clone();
+            cand[idx] = 0;
+            attempts += 1;
+            if interesting(&cand) {
+                cur = cand;
+                continue;
+            }
+            // Smallest interesting value in (0, cur[idx]].
+            let (mut lo, mut hi) = (0u64, cur[idx]);
+            while lo + 1 < hi && attempts < budget {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = cur.clone();
+                cand[idx] = mid;
+                attempts += 1;
+                if interesting(&cand) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            cur[idx] = hi;
+        }
+
+        if cur == before || attempts >= budget {
+            return (cur, attempts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_sum_bound_to_local_minimum() {
+        // Interesting: sum of choices >= 10. Greedy passes land on a short
+        // sequence summing to exactly the bound.
+        let start = vec![3, 9, 1, 7, 2];
+        let (min, _) = shrink(start, |c| c.iter().sum::<u64>() >= 10, 10_000);
+        assert_eq!(min.iter().sum::<u64>(), 10, "{min:?}");
+        assert!(min.len() < 5, "{min:?}");
+    }
+
+    #[test]
+    fn shrinks_length_witness() {
+        // Interesting: at least 3 choices. Minimum: three zeros.
+        let (min, _) = shrink(vec![5, 5, 5, 5, 5, 5], |c| c.len() >= 3, 10_000);
+        assert_eq!(min, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (min, attempts) = shrink(vec![u64::MAX; 32], |c| !c.is_empty(), 7);
+        assert!(attempts <= 7);
+        assert!(!min.is_empty());
+    }
+
+    #[test]
+    fn already_minimal_is_stable() {
+        let (min, _) = shrink(vec![0], |c| c.len() == 1, 1000);
+        assert_eq!(min, vec![0]);
+    }
+
+    #[test]
+    fn deterministic_result() {
+        let pred = |c: &[u64]| c.iter().copied().max().unwrap_or(0) >= 17 && c.len() >= 2;
+        let (a, _) = shrink(vec![40, 3, 99, 2, 18], pred, 10_000);
+        let (b, _) = shrink(vec![40, 3, 99, 2, 18], pred, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 17]);
+    }
+}

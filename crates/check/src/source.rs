@@ -1,0 +1,150 @@
+//! The choice stream behind every generated case.
+//!
+//! A property draws all of its randomness through a [`Source`], which
+//! records every drawn value. The recorded `Vec<u64>` *is* the case: the
+//! shrinker edits that sequence and re-runs the property in replay mode,
+//! and `WMPT_CHECK_REPLAY` feeds a printed sequence back in verbatim.
+//! Because generators are deterministic functions of the stream, replaying
+//! an identical stream rebuilds a bit-identical case.
+
+use wmpt_tensor::Rng64;
+
+enum Mode {
+    /// Fresh case: draw from the seeded generator.
+    Random(Rng64),
+    /// Shrink candidate or replay: serve a fixed sequence.
+    Replay { choices: Vec<u64>, idx: usize },
+}
+
+/// A recording choice stream (random or replayed).
+pub struct Source {
+    mode: Mode,
+    record: Vec<u64>,
+    invalid: bool,
+    limit: usize,
+}
+
+impl Source {
+    /// Fresh random stream for one case.
+    pub fn random(seed: u64, limit: usize) -> Self {
+        Self {
+            mode: Mode::Random(Rng64::new(seed)),
+            record: Vec::new(),
+            invalid: false,
+            limit,
+        }
+    }
+
+    /// Replays a fixed choice sequence; drawing past its end, or a bound
+    /// the stored value no longer fits, marks the case invalid.
+    pub fn replay(choices: &[u64], limit: usize) -> Self {
+        Self {
+            mode: Mode::Replay {
+                choices: choices.to_vec(),
+                idx: 0,
+            },
+            record: Vec::new(),
+            invalid: false,
+            limit,
+        }
+    }
+
+    /// Draws a value in `[0, bound]` (inclusive; `u64::MAX` means the full
+    /// range). Returns 0 once the source has gone invalid.
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        if self.invalid {
+            return 0;
+        }
+        if self.record.len() >= self.limit {
+            self.invalid = true;
+            return 0;
+        }
+        let v = match &mut self.mode {
+            Mode::Random(rng) => {
+                if bound == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.below_u64(bound + 1)
+                }
+            }
+            Mode::Replay { choices, idx } => {
+                if *idx >= choices.len() {
+                    self.invalid = true;
+                    return 0;
+                }
+                let v = choices[*idx];
+                *idx += 1;
+                if v > bound {
+                    self.invalid = true;
+                    return 0;
+                }
+                v
+            }
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// Whether a replay overran or violated a bound — the candidate case
+    /// does not exist and its outcome must be discarded.
+    pub fn is_invalid(&self) -> bool {
+        self.invalid
+    }
+
+    /// The choices actually consumed (valid draws only).
+    pub fn record(&self) -> &[u64] {
+        &self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_draws_respect_bounds_and_record() {
+        let mut s = Source::random(7, 1024);
+        for _ in 0..100 {
+            assert!(s.draw(9) <= 9);
+        }
+        let _ = s.draw(u64::MAX);
+        assert_eq!(s.record().len(), 101);
+        assert!(!s.is_invalid());
+    }
+
+    #[test]
+    fn replay_returns_stored_values() {
+        let mut s = Source::replay(&[3, 0, 8], 1024);
+        assert_eq!(s.draw(9), 3);
+        assert_eq!(s.draw(1), 0);
+        assert_eq!(s.draw(8), 8);
+        assert!(!s.is_invalid());
+        assert_eq!(s.record(), &[3, 0, 8]);
+    }
+
+    #[test]
+    fn replay_overrun_goes_invalid() {
+        let mut s = Source::replay(&[1], 1024);
+        assert_eq!(s.draw(9), 1);
+        assert_eq!(s.draw(9), 0);
+        assert!(s.is_invalid());
+    }
+
+    #[test]
+    fn replay_bound_violation_goes_invalid() {
+        let mut s = Source::replay(&[100], 1024);
+        assert_eq!(s.draw(9), 0);
+        assert!(s.is_invalid());
+    }
+
+    #[test]
+    fn limit_caps_case_size() {
+        let mut s = Source::random(1, 4);
+        for _ in 0..4 {
+            let _ = s.draw(u64::MAX);
+        }
+        assert!(!s.is_invalid());
+        let _ = s.draw(u64::MAX);
+        assert!(s.is_invalid());
+    }
+}

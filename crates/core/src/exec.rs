@@ -791,7 +791,11 @@ mod tests {
         assert!(r.tile_comm_cycles > 0.0);
         // fwd comm is pure tile transfer; bwd comm = tiles + collective.
         let total_comm = r.forward.comm_cycles + r.backward.comm_cycles;
-        assert!((r.collective_cycles + r.tile_comm_cycles - total_comm).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(
+            r.collective_cycles + r.tile_comm_cycles,
+            total_comm,
+            wmpt_check::Tol::F32_TIGHT
+        );
         // Data parallelism has no tile component at all.
         let dp = simulate_layer(&m, &layer(4), SystemConfig::WDp);
         assert_eq!(dp.tile_comm_cycles, 0.0);

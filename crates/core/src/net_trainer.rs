@@ -381,10 +381,7 @@ mod tests {
         for _ in 0..4 {
             let lc = central.train_step(&x, &t, 0.05, None);
             let ld = dist.train_step(&x, &t, 0.05, Some(grid));
-            assert!(
-                (lc - ld).abs() < 1e-4 * (1.0 + lc.abs()),
-                "loss {lc} vs {ld}"
-            );
+            wmpt_check::assert_approx_eq!(lc, ld, wmpt_check::Tol::CONV_F32, "loss");
         }
         let d = central.max_weight_diff(&dist);
         assert!(d < 1e-3, "weights diverged by {d}");

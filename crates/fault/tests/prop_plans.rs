@@ -1,0 +1,88 @@
+//! Fault-plan properties over the whole scenario × seed × horizon space:
+//! plans are deterministic functions of their inputs, events land inside
+//! the horizon on nodes that exist, and the JSON wire format round-trips
+//! every plan exactly.
+//!
+//! Cases run on the `wmpt-check` harness via the shared [`FaultPlanSpec`]
+//! generator; failures shrink toward scenario 0, seed 0 and the shortest
+//! horizon, and replay via `WMPT_CHECK_REPLAY`.
+
+use wmpt_check::{check, Case, FaultPlanSpec};
+use wmpt_fault::{FaultEvent, FaultPlan, GridShape, Scenario};
+
+fn materialize(spec: &FaultPlanSpec, shape: GridShape) -> FaultPlan {
+    FaultPlan::scenario(
+        Scenario::ALL[spec.scenario_index],
+        shape,
+        spec.seed,
+        spec.horizon,
+    )
+}
+
+fn spec(c: &mut Case) -> FaultPlanSpec {
+    c.fault_spec(Scenario::ALL.len(), 64, 1_000_000)
+}
+
+#[test]
+fn plans_are_deterministic_in_their_inputs() {
+    check("plans_are_deterministic_in_their_inputs", |c| {
+        let s = spec(c);
+        let shape = if c.bool() {
+            GridShape::small()
+        } else {
+            GridShape::paper()
+        };
+        let a = materialize(&s, shape);
+        let b = materialize(&s, shape);
+        assert_eq!(a, b, "same spec produced different plans: {s:?}");
+    });
+}
+
+#[test]
+fn events_stay_within_horizon_and_grid() {
+    check("events_stay_within_horizon_and_grid", |c| {
+        let s = spec(c);
+        let shape = if c.bool() {
+            GridShape::small()
+        } else {
+            GridShape::paper()
+        };
+        let plan = materialize(&s, shape);
+        let sc = Scenario::ALL[s.scenario_index];
+        assert!(!plan.is_empty(), "{sc}: scenario plans schedule something");
+        let mut last = 0;
+        for &(cycle, ref ev) in plan.events() {
+            assert!(
+                cycle < s.horizon,
+                "{sc}: event at {cycle} outside horizon {}",
+                s.horizon
+            );
+            assert!(cycle >= last, "{sc}: events not sorted");
+            last = cycle;
+            if let FaultEvent::WorkerDown { node } = ev {
+                assert!(*node < shape.workers(), "{sc}: dead node {node} off-grid");
+            }
+        }
+    });
+}
+
+#[test]
+fn json_roundtrip_is_exact() {
+    check("json_roundtrip_is_exact", |c| {
+        let s = spec(c);
+        let shape = if c.bool() {
+            GridShape::small()
+        } else {
+            GridShape::paper()
+        };
+        let plan = materialize(&s, shape);
+        let back = FaultPlan::from_json(&plan.to_json()).expect("roundtrip parse");
+        assert_eq!(plan, back, "JSON roundtrip changed the plan: {s:?}");
+        // And re-rendering the restored plan is a fixed point.
+        assert_eq!(
+            plan.to_json().render(),
+            back.to_json().render(),
+            "render not a fixed point"
+        );
+    });
+}

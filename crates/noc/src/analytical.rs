@@ -107,8 +107,12 @@ mod tests {
         let w = 1_000_000u64;
         let c1 = data_parallel_comm(w, 2);
         let c2 = data_parallel_comm(w, 256);
-        assert!((c1.weight_bytes - 1_000_000.0).abs() < 1.0);
-        assert!((c2.weight_bytes - 2.0 * 1_000_000.0 * 255.0 / 256.0).abs() < 1.0);
+        wmpt_check::assert_approx_eq!(c1.weight_bytes, 1_000_000.0, wmpt_check::Tol::rel(1e-6));
+        wmpt_check::assert_approx_eq!(
+            c2.weight_bytes,
+            2.0 * 1_000_000.0 * 255.0 / 256.0,
+            wmpt_check::Tol::rel(1e-6)
+        );
         // DP volume is nearly constant in p — the paper's scalability wall.
         assert!(c2.weight_bytes / c1.weight_bytes < 2.01);
         assert_eq!(c2.tile_bytes, 0.0);
@@ -138,7 +142,7 @@ mod tests {
         let c = mpt_comm(4_000_000, 1 << 30, 1, 256, 4);
         assert_eq!(c.tile_bytes, 0.0);
         let dp = data_parallel_comm(4_000_000, 256);
-        assert!((c.weight_bytes - dp.weight_bytes).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(c.weight_bytes, dp.weight_bytes, wmpt_check::Tol::F32_TIGHT);
     }
 
     #[test]
@@ -147,7 +151,11 @@ mod tests {
         let s = with_transfer_savings(c, 0.781, 0.647);
         assert_eq!(s.weight_bytes, c.weight_bytes);
         let keep = 1.0 - (0.781 + 0.647) / 2.0;
-        assert!((s.tile_bytes - c.tile_bytes * keep).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(
+            s.tile_bytes,
+            c.tile_bytes * keep,
+            wmpt_check::Tol::F32_TIGHT
+        );
     }
 
     #[test]

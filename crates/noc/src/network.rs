@@ -268,15 +268,11 @@ mod tests {
         let ph = bottleneck_phase(&topo, &p, &flows, 64);
         // wire bytes per flow: 3000 + ceil(3000/64)*8 = 3000 + 47*8 = 3376
         let wire = 3376.0;
-        assert!((ph.max_link_bytes - 2.0 * wire).abs() < 1e-9);
+        wmpt_check::assert_approx_eq!(ph.max_link_bytes, 2.0 * wire, wmpt_check::Tol::F64_SOLVE);
         // bottleneck: 2*wire / 30 + 2 hops * 6
         let expect = 2.0 * wire / 30.0 + 12.0;
-        assert!(
-            (ph.cycles - expect).abs() < 1e-6,
-            "{} vs {expect}",
-            ph.cycles
-        );
-        assert!((ph.bytes_hops - 3.0 * wire).abs() < 1e-9);
+        wmpt_check::assert_approx_eq!(ph.cycles, expect, wmpt_check::Tol::F32_TIGHT);
+        wmpt_check::assert_approx_eq!(ph.bytes_hops, 3.0 * wire, wmpt_check::Tol::F64_SOLVE);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Differential oracle: the closed-form collective model vs the
+//! event-driven packet simulation, over randomized ring lengths, link
+//! kinds and message sizes — the agreement bound the full-system
+//! simulation's use of the closed form rests on.
+//!
+//! Cases run on the `wmpt-check` harness; a failing configuration shrinks
+//! toward the smallest disagreeing ring/message and replays via
+//! `WMPT_CHECK_REPLAY`.
+
+use wmpt_check::check;
+use wmpt_noc::{
+    best_ring_collective_cycles, ring_allreduce_cycles, ring_collective_cycles,
+    simulate_ring_reduce_broadcast, LinkKind, NocParams, PacketNetwork, Topology,
+};
+
+const KINDS: [LinkKind; 4] = [
+    LinkKind::Full,
+    LinkKind::FullX2,
+    LinkKind::FullX4,
+    LinkKind::Narrow,
+];
+
+/// Event-driven simulation agrees with the closed form within a constant
+/// factor for any uncontended ring — the validation bound of §VI-C.
+#[test]
+fn event_sim_within_2x_of_closed_form() {
+    check("event_sim_within_2x_of_closed_form", |c| {
+        let p = NocParams::paper();
+        let n = c.size(2, 24);
+        let kind = *c.pick(&KINDS);
+        let msg = c.u64_in(256, 1 << 20);
+        let topo = Topology::ring(n, kind);
+        let mut net = PacketNetwork::new(topo, p);
+        let ring: Vec<usize> = (0..n).collect();
+        let sim = simulate_ring_reduce_broadcast(&mut net, &ring, msg, 0) as f64;
+        let model = ring_collective_cycles(msg, n, kind.bytes_per_cycle(), &p, 0);
+        assert!(model > 0.0, "n={n}, msg={msg}: model degenerate");
+        let ratio = sim / model;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "n={n}, {kind:?}, msg={msg}: sim {sim} vs model {model} (ratio {ratio})"
+        );
+    });
+}
+
+/// Closed-form sanity over the whole parameter space: monotone in message
+/// size, and never below the latency floor `2(K−1)·hop`.
+#[test]
+fn closed_form_monotone_and_above_latency_floor() {
+    check("closed_form_monotone_and_above_latency_floor", |c| {
+        let p = NocParams::paper();
+        let n = c.size(2, 300);
+        let bpc = c.pick(&KINDS).bytes_per_cycle();
+        let msg = c.u64_in(1, 1 << 22);
+        let extra = c.u64_in(0, 20);
+        let t = ring_collective_cycles(msg, n, bpc, &p, extra);
+        let t2 = ring_collective_cycles(msg * 2, n, bpc, &p, extra);
+        assert!(t2 >= t, "n={n}, msg={msg}: doubling message shortened time");
+        let floor = 2.0 * (n - 1) as f64 * (p.hop_latency() + extra) as f64;
+        assert!(
+            t >= floor,
+            "n={n}, msg={msg}: {t} under latency floor {floor}"
+        );
+        let ar = ring_allreduce_cycles(msg, n, bpc, &p, extra);
+        assert!(ar >= floor, "n={n}, msg={msg}: allreduce {ar} under floor");
+        let best = best_ring_collective_cycles(msg, n, bpc, &p, extra);
+        assert_eq!(best, t.min(ar), "best must be the min of the two forms");
+    });
+}
+
+/// The two ring algorithms agree within a constant factor for mid-size
+/// messages (they share the same asymptotics; only start-up differs).
+#[test]
+fn algorithms_agree_within_constant_factor() {
+    check("algorithms_agree_within_constant_factor", |c| {
+        let p = NocParams::paper();
+        let n = c.size(2, 64);
+        let bpc = c.pick(&KINDS).bytes_per_cycle();
+        let msg = c.u64_in(64 * 1024, 8 << 20);
+        let rb = ring_collective_cycles(msg, n, bpc, &p, 0);
+        let ar = ring_allreduce_cycles(msg, n, bpc, &p, 0);
+        let ratio = rb / ar;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "n={n}, msg={msg}: rb {rb} vs ar {ar}"
+        );
+    });
+}

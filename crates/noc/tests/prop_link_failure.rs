@@ -1,11 +1,15 @@
-//! Property test: the 2-D flattened butterfly + ring hybrid tolerates any
-//! single link failure. After removing any one (undirected) link, the
-//! recomputed routing tables must still connect every surviving node pair
-//! with a cycle-free route.
+//! Degraded-topology routing connectivity: the 2-D flattened butterfly +
+//! ring hybrid tolerates any single link failure, and randomized
+//! multi-failure degradations either partition loudly or keep every
+//! surviving pair routable with a simple path.
+//!
+//! The small-network sweeps stay exhaustive (stronger than sampling); the
+//! large-network and multi-failure properties run on the `wmpt-check`
+//! harness (seeded generators, shrinking, `WMPT_CHECK_REPLAY`).
 
 use std::collections::HashSet;
+use wmpt_check::check;
 use wmpt_noc::{MemoryCentricNetwork, Topology};
-use wmpt_tensor::Rng64;
 
 /// Asserts `route(a, b)` is a valid simple path for one pair.
 fn assert_route_ok(t: &Topology, a: usize, b: usize) {
@@ -87,26 +91,64 @@ fn every_single_worker_removal_keeps_small_network_connected() {
 #[test]
 fn sampled_single_link_removal_on_paper_network() {
     // The 257-node paper network is too big for the exhaustive sweep in
-    // every removal, so: seeded-random sample of links, and for each
-    // removal check a seeded-random sample of pairs plus the removed
-    // link's own endpoints (the pair most likely to break).
+    // every removal, so: one link per generated case, checking the
+    // removed link's own endpoints (the pair most likely to break) plus a
+    // sample of pairs. Shrinks toward link 0 and node pair (0, 1).
     let net = MemoryCentricNetwork::paper_256();
     let links = undirected_links(&net.topology);
-    let mut rng = Rng64::new(0xFA171);
-    for _ in 0..12 {
-        let (a, b) = links[rng.index(links.len())];
+    check("sampled_single_link_removal_on_paper_network", |c| {
+        let (a, b) = *c.pick(&links);
         let degraded = net
             .topology
             .without_links(&[(a, b)])
             .unwrap_or_else(|e| panic!("removing link ({a},{b}) must not partition: {e}"));
         assert_route_ok(&degraded, a, b);
         assert_route_ok(&degraded, b, a);
-        for _ in 0..50 {
-            let s = rng.index(degraded.len());
-            let d = rng.index(degraded.len());
+        for _ in 0..16 {
+            let s = c.size(0, degraded.len() - 1);
+            let d = c.size(0, degraded.len() - 1);
             if s != d {
                 assert_route_ok(&degraded, s, d);
             }
         }
-    }
+    });
+}
+
+#[test]
+fn multi_link_removal_routes_or_partitions_loudly() {
+    // Removing several random links from a random small hybrid either
+    // returns a partition error or a topology in which every surviving
+    // pair still routes with a simple path — never a half-connected
+    // in-between.
+    check("multi_link_removal_routes_or_partitions_loudly", |c| {
+        let groups = *c.pick(&[4, 9]); // FBFLY grid needs a perfect square
+        let workers = c.size(2, 4);
+        let net = MemoryCentricNetwork::new(groups, workers);
+        let links = undirected_links(&net.topology);
+        let kills: Vec<(usize, usize)> = (0..c.size(1, 3)).map(|_| *c.pick(&links)).collect();
+        if let Ok(degraded) = net.topology.without_links(&kills) {
+            assert_all_pairs_ok(&degraded);
+        }
+    });
+}
+
+#[test]
+fn worker_loss_plus_link_loss_routes_or_partitions_loudly() {
+    check(
+        "worker_loss_plus_link_loss_routes_or_partitions_loudly",
+        |c| {
+            let groups = *c.pick(&[4, 9]); // FBFLY grid needs a perfect square
+            let workers = c.size(2, 4);
+            let net = MemoryCentricNetwork::new(groups, workers);
+            let dead = c.size(0, net.workers() - 1);
+            let Ok(degraded) = net.topology.without_nodes(&[dead]) else {
+                return; // partition reported loudly — acceptable
+            };
+            let links = undirected_links(&degraded);
+            let (a, b) = *c.pick(&links);
+            if let Ok(worse) = degraded.without_links(&[(a, b)]) {
+                assert_all_pairs_ok(&worse);
+            }
+        },
+    );
 }

@@ -2,90 +2,75 @@
 //! exist, are minimal-monotone, and the packet simulator delivers
 //! everything — over randomized topologies, not just the hand-built ones.
 //!
-//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
-//! hermetically, so `proptest` is substituted with explicit loops).
+//! Cases run on the `wmpt-check` harness (seeded generators, shrinking,
+//! `WMPT_CHECK_REPLAY` failure replay). Topologies come from the shared
+//! [`TopoSpec`] generator: a ring backbone plus random chords.
 
+use wmpt_check::{check, TopoSpec};
 use wmpt_noc::{LinkKind, NocParams, PacketNetwork, Topology};
-use wmpt_tensor::Rng64;
 
-/// Builds a random connected bidirectional topology: a ring backbone plus
-/// random chords.
-fn random_topology(n: usize, chords: &[(usize, usize)]) -> Topology {
+/// Materializes a [`TopoSpec`] as a bidirectional ring + narrow chords.
+fn build_topology(spec: &TopoSpec) -> Topology {
     let mut edges = Vec::new();
-    for i in 0..n {
-        let j = (i + 1) % n;
+    for i in 0..spec.n {
+        let j = (i + 1) % spec.n;
         edges.push((i, j, LinkKind::Full));
         edges.push((j, i, LinkKind::Full));
     }
-    for &(a, b) in chords {
-        let (a, b) = (a % n, b % n);
-        if a != b {
-            edges.push((a, b, LinkKind::Narrow));
-            edges.push((b, a, LinkKind::Narrow));
-        }
+    for &(a, b) in &spec.chords {
+        edges.push((a, b, LinkKind::Narrow));
+        edges.push((b, a, LinkKind::Narrow));
     }
-    Topology::from_edges(n, &edges)
-}
-
-fn random_chords(rng: &mut Rng64, max: usize, bound: usize) -> Vec<(usize, usize)> {
-    let count = rng.index(max + 1);
-    (0..count)
-        .map(|_| (rng.index(bound), rng.index(bound)))
-        .collect()
+    Topology::from_edges(spec.n, &edges)
 }
 
 /// Every route starts at src, ends at dst, follows existing edges,
 /// and never exceeds n-1 hops.
 #[test]
 fn routes_are_well_formed() {
-    let mut rng = Rng64::new(0x0001_07e5);
-    for case in 0..64 {
-        let n = 3 + rng.index(21);
-        let chords = random_chords(&mut rng, 7, 24);
-        let src = rng.index(n);
-        let dst = rng.index(n);
-        let topo = random_topology(n, &chords);
+    check("routes_are_well_formed", |c| {
+        let spec = c.topo_spec(3, 24, 7);
+        let src = c.size(0, spec.n - 1);
+        let dst = c.size(0, spec.n - 1);
+        let topo = build_topology(&spec);
         let route = topo.route(src, dst);
         if src == dst {
-            assert!(route.is_empty(), "case {case}: self-route not empty");
+            assert!(route.is_empty(), "{spec:?}: self-route not empty");
         } else {
-            assert_eq!(route[0].from, src, "case {case}");
-            assert_eq!(route[route.len() - 1].to, dst, "case {case}");
+            assert_eq!(route[0].from, src, "{spec:?}");
+            assert_eq!(route[route.len() - 1].to, dst, "{spec:?}");
             for pair in route.windows(2) {
-                assert_eq!(
-                    pair[0].to, pair[1].from,
-                    "case {case}: route not contiguous"
-                );
+                assert_eq!(pair[0].to, pair[1].from, "{spec:?}: route not contiguous");
             }
             assert!(
-                route.len() < n,
-                "case {case}: route too long: {}",
+                route.len() < spec.n,
+                "{spec:?}: route too long: {}",
                 route.len()
             );
             for e in &route {
                 let _ = topo.link_kind(e.from, e.to); // panics if missing
             }
         }
-    }
+    });
 }
 
 /// Chords never make routes longer than the pure ring's.
 #[test]
 fn chords_only_help() {
-    let mut rng = Rng64::new(0xc404d);
-    for case in 0..64 {
-        let n = 4 + rng.index(16);
-        let mut chords = random_chords(&mut rng, 5, 20);
-        chords.push((rng.index(20), rng.index(20))); // at least one chord
-        let src = rng.index(n);
-        let dst = rng.index(n);
-        let plain = random_topology(n, &[]);
-        let chorded = random_topology(n, &chords);
+    check("chords_only_help", |c| {
+        let spec = c.topo_spec(4, 20, 6);
+        let src = c.size(0, spec.n - 1);
+        let dst = c.size(0, spec.n - 1);
+        let plain = build_topology(&TopoSpec {
+            n: spec.n,
+            chords: vec![],
+        });
+        let chorded = build_topology(&spec);
         assert!(
             chorded.hops(src, dst) <= plain.hops(src, dst),
-            "case {case}: chords lengthened {src}->{dst}"
+            "{spec:?}: chords lengthened {src}->{dst}"
         );
-    }
+    });
 }
 
 /// The packet simulator delivers every message exactly when sizes are
@@ -93,41 +78,39 @@ fn chords_only_help() {
 /// could start.
 #[test]
 fn packet_network_delivers() {
-    let mut rng = Rng64::new(0xde_11);
-    for case in 0..64 {
-        let n = 3 + rng.index(9);
-        let bytes = 1 + rng.below_u64(9_999);
-        let ready = rng.below_u64(1000);
-        let src = rng.index(n);
-        let dst = rng.index(n);
-        let topo = random_topology(n, &[]);
+    check("packet_network_delivers", |c| {
+        let spec = c.topo_spec(3, 11, 0);
+        let bytes = c.u64_in(1, 10_000);
+        let ready = c.u64_in(0, 999);
+        let src = c.size(0, spec.n - 1);
+        let dst = c.size(0, spec.n - 1);
+        let topo = build_topology(&spec);
         let mut net = PacketNetwork::new(topo, NocParams::paper());
         let t = net.transfer(src, dst, bytes, ready, 64, 1024);
-        assert!(t >= ready, "case {case}: finished before ready");
+        assert!(t >= ready, "n={}: finished before ready", spec.n);
         if src != dst {
             let min_ser = (bytes as f64 / 120.0).floor() as u64; // widest link
             assert!(
                 t >= ready + min_ser,
-                "case {case}: {t} too fast for {bytes} bytes"
+                "n={}: {t} too fast for {bytes} bytes",
+                spec.n
             );
         }
-    }
+    });
 }
 
 /// Hop counts are symmetric on these bidirectional topologies.
 #[test]
 fn hops_symmetric() {
-    let mut rng = Rng64::new(0x5e_3a);
-    for case in 0..64 {
-        let n = 3 + rng.index(13);
-        let chords = random_chords(&mut rng, 4, 16);
-        let a = rng.index(n);
-        let b = rng.index(n);
-        let topo = random_topology(n, &chords);
+    check("hops_symmetric", |c| {
+        let spec = c.topo_spec(3, 16, 4);
+        let a = c.size(0, spec.n - 1);
+        let b = c.size(0, spec.n - 1);
+        let topo = build_topology(&spec);
         assert_eq!(
             topo.hops(a, b),
             topo.hops(b, a),
-            "case {case}: asymmetric {a}<->{b}"
+            "{spec:?}: asymmetric {a}<->{b}"
         );
-    }
+    });
 }

@@ -165,8 +165,8 @@ mod tests {
         let x = IntervalMat::exact(2, 1, &[1.0, 2.0]);
         let y = x.lmul(&m);
         assert_eq!(y.lo, y.hi);
-        assert!((y.lo[0] - (-3.0)).abs() < 1e-6);
-        assert!((y.lo[1] - 6.5).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(y.lo[0], -3.0, wmpt_check::Tol::F32_TIGHT);
+        wmpt_check::assert_approx_eq!(y.lo[1], 6.5, wmpt_check::Tol::F32_TIGHT);
     }
 
     #[test]

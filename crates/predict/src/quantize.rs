@@ -299,9 +299,9 @@ mod tests {
         let r1 = q.quantize(0.5).resolution();
         let r2 = q.quantize(1.5).resolution();
         let r3 = q.quantize(3.0).resolution();
-        assert!((r1 / r0 - 2.0).abs() < 1e-5);
-        assert!((r2 / r1 - 2.0).abs() < 1e-5);
-        assert!((r3 / r2 - 2.0).abs() < 1e-5);
+        wmpt_check::assert_approx_eq!(r1 / r0, 2.0, wmpt_check::Tol::WINOGRAD_F32);
+        wmpt_check::assert_approx_eq!(r2 / r1, 2.0, wmpt_check::Tol::WINOGRAD_F32);
+        wmpt_check::assert_approx_eq!(r3 / r2, 2.0, wmpt_check::Tol::WINOGRAD_F32);
     }
 
     #[test]
@@ -309,7 +309,7 @@ mod tests {
         let q = NonUniformQuantizer::new(QuantizerConfig::uniform(64), 1.0);
         let r0 = q.quantize(0.05).resolution();
         let r1 = q.quantize(3.9).resolution();
-        assert!((r0 - r1).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(r0, r1, wmpt_check::Tol::F32_TIGHT);
     }
 
     #[test]
@@ -334,7 +334,7 @@ mod tests {
         let q = NonUniformQuantizer::new(QuantizerConfig::new(64, 4), 1.0);
         let iv = q.quantize(0.0);
         assert_eq!(iv.lo, 0.0);
-        assert!((iv.hi as f64 - q.delta()).abs() < 1e-6);
+        wmpt_check::assert_approx_eq!(iv.hi as f64, q.delta(), wmpt_check::Tol::F32_TIGHT);
     }
 
     #[test]

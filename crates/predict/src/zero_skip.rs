@@ -176,7 +176,7 @@ mod tests {
         let vals = vec![0.0, 1.5, 0.0, -2.0, 0.0, 3.0];
         let map = ActivationMap::from_values(&vals);
         assert_eq!(map.kept_count(), 3);
-        assert!((map.skip_fraction() - 0.5).abs() < 1e-12);
+        wmpt_check::assert_approx_eq!(map.skip_fraction(), 0.5, wmpt_check::Tol::F64_TIGHT);
         let packed = map.pack(&vals);
         assert_eq!(packed, vec![1.5, -2.0, 3.0]);
         assert_eq!(map.unpack(&packed), vals);

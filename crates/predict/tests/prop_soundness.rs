@@ -4,29 +4,30 @@
 //! geometry, transform and prediction flow. This is the property that lets
 //! the paper claim the traffic reduction is accuracy-neutral.
 //!
-//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
-//! hermetically, so `proptest` is substituted with explicit loops).
+//! Cases run on the `wmpt-check` harness (seeded generators, shrinking,
+//! `WMPT_CHECK_REPLAY` failure replay). Tiles are drawn *per element* so a
+//! failing soundness case shrinks to the sparsest offending tile.
 
+use wmpt_check::{check, Case};
 use wmpt_predict::{ActivationPredictor, PredictMode, QuantizerConfig};
-use wmpt_tensor::Rng64;
 use wmpt_winograd::WinogradTransform;
 
-fn random_transform(rng: &mut Rng64) -> WinogradTransform {
-    match rng.index(3) {
+fn transform(c: &mut Case) -> WinogradTransform {
+    match c.size(0, 2) {
         0 => WinogradTransform::f2x2_3x3(),
         1 => WinogradTransform::f4x4_3x3(),
         _ => WinogradTransform::f2x2_5x5(),
     }
 }
 
-fn random_config(rng: &mut Rng64) -> QuantizerConfig {
-    let levels = [16u32, 32, 64, 128][rng.index(4)];
+fn config(c: &mut Case) -> QuantizerConfig {
+    let levels = *c.pick(&[16u32, 32, 64, 128]);
     // regions in {1, 2, 4}, all divide levels/2
-    QuantizerConfig::new(levels, 1 << rng.index(3))
+    QuantizerConfig::new(levels, 1 << c.size(0, 2))
 }
 
-fn random_mode(rng: &mut Rng64) -> PredictMode {
-    if rng.next_bool() {
+fn mode(c: &mut Case) -> PredictMode {
+    if c.bool() {
         PredictMode::TwoD
     } else {
         PredictMode::OneD
@@ -36,17 +37,15 @@ fn random_mode(rng: &mut Rng64) -> PredictMode {
 /// Predicted intervals always contain the exact neuron values.
 #[test]
 fn intervals_contain_actual() {
-    let mut rng = Rng64::new(0x50_a1);
-    for case in 0..256 {
-        let tf = random_transform(&mut rng);
-        let cfg = random_config(&mut rng);
-        let mode = random_mode(&mut rng);
-        let sigma = rng.range_f64(0.1, 5.0);
+    check("intervals_contain_actual", |c| {
+        let tf = transform(c);
+        let cfg = config(c);
+        let mode = mode(c);
         let t = tf.t();
-        let mut gen = wmpt_tensor::DataGen::new(rng.next_u64());
-        let tile: Vec<f32> = (0..t * t).map(|_| gen.normal(0.0, sigma) as f32).collect();
-        // Quantizer sized for sigma=1 regardless of data sigma: exercises
-        // both the fine-grained path and overflow handling.
+        // Per-element draws over a wide range: exercises both the
+        // fine-grained quantizer path (sized for sigma = 1) and overflow
+        // handling, and shrinks element-wise toward the zero tile.
+        let tile = c.vec_pm(t * t, 8.0);
         let p = ActivationPredictor::new(tf, cfg, 1.0);
         let actual = p.actual(&tile);
         let pred = p.predict(&tile, mode);
@@ -54,92 +53,81 @@ fn intervals_contain_actual() {
             let slack = 1e-3f32 * (1.0 + a.abs());
             assert!(
                 pred.lower[i] - slack <= *a,
-                "case {case}: neuron {i} below lower bound"
+                "neuron {i}: {a} below lower bound {} (tile = {tile:?})",
+                pred.lower[i]
             );
             assert!(
                 *a <= pred.upper[i] + slack,
-                "case {case}: neuron {i} above upper bound"
+                "neuron {i}: {a} above upper bound {} (tile = {tile:?})",
+                pred.upper[i]
             );
         }
-    }
+    });
 }
 
 /// Tiles predicted dead have no activated neuron (no false negatives).
 #[test]
 fn no_false_negative_tiles() {
-    let mut rng = Rng64::new(0xdead);
-    for case in 0..256 {
-        let tf = random_transform(&mut rng);
-        let cfg = random_config(&mut rng);
-        let mode = random_mode(&mut rng);
-        let bias = rng.range_f64(-3.0, 0.5);
-        let t = tf.t();
+    check("no_false_negative_tiles", |c| {
+        let tf = transform(c);
+        let cfg = config(c);
+        let mode = mode(c);
         let m = tf.m();
-        let mut gen = wmpt_tensor::DataGen::new(rng.next_u64());
         // Bias the *spatial* neurons negative, then map to the Winograd
-        // domain with the adjoint so many tiles are genuinely dead.
-        let dy: Vec<f32> = (0..m * m).map(|_| gen.normal(bias, 1.0) as f32).collect();
+        // domain with the adjoint so many tiles are genuinely dead — a
+        // soundness check over all-positive tiles would be vacuous.
+        let bias = c.f32_in(-3.0, 0.5);
+        let dy: Vec<f32> = (0..m * m).map(|_| bias + c.f32_pm(2.0)).collect();
         let tile = tf.inverse_2d_grad(&dy);
-        assert_eq!(tile.len(), t * t);
+        assert_eq!(tile.len(), tf.t() * tf.t());
         let p = ActivationPredictor::new(tf, cfg, 1.0);
         let actual = p.actual(&tile);
         let pred = p.predict(&tile, mode);
         if pred.tile_dead {
             for a in &actual {
-                assert!(
-                    *a <= 1e-3,
-                    "case {case}: false negative: activated neuron {a}"
-                );
+                assert!(*a <= 1e-3, "false negative: activated neuron {a}");
             }
         }
         for (row, dead) in pred.rows_dead.iter().enumerate() {
             if *dead {
                 for a in &actual[row * m..(row + 1) * m] {
-                    assert!(*a <= 1e-3, "case {case}: false-negative line {row}: {a}");
+                    assert!(*a <= 1e-3, "false-negative line {row}: {a}");
                 }
             }
         }
-    }
+    });
 }
 
 /// Quantization intervals always contain the quantized value.
 #[test]
 fn quantizer_interval_contains_value() {
-    let mut rng = Rng64::new(0x9_0a17);
-    for case in 0..256 {
-        let cfg = random_config(&mut rng);
-        let sigma = rng.range_f64(0.01, 10.0);
-        let v = rng.range_f32(-50.0, 50.0);
+    check("quantizer_interval_contains_value", |c| {
+        let cfg = config(c);
+        let sigma = c.f64_in(0.01, 10.0);
+        let v = c.f32_pm(50.0);
         let q = wmpt_predict::NonUniformQuantizer::new(cfg, sigma);
         let iv = q.quantize(v);
         assert!(
             iv.lo <= v && v <= iv.hi,
-            "case {case}: {v} outside [{}, {}]",
+            "{v} outside [{}, {}] (sigma = {sigma})",
             iv.lo,
             iv.hi
         );
-    }
+    });
 }
 
 /// Activation-map pack/unpack is lossless for the kept values.
 #[test]
 fn activation_map_round_trip() {
-    let mut rng = Rng64::new(0xac7);
-    for case in 0..256 {
-        let len = rng.index(200);
+    check("activation_map_round_trip", |c| {
+        let len = c.size(0, 199);
         let vals: Vec<f32> = (0..len)
-            .map(|_| {
-                if rng.next_bool() {
-                    0.0
-                } else {
-                    rng.range_f32(-10.0, 10.0)
-                }
-            })
+            .map(|_| if c.bool() { c.f32_pm(10.0) } else { 0.0 })
             .collect();
         let map = wmpt_predict::ActivationMap::from_values(&vals);
         let unpacked = map.unpack(&map.pack(&vals));
-        for (a, b) in vals.iter().zip(&unpacked) {
-            assert_eq!(*a, *b, "case {case}: pack/unpack changed a value");
+        for (i, (a, b)) in vals.iter().zip(&unpacked).enumerate() {
+            assert_eq!(*a, *b, "pack/unpack changed value {i}");
         }
-    }
+    });
 }

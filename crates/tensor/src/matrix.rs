@@ -344,7 +344,7 @@ mod tests {
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (got, want) in x.iter().zip(expect) {
-            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+            wmpt_check::assert_approx_eq!(*got, want, wmpt_check::Tol::F64_SOLVE);
         }
     }
 
@@ -365,8 +365,8 @@ mod tests {
         // 4 equations, 2 unknowns, consistent: y = 2 + 3t.
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let x = a.lstsq(&[2.0, 5.0, 8.0, 11.0]).unwrap();
-        assert!((x[0] - 2.0).abs() < 1e-9);
-        assert!((x[1] - 3.0).abs() < 1e-9);
+        wmpt_check::assert_approx_eq!(x[0], 2.0, wmpt_check::Tol::F64_SOLVE);
+        wmpt_check::assert_approx_eq!(x[1], 3.0, wmpt_check::Tol::F64_SOLVE);
     }
 
     #[test]

@@ -246,7 +246,7 @@ mod tests {
             .zip(conv.bprop(&dy, &w).as_slice())
             .map(|(a, b)| (*a as f64) * (*b as f64))
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+        wmpt_check::assert_approx_eq!(lhs, rhs, wmpt_check::Tol::CONV_F32);
     }
 
     #[test]
@@ -279,13 +279,8 @@ mod tests {
                 .sum();
             w[probe] = base;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (dw[probe] - fd).abs() < 2e-2,
-                "{:?}: {} vs {}",
-                probe,
-                dw[probe],
-                fd
-            );
+            // Central finite difference: O(eps^2) truncation dominates.
+            wmpt_check::assert_approx_eq!(dw[probe], fd, wmpt_check::Tol::abs(2e-2), "{probe:?}");
         }
     }
 

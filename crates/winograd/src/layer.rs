@@ -515,11 +515,11 @@ mod tests {
                 .sum();
             layer.weights.data[probe] = base;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (grad.data[probe] - fd).abs() < 2e-2,
-                "elem {probe}: {} vs {}",
+            wmpt_check::assert_approx_eq!(
                 grad.data[probe],
-                fd
+                fd,
+                wmpt_check::Tol::abs(2e-2),
+                "elem {probe}"
             );
         }
     }
@@ -554,13 +554,7 @@ mod tests {
                 .sum();
             xp[probe] = base;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (dx[probe] - fd).abs() < 2e-2,
-                "{:?}: {} vs {}",
-                probe,
-                dx[probe],
-                fd
-            );
+            wmpt_check::assert_approx_eq!(dx[probe], fd, wmpt_check::Tol::abs(2e-2), "{probe:?}");
         }
     }
 

@@ -217,10 +217,11 @@ mod tests {
                     .sum();
                 xp[probe] = base;
                 let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                assert!(
-                    (dx[probe] - fd).abs() < 1e-2,
-                    "{kind:?} {probe:?}: {} vs {fd}",
-                    dx[probe]
+                wmpt_check::assert_approx_eq!(
+                    dx[probe],
+                    fd,
+                    wmpt_check::Tol::abs(1e-2),
+                    "{kind:?} {probe:?}"
                 );
             }
         }

@@ -690,7 +690,7 @@ mod tests {
             .zip(&bwd.data)
             .map(|(a, b)| (*a as f64) * (*b as f64))
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+        wmpt_check::assert_approx_eq!(lhs, rhs, wmpt_check::Tol::CONV_F32);
     }
 
     #[test]
@@ -720,7 +720,7 @@ mod tests {
             .zip(bwd.as_slice())
             .map(|(a, b)| (*a as f64) * (*b as f64))
             .sum();
-        assert!((lhs - rhs).abs() < 2e-2, "{lhs} vs {rhs}");
+        wmpt_check::assert_approx_eq!(lhs, rhs, wmpt_check::Tol::CONV_WIDE_F32);
     }
 
     #[test]

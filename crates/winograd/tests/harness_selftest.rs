@@ -1,0 +1,123 @@
+//! Meta-test of the `wmpt-check` harness against a *deliberately broken*
+//! Winograd transform: perturbing one entry of `Bᵀ` violates the bilinear
+//! correctness identity, and the harness must (a) catch it, (b) shrink the
+//! failure to the sparsest input the generators can express, and (c)
+//! replay the minimal case bit-identically — both through the raw choice
+//! sequence and through the printed `WMPT_CHECK_REPLAY` line.
+//!
+//! Everything lives in one `#[test]` because the env-var replay leg
+//! mutates process environment, which must not race sibling tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use wmpt_check::{run_check, Case, Config, Source};
+use wmpt_winograd::WinogradTransform;
+
+const PROP: &str = "selftest_perturbed_b";
+
+/// The broken property: 1-D Winograd correlation computed with a `Bᵀ`
+/// whose `(0,0)` entry is off by 0.25 must still match direct correlation.
+/// The injected error contributes `0.25·d₀·g₀` to output 0, so the
+/// property fails exactly when `|d₀·g₀|` clears the tolerance — the
+/// minimal witness keeps only those two values nonzero.
+fn perturbed_b_property(c: &mut Case) {
+    let tf = WinogradTransform::f2x2_3x3();
+    let mut b_t = tf.b_t().clone();
+    b_t[(0, 0)] += 0.25;
+
+    let d = c.vec_pm(tf.t(), 4.0);
+    let g = c.vec_pm(tf.r(), 2.0);
+
+    let d64: Vec<f64> = d.iter().map(|v| *v as f64).collect();
+    let g64: Vec<f64> = g.iter().map(|v| *v as f64).collect();
+    let bd = b_t.matvec(&d64);
+    let gg = tf.g().matvec(&g64);
+    let prod: Vec<f64> = bd.iter().zip(&gg).map(|(a, b)| a * b).collect();
+    let y = tf.a_t().matvec(&prod);
+
+    for (i, yi) in y.iter().enumerate().take(tf.m()) {
+        let want: f64 = (0..tf.r()).map(|k| d64[i + k] * g64[k]).sum();
+        assert!(
+            (yi - want).abs() < 1e-3,
+            "output {i}: {yi} vs direct {want} (d = {d:?}, g = {g:?})"
+        );
+    }
+}
+
+/// Replays a choice sequence by hand, returning the panic message.
+fn replay_message(choices: &[u64]) -> Option<String> {
+    let mut src = Source::replay(choices, 8192);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        perturbed_b_property(&mut Case::new(&mut src));
+    }));
+    assert!(!src.is_invalid(), "minimal case must be a valid replay");
+    result.err().map(|p| {
+        p.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("assert! panics carry a message")
+    })
+}
+
+#[test]
+fn broken_b_matrix_is_caught_shrunk_and_replayable() {
+    let failure = run_check(PROP, Config::default(), perturbed_b_property)
+        .expect("the perturbed-B property must fail under default budget");
+
+    // (a) caught: the report machinery names the property and prints a
+    // replay line.
+    assert_eq!(failure.name, PROP);
+    let replay = failure.replay_var();
+    assert!(replay.starts_with(&format!("{PROP}:")), "{replay}");
+
+    // (b) shrunk: d has 4 elements, g has 3, two choices each (magnitude,
+    // sign) — the minimal witness zeroes everything except d₀ and g₀.
+    assert_eq!(failure.choices.len(), 14, "choices: {:?}", failure.choices);
+    let rebuild = |choices: &[u64]| {
+        let mut src = Source::replay(choices, 8192);
+        let mut case = Case::new(&mut src);
+        let d = case.vec_pm(4, 4.0);
+        let g = case.vec_pm(3, 2.0);
+        (d, g)
+    };
+    let (d, g) = rebuild(&failure.choices);
+    assert!(
+        d[0] != 0.0 && g[0] != 0.0,
+        "witness needs d0, g0: {d:?} {g:?}"
+    );
+    assert_eq!(&d[1..], &[0.0; 3], "shrinker must zero d1..d3: {d:?}");
+    assert_eq!(&g[1..], &[0.0; 2], "shrinker must zero g1..g2: {g:?}");
+    // The injected error is 0.25·d0·g0; the witness sits near the 1e-3
+    // tolerance boundary, not at some huge unshrunk magnitude.
+    let err = (0.25 * d[0] as f64 * g[0] as f64).abs();
+    assert!(err >= 1e-3, "witness must actually fail: {err:e}");
+    assert!(err < 2e-3, "witness should hug the boundary: {err:e}");
+
+    // The original (unshrunk) failure is recorded too, and is no smaller.
+    assert!(failure.original_choices.len() >= failure.choices.len());
+
+    // (c) bit-identical replay, leg 1: raw choice sequence. Same choices,
+    // same values, same panic message — twice.
+    let msg1 = replay_message(&failure.choices).expect("replay must fail");
+    let msg2 = replay_message(&failure.choices).expect("replay must fail");
+    assert_eq!(msg1, msg2, "replay is deterministic");
+    assert_eq!(
+        msg1, failure.message,
+        "replay reproduces the shrunk failure"
+    );
+
+    // (c) leg 2: the printed WMPT_CHECK_REPLAY line drives run_check to
+    // the identical minimal case.
+    std::env::set_var("WMPT_CHECK_REPLAY", &replay);
+    let replayed = run_check(PROP, Config::default(), perturbed_b_property)
+        .expect("env replay must reproduce the failure");
+    std::env::remove_var("WMPT_CHECK_REPLAY");
+    assert_eq!(replayed.choices, failure.choices, "bit-identical choices");
+    assert_eq!(replayed.message, failure.message, "bit-identical failure");
+
+    // And the same base seed finds the same failure from scratch.
+    let again =
+        run_check(PROP, Config::default(), perturbed_b_property).expect("same seed, same failure");
+    assert_eq!(again.choices, failure.choices);
+    assert_eq!(again.message, failure.message);
+}

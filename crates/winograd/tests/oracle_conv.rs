@@ -1,0 +1,135 @@
+//! Differential oracle: Winograd convolution vs the direct spatial
+//! reference, for *arbitrary generated transforms* `F(m×m, r×r)` — not
+//! just the paper's two hand-built instances — across all three training
+//! phases (fprop, bprop, updateGrad), the 1-D `r×1` factorized path, and
+//! the im2col GEMM formulation.
+//!
+//! Cases run on the `wmpt-check` harness; failures shrink toward the
+//! smallest transform/shape and replay via `WMPT_CHECK_REPLAY`.
+
+use wmpt_check::{check, Case};
+use wmpt_tensor::{Shape4, Tensor4};
+use wmpt_winograd::{
+    conv_gemm, direct_conv1d, winograd_conv1d, DirectConv, WinogradConv, WinogradTransform,
+};
+
+/// Random constructible transform with odd `r` (same padding needs odd
+/// kernels) and `t = m + r − 1 ≤ 8` so f32 round-off stays bounded.
+fn arbitrary_transform(c: &mut Case) -> WinogradTransform {
+    let r = *c.pick(&[3usize, 5]);
+    let m = c.size(2, if r == 3 { 4 } else { 3 });
+    WinogradTransform::cook_toom(m, r).expect("constructible F(m,r)")
+}
+
+/// Relative max-abs disagreement between two tensors.
+fn rel_diff(a: &Tensor4, b: &Tensor4) -> f64 {
+    let scale = b.max_abs().max(1.0) as f64;
+    a.max_abs_diff(b) as f64 / scale
+}
+
+#[test]
+fn fprop_matches_direct_for_arbitrary_transforms() {
+    check("fprop_matches_direct_for_arbitrary_transforms", |c| {
+        let tf = arbitrary_transform(c);
+        let r = tf.r();
+        let shape = c.shape4((1, 2), (1, 3), (4, 10), (4, 10));
+        let j = c.size(1, 3);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, r, r));
+        let direct = DirectConv::new(r).fprop(&x, &w);
+        let wino = WinogradConv::new(tf.clone()).fprop(&x, &w);
+        let d = rel_diff(&wino, &direct);
+        assert!(d < 2e-3, "F({},{r}) {shape} J={j}: fprop diff {d}", tf.m());
+    });
+}
+
+#[test]
+fn bprop_matches_direct_for_arbitrary_transforms() {
+    check("bprop_matches_direct_for_arbitrary_transforms", |c| {
+        let tf = arbitrary_transform(c);
+        let r = tf.r();
+        let shape = c.shape4((1, 2), (1, 3), (4, 10), (4, 10));
+        let j = c.size(1, 3);
+        let dy = c.tensor_seeded(Shape4::new(shape.n, j, shape.h, shape.w), 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, r, r));
+        let direct = DirectConv::new(r).bprop(&dy, &w);
+        let wino = WinogradConv::new(tf.clone()).bprop(&dy, &w);
+        let d = rel_diff(&wino, &direct);
+        assert!(d < 2e-3, "F({},{r}) {shape} J={j}: bprop diff {d}", tf.m());
+    });
+}
+
+#[test]
+fn update_grad_matches_direct_for_arbitrary_transforms() {
+    check("update_grad_matches_direct_for_arbitrary_transforms", |c| {
+        let tf = arbitrary_transform(c);
+        let r = tf.r();
+        let shape = c.shape4((1, 2), (1, 3), (4, 10), (4, 10));
+        let j = c.size(1, 3);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let dy = c.tensor_seeded(Shape4::new(shape.n, j, shape.h, shape.w), 0.0, 1.0);
+        let direct = DirectConv::new(r).update_grad(&x, &dy);
+        let wino = WinogradConv::new(tf.clone()).update_grad(&x, &dy);
+        // Weight gradients accumulate over every output position, so scale
+        // by the direct gradient's own magnitude.
+        let d = rel_diff(&wino, &direct);
+        assert!(
+            d < 2e-3,
+            "F({},{r}) {shape} J={j}: updateGrad diff {d}",
+            tf.m()
+        );
+    });
+}
+
+#[test]
+fn conv1d_matches_direct_for_arbitrary_transforms() {
+    check("conv1d_matches_direct_for_arbitrary_transforms", |c| {
+        let tf = arbitrary_transform(c);
+        let r = tf.r();
+        let shape = c.shape4((1, 2), (1, 3), (4, 12), (2, 6));
+        let j = c.size(1, 3);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, r, 1));
+        let direct = direct_conv1d(&x, &w);
+        let wino = winograd_conv1d(&x, &w, &tf);
+        let d = rel_diff(&wino, &direct);
+        assert!(d < 2e-3, "F({},{r})x1 {shape} J={j}: diff {d}", tf.m());
+    });
+}
+
+#[test]
+fn im2col_gemm_matches_direct() {
+    check("im2col_gemm_matches_direct", |c| {
+        let r = *c.pick(&[3usize, 5]);
+        let shape = c.shape4((1, 2), (1, 3), (3, 9), (3, 9));
+        let j = c.size(1, 3);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, r, r));
+        let direct = DirectConv::new(r).fprop(&x, &w);
+        let gemm = conv_gemm(&x, &w);
+        // Same accumulation order class — much tighter than Winograd.
+        let d = rel_diff(&gemm, &direct);
+        assert!(d < 1e-5, "r={r} {shape} J={j}: im2col diff {d}");
+    });
+}
+
+/// Fixed-transform spot check with per-element (fully shrinkable) inputs:
+/// when this fails, the witness is a near-minimal tensor, not a seed.
+#[test]
+fn fprop_matches_direct_elementwise_inputs() {
+    check("fprop_matches_direct_elementwise_inputs", |c| {
+        let tf = WinogradTransform::f2x2_3x3();
+        let shape = Shape4::new(1, 1, 4, 4);
+        let x = c.tensor_pm(shape, 4.0);
+        let w = c.tensor_pm(Shape4::new(1, 1, 3, 3), 2.0);
+        let direct = DirectConv::new(3).fprop(&x, &w);
+        let wino = WinogradConv::new(tf).fprop(&x, &w);
+        let d = rel_diff(&wino, &direct);
+        assert!(
+            d < 1e-4,
+            "diff {d} (x = {:?}, w = {:?})",
+            x.as_slice(),
+            w.as_slice()
+        );
+    });
+}

@@ -1,0 +1,273 @@
+//! Integration coverage for `winograd::pool` and `winograd::im2col`:
+//! hand-computed golden vectors pin the exact semantics (window layout,
+//! tie handling, gradient routing, im2col column order), and harness
+//! properties check both against naive references over random geometries.
+
+use wmpt_check::{check, Tol};
+use wmpt_tensor::{Shape4, Tensor4};
+use wmpt_winograd::{conv_gemm, im2col, DirectConv, Pool2x2, PoolKind};
+
+// ---------------------------------------------------------------------------
+// Golden vectors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_max_pool_4x4() {
+    #[rustfmt::skip]
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 4, 4), vec![
+        1.0,  2.0,  5.0, -1.0,
+        3.0,  4.0, -2.0,  0.0,
+       -9.0,  7.0,  6.0,  6.0,
+        0.0,  0.0,  8.0, -3.0,
+    ]);
+    let y = Pool2x2::new(PoolKind::Max).forward(&x);
+    assert_eq!(y.shape(), Shape4::new(1, 1, 2, 2));
+    assert_eq!(y.as_slice(), &[4.0, 5.0, 7.0, 8.0]);
+}
+
+#[test]
+fn golden_avg_pool_4x4() {
+    #[rustfmt::skip]
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 4, 4), vec![
+        1.0,  2.0,  5.0, -1.0,
+        3.0,  4.0, -2.0,  0.0,
+       -9.0,  7.0,  6.0,  6.0,
+        0.0,  0.0,  8.0, -3.0,
+    ]);
+    let y = Pool2x2::new(PoolKind::Avg).forward(&x);
+    assert_eq!(y.as_slice(), &[2.5, 0.5, -0.5, 4.25]);
+}
+
+#[test]
+fn golden_max_pool_backward_routes_to_argmax() {
+    #[rustfmt::skip]
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![
+        1.0, 9.0,
+        3.0, 2.0,
+    ]);
+    let dy = Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![5.0]);
+    let dx = Pool2x2::new(PoolKind::Max).backward(&x, &dy);
+    assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+}
+
+#[test]
+fn golden_max_pool_backward_tie_prefers_first_scan_position() {
+    // All four inputs equal: the implementation routes to the first
+    // strictly-greater value scanned in (0,0),(0,1),(1,0),(1,1) order, so
+    // a full tie lands on the top-left slot. Pinned so a refactor that
+    // silently changes tie-breaking is caught.
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![2.0; 4]);
+    let dy = Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]);
+    let dx = Pool2x2::new(PoolKind::Max).backward(&x, &dy);
+    assert_eq!(dx.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn golden_avg_pool_backward_spreads_evenly() {
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+    let dy = Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![8.0]);
+    let dx = Pool2x2::new(PoolKind::Avg).backward(&x, &dy);
+    assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+}
+
+#[test]
+fn golden_im2col_3x3_on_3x3_input() {
+    // Single-channel 3x3 input, r = 3: the center row of the im2col
+    // matrix (output pixel (1,1)) is the whole image; the corner row
+    // (0,0) shows the zero padding.
+    #[rustfmt::skip]
+    let x = Tensor4::from_vec(Shape4::new(1, 1, 3, 3), vec![
+        1.0, 2.0, 3.0,
+        4.0, 5.0, 6.0,
+        7.0, 8.0, 9.0,
+    ]);
+    let (m, rows, cols) = im2col(&x, 3);
+    assert_eq!((rows, cols), (9, 9));
+    let row = |i: usize| &m[i * cols..(i + 1) * cols];
+    assert_eq!(
+        row(4),
+        &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        "center output pixel sees the full image"
+    );
+    assert_eq!(
+        row(0),
+        &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0],
+        "corner output pixel sees the padded window"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Differential properties vs naive references
+// ---------------------------------------------------------------------------
+
+/// Naive reference pooling, written independently of the implementation.
+fn naive_pool(x: &Tensor4, kind: PoolKind) -> Tensor4 {
+    let s = x.shape();
+    let mut y = Tensor4::zeros(Shape4::new(s.n, s.c, s.h / 2, s.w / 2));
+    for b in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..s.h / 2 {
+                for ox in 0..s.w / 2 {
+                    let mut vals = Vec::new();
+                    for u in 0..2 {
+                        for v in 0..2 {
+                            vals.push(x[(b, c, 2 * oy + u, 2 * ox + v)]);
+                        }
+                    }
+                    y[(b, c, oy, ox)] = match kind {
+                        PoolKind::Max => vals.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                        PoolKind::Avg => vals.iter().sum::<f32>() / 4.0,
+                    };
+                }
+            }
+        }
+    }
+    y
+}
+
+#[test]
+fn pool_forward_matches_naive_reference() {
+    check("pool_forward_matches_naive_reference", |c| {
+        let kind = if c.bool() {
+            PoolKind::Avg
+        } else {
+            PoolKind::Max
+        };
+        let shape = c.shape4((1, 2), (1, 3), (1, 5), (1, 5));
+        let shape = Shape4::new(shape.n, shape.c, shape.h * 2, shape.w * 2);
+        let x = c.tensor_pm(shape, 4.0);
+        let got = Pool2x2::new(kind).forward(&x);
+        let want = naive_pool(&x, kind);
+        wmpt_check::assert_slices_approx_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            Tol::EXACT,
+            "{kind:?} {shape}"
+        );
+    });
+}
+
+/// Avg pooling is linear, so backward must be its exact adjoint:
+/// `<forward(x), dy> == <x, backward(dy)>`.
+#[test]
+fn avg_pool_backward_is_adjoint_of_forward() {
+    check("avg_pool_backward_is_adjoint_of_forward", |c| {
+        let shape = c.shape4((1, 2), (1, 2), (1, 4), (1, 4));
+        let shape = Shape4::new(shape.n, shape.c, shape.h * 2, shape.w * 2);
+        let pool = Pool2x2::new(PoolKind::Avg);
+        let x = c.tensor_pm(shape, 2.0);
+        let dy = c.tensor_pm(pool.output_shape(shape), 2.0);
+        let lhs: f64 = pool
+            .forward(&x)
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(pool.backward(&x, &dy).as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        wmpt_check::assert_approx_eq!(lhs, rhs, Tol::F32_TIGHT, "{shape}");
+    });
+}
+
+/// Max pooling's backward conserves gradient mass: every `dy` value lands
+/// on exactly one input slot of its window.
+#[test]
+fn max_pool_backward_conserves_gradient_mass() {
+    check("max_pool_backward_conserves_gradient_mass", |c| {
+        let shape = c.shape4((1, 2), (1, 2), (1, 4), (1, 4));
+        let shape = Shape4::new(shape.n, shape.c, shape.h * 2, shape.w * 2);
+        let pool = Pool2x2::new(PoolKind::Max);
+        let x = c.tensor_pm(shape, 2.0);
+        let dy = c.tensor_pm(pool.output_shape(shape), 2.0);
+        let dx = pool.backward(&x, &dy);
+        let os = pool.output_shape(shape);
+        for b in 0..os.n {
+            for ch in 0..os.c {
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let mut window_sum = 0.0f32;
+                        let mut nonzero = 0;
+                        for u in 0..2 {
+                            for v in 0..2 {
+                                let g = dx[(b, ch, 2 * oy + u, 2 * ox + v)];
+                                window_sum += g;
+                                if g != 0.0 {
+                                    nonzero += 1;
+                                }
+                            }
+                        }
+                        let g = dy[(b, ch, oy, ox)];
+                        wmpt_check::assert_approx_eq!(
+                            window_sum,
+                            g,
+                            Tol::F32_TIGHT,
+                            "window ({b},{ch},{oy},{ox}) leaks gradient"
+                        );
+                        assert!(nonzero <= 1, "gradient split across window");
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn im2col_rows_enumerate_receptive_fields() {
+    check("im2col_rows_enumerate_receptive_fields", |c| {
+        let r = *c.pick(&[3usize, 5]);
+        let shape = c.shape4((1, 2), (1, 3), (2, 7), (2, 7));
+        let x = c.tensor_pm(shape, 3.0);
+        let (m, rows, cols) = im2col(&x, r);
+        assert_eq!(rows, shape.n * shape.h * shape.w);
+        assert_eq!(cols, shape.c * r * r);
+        let pad = (r / 2) as isize;
+        // Spot-check a random row against the definition.
+        let b = c.size(0, shape.n - 1);
+        let oy = c.size(0, shape.h - 1);
+        let ox = c.size(0, shape.w - 1);
+        let row = (b * shape.h + oy) * shape.w + ox;
+        let mut col = 0usize;
+        for ch in 0..shape.c {
+            for ky in 0..r {
+                for kx in 0..r {
+                    let want = x.get_padded(
+                        b,
+                        ch,
+                        oy as isize + ky as isize - pad,
+                        ox as isize + kx as isize - pad,
+                    );
+                    assert_eq!(
+                        m[row * cols + col],
+                        want,
+                        "row ({b},{oy},{ox}) col ({ch},{ky},{kx})"
+                    );
+                    col += 1;
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn conv_gemm_matches_direct_reference() {
+    check("conv_gemm_matches_direct_reference", |c| {
+        let r = *c.pick(&[3usize, 5]);
+        let shape = c.shape4((1, 2), (1, 3), (2, 8), (2, 8));
+        let j = c.size(1, 3);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, r, r));
+        let naive = DirectConv::new(r).fprop(&x, &w);
+        let fast = conv_gemm(&x, &w);
+        wmpt_check::assert_slices_approx_eq!(
+            fast.as_slice(),
+            naive.as_slice(),
+            Tol::CONV_F32,
+            "r={r} {shape} J={j}"
+        );
+    });
+}

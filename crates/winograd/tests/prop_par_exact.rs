@@ -1,0 +1,119 @@
+//! Bit-exactness property: every `_par` execution path produces results
+//! bit-identical to its serial counterpart for *any* job count — the
+//! wmpt-par contract (chunk boundaries fixed by tensor shape, identical
+//! serial kernels per chunk) checked over randomized shapes instead of
+//! the hand-picked cases in the unit tests.
+//!
+//! Cases run on the `wmpt-check` harness; a failing configuration shrinks
+//! toward the smallest shape/job count that still diverges.
+
+use wmpt_check::check;
+use wmpt_par::ParPool;
+use wmpt_tensor::Shape4;
+use wmpt_winograd::{
+    elementwise_gemm, elementwise_gemm_bprop, elementwise_gemm_bprop_par, elementwise_gemm_par,
+    elementwise_gemm_wgrad, elementwise_gemm_wgrad_par, to_winograd_input, weights_to_winograd,
+    WinogradLayer, WinogradTransform,
+};
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn elementwise_gemms_are_bit_identical_for_any_jobs() {
+    check("elementwise_gemms_are_bit_identical_for_any_jobs", |c| {
+        let tf = WinogradTransform::f2x2_3x3();
+        let shape = c.shape4((1, 2), (1, 3), (4, 10), (4, 10));
+        let j = c.size(1, 4);
+        let jobs = c.size(1, 7);
+        let pool = ParPool::new(jobs);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, 3, 3));
+        let wx = to_winograd_input(&x, &tf);
+        let ww = weights_to_winograd(&w, &tf);
+
+        let y = elementwise_gemm(&wx, &ww);
+        let y_par = elementwise_gemm_par(&pool, &wx, &ww);
+        assert_eq!(bits(&y.data), bits(&y_par.data), "fprop gemm, jobs={jobs}");
+
+        let dx = elementwise_gemm_bprop(&y, &ww);
+        let dx_par = elementwise_gemm_bprop_par(&pool, &y, &ww);
+        assert_eq!(
+            bits(&dx.data),
+            bits(&dx_par.data),
+            "bprop gemm, jobs={jobs}"
+        );
+
+        let dw = elementwise_gemm_wgrad(&wx, &y);
+        let dw_par = elementwise_gemm_wgrad_par(&pool, &wx, &y);
+        assert_eq!(
+            bits(&dw.data),
+            bits(&dw_par.data),
+            "wgrad gemm, jobs={jobs}"
+        );
+    });
+}
+
+#[test]
+fn layer_par_phases_are_bit_identical_for_any_jobs() {
+    check("layer_par_phases_are_bit_identical_for_any_jobs", |c| {
+        let tf = if c.bool() {
+            WinogradTransform::f4x4_3x3()
+        } else {
+            WinogradTransform::f2x2_3x3()
+        };
+        let shape = c.shape4((1, 2), (1, 2), (4, 8), (4, 8));
+        let j = c.size(1, 3);
+        let jobs = c.size(1, 7);
+        let pool = ParPool::new(jobs);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, 3, 3));
+        let layer = WinogradLayer::from_spatial(tf, &w);
+        let dy = c.tensor_seeded(Shape4::new(shape.n, j, shape.h, shape.w), 0.0, 1.0);
+
+        let y = layer.fprop(&x);
+        assert_eq!(
+            bits(y.as_slice()),
+            bits(layer.fprop_par(&pool, &x).as_slice()),
+            "fprop, jobs={jobs}"
+        );
+        let dx = layer.bprop(&dy);
+        assert_eq!(
+            bits(dx.as_slice()),
+            bits(layer.bprop_par(&pool, &dy).as_slice()),
+            "bprop, jobs={jobs}"
+        );
+        let dw = layer.update_grad(&x, &dy);
+        assert_eq!(
+            bits(&dw.data),
+            bits(&layer.update_grad_par(&pool, &x, &dy).data),
+            "updateGrad, jobs={jobs}"
+        );
+    });
+}
+
+#[test]
+fn gemm_f32_par_bit_identical_for_random_shapes() {
+    check("gemm_f32_par_bit_identical_for_random_shapes", |c| {
+        let m = c.size(1, 12);
+        let k = c.size(1, 12);
+        let n = c.size(1, 12);
+        let jobs = c.size(1, 7);
+        let ta = c.bool();
+        let tb = c.bool();
+        let a = c.vec_pm(m * k, 2.0);
+        let b = c.vec_pm(k * n, 2.0);
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let mut serial = vec![0.0f32; m * n];
+        let mut par = vec![0.0f32; m * n];
+        wmpt_tensor::ops::gemm_f32(&a, ar, ac, &b, n, &mut serial, ta, tb);
+        let pool = ParPool::new(jobs);
+        wmpt_tensor::ops::gemm_f32_par(&pool, &a, ar, ac, &b, n, &mut par, ta, tb);
+        assert_eq!(
+            bits(&serial),
+            bits(&par),
+            "gemm {m}x{k}x{n} ta={ta} tb={tb} jobs={jobs}"
+        );
+    });
+}

@@ -4,18 +4,20 @@
 //! direct convolution over random shapes — the invariants every higher
 //! layer of the reproduction stands on.
 //!
-//! Cases are drawn from a seeded [`Rng64`] stream (the workspace builds
-//! hermetically, so `proptest` is substituted with explicit loops); every
-//! run checks the same cases, and a failure message names the case index.
+//! Cases run on the `wmpt-check` harness: drawn from a seeded choice
+//! stream, shrunk on failure, replayable via `WMPT_CHECK_REPLAY` (see the
+//! failure report).
 
-use wmpt_tensor::{DataGen, Rng64, Shape4, Tensor4};
+use wmpt_check::{check, Tol};
+use wmpt_tensor::{Shape4, Tensor4};
 use wmpt_winograd::{
     from_winograd_output, to_winograd_input, weights_to_winograd, DirectConv, WinogradConv,
     WinogradTransform,
 };
 
-/// Cook–Toom construction satisfies the Winograd identity for any
-/// small (m, r).
+/// Cook–Toom construction satisfies the Winograd identity for any small
+/// `(m, r)` — exhaustive over the region the workspace uses, so no random
+/// generator needed.
 #[test]
 fn cook_toom_identity() {
     for m in 2..6 {
@@ -34,98 +36,88 @@ fn cook_toom_identity() {
 /// and any generated transform.
 #[test]
 fn winograd_1d_equals_direct() {
-    let mut rng = Rng64::new(0x1dc0);
-    for case in 0..48 {
-        let m = 2 + rng.index(3);
-        let r = 2 + rng.index(3);
+    check("winograd_1d_equals_direct", |c| {
+        let m = c.size(2, 4);
+        let r = c.size(2, 4);
         let tf = WinogradTransform::cook_toom(m, r).expect("constructible");
-        let mut gen = DataGen::new(rng.next_u64());
-        let t = tf.t();
-        let d: Vec<f32> = (0..t).map(|_| gen.normal(0.0, 1.0) as f32).collect();
-        let g: Vec<f32> = (0..r).map(|_| gen.normal(0.0, 0.5) as f32).collect();
+        let d = c.vec_pm(tf.t(), 3.0);
+        let g = c.vec_pm(r, 1.5);
         let got = tf.correlate_1d(&d, &g);
         for (i, y) in got.iter().enumerate() {
             let want: f32 = (0..r).map(|k| d[i + k] * g[k]).sum();
-            assert!(
-                (y - want).abs() < 2e-3 * (1.0 + want.abs()),
-                "case {case} F({m},{r}): {y} vs {want}"
+            wmpt_check::assert_approx_eq!(
+                *y,
+                want,
+                Tol::CONV_WIDE_F32,
+                "F({m},{r}) output {i} (d = {d:?}, g = {g:?})"
             );
         }
-    }
+    });
 }
 
 /// Identity-kernel Winograd convolution reproduces the input for any
 /// geometry (tiling extraction + inverse assembly round trip).
 #[test]
 fn tiling_round_trip() {
-    let mut rng = Rng64::new(0x7171);
-    for case in 0..48 {
-        let b = 1 + rng.index(2);
-        let c = 1 + rng.index(3);
-        let h = 4 + rng.index(8);
-        let w = 4 + rng.index(8);
+    check("tiling_round_trip", |c| {
+        let shape = c.shape4((1, 2), (1, 3), (4, 11), (4, 11));
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
         let tf = WinogradTransform::f2x2_3x3();
-        let mut gen = DataGen::new(rng.next_u64());
-        let shape = Shape4::new(b, c, h, w);
-        let x = gen.normal_tensor(shape, 0.0, 1.0);
-        let mut ident = Tensor4::zeros(Shape4::new(c, c, 3, 3));
-        for ch in 0..c {
+        let mut ident = Tensor4::zeros(Shape4::new(shape.c, shape.c, 3, 3));
+        for ch in 0..shape.c {
             ident[(ch, ch, 1, 1)] = 1.0;
         }
         let wx = to_winograd_input(&x, &tf);
         let ww = weights_to_winograd(&ident, &tf);
         let wy = wmpt_winograd::elementwise_gemm(&wx, &ww);
         let back = from_winograd_output(&wy, &tf, shape);
-        assert!(
-            back.max_abs_diff(&x) < 1e-4,
-            "case {case} {b}x{c}x{h}x{w}: diff {}",
-            back.max_abs_diff(&x)
+        wmpt_check::assert_slices_approx_eq!(
+            back.as_slice(),
+            x.as_slice(),
+            Tol::WINOGRAD_F32,
+            "round trip through {shape}"
         );
-    }
+    });
 }
 
 /// Winograd convolution equals direct convolution over random small
 /// shapes for both of the paper's transforms.
 #[test]
 fn conv_equivalence() {
-    let mut rng = Rng64::new(0xc0_e0);
-    for case in 0..48 {
-        let b = 1 + rng.index(2);
-        let i = 1 + rng.index(3);
-        let j = 1 + rng.index(3);
-        let hw = 4 + rng.index(6);
-        let tf = if rng.next_bool() {
+    check("conv_equivalence", |c| {
+        let shape = c.shape4((1, 2), (1, 3), (4, 9), (4, 9));
+        let j = c.size(1, 3);
+        let tf = if c.bool() {
             WinogradTransform::f4x4_3x3()
         } else {
             WinogradTransform::f2x2_3x3()
         };
-        let mut gen = DataGen::new(rng.next_u64());
-        let x = gen.normal_tensor(Shape4::new(b, i, hw, hw), 0.0, 1.0);
-        let w = gen.he_weights(Shape4::new(j, i, 3, 3));
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, 3, 3));
         let direct = DirectConv::new(3).fprop(&x, &w);
         let wino = WinogradConv::new(tf).fprop(&x, &w);
         let scale = direct.max_abs().max(1.0);
+        let diff = wino.max_abs_diff(&direct);
         assert!(
-            wino.max_abs_diff(&direct) / scale < 1e-3,
-            "case {case}: relative diff {}",
-            wino.max_abs_diff(&direct) / scale
+            diff / scale < 1e-3,
+            "{shape} J={j}: relative diff {}",
+            diff / scale
         );
-    }
+    });
 }
 
-/// bprop is the exact adjoint of fprop for random shapes.
+/// bprop is the exact adjoint of fprop for random shapes:
+/// `<fprop(x), dy> == <x, bprop(dy)>`.
 #[test]
 fn bprop_adjoint() {
-    let mut rng = Rng64::new(0xad_01);
-    for case in 0..48 {
-        let b = 1 + rng.index(2);
-        let i = 1 + rng.index(2);
-        let j = 1 + rng.index(2);
-        let hw = 4 + rng.index(5);
-        let mut gen = DataGen::new(rng.next_u64());
-        let x = gen.normal_tensor(Shape4::new(b, i, hw, hw), 0.0, 1.0);
-        let w = gen.he_weights(Shape4::new(j, i, 3, 3));
-        let dy = gen.normal_tensor(Shape4::new(b, j, hw, hw), 0.0, 1.0);
+    check("bprop_adjoint", |c| {
+        let shape = c.shape4((1, 2), (1, 2), (4, 8), (4, 8));
+        let hw = shape.h.max(shape.w);
+        let shape = Shape4::new(shape.n, shape.c, hw, hw);
+        let j = c.size(1, 2);
+        let x = c.tensor_seeded(shape, 0.0, 1.0);
+        let w = c.weights_seeded(Shape4::new(j, shape.c, 3, 3));
+        let dy = c.tensor_seeded(Shape4::new(shape.n, j, hw, hw), 0.0, 1.0);
         let conv = WinogradConv::new(WinogradTransform::f2x2_3x3());
         let lhs: f64 = conv
             .fprop(&x, &w)
@@ -143,7 +135,7 @@ fn bprop_adjoint() {
         let scale = lhs.abs().max(1.0);
         assert!(
             (lhs - rhs).abs() / scale < 1e-3,
-            "case {case}: {lhs} vs {rhs}"
+            "{shape} J={j}: {lhs} vs {rhs}"
         );
-    }
+    });
 }
