@@ -1,0 +1,391 @@
+//! Perf-regression baselines: committed expectations with tolerance
+//! bands, and a comparison API that grades fresh measurements.
+//!
+//! A [`Baseline`] is a named set of `metric key → (expected value,
+//! relative tolerance)` bands, serialized with the in-repo `obs::json`
+//! (the workspace builds hermetically). Fresh runs are flattened into
+//! the same dotted-key space with [`flatten_numbers`] and graded by
+//! [`Baseline::compare`]: deviation beyond the band fails, beyond half
+//! the band warns, a missing key fails. `experiments --gate` turns the
+//! worst grade into the process exit code, which is what makes the bench
+//! trajectory (`BENCH_obs.json`, `BENCH_par.json`) regression-guarded
+//! instead of write-only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use wmpt_obs::json::{self, Value};
+
+/// Expected value and relative tolerance for one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Expected (blessed) value.
+    pub value: f64,
+    /// Relative tolerance: deviations up to `tol * max(|value|, 1)` pass.
+    /// Zero demands exact equality.
+    pub tol: f64,
+}
+
+/// Grade of one compared metric (ordered: pass < warn < fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Status {
+    /// Within half the tolerance band.
+    Pass,
+    /// Within the band but past half of it — drifting.
+    Warn,
+    /// Outside the band, or missing from the fresh run.
+    Fail,
+}
+
+impl Status {
+    /// Serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Warn => "warn",
+            Status::Fail => "FAIL",
+        }
+    }
+}
+
+/// One graded metric of a comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Metric key.
+    pub key: String,
+    /// Blessed expectation.
+    pub expected: f64,
+    /// Fresh measurement (`None` when the run no longer reports the key).
+    pub actual: Option<f64>,
+    /// Relative deviation `|actual - expected| / max(|expected|, 1)`.
+    pub deviation: f64,
+    /// The band's tolerance.
+    pub tol: f64,
+    /// Grade.
+    pub status: Status,
+}
+
+/// The result of grading a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// One row per baseline key, in key order.
+    pub rows: Vec<CompareRow>,
+}
+
+impl CompareReport {
+    /// The worst grade across all rows ([`Status::Pass`] when empty).
+    pub fn worst(&self) -> Status {
+        self.rows
+            .iter()
+            .map(|r| r.status)
+            .max()
+            .unwrap_or(Status::Pass)
+    }
+
+    /// `true` when no row failed (warnings allowed).
+    pub fn passed(&self) -> bool {
+        self.worst() != Status::Fail
+    }
+
+    /// Deterministic text table; `verbose` includes passing rows.
+    pub fn render_table(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let (mut pass, mut warn, mut fail) = (0usize, 0usize, 0usize);
+        for r in &self.rows {
+            match r.status {
+                Status::Pass => pass += 1,
+                Status::Warn => warn += 1,
+                Status::Fail => fail += 1,
+            }
+            if r.status == Status::Pass && !verbose {
+                continue;
+            }
+            let actual = r
+                .actual
+                .map_or("(missing)".to_string(), |a| format!("{a:.6}"));
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<44} expected {:.6}  actual {}  dev {:.4} (tol {:.4})",
+                r.status.name(),
+                r.key,
+                r.expected,
+                actual,
+                r.deviation,
+                r.tol
+            );
+        }
+        let _ = writeln!(
+            out,
+            "baseline: {} keys — {pass} pass, {warn} warn, {fail} fail",
+            self.rows.len()
+        );
+        out
+    }
+}
+
+/// A named, committed set of metric expectation bands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Baseline name (e.g. the report it guards).
+    pub name: String,
+    /// Expectation bands by metric key.
+    pub bands: BTreeMap<String, Band>,
+}
+
+impl Baseline {
+    /// Builds a baseline from flat metrics, one band per key at
+    /// `default_tol`.
+    pub fn from_metrics(name: &str, metrics: &BTreeMap<String, f64>, default_tol: f64) -> Baseline {
+        Baseline {
+            name: name.to_string(),
+            bands: metrics
+                .iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        Band {
+                            value: v,
+                            tol: default_tol,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the committed `baselines/*.json` format.
+    pub fn to_json(&self) -> Value {
+        let bands: Vec<(String, Value)> = self
+            .bands
+            .iter()
+            .map(|(k, b)| {
+                (
+                    k.clone(),
+                    Value::Obj(vec![
+                        ("value".to_string(), json::num(b.value)),
+                        ("tol".to_string(), json::num(b.tol)),
+                    ]),
+                )
+            })
+            .collect();
+        json::obj(vec![
+            ("name", json::s(&self.name)),
+            ("bands", Value::Obj(bands)),
+        ])
+    }
+
+    /// Parses the committed format back.
+    pub fn from_json(v: &Value) -> Result<Baseline, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("baseline without 'name'")?
+            .to_string();
+        let bands_obj = v
+            .get("bands")
+            .and_then(Value::as_obj)
+            .ok_or("baseline without 'bands' object")?;
+        let mut bands = BTreeMap::new();
+        for (k, bv) in bands_obj {
+            let value = bv
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or(format!("band '{k}' without numeric 'value'"))?;
+            let tol = bv
+                .get("tol")
+                .and_then(Value::as_f64)
+                .ok_or(format!("band '{k}' without numeric 'tol'"))?;
+            if tol < 0.0 || tol.is_nan() {
+                return Err(format!("band '{k}' has invalid tolerance {tol}"));
+            }
+            bands.insert(k.clone(), Band { value, tol });
+        }
+        Ok(Baseline { name, bands })
+    }
+
+    /// Grades `actual` against every band. Keys present in the run but
+    /// absent from the baseline are ignored — new metrics don't fail the
+    /// gate until blessed.
+    pub fn compare(&self, actual: &BTreeMap<String, f64>) -> CompareReport {
+        let rows = self
+            .bands
+            .iter()
+            .map(|(k, band)| {
+                let a = actual.get(k).copied();
+                let (deviation, status) = match a {
+                    None => (f64::INFINITY, Status::Fail),
+                    Some(a) => {
+                        let dev = (a - band.value).abs() / band.value.abs().max(1.0);
+                        let status = if dev > band.tol {
+                            Status::Fail
+                        } else if dev > band.tol / 2.0 {
+                            Status::Warn
+                        } else {
+                            Status::Pass
+                        };
+                        (dev, status)
+                    }
+                };
+                CompareRow {
+                    key: k.clone(),
+                    expected: band.value,
+                    actual: a,
+                    deviation,
+                    tol: band.tol,
+                    status,
+                }
+            })
+            .collect();
+        CompareReport { rows }
+    }
+}
+
+/// Flattens a JSON document into dotted-path numeric metrics: objects
+/// recurse with `.`-joined keys, arrays with numeric indices, booleans
+/// read as 0/1, strings and nulls are skipped. This is the bridge from
+/// the `BENCH_*.json` reports to the baseline key space.
+pub fn flatten_numbers(v: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten_into(v, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
+    let join = |suffix: &str| {
+        if prefix.is_empty() {
+            suffix.to_string()
+        } else {
+            format!("{prefix}.{suffix}")
+        }
+    };
+    match v {
+        Value::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Value::Bool(b) => {
+            out.insert(prefix, if *b { 1.0 } else { 0.0 });
+        }
+        Value::Obj(fields) => {
+            for (k, fv) in fields {
+                flatten_into(fv, join(k), out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, iv) in items.iter().enumerate() {
+                flatten_into(iv, join(&i.to_string()), out);
+            }
+        }
+        Value::Null | Value::Str(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn compare_grades_pass_warn_fail_and_missing() {
+        let base = Baseline::from_metrics(
+            "t",
+            &metrics(&[("a", 100.0), ("b", 100.0), ("c", 100.0), ("d", 100.0)]),
+            0.10,
+        );
+        let rep = base.compare(&metrics(&[
+            ("a", 102.0), // 2% < 5%: pass
+            ("b", 108.0), // 8% in (5%, 10%]: warn
+            ("c", 120.0), // 20% > 10%: fail
+        ]));
+        let by_key: BTreeMap<_, _> = rep.rows.iter().map(|r| (r.key.as_str(), r)).collect();
+        assert_eq!(by_key["a"].status, Status::Pass);
+        assert_eq!(by_key["b"].status, Status::Warn);
+        assert_eq!(by_key["c"].status, Status::Fail);
+        assert_eq!(by_key["d"].status, Status::Fail); // missing
+        assert_eq!(rep.worst(), Status::Fail);
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn zero_tolerance_demands_exactness() {
+        let base = Baseline::from_metrics("t", &metrics(&[("k", 3.0)]), 0.0);
+        assert!(base.compare(&metrics(&[("k", 3.0)])).passed());
+        assert!(!base.compare(&metrics(&[("k", 3.0000001)])).passed());
+    }
+
+    #[test]
+    fn small_expectations_use_absolute_deviation() {
+        // |e| < 1 divides by 1, not |e| — a 0.001 drift on a 0.01
+        // expectation is 0.1% deviation, not 10%.
+        let base = Baseline::from_metrics("t", &metrics(&[("k", 0.01)]), 0.01);
+        assert!(base.compare(&metrics(&[("k", 0.011)])).passed());
+    }
+
+    #[test]
+    fn extra_actual_keys_are_ignored() {
+        let base = Baseline::from_metrics("t", &metrics(&[("k", 1.0)]), 0.1);
+        let rep = base.compare(&metrics(&[("k", 1.0), ("new_metric", 5.0)]));
+        assert!(rep.passed());
+        assert_eq!(rep.rows.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_baseline() {
+        let base =
+            Baseline::from_metrics("BENCH_obs", &metrics(&[("a.b", 1.5), ("c", -2.0)]), 0.02);
+        let text = base.to_json().render();
+        let back = Baseline::from_json(&json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Baseline::from_json(&json::obj(vec![])).is_err());
+        let bad = json::obj(vec![
+            ("name", json::s("x")),
+            (
+                "bands",
+                Value::Obj(vec![(
+                    "k".to_string(),
+                    Value::Obj(vec![("value".to_string(), json::num(1.0))]),
+                )]),
+            ),
+        ]);
+        assert!(Baseline::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn flatten_walks_objects_arrays_and_bools() {
+        let doc = json::obj(vec![
+            ("total", json::num(10.0)),
+            (
+                "rows",
+                Value::Arr(vec![
+                    json::obj(vec![("x", json::num(1.0))]),
+                    json::obj(vec![("x", json::num(2.0))]),
+                ]),
+            ),
+            ("ok", Value::Bool(true)),
+            ("label", json::s("skipped")),
+        ]);
+        let flat = flatten_numbers(&doc);
+        assert_eq!(flat["total"], 10.0);
+        assert_eq!(flat["rows.0.x"], 1.0);
+        assert_eq!(flat["rows.1.x"], 2.0);
+        assert_eq!(flat["ok"], 1.0);
+        assert!(!flat.contains_key("label"));
+    }
+
+    #[test]
+    fn report_renders_failures_and_counts() {
+        let base = Baseline::from_metrics("t", &metrics(&[("a", 1.0), ("b", 1.0)]), 0.01);
+        let rep = base.compare(&metrics(&[("a", 1.0), ("b", 2.0)]));
+        let table = rep.render_table(false);
+        assert!(table.contains("FAIL"));
+        assert!(table.contains('b'));
+        assert!(!table.contains("pass a"), "quiet table hides passes");
+        assert!(table.contains("1 pass, 0 warn, 1 fail"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Derived analytics over MPT simulation traces: the analysis pass
+//! between "simulate" and "report".
+//!
+//! `wmpt-obs` records what happened — spans on the virtual clock,
+//! metric counters, Chrome-trace files. This crate turns those artifacts
+//! into the paper's claims and guards them:
+//!
+//! * [`critpath`] — critical-path extraction: charge every cycle of the
+//!   iteration window to the most blocking subsystem
+//!   (`ndp`/`dram_stall`/`tile_comm`/`collective`); the chain's total
+//!   equals the simulated cycle count exactly and attribution sums to
+//!   100%.
+//! * [`report`] — per-track busy/idle utilization, grid utilization,
+//!   top-k bottleneck spans, deterministic text tables.
+//! * [`svg`] — a self-contained SVG timeline of the trace (no deps, no
+//!   scripts), for CI artifacts and eyeballing.
+//! * [`baseline`] — committed perf expectations with tolerance bands and
+//!   a pass/warn/fail comparison API; `experiments --gate` exits
+//!   non-zero on regression.
+//!
+//! [`Analysis::of_trace`] bundles the first two over a live [`Tracer`]
+//! or one re-parsed from a Chrome-trace file via
+//! `Tracer::from_chrome_trace`.
+//!
+//! # Example
+//!
+//! ```
+//! use wmpt_analyze::{Analysis, Category};
+//! use wmpt_obs::Tracer;
+//!
+//! let mut t = Tracer::new();
+//! let iter = t.track("iter");
+//! t.span(iter, "layer", "forward", 0, 100);
+//! let noc = t.track("noc");
+//! t.span(noc, "noc", "tile_scatter", 0, 30);
+//!
+//! let a = Analysis::of_trace(&t);
+//! assert_eq!(a.critical_path.total, 100);
+//! assert_eq!(a.critical_path.attribution()[&Category::TileComm], 30);
+//! assert!(a.metrics().contains_key("critpath.share.tile_comm"));
+//! ```
+
+pub mod baseline;
+pub mod critpath;
+pub mod report;
+pub mod svg;
+
+pub use baseline::{flatten_numbers, Band, Baseline, CompareReport, CompareRow, Status};
+pub use critpath::{Category, CriticalPath, Segment};
+pub use report::{Bottleneck, TrackUtilization, UtilizationReport};
+pub use svg::timeline_svg;
+
+use std::collections::BTreeMap;
+
+use wmpt_obs::Tracer;
+
+/// How many bottleneck spans [`Analysis::of_trace`] keeps.
+pub const TOP_K: usize = 10;
+
+/// A complete trace analysis: critical path plus utilization report.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Critical path with category attribution.
+    pub critical_path: CriticalPath,
+    /// Per-track utilization and top-k bottlenecks.
+    pub utilization: UtilizationReport,
+}
+
+impl Analysis {
+    /// Analyzes a trace (top-[`TOP_K`] bottlenecks).
+    pub fn of_trace(trace: &Tracer) -> Analysis {
+        Analysis {
+            critical_path: CriticalPath::extract(trace),
+            utilization: UtilizationReport::build(trace, TOP_K),
+        }
+    }
+
+    /// The combined flat metric view (`critpath.*` + `util.*`), the key
+    /// space `mpt_sim analyze --baseline` gates on.
+    pub fn metrics(&self) -> BTreeMap<String, f64> {
+        let mut out = self.critical_path.metrics();
+        out.extend(self.utilization.metrics());
+        out
+    }
+
+    /// The full deterministic text report.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            self.critical_path.render_table(),
+            self.utilization.render_table()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_bundles_both_views() {
+        let mut t = Tracer::new();
+        let iter = t.track("iter");
+        t.span(iter, "layer", "forward", 0, 200);
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm_f", 0, 200);
+        let a = Analysis::of_trace(&t);
+        assert_eq!(a.critical_path.total, 200);
+        assert_eq!(a.utilization.domain, 200);
+        let m = a.metrics();
+        assert_eq!(m["critpath.total_cycles"], 200.0);
+        assert_eq!(m["util.worker0"], 1.0);
+        let text = a.render();
+        assert!(text.contains("critical path"));
+        assert!(text.contains("utilization"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Self-contained SVG timeline rendering of a span trace.
+//!
+//! No dependencies, no scripts, no external fonts — a single `<svg>`
+//! element with one row per track and one `<rect>` per span, colored by
+//! span category. The output is deterministic for a given trace (stable
+//! ordering, fixed-precision coordinates), so committed artifacts diff
+//! cleanly.
+
+use std::fmt::Write as _;
+
+use wmpt_obs::Tracer;
+
+/// Drawing constants: row geometry and the fixed category palette.
+const ROW_H: f64 = 22.0;
+const ROW_GAP: f64 = 6.0;
+const LABEL_W: f64 = 90.0;
+const PLOT_W: f64 = 960.0;
+const MARGIN: f64 = 10.0;
+
+/// Fill color for a span category. Unknown categories get a neutral
+/// gray, the explicit `idle` filler a faint one.
+fn color(cat: &str) -> &'static str {
+    match cat {
+        "ndp" => "#4e79a7",
+        "noc" => "#f28e2b",
+        "collective" => "#e15759",
+        "dram" => "#76b7b2",
+        "layer" => "#bab0ac",
+        "idle" => "#eeeeee",
+        _ => "#9c9c9c",
+    }
+}
+
+/// Renders the trace as a standalone SVG document.
+///
+/// Each track becomes a labelled row; span x-positions scale the full
+/// trace extent onto a fixed-width plot. Zero-length spans are skipped.
+pub fn timeline_svg(trace: &Tracer) -> String {
+    let spans = trace.spans();
+    let t0 = spans.iter().map(|s| s.start).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.end).max().unwrap_or(0);
+    let extent = (t1 - t0).max(1) as f64;
+    let n_rows = trace.tracks().len().max(1);
+    let width = MARGIN * 2.0 + LABEL_W + PLOT_W;
+    let height = MARGIN * 2.0 + n_rows as f64 * (ROW_H + ROW_GAP) + 16.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" font-family="monospace" font-size="11">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{width:.0}" height="{height:.0}" fill="#ffffff"/>"##
+    );
+    for (row, name) in trace.tracks().iter().enumerate() {
+        let y = MARGIN + row as f64 * (ROW_H + ROW_GAP);
+        let _ = writeln!(
+            out,
+            r##"<text x="{MARGIN:.0}" y="{:.1}" fill="#333333">{}</text>"##,
+            y + ROW_H * 0.7,
+            escape(name)
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.1}" y="{y:.1}" width="{PLOT_W:.1}" height="{ROW_H:.1}" fill="#f7f7f7"/>"##,
+            MARGIN + LABEL_W
+        );
+    }
+    for sp in spans {
+        if sp.end == sp.start {
+            continue;
+        }
+        let row = sp.track.index();
+        let y = MARGIN + row as f64 * (ROW_H + ROW_GAP);
+        let x = MARGIN + LABEL_W + (sp.start - t0) as f64 / extent * PLOT_W;
+        let w = ((sp.end - sp.start) as f64 / extent * PLOT_W).max(0.5);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{ROW_H:.1}" fill="{}"><title>{} [{} {}) {} cycles</title></rect>"##,
+            color(&sp.cat),
+            escape(&sp.name),
+            sp.start,
+            sp.end,
+            sp.end - sp.start
+        );
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="{:.1}" fill="#666666">{} .. {} cycles</text>"##,
+        MARGIN + LABEL_W,
+        height - MARGIN,
+        t0,
+        t1
+    );
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Minimal XML text escaping for span/track names.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_is_self_contained_and_deterministic() {
+        let mut t = Tracer::new();
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm<f>", 0, 100);
+        let n = t.track("noc");
+        t.span(n, "noc", "scatter", 20, 60);
+        let a = timeline_svg(&t);
+        assert_eq!(a, timeline_svg(&t));
+        assert!(a.starts_with("<svg "));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(a.contains("gemm&lt;f&gt;"));
+        assert!(a.contains("#4e79a7"));
+        let refs = a.matches("http://").count();
+        assert_eq!(refs, 1, "no external refs beyond the xmlns declaration");
+    }
+
+    #[test]
+    fn empty_trace_renders_a_valid_shell() {
+        let svg = timeline_svg(&Tracer::new());
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+}

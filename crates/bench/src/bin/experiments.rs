@@ -6,7 +6,14 @@
 //! cargo run -p wmpt-bench --release --bin experiments --list
 //! cargo run -p wmpt-bench --release --bin experiments --obs     # BENCH_obs.json
 //! cargo run -p wmpt-bench --release --bin experiments --jobs 4  # host threads
+//! cargo run -p wmpt-bench --release --bin experiments --gate    # perf gate
+//! cargo run -p wmpt-bench --release --bin experiments --bless   # new baselines
 //! ```
+//!
+//! `--gate` recomputes the `BENCH_obs.json`/`BENCH_par.json` reports
+//! in-memory and grades them against the committed `baselines/`; any
+//! metric outside its tolerance band exits non-zero. `--bless` rewrites
+//! the baselines from fresh reports after an intentional perf change.
 //!
 //! `--jobs N` runs the selected experiments on `N` host worker threads
 //! via the deterministic `wmpt-par` runtime (`0` or omitted = the host's
@@ -45,6 +52,40 @@ fn parse_jobs(args: &mut Vec<String>) -> usize {
 
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    // The perf gate and its blessing tool run before anything else: they
+    // own the process outcome and take no further arguments.
+    if args.iter().any(|a| a == "--gate") {
+        let dir = std::path::Path::new(wmpt_bench::gate::BASELINE_DIR);
+        match wmpt_bench::gate::run_gate(dir) {
+            Ok(outcome) => {
+                print!("{}", outcome.text);
+                if outcome.passed {
+                    println!("perf gate: PASS");
+                } else {
+                    println!(
+                        "perf gate: FAIL — see rows above; bless intentional changes with --bless"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("perf gate could not run: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--bless") {
+        let dir = std::path::Path::new(wmpt_bench::gate::BASELINE_DIR);
+        let written = wmpt_bench::gate::bless(dir).unwrap_or_else(|e| {
+            eprintln!("bless failed: {e}");
+            std::process::exit(1);
+        });
+        for p in written {
+            eprintln!("wrote {}", p.display());
+        }
+        return;
+    }
     let jobs = parse_jobs(&mut args);
     if let Some(i) = args.iter().position(|a| a == "--tsv") {
         args.remove(i);

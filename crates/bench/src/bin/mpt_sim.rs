@@ -10,6 +10,7 @@
 //!                                      # under an injected fault
 //!
 //! mpt-sim layer Late-2 w_mp++ --trace-out trace.json --metrics-out m.json
+//! mpt-sim analyze --trace-in trace.json --svg-out timeline.svg
 //! ```
 //!
 //! `--trace-out <path>` writes a Chrome `trace_event` JSON of the
@@ -17,16 +18,25 @@
 //! prints the per-phase rollup; `--metrics-out <path>` writes the metric
 //! registry. Both apply to the `layer` and `network` commands.
 //!
+//! `analyze` re-parses a `--trace-out` file and prints the derived
+//! critical-path attribution and utilization report; `--svg-out` renders
+//! a self-contained timeline, `--report-out` saves the text report, and
+//! `--baseline <file>` grades the analysis metrics against a committed
+//! baseline, exiting non-zero on regression.
+//!
 //! `--jobs <n>` simulates the configs of a `layer <l> all` /
 //! `network <n> all` sweep on `n` host threads via the deterministic
 //! `wmpt-par` runtime (`0` or omitted = available parallelism); rows
-//! print in config order and are bit-identical for any `n`. Runs with
-//! observation sinks stay serial — spans land in one trace.
+//! print in config order and are bit-identical for any `n` — including
+//! with sinks: each config records into its own observer, metrics merge
+//! in shard-index order, and traces concatenate in config order, so the
+//! written files match a serial run byte-for-byte.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::exit;
 
+use wmpt_analyze::{timeline_svg, Analysis, Baseline};
 use wmpt_core::{
     simulate_layer, simulate_layer_observed, simulate_network, simulate_network_observed,
     SystemConfig, SystemModel,
@@ -34,7 +44,7 @@ use wmpt_core::{
 use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, ResilienceConfig, Scenario};
 use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
-use wmpt_obs::Observer;
+use wmpt_obs::{json, MetricShards, Observer, Tracer};
 use wmpt_par::{available_jobs, ParPool};
 
 fn usage() -> ! {
@@ -43,10 +53,15 @@ fn usage() -> ! {
          mpt-sim network <wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
          mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
          mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n  \
-         mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n\n\
+         mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n  \
+         mpt-sim analyze --trace-in <file> [--baseline <file>]\n\n\
          options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
          \x20                     --metrics-out <file> metric registry JSON\n\
-         \x20                     --jobs <n>           host threads (0 = auto)\n\n\
+         \x20                     --jobs <n>           host threads (0 = auto)\n\
+         options (analyze):       --trace-in <file>    trace to analyze\n\
+         \x20                     --baseline <file>    gate against bands\n\
+         \x20                     --svg-out <file>     timeline SVG\n\
+         \x20                     --report-out <file>  text report\n\n\
          configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++\n\
          scenarios: single-link dead-worker bit-flip straggler host-flap chaos"
     );
@@ -176,6 +191,35 @@ fn run_plan(name: &str, cfg: &str) {
     );
 }
 
+/// Runs one observed simulation per config on the pool, each into its
+/// own private `Observer`, then merges: metrics fold through
+/// [`MetricShards`] in shard-index order, and traces concatenate in
+/// config order with each appended past the layers already recorded
+/// (`Tracer::append_offset`). The merged `obs` is therefore identical
+/// for every `--jobs` value — parallel sweeps keep their sinks.
+fn observed_sweep<R: Send>(
+    pool: &ParPool,
+    n: usize,
+    obs: &mut Observer,
+    sim: impl Fn(usize, &mut Observer) -> R + Sync,
+) -> Vec<R> {
+    let shards = MetricShards::new(n);
+    let runs = pool.map_indexed(n, |i| {
+        let mut o = Observer::new();
+        let r = sim(i, &mut o);
+        shards.record(i, |reg| reg.merge(&o.metrics));
+        (r, o.trace)
+    });
+    let mut results = Vec::with_capacity(n);
+    for (r, trace) in runs {
+        let offset = obs.trace.category_cycles("layer");
+        obs.trace.append_offset(&trace, offset);
+        results.push(r);
+    }
+    obs.metrics.merge(&shards.merge());
+    results
+}
+
 fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPool) {
     let Some(layer) = find_layer(name) else {
         usage()
@@ -187,11 +231,10 @@ fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPo
         "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
     );
-    // Observed runs stay serial: all spans must land in one trace.
     let results = if obs_args.enabled() {
-        cfgs.iter()
-            .map(|&sys| simulate_layer_observed(&model, &layer, sys, &mut obs))
-            .collect()
+        observed_sweep(pool, cfgs.len(), &mut obs, |i, o| {
+            simulate_layer_observed(&model, &layer, cfgs[i], o)
+        })
     } else {
         pool.map_indexed(cfgs.len(), |i| simulate_layer(&model, &layer, cfgs[i]))
     };
@@ -227,9 +270,9 @@ fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &Par
         "config", "cycles/iter", "images/s", "power (W)", "organization mix"
     );
     let results = if obs_args.enabled() {
-        cfgs.iter()
-            .map(|&sys| simulate_network_observed(&model, &net, sys, &mut obs))
-            .collect()
+        observed_sweep(pool, cfgs.len(), &mut obs, |i, o| {
+            simulate_network_observed(&model, &net, cfgs[i], o)
+        })
     } else {
         pool.map_indexed(cfgs.len(), |i| simulate_network(&model, &net, cfgs[i]))
     };
@@ -372,11 +415,90 @@ fn run_faults(args: &[String]) {
     );
 }
 
+/// Re-parses a `--trace-out` file, prints the derived critical-path and
+/// utilization report, and optionally renders the SVG timeline, saves
+/// the text report, or grades the metrics against a baseline (non-zero
+/// exit on regression).
+fn run_analyze(args: &[String]) {
+    let mut trace_in: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut svg_out: Option<PathBuf> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            if i + 1 >= args.len() {
+                eprintln!("{} needs a value", args[i]);
+                usage();
+            }
+            &args[i + 1]
+        };
+        let slot = match args[i].as_str() {
+            "--trace-in" => &mut trace_in,
+            "--baseline" => &mut baseline,
+            "--svg-out" => &mut svg_out,
+            "--report-out" => &mut report_out,
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        };
+        *slot = Some(PathBuf::from(value(i)));
+        i += 2;
+    }
+    let Some(path) = trace_in else {
+        eprintln!("analyze requires --trace-in");
+        usage();
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("{}: {msg}", path.display());
+        exit(1);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read: {e}")));
+    let doc = json::parse(&text).unwrap_or_else(|e| fail(e.to_string()));
+    let trace = Tracer::from_chrome_trace(&doc).unwrap_or_else(|e| fail(e));
+    let analysis = Analysis::of_trace(&trace);
+    let rendered = analysis.render();
+    print!("{rendered}");
+    if let Some(p) = &report_out {
+        std::fs::write(p, &rendered).expect("report path must be writable");
+        eprintln!("wrote {}", p.display());
+    }
+    if let Some(p) = &svg_out {
+        std::fs::write(p, timeline_svg(&trace)).expect("svg path must be writable");
+        eprintln!("wrote {}", p.display());
+    }
+    if let Some(p) = &baseline {
+        let read = |e: String| -> ! {
+            eprintln!("{}: {e}", p.display());
+            exit(1);
+        };
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| read(format!("cannot read: {e}")));
+        let doc = json::parse(&text).unwrap_or_else(|e| read(e.to_string()));
+        let base = Baseline::from_json(&doc).unwrap_or_else(|e| read(e));
+        let report = base.compare(&analysis.metrics());
+        println!(
+            "\n== analyze vs {}: {} ==",
+            p.display(),
+            report.worst().name()
+        );
+        print!("{}", report.render_table(false));
+        if !report.passed() {
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("faults") {
         // `faults` owns its flags; the obs sinks do not apply to it.
         run_faults(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        // so does `analyze` — it consumes artifacts instead of making them.
+        run_analyze(&args[1..]);
         return;
     }
     let obs_args = ObsArgs::extract(&mut args);

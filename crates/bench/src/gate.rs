@@ -1,0 +1,193 @@
+//! Perf-regression gate over the bench trajectory
+//! (`experiments --gate` / `--bless`).
+//!
+//! The committed `baselines/` directory holds one [`Baseline`] per bench
+//! report: `BENCH_obs.baseline.json` bands the fully deterministic
+//! simulated-cycle report (tight default tolerance — any model change
+//! must be blessed), and `BENCH_par.baseline.json` bands only the
+//! machine-independent keys of the wall-clock speedup report (exactly:
+//! determinism and definitional invariants). `--gate` recomputes both
+//! reports in-memory, grades them, and the caller turns a failing grade
+//! into a non-zero exit; `--bless` rewrites the baselines from fresh
+//! reports after an intentional perf change (see EXPERIMENTS.md).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wmpt_analyze::{flatten_numbers, Band, Baseline, CompareReport};
+use wmpt_obs::json::{self, Value};
+
+/// Directory (relative to the repo root) holding committed baselines.
+pub const BASELINE_DIR: &str = "baselines";
+/// Baseline file for `BENCH_obs.json`.
+pub const OBS_BASELINE: &str = "BENCH_obs.baseline.json";
+/// Baseline file for `BENCH_par.json`.
+pub const PAR_BASELINE: &str = "BENCH_par.baseline.json";
+
+/// Default relative tolerance for the deterministic obs report. The
+/// simulated cycle counts are exact, but a small band keeps the gate
+/// robust to float-formatting noise while still catching any real
+/// model drift.
+const OBS_TOL: f64 = 0.02;
+
+/// Machine-independent keys of `BENCH_par.json`: the determinism
+/// contract and definitional invariants, banded exactly. Wall-clock ms
+/// and the host-dependent tail of the jobs ladder are deliberately
+/// not gated.
+const PAR_STABLE_KEYS: &[&str] = &[
+    "bit_identical",
+    "reps",
+    "rows.0.jobs",
+    "rows.0.speedup",
+    "rows.0.efficiency",
+];
+
+/// Flat, gateable view of the obs report: everything numeric except the
+/// `phases` rollup rows and histogram bucket vectors, whose array
+/// indices shift whenever a span category is added (the aggregate
+/// metrics already cover their content).
+pub fn obs_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
+    flatten_numbers(report)
+        .into_iter()
+        .filter(|(k, _)| !k.starts_with("phases.") && !k.contains(".buckets."))
+        .collect()
+}
+
+/// Flat, gateable view of the par report: [`PAR_STABLE_KEYS`] only.
+pub fn par_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
+    let flat = flatten_numbers(report);
+    PAR_STABLE_KEYS
+        .iter()
+        .filter_map(|&k| flat.get(k).map(|&v| (k.to_string(), v)))
+        .collect()
+}
+
+/// Computes fresh reports and writes both baselines into `dir`
+/// (creating it), returning the written paths.
+pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let obs = Baseline::from_metrics(
+        "BENCH_obs",
+        &obs_gate_metrics(&crate::obs_report::obs_report()),
+        OBS_TOL,
+    );
+    let par = Baseline::from_metrics(
+        "BENCH_par",
+        &par_gate_metrics(&crate::par_speedup::par_report()),
+        0.0,
+    );
+    let mut written = Vec::new();
+    for (file, base) in [(OBS_BASELINE, &obs), (PAR_BASELINE, &par)] {
+        let path = dir.join(file);
+        std::fs::write(&path, base.to_json().render() + "\n")?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// The gate's outcome: a rendered report and the pass/fail verdict.
+pub struct GateOutcome {
+    /// Human-readable comparison tables for both reports.
+    pub text: String,
+    /// `true` when no gated metric regressed beyond its band.
+    pub passed: bool,
+}
+
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e} (run --bless first?)", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Baseline::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// A fresh-report producer in the gate's flat metric space.
+type FreshMetrics = fn() -> BTreeMap<String, f64>;
+
+/// Recomputes both bench reports and grades them against the baselines
+/// in `dir`. `Err` means the gate could not run (missing/corrupt
+/// baseline), which callers should also treat as failure.
+pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
+    let checks: [(&str, &str, FreshMetrics); 2] = [
+        ("BENCH_obs", OBS_BASELINE, || {
+            obs_gate_metrics(&crate::obs_report::obs_report())
+        }),
+        ("BENCH_par", PAR_BASELINE, || {
+            par_gate_metrics(&crate::par_speedup::par_report())
+        }),
+    ];
+    let mut text = String::new();
+    let mut passed = true;
+    for (name, file, fresh) in checks {
+        let baseline = load_baseline(&dir.join(file))?;
+        let report: CompareReport = baseline.compare(&fresh());
+        passed &= report.passed();
+        let _ = writeln!(text, "== {name} vs {file}: {} ==", report.worst().name());
+        text.push_str(&report.render_table(false));
+    }
+    Ok(GateOutcome { text, passed })
+}
+
+/// Perturbs one band of a serialized baseline document by `factor` —
+/// test hook for proving the gate trips (kept here so integration tests
+/// and CI share one implementation).
+pub fn perturb_baseline(doc: &Value, key: &str, factor: f64) -> Option<Value> {
+    let base = Baseline::from_json(doc).ok()?;
+    let mut bands = base.bands;
+    let band = bands.get_mut(key)?;
+    *band = Band {
+        value: band.value * factor,
+        tol: band.tol,
+    };
+    Some(
+        Baseline {
+            name: base.name,
+            bands,
+        }
+        .to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_gate_metrics_cover_analysis_but_not_phase_indices() {
+        let m = obs_gate_metrics(&crate::obs_report::obs_report());
+        assert!(m.contains_key("total_cycles"));
+        assert!(m.contains_key("analysis.critpath.total_cycles"));
+        assert!(m.contains_key("analysis.util.grid"));
+        assert!(m.keys().all(|k| !k.starts_with("phases.")));
+        assert!(m.keys().all(|k| !k.contains(".buckets.")));
+        assert!(m.len() > 30, "only {} gated keys", m.len());
+    }
+
+    #[test]
+    fn bless_then_gate_passes_and_perturbation_fails() {
+        let dir = std::env::temp_dir().join(format!("wmpt_gate_test_{}", std::process::id()));
+        let written = bless(&dir).expect("bless writes baselines");
+        assert_eq!(written.len(), 2);
+        let outcome = run_gate(&dir).expect("gate runs");
+        assert!(outcome.passed, "clean gate failed:\n{}", outcome.text);
+
+        // Perturb one deterministic band beyond tolerance: must fail.
+        let path = dir.join(OBS_BASELINE);
+        let doc =
+            json::parse(&std::fs::read_to_string(&path).expect("read")).expect("baseline parses");
+        let bad = perturb_baseline(&doc, "total_cycles", 1.5).expect("key exists");
+        std::fs::write(&path, bad.render()).expect("rewrite");
+        let outcome = run_gate(&dir).expect("gate runs");
+        assert!(!outcome.passed, "perturbed gate passed:\n{}", outcome.text);
+        assert!(outcome.text.contains("FAIL"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_without_baselines_is_an_error() {
+        let dir = std::env::temp_dir().join("wmpt_gate_test_missing");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(run_gate(&dir).is_err());
+    }
+}

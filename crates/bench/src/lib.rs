@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod gate;
 pub mod obs_report;
 pub mod par_speedup;
 pub mod report;

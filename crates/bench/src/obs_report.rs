@@ -2,14 +2,17 @@
 //!
 //! Runs one observed training iteration of a fixed VGG-like layer
 //! (256→256 channels, 3×3 kernel, 28×28 maps) on a 16-worker system at
-//! `(N_g, N_c) = (4, 4)` and serializes the per-phase cycle rollup plus
-//! the full metric registry. The fixed workload makes the file diffable
-//! across commits: any change to the execution model shows up as a
-//! numeric delta here.
+//! `(N_g, N_c) = (4, 4)` and serializes the per-phase cycle rollup, the
+//! full metric registry, and the derived `wmpt-analyze` view (critical
+//! path attribution + utilization). The fixed workload makes the file
+//! diffable across commits: any change to the execution model shows up
+//! as a numeric delta here — and `experiments --gate` turns that delta
+//! into an exit code via the committed `baselines/`.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
+use wmpt_analyze::Analysis;
 use wmpt_core::{simulate_layer_with_observed, SystemConfig, SystemModel};
 use wmpt_models::ConvLayerSpec;
 use wmpt_noc::ClusterConfig;
@@ -48,6 +51,14 @@ pub fn obs_report() -> Value {
         })
         .collect();
 
+    // Derived analytics over the same trace: critical-path attribution
+    // and per-track utilization, in the flat key space the gate bands.
+    let analysis: Vec<(String, Value)> = Analysis::of_trace(&obs.trace)
+        .metrics()
+        .into_iter()
+        .map(|(k, v)| (k, num(v)))
+        .collect();
+
     obj(vec![
         ("layer", s(&layer.name)),
         ("config", s(sys.abbrev())),
@@ -58,6 +69,7 @@ pub fn obs_report() -> Value {
         ("backward_cycles", num(r.backward.cycles)),
         ("collective_cycles", num(r.collective_cycles)),
         ("tile_comm_cycles", num(r.tile_comm_cycles)),
+        ("analysis", Value::Obj(analysis)),
         ("phases", Value::Arr(phases)),
         ("metrics", obs.metrics.to_json()),
     ])
@@ -105,5 +117,21 @@ mod tests {
                 "missing {cat}"
             );
         }
+        // The derived critical path reconciles with the headline exactly.
+        let analysis = back.get("analysis").expect("analysis section");
+        let cp_total = analysis
+            .get("critpath.total_cycles")
+            .and_then(|v| v.as_f64())
+            .expect("critpath total");
+        assert_eq!(cp_total, total.round());
+        let share: f64 = ["ndp", "dram_stall", "tile_comm", "collective"]
+            .iter()
+            .filter_map(|c| {
+                analysis
+                    .get(&format!("critpath.share.{c}"))
+                    .and_then(|v| v.as_f64())
+            })
+            .sum();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
     }
 }

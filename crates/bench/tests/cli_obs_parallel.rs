@@ -1,0 +1,204 @@
+//! Sink-enabled parallel sweeps, the `mpt_sim analyze` subcommand, and
+//! the `experiments --gate` perf-regression contract — exercised through
+//! the real binaries so exit codes and written artifacts are the ones
+//! CI sees.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use wmpt_analyze::{Analysis, Baseline};
+use wmpt_bench::gate::perturb_baseline;
+use wmpt_obs::{json, Tracer};
+
+fn mpt_sim(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mpt_sim"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn mpt_sim")
+}
+
+fn experiments(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn experiments")
+}
+
+/// Fresh scratch directory, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wmpt_cli_{name}_{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn parallel_sweep_with_sinks_is_bit_identical_to_serial() {
+    let dir = scratch("par_sinks");
+    for (jobs, tag) in [("1", "a"), ("4", "b")] {
+        let out = mpt_sim(
+            &dir,
+            &[
+                "layer",
+                "Late-2",
+                "all",
+                "--jobs",
+                jobs,
+                "--trace-out",
+                &format!("t_{tag}.json"),
+                "--metrics-out",
+                &format!("m_{tag}.json"),
+            ],
+        );
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        fs::write(dir.join(format!("out_{tag}.txt")), &out.stdout).unwrap();
+    }
+    for file in ["t", "m", "out"] {
+        let a = fs::read(dir.join(format!(
+            "{file}_a.{}",
+            if file == "out" { "txt" } else { "json" }
+        )))
+        .unwrap();
+        let b = fs::read(dir.join(format!(
+            "{file}_b.{}",
+            if file == "out" { "txt" } else { "json" }
+        )))
+        .unwrap();
+        assert_eq!(a, b, "{file} differs between --jobs 1 and --jobs 4");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_reports_critical_path_and_gates_against_a_baseline() {
+    let dir = scratch("analyze");
+    let run = mpt_sim(
+        &dir,
+        &["layer", "Late-2", "w_mp++", "--trace-out", "trace.json"],
+    );
+    assert!(run.status.success());
+
+    // Plain analyze: report on stdout, SVG + text report on disk.
+    let out = mpt_sim(
+        &dir,
+        &[
+            "analyze",
+            "--trace-in",
+            "trace.json",
+            "--svg-out",
+            "timeline.svg",
+            "--report-out",
+            "report.txt",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "analyze failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("critical path:"), "no critical path:\n{text}");
+    assert!(text.contains("utilization over"), "no utilization:\n{text}");
+    let svg = fs::read_to_string(dir.join("timeline.svg")).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    assert_eq!(
+        fs::read_to_string(dir.join("report.txt")).expect("report written"),
+        text,
+        "--report-out must capture exactly the printed report"
+    );
+
+    // An exact baseline built from the same trace passes ...
+    let doc = json::parse(&fs::read_to_string(dir.join("trace.json")).unwrap()).unwrap();
+    let trace = Tracer::from_chrome_trace(&doc).unwrap();
+    let base = Baseline::from_metrics("trace", &Analysis::of_trace(&trace).metrics(), 0.0);
+    let base_path = dir.join("baseline.json");
+    fs::write(&base_path, base.to_json().render()).unwrap();
+    let out = mpt_sim(
+        &dir,
+        &[
+            "analyze",
+            "--trace-in",
+            "trace.json",
+            "--baseline",
+            "baseline.json",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "exact baseline failed:\n{}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).contains(": pass =="));
+
+    // ... and a perturbed one trips the gate with exit 1.
+    let doc = json::parse(&fs::read_to_string(&base_path).unwrap()).unwrap();
+    let bad = perturb_baseline(&doc, "critpath.total_cycles", 1.5).expect("key exists");
+    fs::write(&base_path, bad.render()).unwrap();
+    let out = mpt_sim(
+        &dir,
+        &[
+            "analyze",
+            "--trace-in",
+            "trace.json",
+            "--baseline",
+            "baseline.json",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "perturbed baseline must exit 1");
+    assert!(stdout(&out).contains("FAIL"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_bad_invocations() {
+    let dir = scratch("analyze_bad");
+    // Missing the required input is a usage error (exit 2) ...
+    let out = mpt_sim(&dir, &["analyze"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let out = mpt_sim(&dir, &["analyze", "--trace-in", "t.json", "--bogus", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    // ... while an unreadable or malformed trace is a runtime error (1).
+    let out = mpt_sim(&dir, &["analyze", "--trace-in", "no_such.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    fs::write(dir.join("garbage.json"), "{not json").unwrap();
+    let out = mpt_sim(&dir, &["analyze", "--trace-in", "garbage.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiments_gate_blesses_passes_then_trips_on_perturbation() {
+    let dir = scratch("gate");
+    let out = experiments(&dir, &["--bless"]);
+    assert!(
+        out.status.success(),
+        "bless failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let obs_base = dir.join("baselines").join("BENCH_obs.baseline.json");
+    assert!(obs_base.is_file(), "bless must write the obs baseline");
+
+    let out = experiments(&dir, &["--gate"]);
+    assert!(out.status.success(), "clean gate failed:\n{}", stdout(&out));
+    assert!(stdout(&out).contains("perf gate: PASS"));
+
+    let doc = json::parse(&fs::read_to_string(&obs_base).unwrap()).unwrap();
+    let bad = perturb_baseline(&doc, "total_cycles", 1.5).expect("key exists");
+    fs::write(&obs_base, bad.render()).unwrap();
+    let out = experiments(&dir, &["--gate"]);
+    assert_eq!(out.status.code(), Some(1), "perturbed gate must exit 1");
+    assert!(stdout(&out).contains("perf gate: FAIL"));
+    fs::remove_dir_all(&dir).ok();
+}

@@ -14,9 +14,14 @@
 //! | `iter`       | `layer`      | `forward` and `backward` phase windows; their union tiles `[0, total_cycles)` exactly, so the `layer` rollup reconciles with the headline cycle count by construction. |
 //! | `worker0`    | `ndp`        | compute stages (`tf_in`, `gemm_f`, …) tiling each phase window proportionally to their busy cycles (resources overlap in reality; spans show shares). |
 //! | `noc`        | `noc`        | tile `tile_scatter` / `tile_gather` sub-phases at their modeled durations. |
+//! | `noc`        | `idle`       | `noc_idle` filler from the end of a phase's tile transfers to the end of its window (absent when the transfers reach or overflow the window). |
 //! | `collective` | `collective` | `reduce` and `broadcast` halves of the weight collective. |
+//! | `dram0`      | `dram`       | `stall` tail of each phase window: cycles the DRAM stream overhangs compute in the pipelined cost model (absent for compute-bound phases). |
 
-use wmpt_ndp::{record_dram_profile, record_utilization, record_worker_cost, Dram, DramConfig};
+use wmpt_ndp::{
+    dram_stall_cycles, record_dram_profile, record_utilization, record_worker_cost, Dram,
+    DramConfig,
+};
 use wmpt_ndp::{TaskGraph, TaskKind};
 use wmpt_noc::{
     all_to_all_flows, record_flows, ring_collective_cycles_observed, tile_pair_bytes, ClusterConfig,
@@ -80,8 +85,28 @@ pub fn simulate_layer_with_observed(
         &det.bwd_stages,
     );
 
+    // DRAM-stall tails: the overhang of the DRAM stream past compute in
+    // the pipelined cost model, placed at the end of each phase window
+    // (the stream drains last). Clipped to the window — phase cycles can
+    // exceed the worker-local pipeline when communication dominates.
+    let t_dram = obs.trace.track("dram0");
+    for (cost, win_start, win) in [
+        (&det.fwd_cost, base, fwd),
+        (&det.bwd_cost, base + fwd, total - fwd),
+    ] {
+        let stall = dram_stall_cycles(&model.ndp, cost).min(win);
+        if stall > 0 {
+            let end = win_start + win;
+            obs.trace.span(t_dram, "dram", "stall", end - stall, end);
+        }
+    }
+
     // Tile-transfer sub-phases at their modeled durations, back to back
-    // from each phase's start (the model runs scatter then gather).
+    // from each phase's start (the model runs scatter then gather). When
+    // the transfers end short of the phase window, the remainder is an
+    // explicit `idle` span so NoC busy/idle accounting reads off the
+    // trace directly; they can also overflow the window (per-class
+    // cycles are modeled pre-overlap), in which case there is no idle.
     let t_noc = obs.trace.track("noc");
     let mut cursor = base;
     for ph in &det.fwd_comm {
@@ -89,11 +114,19 @@ pub fn simulate_layer_with_observed(
         obs.trace.span(t_noc, "noc", ph.class.name(), cursor, end);
         cursor = end;
     }
+    if cursor < base + fwd {
+        obs.trace
+            .span(t_noc, "idle", "noc_idle", cursor, base + fwd);
+    }
     cursor = base + fwd;
     for ph in &det.bwd_comm {
         let end = cursor + ph.cycles.round() as u64;
         obs.trace.span(t_noc, "noc", ph.class.name(), cursor, end);
         cursor = end;
+    }
+    if cursor < base + total {
+        obs.trace
+            .span(t_noc, "idle", "noc_idle", cursor, base + total);
     }
 
     // Weight collective after the backward tile transfer.

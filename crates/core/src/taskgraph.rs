@@ -171,6 +171,34 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_reconciles_with_makespan_and_names_the_bottleneck() {
+        let ndp = NdpParams::paper_fp32();
+        let big = ConvLayerSpec::new("big", 256, 256, 28, 28, 3);
+        let c = compile_forward(&ndp, &big, ClusterConfig::new(16, 16), 256, 2, 4);
+        let sched = c.graph.execute();
+        let path = c.graph.critical_path(&sched);
+        // The chain is gapless from 0 to the makespan.
+        let total: u64 = path.iter().map(|&id| c.graph.task(id).cycles).sum();
+        assert_eq!(total, sched.makespan());
+        // And it identifies the bottleneck resource: in the steady state of
+        // this GEMM-bound pipeline, critical cycles are dominated by the
+        // kind with the largest analytical busy total.
+        let gemm_cycles: u64 = path
+            .iter()
+            .filter(|&&id| c.graph.task(id).kind == TaskKind::Gemm)
+            .map(|&id| c.graph.task(id).cycles)
+            .sum();
+        assert!(
+            c.analytical.systolic_cycles > c.analytical.vector_cycles,
+            "probe layer should be GEMM-bound"
+        );
+        assert!(
+            gemm_cycles * 2 > total,
+            "GEMM holds {gemm_cycles} of {total} critical cycles"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "Winograd layer")]
     fn rejects_non_winograd_layers() {
         let ndp = NdpParams::paper_fp32();

@@ -44,6 +44,15 @@ pub fn record_utilization(
     );
 }
 
+/// Cycles a phase spends stalled on DRAM: the amount by which the DRAM
+/// stream outruns the compute pipelines in the pipelined cost model
+/// ([`WorkerCost::pipelined_cycles`] = max(systolic, vector, dram)).
+/// Zero when the phase is compute-bound.
+pub fn dram_stall_cycles(params: &NdpParams, cost: &WorkerCost) -> Time {
+    cost.dram_cycles(params)
+        .saturating_sub(cost.systolic_cycles.max(cost.vector_cycles))
+}
+
 /// Records a detailed-DRAM-model run: row-buffer hits and misses.
 pub fn record_dram(reg: &mut MetricRegistry, dram: &Dram) {
     reg.inc(MetricKey::DramRowHits, dram.row_hits());
@@ -105,6 +114,25 @@ mod tests {
         record_utilization(&mut reg, &p, &c, 100);
         assert_eq!(reg.gauge(MetricKey::SystolicUtilization), Some(0.8));
         assert_eq!(reg.gauge(MetricKey::VectorUtilization), Some(0.2));
+    }
+
+    #[test]
+    fn dram_stall_is_excess_over_compute() {
+        let p = NdpParams::paper_fp32();
+        let mut c = WorkerCost {
+            systolic_cycles: 100,
+            vector_cycles: 40,
+            ..Default::default()
+        };
+        // No DRAM traffic: compute-bound, no stall.
+        c.dram_bytes = 0;
+        assert_eq!(dram_stall_cycles(&p, &c), 0);
+        // Enough traffic that the stream dominates: stall is the overhang,
+        // and pipelined = compute + stall.
+        c.dram_bytes = 1_000_000;
+        let stall = dram_stall_cycles(&p, &c);
+        assert_eq!(c.dram_cycles(&p), 100 + stall);
+        assert_eq!(c.pipelined_cycles(&p), 100 + stall);
     }
 
     #[test]

@@ -117,6 +117,72 @@ impl TaskGraph {
         self.tasks.len()
     }
 
+    /// The task with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// The critical path of an executed graph: a gapless chain of tasks
+    /// from cycle 0 to the makespan, where each task either waited on a
+    /// dependency or was serialized behind another task on its resource.
+    /// Returned in execution order; the chain's cycles sum to the
+    /// makespan exactly. Ties pick the smallest task id, so the result is
+    /// deterministic. Empty for an empty graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched` was not produced by executing this graph.
+    pub fn critical_path(&self, sched: &Schedule) -> Vec<TaskId> {
+        assert_eq!(
+            sched.finish.len(),
+            self.tasks.len(),
+            "schedule/graph mismatch"
+        );
+        let makespan = sched.makespan();
+        let Some(mut cur) = (0..self.tasks.len())
+            .filter(|&id| sched.finish[id] == makespan)
+            .min()
+        else {
+            return Vec::new();
+        };
+        let mut on_path = vec![false; self.tasks.len()];
+        on_path[cur] = true;
+        let mut path = vec![cur];
+        loop {
+            let task = &self.tasks[cur];
+            let start = sched.finish[cur] - task.cycles;
+            if start == 0 {
+                break;
+            }
+            // Why did `cur` not start earlier? Either a producer finished
+            // exactly at `start`, or its resource was occupied until then.
+            // (`on_path` only filters zero-cycle degeneracies — a task with
+            // real width cannot justify two points on the chain.)
+            let dep = task
+                .deps
+                .iter()
+                .copied()
+                .filter(|&d| !on_path[d] && sched.finish[d] == start)
+                .min();
+            let blocker = dep.or_else(|| {
+                (0..self.tasks.len())
+                    .filter(|&o| {
+                        !on_path[o] && self.tasks[o].kind == task.kind && sched.finish[o] == start
+                    })
+                    .min()
+            });
+            cur = blocker.expect("executed schedule has a gapless critical chain");
+            on_path[cur] = true;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
     /// `true` when the graph has no tasks.
     pub fn is_empty(&self) -> bool {
         self.tasks.is_empty()
@@ -240,6 +306,68 @@ mod tests {
         }
         let s = g.execute();
         assert_eq!(s.finish(last), 30 + 8 * 50);
+    }
+
+    fn assert_gapless(g: &TaskGraph, s: &Schedule, path: &[TaskId]) {
+        assert!(!path.is_empty());
+        let mut at = 0;
+        for &id in path {
+            let start = s.finish(id) - g.task(id).cycles;
+            assert_eq!(start, at, "gap before task {id}");
+            at = s.finish(id);
+        }
+        assert_eq!(at, s.makespan(), "chain does not reach the makespan");
+    }
+
+    #[test]
+    fn critical_path_follows_dependency_chain() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Dma, 10, &[]);
+        let b = g.add(TaskKind::Gemm, 50, &[a]);
+        let c = g.add(TaskKind::Vector, 80, &[a]);
+        let d = g.add(TaskKind::Dma, 5, &[b, c]);
+        let s = g.execute();
+        let path = g.critical_path(&s);
+        assert_eq!(path, vec![a, c, d]);
+        assert_gapless(&g, &s, &path);
+        let _ = b;
+    }
+
+    #[test]
+    fn critical_path_crosses_resource_serialization() {
+        // Two independent GEMMs serialize on the array; the chain must
+        // walk through the first one even without a dependency edge.
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Gemm, 100, &[]);
+        let b = g.add(TaskKind::Gemm, 70, &[]);
+        let s = g.execute();
+        let path = g.critical_path(&s);
+        assert_eq!(path, vec![a, b]);
+        assert_gapless(&g, &s, &path);
+    }
+
+    #[test]
+    fn critical_path_of_pipeline_sums_to_makespan() {
+        let mut g = TaskGraph::new();
+        let mut prev_load = None;
+        for _ in 0..8 {
+            let deps: Vec<TaskId> = prev_load.into_iter().collect();
+            let load = g.add(TaskKind::Dma, 30, &deps);
+            g.add(TaskKind::Gemm, 50, &[load]);
+            prev_load = Some(load);
+        }
+        let s = g.execute();
+        let path = g.critical_path(&s);
+        assert_gapless(&g, &s, &path);
+        let total: Time = path.iter().map(|&id| g.task(id).cycles).sum();
+        assert_eq!(total, s.makespan());
+    }
+
+    #[test]
+    fn critical_path_of_empty_graph_is_empty() {
+        let g = TaskGraph::new();
+        let s = g.execute();
+        assert!(g.critical_path(&s).is_empty());
     }
 
     #[test]

@@ -357,20 +357,26 @@ impl Histogram {
 
     /// Estimated value at quantile `q` in `[0, 1]` (0 when empty).
     ///
-    /// Walks the power-of-two buckets to the one holding the sample of
-    /// rank `ceil(q * count)` and interpolates linearly inside it, then
-    /// clamps to the exact `[min, max]` observed — so p0 is `min`, p100
-    /// is `max`, and any quantile is within one bucket width (a factor
-    /// of 2) of the true sample value.
+    /// Edge cases are defined without bucket interpolation: an empty
+    /// histogram returns 0; `q <= 0` (and NaN `q`) returns `min`;
+    /// `q >= 1` returns `max`; a single sample — or any histogram whose
+    /// samples are all equal — returns that exact value. Otherwise walks
+    /// the power-of-two buckets to the one holding the sample of rank
+    /// `ceil(q * count)` and interpolates linearly inside it, then clamps
+    /// to the exact `[min, max]` observed — so any quantile is within one
+    /// bucket width (a factor of 2) of the true sample value.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        if q <= 0.0 {
+        if q.is_nan() || q <= 0.0 {
             return self.min;
         }
         if q >= 1.0 {
             return self.max;
+        }
+        if self.count == 1 || self.min == self.max {
+            return self.min;
         }
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut below = 0u64;
@@ -726,11 +732,37 @@ mod tests {
     #[test]
     fn percentile_of_empty_and_singleton() {
         let h = Histogram::new();
-        assert_eq!(h.percentile(0.5), 0.0);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
         let mut h = Histogram::new();
         h.observe(42.0);
-        assert_eq!(h.percentile(0.5), 42.0);
-        assert_eq!(h.percentile(0.99), 42.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 42.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_edge_quantiles_and_degenerate_inputs() {
+        let mut h = Histogram::new();
+        h.observe(7.0);
+        h.observe(7.0);
+        h.observe(7.0);
+        // All-equal samples: every quantile is the exact value, not a
+        // bucket-interpolated estimate.
+        for q in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            assert_eq!(h.percentile(q), 7.0, "q = {q}");
+        }
+        let mut h = Histogram::new();
+        h.observe(3.0);
+        h.observe(100.0);
+        // Out-of-range and non-finite q resolve to the observed extremes.
+        assert_eq!(h.percentile(-0.5), 3.0);
+        assert_eq!(h.percentile(0.0), 3.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+        assert_eq!(h.percentile(7.5), 100.0);
+        assert_eq!(h.percentile(f64::NAN), 3.0);
+        assert_eq!(h.percentile(f64::INFINITY), 100.0);
     }
 
     #[test]

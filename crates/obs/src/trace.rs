@@ -16,6 +16,13 @@ use wmpt_sim::Time;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TrackId(usize);
 
+impl TrackId {
+    /// The track's position in registration order (its Chrome `tid`).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// One completed span on a track.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
@@ -136,6 +143,11 @@ impl Tracer {
         &self.tracks[track.0]
     }
 
+    /// All registered track names, in registration (`tid`) order.
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
     /// Builds the Chrome `trace_event` document:
     /// `{"traceEvents": [...], "displayTimeUnit": "ns"}` with one `ph:"M"`
     /// `thread_name` metadata event per track and one `ph:"X"` complete
@@ -178,6 +190,99 @@ impl Tracer {
     /// Writes [`Tracer::chrome_trace`] to `path`.
     pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.chrome_trace().render())
+    }
+
+    /// Rebuilds a tracer from a [`Tracer::chrome_trace`] document.
+    ///
+    /// Track names come from the `ph:"M"` `thread_name` metadata events
+    /// (registered in ascending `tid` order, which is the original
+    /// registration order); spans come from the `ph:"X"` complete events
+    /// in document order. Cycle times are read from the exact
+    /// `args.start_cycle` / `args.cycles` payloads when present, falling
+    /// back to the microsecond `ts` / `dur` fields (× 1000) — so a trace
+    /// produced by this crate round-trips bit-exactly.
+    pub fn from_chrome_trace(doc: &Value) -> Result<Tracer, String> {
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing 'traceEvents' array")?;
+        let mut tracks: Vec<(u64, String)> = Vec::new();
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) != Some("M") {
+                continue;
+            }
+            if e.get("name").and_then(Value::as_str) != Some("thread_name") {
+                continue;
+            }
+            let tid = e
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or("metadata event without numeric 'tid'")?;
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .ok_or("thread_name event without args.name")?;
+            tracks.push((tid, name.to_string()));
+        }
+        tracks.sort_by_key(|(tid, _)| *tid);
+        let mut out = Tracer::new();
+        let mut by_tid: BTreeMap<u64, TrackId> = BTreeMap::new();
+        for (tid, name) in &tracks {
+            by_tid.insert(*tid, out.track(name));
+        }
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let tid = e
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or("complete event without numeric 'tid'")?;
+            let track = *by_tid
+                .get(&tid)
+                .ok_or(format!("span on unregistered tid {tid}"))?;
+            let name = e
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("complete event without 'name'")?;
+            let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
+            let exact = |key: &str, us_key: &str| -> Result<Time, String> {
+                if let Some(v) = e
+                    .get("args")
+                    .and_then(|a| a.get(key))
+                    .and_then(Value::as_u64)
+                {
+                    return Ok(v);
+                }
+                e.get(us_key)
+                    .and_then(Value::as_f64)
+                    .map(|us| (us * 1000.0).round() as Time)
+                    .ok_or(format!("complete event without '{us_key}'"))
+            };
+            let start = exact("start_cycle", "ts")?;
+            let cycles = exact("cycles", "dur")?;
+            out.span(track, cat, name, start, start + cycles);
+        }
+        Ok(out)
+    }
+
+    /// Appends every track and span of `other`, shifting span times by
+    /// `offset` cycles. Tracks are matched (or registered) by name in
+    /// `other`'s registration order, so appending per-run tracers in run
+    /// order reproduces the trace a single serial tracer would have
+    /// recorded with runs laid back to back.
+    pub fn append_offset(&mut self, other: &Tracer, offset: Time) {
+        let map: Vec<TrackId> = other.tracks.iter().map(|n| self.track(n)).collect();
+        for sp in &other.spans {
+            self.span(
+                map[sp.track.0],
+                &sp.cat,
+                &sp.name,
+                sp.start + offset,
+                sp.end + offset,
+            );
+        }
     }
 
     /// Total cycles per `(category, name)`, with span counts, sorted by
@@ -378,5 +483,70 @@ mod tests {
         let mut t = Tracer::new();
         let w = t.track("w");
         t.span(w, "ndp", "oops", 10, 5);
+    }
+
+    #[test]
+    fn from_chrome_trace_round_trips_exactly() {
+        let mut t = Tracer::new();
+        let w0 = t.track("worker0");
+        let noc = t.track("noc");
+        // Sub-microsecond span: ts/dur lose precision, args carry cycles.
+        t.span(w0, "ndp", "gemm", 3, 7);
+        t.span(noc, "noc", "scatter", 7, 1_000_007);
+        t.span(w0, "ndp", "vector", 7, 7); // zero-length survives too
+        let back = Tracer::from_chrome_trace(&t.chrome_trace()).expect("reparse");
+        assert_eq!(back.tracks(), t.tracks());
+        assert_eq!(back.spans(), t.spans());
+        // And through a full render → parse text cycle.
+        let doc = crate::json::parse(&t.chrome_trace().render()).expect("parse");
+        let back2 = Tracer::from_chrome_trace(&doc).expect("reparse text");
+        assert_eq!(back2.spans(), t.spans());
+    }
+
+    #[test]
+    fn from_chrome_trace_rejects_malformed_documents() {
+        assert!(Tracer::from_chrome_trace(&crate::json::obj(vec![])).is_err());
+        // A span on a tid with no thread_name metadata is an error.
+        let doc = crate::json::obj(vec![(
+            "traceEvents",
+            Value::Arr(vec![crate::json::obj(vec![
+                ("ph", crate::json::s("X")),
+                ("tid", crate::json::num(0.0)),
+                ("name", crate::json::s("gemm")),
+                ("ts", crate::json::num(0.0)),
+                ("dur", crate::json::num(1.0)),
+            ])]),
+        )]);
+        assert!(Tracer::from_chrome_trace(&doc).is_err());
+    }
+
+    #[test]
+    fn append_offset_reproduces_serial_layout() {
+        // Recording runs A then B on one tracer must equal recording them
+        // on separate tracers and appending B at A's extent.
+        let mut serial = Tracer::new();
+        let w = serial.track("worker0");
+        serial.span(w, "ndp", "gemm", 0, 100);
+        let n = serial.track("noc");
+        serial.span(n, "noc", "scatter", 50, 120);
+        serial.span(w, "ndp", "gemm", 120, 200);
+        serial.span(n, "noc", "gather", 150, 170);
+
+        let mut a = Tracer::new();
+        let w = a.track("worker0");
+        a.span(w, "ndp", "gemm", 0, 100);
+        let n = a.track("noc");
+        a.span(n, "noc", "scatter", 50, 120);
+        let mut b = Tracer::new();
+        let w = b.track("worker0");
+        b.span(w, "ndp", "gemm", 0, 80);
+        let n = b.track("noc");
+        b.span(n, "noc", "gather", 30, 50);
+
+        let mut merged = Tracer::new();
+        merged.append_offset(&a, 0);
+        merged.append_offset(&b, 120);
+        assert_eq!(merged.tracks(), serial.tracks());
+        assert_eq!(merged.spans(), serial.spans());
     }
 }

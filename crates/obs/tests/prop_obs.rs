@@ -1,0 +1,62 @@
+//! Observability properties on the `wmpt-check` harness: the typed
+//! metric-key namespace round-trips through its serialized names, and
+//! Chrome-trace export is lossless — a random tracer re-parses (text →
+//! `obs::json::parse` → `Tracer::from_chrome_trace`) with every track,
+//! span count, and span duration preserved exactly.
+//!
+//! Failures shrink toward the fewest tracks/spans and the smallest
+//! cycle values, and replay via `WMPT_CHECK_REPLAY`.
+
+use wmpt_check::{check, Case};
+use wmpt_obs::{json, MetricKey, Tracer};
+
+#[test]
+fn metric_key_names_round_trip() {
+    let keys = MetricKey::all();
+    check("metric_key_names_round_trip", |c| {
+        let k = *c.pick(&keys);
+        let name = k.name();
+        assert_eq!(
+            MetricKey::parse(&name),
+            Some(k),
+            "key {k:?} did not survive name() ∘ parse(): {name}"
+        );
+    });
+}
+
+fn random_tracer(c: &mut Case) -> Tracer {
+    const TRACKS: [&str; 4] = ["worker0", "worker1", "noc", "iter"];
+    const CATS: [&str; 5] = ["ndp", "noc", "collective", "layer", "dram"];
+    const NAMES: [&str; 4] = ["fwd.gemm", "scatter", "reduce", "stall"];
+    let mut t = Tracer::new();
+    let n_tracks = c.size(1, TRACKS.len());
+    let ids: Vec<_> = TRACKS[..n_tracks].iter().map(|n| t.track(n)).collect();
+    for _ in 0..c.size(0, 20) {
+        let track = *c.pick(&ids);
+        let cat = *c.pick(&CATS);
+        let name = *c.pick(&NAMES);
+        let start = c.u64_in(0, 1_000_000_000);
+        let dur = c.u64_in(0, 2_000_000); // past μs precision: args must carry it
+        t.span(track, cat, name, start, start + dur);
+    }
+    t
+}
+
+#[test]
+fn chrome_trace_reparses_losslessly() {
+    check("chrome_trace_reparses_losslessly", |c| {
+        let t = random_tracer(c);
+        let text = t.chrome_trace().render();
+        let doc = json::parse(&text).expect("chrome_trace output is valid JSON");
+        let back = Tracer::from_chrome_trace(&doc).expect("chrome_trace output re-parses");
+        assert_eq!(back.tracks(), t.tracks(), "tracks changed in transit");
+        assert_eq!(
+            back.spans().len(),
+            t.spans().len(),
+            "span count changed in transit"
+        );
+        for (a, b) in t.spans().iter().zip(back.spans()) {
+            assert_eq!(a, b, "span changed in transit");
+        }
+    });
+}

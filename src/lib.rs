@@ -25,6 +25,9 @@
 //!   clustering, functional distributed trainer.
 //! * [`obs`] — observability: typed metric registry, span tracing on the
 //!   simulator's virtual clock, Chrome-trace export.
+//! * [`analyze`] — derived analytics over traces: critical-path
+//!   extraction with category attribution, utilization & bottleneck
+//!   reports, self-contained SVG timelines, perf-regression baselines.
 //! * [`fault`] — deterministic fault injection and resilient execution:
 //!   seeded fault plans, ring re-forming, degraded clustering,
 //!   checkpoint/rollback with bit-identical recovery.
@@ -46,6 +49,7 @@
 //! assert_eq!(y.shape(), Shape4::new(1, 4, 8, 8)); // 'same' padding
 //! ```
 
+pub use wmpt_analyze as analyze;
 pub use wmpt_core as core;
 pub use wmpt_energy as energy;
 pub use wmpt_fault as fault;
