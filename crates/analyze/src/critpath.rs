@@ -101,7 +101,7 @@ pub struct CriticalPath {
 }
 
 /// Merges `spans`' intervals into a sorted, disjoint interval set.
-fn interval_union(mut iv: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
+pub(crate) fn interval_union(mut iv: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
     iv.retain(|(s, e)| e > s);
     iv.sort_unstable();
     let mut out: Vec<(Time, Time)> = Vec::new();
@@ -219,39 +219,55 @@ impl CriticalPath {
     /// Flat metric view for baseline gating: `critpath.total_cycles`,
     /// `critpath.cycles.<category>` and `critpath.share.<category>`.
     pub fn metrics(&self) -> BTreeMap<String, f64> {
-        let mut out = BTreeMap::new();
-        out.insert("critpath.total_cycles".to_string(), self.total as f64);
-        let total = self.total.max(1) as f64;
-        for (cat, cycles) in self.attribution() {
-            out.insert(format!("critpath.cycles.{}", cat.name()), cycles as f64);
-            out.insert(
-                format!("critpath.share.{}", cat.name()),
-                cycles as f64 / total,
-            );
-        }
-        out
+        attribution_metrics(&self.attribution(), self.total)
     }
 
     /// Deterministic text table of the per-category attribution.
     pub fn render_table(&self) -> String {
-        let attr = self.attribution();
-        let total = self.total.max(1) as f64;
-        let mut out = String::new();
-        let _ = writeln!(out, "critical path: {} cycles", self.total);
-        let mut cats: Vec<_> = attr.into_iter().collect();
-        cats.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        for (cat, cycles) in cats {
-            let _ = writeln!(
-                out,
-                "  {:<12} {:>14} cycles  {:>5.1}%",
-                cat.name(),
-                cycles,
-                cycles as f64 / total * 100.0
-            );
-        }
-        let _ = writeln!(out, "  segments: {}", self.segments.len());
-        out
+        render_attribution_table(&self.attribution(), self.total, self.segments.len())
     }
+}
+
+/// The `critpath.*` flat metric view over an attribution map — shared by
+/// [`CriticalPath::metrics`] and the streaming analyzer so both paths
+/// produce bit-identical values.
+pub fn attribution_metrics(attr: &BTreeMap<Category, Time>, total: Time) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    out.insert("critpath.total_cycles".to_string(), total as f64);
+    let denom = total.max(1) as f64;
+    for (cat, cycles) in attr {
+        out.insert(format!("critpath.cycles.{}", cat.name()), *cycles as f64);
+        out.insert(
+            format!("critpath.share.{}", cat.name()),
+            *cycles as f64 / denom,
+        );
+    }
+    out
+}
+
+/// The critical-path text table over an attribution map — shared by
+/// [`CriticalPath::render_table`] and the streaming analyzer.
+pub fn render_attribution_table(
+    attr: &BTreeMap<Category, Time>,
+    total: Time,
+    segment_count: usize,
+) -> String {
+    let denom = total.max(1) as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "critical path: {total} cycles");
+    let mut cats: Vec<_> = attr.iter().map(|(c, t)| (*c, *t)).collect();
+    cats.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (cat, cycles) in cats {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} cycles  {:>5.1}%",
+            cat.name(),
+            cycles,
+            cycles as f64 / denom * 100.0
+        );
+    }
+    let _ = writeln!(out, "  segments: {segment_count}");
+    out
 }
 
 #[cfg(test)]

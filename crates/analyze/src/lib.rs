@@ -12,6 +12,9 @@
 //!   100%.
 //! * [`report`] — per-track busy/idle utilization, grid utilization,
 //!   top-k bottleneck spans, deterministic text tables.
+//! * [`stream`] — single-pass variants of both, consuming a JSONL event
+//!   stream with O(open-window) memory and producing reports identical
+//!   to the batch path.
 //! * [`svg`] — a self-contained SVG timeline of the trace (no deps, no
 //!   scripts), for CI artifacts and eyeballing.
 //! * [`baseline`] — committed perf expectations with tolerance bands and
@@ -43,11 +46,13 @@
 pub mod baseline;
 pub mod critpath;
 pub mod report;
+pub mod stream;
 pub mod svg;
 
 pub use baseline::{flatten_numbers, Band, Baseline, CompareReport, CompareRow, Status};
 pub use critpath::{Category, CriticalPath, Segment};
 pub use report::{Bottleneck, TrackUtilization, UtilizationReport};
+pub use stream::{analyze_jsonl, StreamAnalysis, StreamAnalyzer};
 pub use svg::timeline_svg;
 
 use std::collections::BTreeMap;

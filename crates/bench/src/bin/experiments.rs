@@ -6,6 +6,7 @@
 //! cargo run -p wmpt-bench --release --bin experiments --list
 //! cargo run -p wmpt-bench --release --bin experiments --obs     # BENCH_obs.json
 //! cargo run -p wmpt-bench --release --bin experiments --jobs 4  # host threads
+//! cargo run -p wmpt-bench --release --bin experiments --progress # heartbeat
 //! cargo run -p wmpt-bench --release --bin experiments --gate    # perf gate
 //! cargo run -p wmpt-bench --release --bin experiments --bless   # new baselines
 //! ```
@@ -22,11 +23,19 @@
 //! jobs values, so the printed tables never depend on `N`. A footer
 //! reports per-experiment host wall-clock ms alongside the simulated
 //! cycle counts in the tables.
+//!
+//! `--progress[=N]` (off by default) prints a `[progress]` heartbeat
+//! line to stderr every N completed experiments, plus a final summary.
+//! Experiments aggregate many independent simulations, so the heartbeat
+//! counts completed experiments; the simulated-cycle fields read zero
+//! here and are live on `mpt_sim` runs, where a span sink is attached.
+//! Lines print in submission order — deterministic for any `--jobs`.
 
 use std::env;
 use std::time::Instant;
 
-use wmpt_obs::{MetricKey, MetricShards};
+use wmpt_core::Heartbeat;
+use wmpt_obs::{MetricKey, MetricShards, Tracer};
 use wmpt_par::{available_jobs, ParPool};
 
 /// Extracts `--jobs N` (0 = auto) and returns the worker-thread count.
@@ -47,6 +56,25 @@ fn parse_jobs(args: &mut Vec<String>) -> usize {
             eprintln!("--jobs must be a non-negative integer");
             std::process::exit(2);
         }
+    }
+}
+
+/// Extracts `--progress` / `--progress=N`; `Some(n)` = report every `n`
+/// completed experiments.
+fn parse_progress(args: &mut Vec<String>) -> Option<u64> {
+    let i = args
+        .iter()
+        .position(|a| a == "--progress" || a.starts_with("--progress="))?;
+    let flag = args.remove(i);
+    match flag.strip_prefix("--progress=") {
+        None => Some(1),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--progress=N needs a non-negative integer");
+                std::process::exit(2);
+            }
+        },
     }
 }
 
@@ -87,6 +115,7 @@ fn main() {
         return;
     }
     let jobs = parse_jobs(&mut args);
+    let progress = parse_progress(&mut args);
     if let Some(i) = args.iter().position(|a| a == "--tsv") {
         args.remove(i);
         let dir = std::path::Path::new("results");
@@ -144,10 +173,23 @@ fn main() {
         shards.record(i, |r| r.observe(MetricKey::HistExperimentHostMs, ms));
         (ms, out)
     });
+    // The heartbeat ticks per completed experiment in submission order;
+    // no span sink is attached at this level, so the simulated-state
+    // fields of the line read zero (see the module docs).
+    let mut hb = progress.map(Heartbeat::new);
+    let pulse = Tracer::new();
     for ((name, _), (ms, out)) in selected.iter().zip(&timed) {
         println!("################ {name} ################");
         println!("{out}");
         println!("[{name}: {ms:.1} ms host wall-clock]\n");
+        if let Some(hb) = hb.as_mut() {
+            if let Some(line) = hb.tick("experiment", &pulse) {
+                eprintln!("{line}");
+            }
+        }
+    }
+    if let Some(hb) = &hb {
+        eprintln!("{}", hb.line("experiment", &pulse));
     }
     let mut metrics = shards.merge();
     metrics.set_gauge(MetricKey::ParJobs, pool.jobs() as f64);

@@ -10,7 +10,8 @@
 //!                                      # under an injected fault
 //!
 //! mpt-sim layer Late-2 w_mp++ --trace-out trace.json --metrics-out m.json
-//! mpt-sim analyze --trace-in trace.json --svg-out timeline.svg
+//! mpt-sim network wrn w_mp++ --trace-jsonl t.jsonl --trace-budget 4096
+//! mpt-sim analyze --trace-in t.jsonl --svg-out timeline.svg
 //! ```
 //!
 //! `--trace-out <path>` writes a Chrome `trace_event` JSON of the
@@ -18,11 +19,31 @@
 //! prints the per-phase rollup; `--metrics-out <path>` writes the metric
 //! registry. Both apply to the `layer` and `network` commands.
 //!
-//! `analyze` re-parses a `--trace-out` file and prints the derived
-//! critical-path attribution and utilization report; `--svg-out` renders
-//! a self-contained timeline, `--report-out` saves the text report, and
-//! `--baseline <file>` grades the analysis metrics against a committed
-//! baseline, exiting non-zero on regression.
+//! `--trace-jsonl <path>` streams spans to line-delimited chrome events
+//! as they close instead of holding them all in memory, keeping at most
+//! `--trace-budget <bytes>` (default 64 KiB) of pending output buffered.
+//! With `--trace-out` alongside, the chrome document is reassembled from
+//! the JSONL at exit — byte-identical to the in-memory export. The
+//! sink's self-metrics (`obs.spans_emitted`, `obs.flushes`,
+//! `obs.peak_buffer_bytes`, `obs.truncated_spans`) land in
+//! `--metrics-out`. The streaming path skips the per-phase rollup table
+//! (it would require retaining every span).
+//!
+//! `--progress[=N]` (layer/network, off by default) prints a heartbeat
+//! line to stderr every N completed units — per layer for a
+//! single-config `network` run, per configuration for sweeps — plus a
+//! final summary. Lines read iteration count, simulated cycles, the
+//! dominating span category, and the sink's buffer footprint entirely
+//! off simulated state, so they are deterministic for any `--jobs`.
+//!
+//! `analyze` re-parses a `--trace-out` or `--trace-jsonl` file
+//! (auto-detected) and prints the derived critical-path attribution and
+//! utilization report; JSONL inputs are analyzed in one streaming pass
+//! with O(open-spans) memory, falling back to batch re-reading when the
+//! stream is not epoch-ordered. `--svg-out` renders a self-contained
+//! timeline, `--report-out` saves the text report, and `--baseline
+//! <file>` grades the analysis metrics against a committed baseline,
+//! exiting non-zero on regression.
 //!
 //! `--jobs <n>` simulates the configs of a `layer <l> all` /
 //! `network <n> all` sweep on `n` host threads via the deterministic
@@ -32,20 +53,30 @@
 //! in shard-index order, and traces concatenate in config order, so the
 //! written files match a serial run byte-for-byte.
 
+use std::collections::BTreeMap;
 use std::env;
+use std::fs::File;
+use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::process::exit;
 
-use wmpt_analyze::{timeline_svg, Analysis, Baseline};
+use wmpt_analyze::{analyze_jsonl, timeline_svg, Analysis, Baseline};
 use wmpt_core::{
     simulate_layer, simulate_layer_observed, simulate_network, simulate_network_observed,
-    SystemConfig, SystemModel,
+    simulate_network_observed_with, Heartbeat, SystemConfig, SystemModel,
 };
 use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, ResilienceConfig, Scenario};
 use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
-use wmpt_obs::{json, MetricShards, Observer, Tracer};
+use wmpt_obs::{
+    detect_format, json, read_trace_auto, MetricShards, Observer, SpanSink, StreamingTracer,
+    TraceFormat,
+};
 use wmpt_par::{available_jobs, ParPool};
+
+/// Pending-output byte budget of `--trace-jsonl` when `--trace-budget`
+/// is not given.
+const DEFAULT_TRACE_BUDGET: usize = 64 * 1024;
 
 fn usage() -> ! {
     eprintln!(
@@ -56,9 +87,12 @@ fn usage() -> ! {
          mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n  \
          mpt-sim analyze --trace-in <file> [--baseline <file>]\n\n\
          options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
+         \x20                     --trace-jsonl <file> stream spans to JSONL\n\
+         \x20                     --trace-budget <n>   pending bytes for JSONL\n\
          \x20                     --metrics-out <file> metric registry JSON\n\
+         \x20                     --progress[=N]       heartbeat to stderr\n\
          \x20                     --jobs <n>           host threads (0 = auto)\n\
-         options (analyze):       --trace-in <file>    trace to analyze\n\
+         options (analyze):       --trace-in <file>    trace (chrome or JSONL)\n\
          \x20                     --baseline <file>    gate against bands\n\
          \x20                     --svg-out <file>     timeline SVG\n\
          \x20                     --report-out <file>  text report\n\n\
@@ -77,11 +111,15 @@ fn reject_unknown_flags(args: &[String]) {
     }
 }
 
-/// Observation sinks requested on the command line.
+/// Observation sinks and progress reporting requested on the command
+/// line.
 #[derive(Default)]
 struct ObsArgs {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    trace_jsonl: Option<PathBuf>,
+    trace_budget: Option<usize>,
+    progress: Option<u64>,
 }
 
 /// Extracts `--jobs N` (0 = auto) and returns the worker-thread count.
@@ -106,13 +144,21 @@ fn extract_jobs(args: &mut Vec<String>) -> usize {
 
 impl ObsArgs {
     fn enabled(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.trace_jsonl.is_some()
     }
 
-    /// Extracts `--trace-out X` / `--metrics-out X` from `args`.
+    fn budget(&self) -> usize {
+        self.trace_budget.unwrap_or(DEFAULT_TRACE_BUDGET)
+    }
+
+    /// Extracts the sink and progress flags from `args`.
     fn extract(args: &mut Vec<String>) -> ObsArgs {
         let mut out = ObsArgs::default();
-        for (flag, slot) in [("--trace-out", 0usize), ("--metrics-out", 1)] {
+        for (flag, slot) in [
+            ("--trace-out", 0usize),
+            ("--metrics-out", 1),
+            ("--trace-jsonl", 2),
+        ] {
             if let Some(i) = args.iter().position(|a| a == flag) {
                 if i + 1 >= args.len() {
                     usage();
@@ -121,14 +167,34 @@ impl ObsArgs {
                 args.remove(i);
                 match slot {
                     0 => out.trace_out = Some(v),
-                    _ => out.metrics_out = Some(v),
+                    1 => out.metrics_out = Some(v),
+                    _ => out.trace_jsonl = Some(v),
                 }
             }
+        }
+        if let Some(i) = args.iter().position(|a| a == "--trace-budget") {
+            if i + 1 >= args.len() {
+                usage();
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            out.trace_budget = match v.parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!("--trace-budget must be a byte count");
+                    usage();
+                }
+            };
+        }
+        out.progress = extract_progress(args);
+        if out.trace_budget.is_some() && out.trace_jsonl.is_none() {
+            eprintln!("--trace-budget only applies with --trace-jsonl");
+            usage();
         }
         out
     }
 
-    /// Writes the requested sinks and prints the rollup table.
+    /// Writes the requested in-memory sinks and prints the rollup table.
     fn finish(&self, obs: &Observer) {
         if let Some(path) = &self.trace_out {
             obs.trace
@@ -141,6 +207,61 @@ impl ObsArgs {
             std::fs::write(path, obs.metrics.to_json().render() + "\n")
                 .expect("metrics path must be writable");
             eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Finalizes the streaming sink: auto-closes open spans into the
+    /// JSONL, optionally reassembles the chrome document (`--trace-out`,
+    /// byte-identical to the in-memory export), and accounts the sink's
+    /// self-metrics before `--metrics-out` is written.
+    fn finish_streaming(&self, obs: Observer<StreamingTracer<File>>) {
+        let Observer { trace, mut metrics } = obs;
+        let jsonl = self
+            .trace_jsonl
+            .as_ref()
+            .expect("streaming finish requires --trace-jsonl");
+        let stats = match &self.trace_out {
+            Some(chrome) => trace.finalize_chrome(chrome),
+            None => trace.finalize(),
+        }
+        .expect("trace path must be writable");
+        stats.record(&mut metrics);
+        eprintln!("wrote {}", jsonl.display());
+        if let Some(chrome) = &self.trace_out {
+            eprintln!("wrote {}", chrome.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, metrics.to_json().render() + "\n")
+                .expect("metrics path must be writable");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Extracts `--progress` / `--progress=N`; `Some(n)` = report every `n`
+/// completed units.
+fn extract_progress(args: &mut Vec<String>) -> Option<u64> {
+    let i = args
+        .iter()
+        .position(|a| a == "--progress" || a.starts_with("--progress="))?;
+    let flag = args.remove(i);
+    match flag.strip_prefix("--progress=") {
+        None => Some(1),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--progress=N needs a non-negative integer");
+                usage();
+            }
+        },
+    }
+}
+
+/// Ticks the heartbeat (if any) and prints due lines to stderr.
+fn beat<S: SpanSink>(hb: &mut Option<Heartbeat>, unit: &str, sink: &S) {
+    if let Some(hb) = hb {
+        if let Some(line) = hb.tick(unit, sink) {
+            eprintln!("{line}");
         }
     }
 }
@@ -192,15 +313,19 @@ fn run_plan(name: &str, cfg: &str) {
 }
 
 /// Runs one observed simulation per config on the pool, each into its
-/// own private `Observer`, then merges: metrics fold through
+/// own private in-memory `Observer`, then merges: metrics fold through
 /// [`MetricShards`] in shard-index order, and traces concatenate in
 /// config order with each appended past the layers already recorded
-/// (`Tracer::append_offset`). The merged `obs` is therefore identical
-/// for every `--jobs` value — parallel sweeps keep their sinks.
-fn observed_sweep<R: Send>(
+/// ([`SpanSink::append_offset`]). The merged `obs` is therefore
+/// identical for every `--jobs` value — parallel sweeps keep their
+/// sinks, including streaming ones, which drain each config's scratch
+/// trace as it lands. The heartbeat ticks once per merged config, on
+/// the main thread, so progress lines are deterministic too.
+fn observed_sweep<S: SpanSink, R: Send>(
     pool: &ParPool,
     n: usize,
-    obs: &mut Observer,
+    obs: &mut Observer<S>,
+    hb: &mut Option<Heartbeat>,
     sim: impl Fn(usize, &mut Observer) -> R + Sync,
 ) -> Vec<R> {
     let shards = MetricShards::new(n);
@@ -215,26 +340,40 @@ fn observed_sweep<R: Send>(
         let offset = obs.trace.category_cycles("layer");
         obs.trace.append_offset(&trace, offset);
         results.push(r);
+        beat(hb, "config", &obs.trace);
     }
     obs.metrics.merge(&shards.merge());
     results
 }
 
-fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPool) {
+fn run_layer<S: SpanSink>(
+    name: &str,
+    cfgs: &[SystemConfig],
+    observed: bool,
+    obs: &mut Observer<S>,
+    hb: &mut Option<Heartbeat>,
+    pool: &ParPool,
+) {
     let Some(layer) = find_layer(name) else {
         usage()
     };
     let model = SystemModel::paper();
-    let mut obs = Observer::new();
     println!("{layer}  (p = {}, batch = {})", model.workers, model.batch);
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
     );
-    let results = if obs_args.enabled() {
-        observed_sweep(pool, cfgs.len(), &mut obs, |i, o| {
-            simulate_layer_observed(&model, &layer, cfgs[i], o)
-        })
+    let results = if observed {
+        if cfgs.len() == 1 {
+            // Single config streams straight into the caller's sink.
+            let r = simulate_layer_observed(&model, &layer, cfgs[0], obs);
+            beat(hb, "config", &obs.trace);
+            vec![r]
+        } else {
+            observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
+                simulate_layer_observed(&model, &layer, cfgs[i], o)
+            })
+        }
     } else {
         pool.map_indexed(cfgs.len(), |i| simulate_layer(&model, &layer, cfgs[i]))
     };
@@ -250,15 +389,23 @@ fn run_layer(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPo
             r.cluster.to_string()
         );
     }
-    obs_args.finish(&obs);
+    if let Some(hb) = hb {
+        eprintln!("{}", hb.line("config", &obs.trace));
+    }
 }
 
-fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &ParPool) {
+fn run_network<S: SpanSink>(
+    name: &str,
+    cfgs: &[SystemConfig],
+    observed: bool,
+    obs: &mut Observer<S>,
+    hb: &mut Option<Heartbeat>,
+    pool: &ParPool,
+) {
     let Some(net) = find_network(name) else {
         usage()
     };
     let model = SystemModel::paper_fp16();
-    let mut obs = Observer::new();
     println!(
         "{} ({} conv layers, {:.1}M params)",
         net.name,
@@ -269,8 +416,19 @@ fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &Par
         "{:<8} {:>14} {:>12} {:>10} {:>24}",
         "config", "cycles/iter", "images/s", "power (W)", "organization mix"
     );
-    let results = if obs_args.enabled() {
-        observed_sweep(pool, cfgs.len(), &mut obs, |i, o| {
+    let per_layer = observed && cfgs.len() == 1;
+    let results = if per_layer {
+        // Single config streams end to end, with a heartbeat per layer.
+        let r = simulate_network_observed_with(&model, &net, cfgs[0], obs, |_, _, o| {
+            if let Some(hb) = hb.as_mut() {
+                if let Some(line) = hb.tick("layer", &o.trace) {
+                    eprintln!("{line}");
+                }
+            }
+        });
+        vec![r]
+    } else if observed {
+        observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
             simulate_network_observed(&model, &net, cfgs[i], o)
         })
     } else {
@@ -292,7 +450,10 @@ fn run_network(name: &str, cfgs: &[SystemConfig], obs_args: &ObsArgs, pool: &Par
             mix
         );
     }
-    obs_args.finish(&obs);
+    if let Some(hb) = hb {
+        let unit = if per_layer { "layer" } else { "config" };
+        eprintln!("{}", hb.line(unit, &obs.trace));
+    }
 }
 
 fn run_noc(topo_name: &str, pattern_name: &str) {
@@ -415,10 +576,14 @@ fn run_faults(args: &[String]) {
     );
 }
 
-/// Re-parses a `--trace-out` file, prints the derived critical-path and
-/// utilization report, and optionally renders the SVG timeline, saves
-/// the text report, or grades the metrics against a baseline (non-zero
-/// exit on regression).
+/// Re-parses a `--trace-out` (chrome) or `--trace-jsonl` (streaming)
+/// file — the format is sniffed from the first line — prints the derived
+/// critical-path and utilization report, and optionally renders the SVG
+/// timeline, saves the text report, or grades the metrics against a
+/// baseline (non-zero exit on regression). JSONL inputs go through the
+/// single-pass streaming analyzer; if the event stream is not
+/// epoch-ordered, analysis falls back to reconstructing the full trace
+/// in memory — the reports are identical either way.
 fn run_analyze(args: &[String]) {
     let mut trace_in: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
@@ -454,17 +619,30 @@ fn run_analyze(args: &[String]) {
         eprintln!("{}: {msg}", path.display());
         exit(1);
     };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read: {e}")));
-    let doc = json::parse(&text).unwrap_or_else(|e| fail(e.to_string()));
-    let trace = Tracer::from_chrome_trace(&doc).unwrap_or_else(|e| fail(e));
-    let analysis = Analysis::of_trace(&trace);
-    let rendered = analysis.render();
+    let batch = || -> (BTreeMap<String, f64>, String) {
+        let trace = read_trace_auto(&path).unwrap_or_else(|e| fail(e.to_string()));
+        let a = Analysis::of_trace(&trace);
+        (a.metrics(), a.render())
+    };
+    let format = detect_format(&path).unwrap_or_else(|e| fail(e.to_string()));
+    let (metrics, rendered) = match format {
+        TraceFormat::Chrome => batch(),
+        TraceFormat::Jsonl => match analyze_jsonl(&path) {
+            Ok(sa) => (sa.metrics(), sa.render()),
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                eprintln!("{}: {e}; re-reading in batch mode", path.display());
+                batch()
+            }
+            Err(e) => fail(e.to_string()),
+        },
+    };
     print!("{rendered}");
     if let Some(p) = &report_out {
         std::fs::write(p, &rendered).expect("report path must be writable");
         eprintln!("wrote {}", p.display());
     }
     if let Some(p) = &svg_out {
+        let trace = read_trace_auto(&path).unwrap_or_else(|e| fail(e.to_string()));
         std::fs::write(p, timeline_svg(&trace)).expect("svg path must be writable");
         eprintln!("wrote {}", p.display());
     }
@@ -476,7 +654,7 @@ fn run_analyze(args: &[String]) {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| read(format!("cannot read: {e}")));
         let doc = json::parse(&text).unwrap_or_else(|e| read(e.to_string()));
         let base = Baseline::from_json(&doc).unwrap_or_else(|e| read(e));
-        let report = base.compare(&analysis.metrics());
+        let report = base.compare(&metrics);
         println!(
             "\n== analyze vs {}: {} ==",
             p.display(),
@@ -503,15 +681,41 @@ fn main() {
     }
     let obs_args = ObsArgs::extract(&mut args);
     let pool = ParPool::new(extract_jobs(&mut args));
-    if obs_args.enabled() && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
+    if (obs_args.enabled() || obs_args.progress.is_some())
+        && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
     {
-        eprintln!("--trace-out/--metrics-out only apply to 'layer' and 'network'");
+        eprintln!(
+            "--trace-out/--trace-jsonl/--metrics-out/--progress only apply to \
+             'layer' and 'network'"
+        );
         usage();
     }
     reject_unknown_flags(&args);
     match args.as_slice() {
-        [cmd, a, b] if cmd == "layer" => run_layer(a, &configs_arg(b), &obs_args, &pool),
-        [cmd, a, b] if cmd == "network" => run_network(a, &configs_arg(b), &obs_args, &pool),
+        [cmd, a, b] if cmd == "layer" || cmd == "network" => {
+            let cfgs = configs_arg(b);
+            let mut hb = obs_args.progress.map(Heartbeat::new);
+            if let Some(jsonl) = &obs_args.trace_jsonl {
+                let sink = StreamingTracer::create(jsonl, obs_args.budget())
+                    .expect("jsonl path must be writable");
+                let mut obs = Observer::with_trace(sink);
+                if cmd == "layer" {
+                    run_layer(a, &cfgs, true, &mut obs, &mut hb, &pool);
+                } else {
+                    run_network(a, &cfgs, true, &mut obs, &mut hb, &pool);
+                }
+                obs_args.finish_streaming(obs);
+            } else {
+                let observed = obs_args.enabled() || hb.is_some();
+                let mut obs = Observer::new();
+                if cmd == "layer" {
+                    run_layer(a, &cfgs, observed, &mut obs, &mut hb, &pool);
+                } else {
+                    run_network(a, &cfgs, observed, &mut obs, &mut hb, &pool);
+                }
+                obs_args.finish(&obs);
+            }
+        }
         [cmd, a, b] if cmd == "noc" => run_noc(a, b),
         [cmd, a, b] if cmd == "plan" => run_plan(a, b),
         _ => usage(),

@@ -10,6 +10,12 @@
 //! reports in-memory, grades them, and the caller turns a failing grade
 //! into a non-zero exit; `--bless` rewrites the baselines from fresh
 //! reports after an intentional perf change (see EXPERIMENTS.md).
+//!
+//! Besides the baseline rows, the gate runs a baseline-free
+//! [`streaming_differential`] row: the obs-report trace replayed through
+//! the streaming JSONL sink and the single-pass analyzer must reproduce
+//! the in-memory chrome export byte-for-byte and the batch analysis
+//! report exactly, with the sink's peak buffer inside its byte budget.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -102,6 +108,61 @@ fn load_baseline(path: &Path) -> Result<Baseline, String> {
     Baseline::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Pending-output byte budget of the differential's streaming sink —
+/// small enough that the obs-report trace forces many flushes.
+const STREAM_BUDGET: usize = 1024;
+
+/// Replays the deterministic obs-report trace through the streaming
+/// JSONL sink and the single-pass analyzer, then diffs both against the
+/// in-memory path: the chrome exports must be byte-identical, the
+/// analysis reports equal, and the sink's peak buffer within
+/// [`STREAM_BUDGET`]. `Err` carries the first divergence.
+pub fn streaming_differential() -> Result<(), String> {
+    use wmpt_analyze::{analyze_jsonl, Analysis};
+    use wmpt_obs::{SpanSink, StreamingTracer};
+
+    let (obs, _) = crate::obs_report::obs_report_observer();
+    let dir = std::env::temp_dir().join(format!("wmpt_gate_stream_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("scratch dir: {e}"))?;
+    let jsonl = dir.join("obs_report.jsonl");
+    let chrome_s = dir.join("obs_report_stream.json");
+    let chrome_m = dir.join("obs_report_mem.json");
+    let run = || -> Result<(), String> {
+        let mut sink = StreamingTracer::create(&jsonl, STREAM_BUDGET)
+            .map_err(|e| format!("create jsonl: {e}"))?;
+        sink.append_offset(&obs.trace, 0);
+        let stats = sink
+            .finalize_chrome(&chrome_s)
+            .map_err(|e| format!("finalize: {e}"))?;
+        obs.trace
+            .write_chrome_trace(&chrome_m)
+            .map_err(|e| format!("in-memory export: {e}"))?;
+        let a = std::fs::read(&chrome_s).map_err(|e| e.to_string())?;
+        let b = std::fs::read(&chrome_m).map_err(|e| e.to_string())?;
+        if a != b {
+            return Err("streamed chrome export differs from in-memory".into());
+        }
+        if stats.peak_buffer_bytes > STREAM_BUDGET {
+            return Err(format!(
+                "peak buffer {} bytes exceeds budget {STREAM_BUDGET}",
+                stats.peak_buffer_bytes
+            ));
+        }
+        let streamed = analyze_jsonl(&jsonl).map_err(|e| format!("streaming analysis: {e}"))?;
+        let batch = Analysis::of_trace(&obs.trace);
+        if streamed.metrics() != batch.metrics() {
+            return Err("streaming analysis metrics differ from batch".into());
+        }
+        if streamed.render() != batch.render() {
+            return Err("streaming analysis report differs from batch".into());
+        }
+        Ok(())
+    };
+    let result = run();
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
 /// A fresh-report producer in the gate's flat metric space.
 type FreshMetrics = fn() -> BTreeMap<String, f64>;
 
@@ -125,6 +186,17 @@ pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
         passed &= report.passed();
         let _ = writeln!(text, "== {name} vs {file}: {} ==", report.worst().name());
         text.push_str(&report.render_table(false));
+    }
+    // Baseline-free equivalence oracle: streaming sinks and analytics
+    // must reproduce the in-memory path exactly.
+    match streaming_differential() {
+        Ok(()) => {
+            let _ = writeln!(text, "== BENCH_obs streaming vs batch: pass ==");
+        }
+        Err(e) => {
+            passed = false;
+            let _ = writeln!(text, "== BENCH_obs streaming vs batch: FAIL — {e} ==");
+        }
     }
     Ok(GateOutcome { text, passed })
 }
@@ -182,6 +254,11 @@ mod tests {
         assert!(!outcome.passed, "perturbed gate passed:\n{}", outcome.text);
         assert!(outcome.text.contains("FAIL"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_differential_holds() {
+        streaming_differential().expect("streaming path must match the in-memory path");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use wmpt_analyze::Analysis;
-use wmpt_core::{simulate_layer_with_observed, SystemConfig, SystemModel};
+use wmpt_core::{simulate_layer_with_observed, LayerResult, SystemConfig, SystemModel};
 use wmpt_models::ConvLayerSpec;
 use wmpt_noc::ClusterConfig;
 use wmpt_obs::json::{num, obj, s, Value};
@@ -24,18 +24,34 @@ pub fn obs_report_layer() -> ConvLayerSpec {
     ConvLayerSpec::new("vgg_conv4_2-like", 256, 256, 28, 28, 3)
 }
 
-/// Builds the report as a JSON value.
-pub fn obs_report() -> Value {
+/// The report's fixed configuration abbreviation.
+const OBS_REPORT_SYS: SystemConfig = SystemConfig::WMpP;
+
+/// The report's fixed worker count.
+const OBS_REPORT_WORKERS: usize = 16;
+
+/// Runs the fixed workload through an observed simulation and returns
+/// the populated observer plus the layer result — the substrate of the
+/// JSON report and of the gate's streaming-vs-batch differential.
+pub fn obs_report_observer() -> (Observer, LayerResult) {
     let model = SystemModel {
-        workers: 16,
+        workers: OBS_REPORT_WORKERS,
         group_size: 4,
         ..SystemModel::paper()
     };
     let layer = obs_report_layer();
     let cfg = ClusterConfig::new(4, 4);
-    let sys = SystemConfig::WMpP;
     let mut obs = Observer::new();
-    let r = simulate_layer_with_observed(&model, &layer, sys, cfg, &mut obs);
+    let r = simulate_layer_with_observed(&model, &layer, OBS_REPORT_SYS, cfg, &mut obs);
+    (obs, r)
+}
+
+/// Builds the report as a JSON value.
+pub fn obs_report() -> Value {
+    let layer = obs_report_layer();
+    let cfg = ClusterConfig::new(4, 4);
+    let sys = OBS_REPORT_SYS;
+    let (obs, r) = obs_report_observer();
 
     let phases: Vec<Value> = obs
         .trace
@@ -63,7 +79,7 @@ pub fn obs_report() -> Value {
         ("layer", s(&layer.name)),
         ("config", s(sys.abbrev())),
         ("cluster", s(&cfg.to_string())),
-        ("workers", num(model.workers as f64)),
+        ("workers", num(OBS_REPORT_WORKERS as f64)),
         ("total_cycles", num(r.total_cycles())),
         ("forward_cycles", num(r.forward.cycles)),
         ("backward_cycles", num(r.backward.cycles)),

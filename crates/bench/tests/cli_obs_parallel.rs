@@ -7,7 +7,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
-use wmpt_analyze::{Analysis, Baseline};
+use wmpt_analyze::{flatten_numbers, Analysis, Baseline};
 use wmpt_bench::gate::perturb_baseline;
 use wmpt_obs::{json, Tracer};
 
@@ -37,6 +37,15 @@ fn scratch(name: &str) -> PathBuf {
 
 fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The `[progress]` heartbeat lines of a run's stderr, in order.
+fn progress_lines(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .filter(|l| l.starts_with("[progress]"))
+        .map(str::to_string)
+        .collect()
 }
 
 #[test]
@@ -77,6 +86,157 @@ fn parallel_sweep_with_sinks_is_bit_identical_to_serial() {
         .unwrap();
         assert_eq!(a, b, "{file} differs between --jobs 1 and --jobs 4");
     }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_jsonl_is_bit_identical_across_jobs_and_reassembles_chrome() {
+    let dir = scratch("stream_sinks");
+    // In-memory reference export of the same sweep.
+    let out = mpt_sim(&dir, &["layer", "Late-2", "all", "--trace-out", "mem.json"]);
+    assert!(out.status.success());
+    for (jobs, tag) in [("1", "a"), ("4", "b")] {
+        let out = mpt_sim(
+            &dir,
+            &[
+                "layer",
+                "Late-2",
+                "all",
+                "--jobs",
+                jobs,
+                "--trace-jsonl",
+                &format!("t_{tag}.jsonl"),
+                "--trace-out",
+                &format!("c_{tag}.json"),
+                "--metrics-out",
+                &format!("m_{tag}.json"),
+                "--trace-budget",
+                "4096",
+            ],
+        );
+        assert!(
+            out.status.success(),
+            "streaming --jobs {jobs} run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // The streamed artifacts are bit-identical for any --jobs ...
+    for file in ["t_a.jsonl", "c_a.json", "m_a.json"] {
+        let a = fs::read(dir.join(file)).unwrap();
+        let b = fs::read(dir.join(file.replace("_a", "_b"))).unwrap();
+        assert_eq!(a, b, "{file} differs between --jobs 1 and --jobs 4");
+    }
+    // ... and the reassembled chrome document is byte-identical to the
+    // in-memory export of the same sweep.
+    assert_eq!(
+        fs::read(dir.join("c_a.json")).unwrap(),
+        fs::read(dir.join("mem.json")).unwrap(),
+        "streamed chrome differs from the in-memory export"
+    );
+    // The metrics carry the sink's self-metrics, and the peak pending
+    // buffer stayed inside the requested budget.
+    let doc = json::parse(&fs::read_to_string(dir.join("m_a.json")).unwrap()).unwrap();
+    let flat = flatten_numbers(&doc);
+    let get = |needle: &str| -> f64 {
+        *flat
+            .iter()
+            .find(|(k, _)| k.contains(needle))
+            .unwrap_or_else(|| panic!("metrics missing {needle}"))
+            .1
+    };
+    assert!(get("obs.spans_emitted") > 0.0);
+    assert!(get("obs.flushes") >= 1.0);
+    assert!(get("obs.peak_buffer_bytes") <= 4096.0);
+    assert_eq!(get("obs.truncated_spans"), 0.0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_streams_jsonl_and_matches_the_chrome_report() {
+    let dir = scratch("analyze_jsonl");
+    let out = mpt_sim(
+        &dir,
+        &[
+            "layer",
+            "Late-2",
+            "all",
+            "--trace-jsonl",
+            "t.jsonl",
+            "--trace-out",
+            "t.json",
+        ],
+    );
+    assert!(out.status.success());
+    let jsonl = mpt_sim(&dir, &["analyze", "--trace-in", "t.jsonl"]);
+    assert!(
+        jsonl.status.success(),
+        "jsonl analyze failed:\n{}",
+        String::from_utf8_lossy(&jsonl.stderr)
+    );
+    let chrome = mpt_sim(&dir, &["analyze", "--trace-in", "t.json"]);
+    assert!(chrome.status.success());
+    let text = stdout(&jsonl);
+    assert!(text.contains("critical path:"), "no critical path:\n{text}");
+    assert_eq!(
+        text,
+        stdout(&chrome),
+        "streaming and batch analyze reports diverge"
+    );
+    // SVG rendering reconstructs the trace from the JSONL too.
+    let out = mpt_sim(
+        &dir,
+        &["analyze", "--trace-in", "t.jsonl", "--svg-out", "t.svg"],
+    );
+    assert!(out.status.success());
+    assert!(fs::read_to_string(dir.join("t.svg"))
+        .expect("svg written")
+        .starts_with("<svg"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_heartbeat_is_deterministic_and_off_by_default() {
+    let dir = scratch("progress");
+    let run = |jobs: &str| -> (String, Vec<String>) {
+        let out = mpt_sim(
+            &dir,
+            &["layer", "Late-2", "all", "--progress", "--jobs", jobs],
+        );
+        assert!(out.status.success());
+        (stdout(&out), progress_lines(&out))
+    };
+    let (out1, prog1) = run("1");
+    let (out4, prog4) = run("4");
+    assert_eq!(prog1, prog4, "progress lines depend on --jobs");
+    assert_eq!(out1, out4);
+    // Six config ticks plus the final summary, read off simulated state.
+    assert_eq!(prog1.len(), 7, "unexpected heartbeat count: {prog1:?}");
+    assert!(prog1[0].contains("cycles=") && prog1[0].contains("bottleneck="));
+    assert!(prog1.last().unwrap().starts_with("[progress] config 6 "));
+    // --progress=N thins the stream: ticks at 3 and 6, plus the summary.
+    let out = mpt_sim(&dir, &["layer", "Late-2", "all", "--progress=3"]);
+    assert!(out.status.success());
+    assert_eq!(progress_lines(&out).len(), 3);
+    // Off by default.
+    let out = mpt_sim(&dir, &["layer", "Late-2", "all"]);
+    assert!(out.status.success());
+    assert!(progress_lines(&out).is_empty(), "heartbeat must be opt-in");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiments_progress_ticks_per_experiment() {
+    let dir = scratch("exp_progress");
+    let out = experiments(&dir, &["fig01", "--progress"]);
+    assert!(
+        out.status.success(),
+        "experiments --progress failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines = progress_lines(&out);
+    // One tick for the single experiment plus the final summary.
+    assert_eq!(lines.len(), 2, "unexpected heartbeat count: {lines:?}");
+    assert!(lines[0].starts_with("[progress] experiment 1 "));
     fs::remove_dir_all(&dir).ok();
 }
 

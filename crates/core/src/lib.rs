@@ -42,6 +42,7 @@ pub mod net_trainer;
 pub mod network_eval;
 pub mod observe;
 pub mod pipeline;
+pub mod progress;
 pub mod sweep;
 pub mod taskgraph;
 pub mod trainer;
@@ -54,8 +55,10 @@ pub use net_trainer::{Activations, Stage, WinogradNet};
 pub use network_eval::{simulate_network, speedup_vs_single, NetworkResult};
 pub use observe::{
     simulate_layer_observed, simulate_layer_with_observed, simulate_network_observed,
+    simulate_network_observed_with,
 };
 pub use pipeline::{pipelined_backward_cycles, pipelined_iteration_cycles, serial_backward_cycles};
+pub use progress::Heartbeat;
 pub use sweep::{batch_sweep, worker_sweep, BatchPoint, WorkerPoint};
 pub use taskgraph::{compile_forward, CompiledForward};
 pub use trainer::{

@@ -26,7 +26,7 @@ use wmpt_ndp::{TaskGraph, TaskKind};
 use wmpt_noc::{
     all_to_all_flows, record_flows, ring_collective_cycles_observed, tile_pair_bytes, ClusterConfig,
 };
-use wmpt_obs::{MetricKey, Observer, Tracer, TrackId};
+use wmpt_obs::{MetricKey, Observer, SpanSink, TrackId};
 
 use crate::config::SystemConfig;
 use crate::exec::{simulate_layer_with, simulate_layer_with_detail, LayerResult, SystemModel};
@@ -35,11 +35,11 @@ use wmpt_models::ConvLayerSpec;
 /// Observed [`crate::exec::simulate_layer`]: identical result, plus spans
 /// and metrics for the winning configuration only (candidate search runs
 /// unobserved, like the paper's offline dynamic-clustering decision).
-pub fn simulate_layer_observed(
+pub fn simulate_layer_observed<S: SpanSink>(
     model: &SystemModel,
     layer: &ConvLayerSpec,
     sys: SystemConfig,
-    obs: &mut Observer,
+    obs: &mut Observer<S>,
 ) -> LayerResult {
     let mut best: Option<(ClusterConfig, f64)> = None;
     for cfg in sys.candidate_configs(model.workers) {
@@ -56,12 +56,12 @@ pub fn simulate_layer_observed(
 /// metrics. Spans start at the tracer's current `layer`-category extent,
 /// so successive layers of a network lay out back to back on the
 /// timeline.
-pub fn simulate_layer_with_observed(
+pub fn simulate_layer_with_observed<S: SpanSink>(
     model: &SystemModel,
     layer: &ConvLayerSpec,
     sys: SystemConfig,
     cfg: ClusterConfig,
-    obs: &mut Observer,
+    obs: &mut Observer<S>,
 ) -> LayerResult {
     let (res, det) = simulate_layer_with_detail(model, layer, sys, cfg);
     let base = obs.trace.category_cycles("layer");
@@ -216,17 +216,32 @@ pub fn simulate_layer_with_observed(
 
 /// Observed [`crate::network_eval::simulate_network`]: per-layer spans
 /// lay out back to back; metrics accumulate across layers.
-pub fn simulate_network_observed(
+pub fn simulate_network_observed<S: SpanSink>(
     model: &SystemModel,
     net: &wmpt_models::Network,
     sys: SystemConfig,
-    obs: &mut Observer,
+    obs: &mut Observer<S>,
 ) -> crate::network_eval::NetworkResult {
-    let layers = net
-        .layers
-        .iter()
-        .map(|l| simulate_layer_observed(model, l, sys, obs))
-        .collect();
+    simulate_network_observed_with(model, net, sys, obs, |_, _, _| {})
+}
+
+/// [`simulate_network_observed`] with a per-layer hook: after each layer
+/// lands, `on_layer(index, result, observer)` runs — the attachment
+/// point for live progress heartbeats (see [`crate::progress`]) without
+/// any cost on the plain path.
+pub fn simulate_network_observed_with<S: SpanSink>(
+    model: &SystemModel,
+    net: &wmpt_models::Network,
+    sys: SystemConfig,
+    obs: &mut Observer<S>,
+    mut on_layer: impl FnMut(usize, &LayerResult, &Observer<S>),
+) -> crate::network_eval::NetworkResult {
+    let mut layers = Vec::with_capacity(net.layers.len());
+    for (i, l) in net.layers.iter().enumerate() {
+        let r = simulate_layer_observed(model, l, sys, obs);
+        on_layer(i, &r, obs);
+        layers.push(r);
+    }
     crate::network_eval::NetworkResult {
         network: net.name.clone(),
         config: sys,
@@ -237,8 +252,8 @@ pub fn simulate_network_observed(
 /// Tiles `[start, start + window)` with spans proportional to each
 /// stage's busy cycles (stages overlap on distinct resources in reality;
 /// the spans visualize their shares, and the phase window stays exact).
-fn lay_stages(
-    trace: &mut Tracer,
+fn lay_stages<S: SpanSink>(
+    trace: &mut S,
     track: TrackId,
     start: u64,
     window: u64,

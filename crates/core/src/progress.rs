@@ -1,0 +1,155 @@
+//! Live progress heartbeats for long observed runs.
+//!
+//! A [`Heartbeat`] turns per-unit completion ticks (a layer, a sweep
+//! configuration, an experiment) into occasional one-line status reports
+//! read entirely off simulated state — iteration count, simulated
+//! cycles, the currently dominating span category, and the span sink's
+//! buffer footprint. Nothing in a line depends on wall-clock time or
+//! host speed, so `--progress` output is deterministic and tests can
+//! pin it. The heartbeat renders strings; callers decide where they go
+//! (the bench CLIs write them to stderr).
+
+use wmpt_obs::SpanSink;
+
+/// Span categories competing for the "current bottleneck" slot of a
+/// heartbeat line, in tie-breaking order.
+const BOTTLENECK_CATS: [&str; 4] = ["ndp", "dram", "noc", "collective"];
+
+/// The span category with the most recorded cycles so far (`"none"`
+/// until any work is recorded; earlier entry of
+/// `ndp`/`dram`/`noc`/`collective` wins ties).
+pub fn bottleneck_category<S: SpanSink>(sink: &S) -> &'static str {
+    let mut best = "none";
+    let mut best_cycles = 0;
+    for cat in BOTTLENECK_CATS {
+        let cycles = sink.category_cycles(cat);
+        if cycles > best_cycles {
+            best = cat;
+            best_cycles = cycles;
+        }
+    }
+    best
+}
+
+/// Emits a status line every `every` completed units.
+///
+/// ```
+/// use wmpt_core::progress::Heartbeat;
+/// use wmpt_obs::{SpanSink, Tracer};
+///
+/// let mut trace = Tracer::new();
+/// let w = trace.track("worker0");
+/// trace.span(w, "ndp", "gemm", 0, 500);
+/// let mut hb = Heartbeat::new(2);
+/// assert_eq!(hb.tick("layer", &trace), None); // 1st of every 2
+/// assert_eq!(
+///     hb.tick("layer", &trace).as_deref(),
+///     Some("[progress] layer 2 cycles=0 bottleneck=ndp buf=31B"),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    every: u64,
+    ticks: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat reporting every `every` ticks (`every = 0` is
+    /// clamped to 1: report on every tick).
+    pub fn new(every: u64) -> Heartbeat {
+        Heartbeat {
+            every: every.max(1),
+            ticks: 0,
+        }
+    }
+
+    /// Units completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Registers one completed `unit` (e.g. `"layer"`); every `every`-th
+    /// call returns a status line to print. Simulated cycles are the
+    /// sink's `layer`-window extent; `buf` is the sink's current
+    /// in-memory span footprint ([`SpanSink::buffer_bytes`]).
+    pub fn tick<S: SpanSink>(&mut self, unit: &str, sink: &S) -> Option<String> {
+        self.ticks += 1;
+        if !self.ticks.is_multiple_of(self.every) {
+            return None;
+        }
+        Some(self.line(unit, sink))
+    }
+
+    /// The status line a tick at the current count would print.
+    /// Also the final-summary line callers emit unconditionally at the
+    /// end of a `--progress` run.
+    pub fn line<S: SpanSink>(&self, unit: &str, sink: &S) -> String {
+        format!(
+            "[progress] {unit} {} cycles={} bottleneck={} buf={}B",
+            self.ticks,
+            sink.category_cycles("layer"),
+            bottleneck_category(sink),
+            sink.buffer_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_obs::Tracer;
+
+    #[test]
+    fn emits_every_nth_tick() {
+        let t = Tracer::new();
+        let mut hb = Heartbeat::new(3);
+        let mut lines = 0;
+        for _ in 0..9 {
+            if hb.tick("layer", &t).is_some() {
+                lines += 1;
+            }
+        }
+        assert_eq!(lines, 3);
+        assert_eq!(hb.ticks(), 9);
+    }
+
+    #[test]
+    fn zero_interval_reports_every_tick() {
+        let t = Tracer::new();
+        let mut hb = Heartbeat::new(0);
+        assert!(hb.tick("cfg", &t).is_some());
+        assert!(hb.tick("cfg", &t).is_some());
+    }
+
+    #[test]
+    fn line_is_deterministic_and_keyed_to_simulated_state() {
+        let mut t = Tracer::new();
+        let iter = t.track("iter");
+        let w = t.track("worker0");
+        t.span(iter, "layer", "fwd", 0, 1000);
+        t.span(w, "ndp", "gemm", 0, 400);
+        t.span(w, "dram", "stall", 400, 1000);
+        let mut hb = Heartbeat::new(1);
+        let line = hb.tick("layer", &t).expect("line");
+        // dram (600) beats ndp (400); buffer bytes are the tracer's
+        // deterministic span-memory estimate.
+        let buf = wmpt_obs::SpanSink::buffer_bytes(&t);
+        assert_eq!(
+            line,
+            format!("[progress] layer 1 cycles=1000 bottleneck=dram buf={buf}B")
+        );
+        // Same simulated state, same line.
+        assert_eq!(hb.line("layer", &t), line);
+    }
+
+    #[test]
+    fn bottleneck_prefers_heaviest_category() {
+        let mut t = Tracer::new();
+        let w = t.track("w");
+        assert_eq!(bottleneck_category(&t), "none");
+        t.span(w, "noc", "scatter", 0, 10);
+        assert_eq!(bottleneck_category(&t), "noc");
+        t.span(w, "collective", "reduce", 0, 20);
+        assert_eq!(bottleneck_category(&t), "collective");
+    }
+}

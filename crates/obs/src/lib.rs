@@ -16,6 +16,9 @@
 //! * [`Tracer`] — records `(track, category, name, start, end)` spans in
 //!   virtual cycles and exports Chrome `trace_event` JSON (open in
 //!   `chrome://tracing` or Perfetto) plus a plain-text per-phase rollup.
+//!   Both it and the bounded-memory [`StreamingTracer`] (JSONL to disk
+//!   under a byte budget, see [`stream`]) implement [`SpanSink`], the
+//!   recording surface instrumented code is generic over.
 //! * [`json`] — a minimal JSON writer/parser; the workspace builds
 //!   hermetically, so this substitutes for `serde_json` (see DESIGN.md).
 //!
@@ -66,6 +69,10 @@
 //! | `fault.replayed_iterations` | counter | iterations replayed after a rollback |
 //! | `fault.recovery_cycles` | counter | cycles spent on detect/restore/replay |
 //! | `par.jobs` | gauge | host worker threads (`--jobs`) the run executed with |
+//! | `obs.spans_emitted` | counter | spans written out by a streaming sink |
+//! | `obs.flushes` | counter | pending-buffer flushes of a streaming sink |
+//! | `obs.peak_buffer_bytes` | gauge | peak pending bytes held by a streaming sink (≤ budget) |
+//! | `obs.truncated_spans` | counter | open spans auto-closed at export/finalize |
 //! | `hist.tile_pair_bytes` | histogram | bytes per tile-transfer (src, dst) pair |
 //! | `hist.phase_cycles` | histogram | cycles per simulated phase |
 //! | `hist.recovery_cycles` | histogram | cycles per fault-recovery episode |
@@ -89,26 +96,47 @@
 pub mod json;
 pub mod metrics;
 pub mod shard;
+pub mod stream;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricKey, MetricRegistry, TrafficClass};
 pub use shard::MetricShards;
-pub use trace::{Span, Tracer, TrackId};
+pub use stream::{
+    detect_format, jsonl_events, jsonl_to_chrome, read_trace_auto, StreamStats, StreamingTracer,
+    TraceFormat,
+};
+pub use trace::{parse_trace_event, Span, SpanSink, TraceEvent, Tracer, TrackId};
 
-/// A metric registry and a tracer bundled together — the single handle
-/// instrumented code threads through `*_observed` entry points.
+/// A metric registry and a span sink bundled together — the single
+/// handle instrumented code threads through `*_observed` entry points.
+///
+/// The sink defaults to the in-memory [`Tracer`]; plain `Observer` keeps
+/// working everywhere. Pair with a [`StreamingTracer`] (via
+/// [`Observer::with_trace`]) to stream spans to disk under a byte
+/// budget instead of holding them all in RAM.
 #[derive(Debug, Clone, Default)]
-pub struct Observer {
+pub struct Observer<S: SpanSink = Tracer> {
     /// Counters, gauges, histograms for this run.
     pub metrics: MetricRegistry,
-    /// Span tracer on the virtual clock.
-    pub trace: Tracer,
+    /// Span sink on the virtual clock.
+    pub trace: S,
 }
 
 impl Observer {
-    /// An empty observer.
+    /// An empty observer recording into an in-memory [`Tracer`].
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl<S: SpanSink> Observer<S> {
+    /// An observer recording spans into `trace` (e.g. a
+    /// [`StreamingTracer`]) with a fresh metric registry.
+    pub fn with_trace(trace: S) -> Self {
+        Observer {
+            metrics: MetricRegistry::new(),
+            trace,
+        }
     }
 }
 

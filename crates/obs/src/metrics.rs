@@ -157,6 +157,18 @@ pub enum MetricKey {
     /// Gauge: host worker threads (`--jobs`) the run executed with.
     ParJobs,
 
+    // --- Observability self-metrics (streaming sink, see `trace`) ---
+    /// Spans written out (as JSONL complete events) by a streaming sink.
+    ObsSpansEmitted,
+    /// Times a streaming sink flushed its pending buffer to the writer.
+    ObsFlushes,
+    /// Gauge: peak bytes of pending JSONL a streaming sink held in
+    /// memory — bounded by the sink's configured byte budget.
+    ObsPeakBufferBytes,
+    /// Open (unclosed) spans auto-closed at export/finalize time; a
+    /// nonzero value means the trace tail was synthesized.
+    ObsTruncatedSpans,
+
     // --- Histograms ---
     /// Histogram: bytes per (source, destination) tile-transfer pair.
     HistTilePairBytes,
@@ -222,6 +234,10 @@ impl MetricKey {
             MetricKey::FaultReplayedIterations,
             MetricKey::FaultRecoveryCycles,
             MetricKey::ParJobs,
+            MetricKey::ObsSpansEmitted,
+            MetricKey::ObsFlushes,
+            MetricKey::ObsPeakBufferBytes,
+            MetricKey::ObsTruncatedSpans,
             MetricKey::HistTilePairBytes,
             MetricKey::HistPhaseCycles,
             MetricKey::HistRecoveryCycles,
@@ -273,6 +289,10 @@ impl MetricKey {
             MetricKey::FaultReplayedIterations => "fault.replayed_iterations".to_string(),
             MetricKey::FaultRecoveryCycles => "fault.recovery_cycles".to_string(),
             MetricKey::ParJobs => "par.jobs".to_string(),
+            MetricKey::ObsSpansEmitted => "obs.spans_emitted".to_string(),
+            MetricKey::ObsFlushes => "obs.flushes".to_string(),
+            MetricKey::ObsPeakBufferBytes => "obs.peak_buffer_bytes".to_string(),
+            MetricKey::ObsTruncatedSpans => "obs.truncated_spans".to_string(),
             MetricKey::HistTilePairBytes => "hist.tile_pair_bytes".to_string(),
             MetricKey::HistPhaseCycles => "hist.phase_cycles".to_string(),
             MetricKey::HistRecoveryCycles => "hist.recovery_cycles".to_string(),

@@ -21,6 +21,10 @@ impl TrackId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    pub(crate) fn new(index: usize) -> Self {
+        TrackId(index)
+    }
 }
 
 /// One completed span on a track.
@@ -47,10 +51,163 @@ impl Span {
 }
 
 #[derive(Debug, Clone)]
-struct OpenSpan {
-    cat: String,
-    name: String,
-    start: Time,
+pub(crate) struct OpenSpan {
+    pub(crate) cat: String,
+    pub(crate) name: String,
+    pub(crate) start: Time,
+}
+
+/// The `ph:"M"` `thread_name` metadata event naming a track.
+///
+/// Shared by [`Tracer::chrome_trace`] and the streaming sink so both
+/// paths render byte-identical documents.
+pub fn track_meta_event(tid: usize, name: &str) -> Value {
+    json::obj(vec![
+        ("ph", json::s("M")),
+        ("name", json::s("thread_name")),
+        ("pid", json::num(0.0)),
+        ("tid", json::num(tid as f64)),
+        ("args", json::obj(vec![("name", json::s(name))])),
+    ])
+}
+
+/// The `ph:"X"` complete event for one span. `ts`/`dur` are microseconds
+/// (cycles / 1000); the exact cycle payload rides in `args` so traces
+/// re-parse bit-exactly.
+pub fn span_complete_event(sp: &Span) -> Value {
+    json::obj(vec![
+        ("ph", json::s("X")),
+        ("name", json::s(&sp.name)),
+        ("cat", json::s(&sp.cat)),
+        ("pid", json::num(0.0)),
+        ("tid", json::num(sp.track.0 as f64)),
+        ("ts", json::num(sp.start as f64 / 1000.0)),
+        ("dur", json::num(sp.cycles() as f64 / 1000.0)),
+        (
+            "args",
+            json::obj(vec![
+                ("start_cycle", json::num(sp.start as f64)),
+                ("cycles", json::num(sp.cycles() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// One decoded chrome-trace event, the unit both the JSONL stream and
+/// the in-memory document are made of.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A `thread_name` metadata event registering track `tid`.
+    Track {
+        /// Chrome `tid` (track registration index).
+        tid: usize,
+        /// Track name.
+        name: String,
+    },
+    /// A complete (`ph:"X"`) span event.
+    Span {
+        /// Chrome `tid` the span lives on.
+        tid: usize,
+        /// Span category.
+        cat: String,
+        /// Span name.
+        name: String,
+        /// Start cycle (exact, from `args.start_cycle` or `ts`).
+        start: Time,
+        /// End cycle (exclusive).
+        end: Time,
+    },
+}
+
+/// Decodes one chrome-trace event object. Returns `Ok(None)` for event
+/// kinds this crate does not emit (foreign `ph` values), so consumers
+/// can skip them the way [`Tracer::from_chrome_trace`] does.
+pub fn parse_trace_event(e: &Value) -> Result<Option<TraceEvent>, String> {
+    match e.get("ph").and_then(Value::as_str) {
+        Some("M") => {
+            if e.get("name").and_then(Value::as_str) != Some("thread_name") {
+                return Ok(None);
+            }
+            let tid = e
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or("metadata event without numeric 'tid'")? as usize;
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .ok_or("thread_name event without args.name")?;
+            Ok(Some(TraceEvent::Track {
+                tid,
+                name: name.to_string(),
+            }))
+        }
+        Some("X") => {
+            let tid = e
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or("complete event without numeric 'tid'")? as usize;
+            let name = e
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("complete event without 'name'")?;
+            let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
+            let exact = |key: &str, us_key: &str| -> Result<Time, String> {
+                if let Some(v) = e
+                    .get("args")
+                    .and_then(|a| a.get(key))
+                    .and_then(Value::as_u64)
+                {
+                    return Ok(v);
+                }
+                e.get(us_key)
+                    .and_then(Value::as_f64)
+                    .map(|us| (us * 1000.0).round() as Time)
+                    .ok_or(format!("complete event without '{us_key}'"))
+            };
+            let start = exact("start_cycle", "ts")?;
+            let cycles = exact("cycles", "dur")?;
+            Ok(Some(TraceEvent::Span {
+                tid,
+                cat: cat.to_string(),
+                name: name.to_string(),
+                start,
+                end: start + cycles,
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// The span-recording surface shared by the in-memory [`Tracer`] and the
+/// bounded-memory [`crate::StreamingTracer`].
+///
+/// Instrumented code (`*_observed` entry points, sweep drivers) is
+/// generic over this trait, so the same call sites can record into an
+/// all-in-RAM trace or flush spans to disk as they close. The trait
+/// deliberately exposes only what emitters need — recording plus the
+/// cheap running queries (`category_cycles`, `open_spans`,
+/// `buffer_bytes`) that sweep layout and progress reporting rely on.
+pub trait SpanSink {
+    /// Registers (or looks up) a track by name. See [`Tracer::track`].
+    fn track(&mut self, name: &str) -> TrackId;
+    /// Records a completed span. See [`Tracer::span`].
+    fn span(&mut self, track: TrackId, cat: &str, name: &str, start: Time, end: Time);
+    /// Opens a span; closed by the matching [`SpanSink::end`].
+    fn begin(&mut self, track: TrackId, cat: &str, name: &str, start: Time);
+    /// Closes the most recently opened span on `track`.
+    fn end(&mut self, track: TrackId, end: Time);
+    /// Number of open (unclosed) spans across all tracks.
+    fn open_spans(&self) -> usize;
+    /// Running total of cycles recorded under `cat` (closed spans only).
+    fn category_cycles(&self, cat: &str) -> Time;
+    /// Appends every track and span of an in-memory tracer, shifting
+    /// span times by `offset` cycles. See [`Tracer::append_offset`].
+    fn append_offset(&mut self, other: &Tracer, offset: Time);
+    /// Bytes of span data currently resident in host memory. For the
+    /// in-memory tracer this grows with every span; a streaming sink
+    /// keeps it under its configured budget.
+    fn buffer_bytes(&self) -> usize;
 }
 
 /// Records spans against named tracks and exports Chrome-trace JSON.
@@ -63,6 +220,15 @@ pub struct Tracer {
     tracks: Vec<String>,
     spans: Vec<Span>,
     open: Vec<Vec<OpenSpan>>,
+    cat_cycles: BTreeMap<String, Time>,
+    span_bytes: usize,
+}
+
+/// Deterministic per-span memory estimate used by
+/// [`SpanSink::buffer_bytes`] for the in-memory tracer: the variable
+/// string payload plus a fixed 24-byte slot for track/start/end.
+pub(crate) fn span_mem_bytes(cat: &str, name: &str) -> usize {
+    cat.len() + name.len() + 24
 }
 
 impl Tracer {
@@ -90,6 +256,8 @@ impl Tracer {
     pub fn span(&mut self, track: TrackId, cat: &str, name: &str, start: Time, end: Time) {
         assert!(end >= start, "span '{name}' ends before it starts");
         assert!(track.0 < self.tracks.len(), "unknown track");
+        *self.cat_cycles.entry(cat.to_string()).or_insert(0) += end - start;
+        self.span_bytes += span_mem_bytes(cat, name);
         self.spans.push(Span {
             track,
             cat: cat.to_string(),
@@ -148,38 +316,62 @@ impl Tracer {
         &self.tracks
     }
 
+    /// The latest timestamp the tracer has seen: the maximum over closed
+    /// spans' ends and open spans' starts (0 for an empty tracer). This
+    /// is where [`Tracer::chrome_trace`] auto-closes still-open spans.
+    pub fn last_timestamp(&self) -> Time {
+        let closed = self.spans.iter().map(|s| s.end).max().unwrap_or(0);
+        let open = self
+            .open
+            .iter()
+            .flatten()
+            .map(|o| o.start)
+            .max()
+            .unwrap_or(0);
+        closed.max(open)
+    }
+
+    /// Spans that [`Tracer::chrome_trace`] synthesizes for still-open
+    /// spans: each open span closed at [`Tracer::last_timestamp`], per
+    /// track in registration order, innermost (most recently opened)
+    /// first — the order repeated `end()` calls would have produced.
+    fn auto_closed(&self) -> Vec<Span> {
+        let last = self.last_timestamp();
+        let mut out = Vec::new();
+        for (tid, stack) in self.open.iter().enumerate() {
+            for o in stack.iter().rev() {
+                out.push(Span {
+                    track: TrackId(tid),
+                    cat: o.cat.clone(),
+                    name: o.name.clone(),
+                    start: o.start,
+                    end: last,
+                });
+            }
+        }
+        out
+    }
+
     /// Builds the Chrome `trace_event` document:
     /// `{"traceEvents": [...], "displayTimeUnit": "ns"}` with one `ph:"M"`
     /// `thread_name` metadata event per track and one `ph:"X"` complete
     /// event per span. `ts`/`dur` are microseconds (cycles / 1000).
+    ///
+    /// Spans still open (unbalanced [`Tracer::begin`]) are auto-closed in
+    /// the export at [`Tracer::last_timestamp`] — the document is always
+    /// internally consistent instead of silently dropping them. Callers
+    /// that care should check [`Tracer::open_spans`] first and account
+    /// the count as `obs.truncated_spans`.
     pub fn chrome_trace(&self) -> Value {
         let mut events = Vec::new();
         for (tid, name) in self.tracks.iter().enumerate() {
-            events.push(json::obj(vec![
-                ("ph", json::s("M")),
-                ("name", json::s("thread_name")),
-                ("pid", json::num(0.0)),
-                ("tid", json::num(tid as f64)),
-                ("args", json::obj(vec![("name", json::s(name))])),
-            ]));
+            events.push(track_meta_event(tid, name));
         }
         for sp in &self.spans {
-            events.push(json::obj(vec![
-                ("ph", json::s("X")),
-                ("name", json::s(&sp.name)),
-                ("cat", json::s(&sp.cat)),
-                ("pid", json::num(0.0)),
-                ("tid", json::num(sp.track.0 as f64)),
-                ("ts", json::num(sp.start as f64 / 1000.0)),
-                ("dur", json::num(sp.cycles() as f64 / 1000.0)),
-                (
-                    "args",
-                    json::obj(vec![
-                        ("start_cycle", json::num(sp.start as f64)),
-                        ("cycles", json::num(sp.cycles() as f64)),
-                    ]),
-                ),
-            ]));
+            events.push(span_complete_event(sp));
+        }
+        for sp in self.auto_closed() {
+            events.push(span_complete_event(&sp));
         }
         json::obj(vec![
             ("traceEvents", Value::Arr(events)),
@@ -206,63 +398,32 @@ impl Tracer {
             .get("traceEvents")
             .and_then(Value::as_arr)
             .ok_or("missing 'traceEvents' array")?;
-        let mut tracks: Vec<(u64, String)> = Vec::new();
+        let mut tracks: Vec<(usize, String)> = Vec::new();
         for e in events {
-            if e.get("ph").and_then(Value::as_str) != Some("M") {
-                continue;
+            if let Some(TraceEvent::Track { tid, name }) = parse_trace_event(e)? {
+                tracks.push((tid, name));
             }
-            if e.get("name").and_then(Value::as_str) != Some("thread_name") {
-                continue;
-            }
-            let tid = e
-                .get("tid")
-                .and_then(Value::as_u64)
-                .ok_or("metadata event without numeric 'tid'")?;
-            let name = e
-                .get("args")
-                .and_then(|a| a.get("name"))
-                .and_then(Value::as_str)
-                .ok_or("thread_name event without args.name")?;
-            tracks.push((tid, name.to_string()));
         }
         tracks.sort_by_key(|(tid, _)| *tid);
         let mut out = Tracer::new();
-        let mut by_tid: BTreeMap<u64, TrackId> = BTreeMap::new();
+        let mut by_tid: BTreeMap<usize, TrackId> = BTreeMap::new();
         for (tid, name) in &tracks {
             by_tid.insert(*tid, out.track(name));
         }
         for e in events {
-            if e.get("ph").and_then(Value::as_str) != Some("X") {
-                continue;
+            if let Some(TraceEvent::Span {
+                tid,
+                cat,
+                name,
+                start,
+                end,
+            }) = parse_trace_event(e)?
+            {
+                let track = *by_tid
+                    .get(&tid)
+                    .ok_or(format!("span on unregistered tid {tid}"))?;
+                out.span(track, &cat, &name, start, end);
             }
-            let tid = e
-                .get("tid")
-                .and_then(Value::as_u64)
-                .ok_or("complete event without numeric 'tid'")?;
-            let track = *by_tid
-                .get(&tid)
-                .ok_or(format!("span on unregistered tid {tid}"))?;
-            let name = e
-                .get("name")
-                .and_then(Value::as_str)
-                .ok_or("complete event without 'name'")?;
-            let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
-            let exact = |key: &str, us_key: &str| -> Result<Time, String> {
-                if let Some(v) = e
-                    .get("args")
-                    .and_then(|a| a.get(key))
-                    .and_then(Value::as_u64)
-                {
-                    return Ok(v);
-                }
-                e.get(us_key)
-                    .and_then(Value::as_f64)
-                    .map(|us| (us * 1000.0).round() as Time)
-                    .ok_or(format!("complete event without '{us_key}'"))
-            };
-            let start = exact("start_cycle", "ts")?;
-            let cycles = exact("cycles", "dur")?;
-            out.span(track, cat, name, start, start + cycles);
         }
         Ok(out)
     }
@@ -272,6 +433,19 @@ impl Tracer {
     /// `other`'s registration order, so appending per-run tracers in run
     /// order reproduces the trace a single serial tracer would have
     /// recorded with runs laid back to back.
+    ///
+    /// Edge semantics, relied on by multi-grid trace concatenation:
+    ///
+    /// * An empty `other` (no tracks) is a complete no-op.
+    /// * `other`'s tracks are registered even when they carry no spans —
+    ///   a grid that stayed idle still contributes its track layout.
+    /// * Track names shared between `self` and `other` merge onto one
+    ///   track (spans interleave on it); names unique to `other` are
+    ///   appended after `self`'s existing tracks in `other`'s
+    ///   registration order.
+    /// * `other`'s open (unclosed) spans are *not* carried over — only
+    ///   completed spans move; close them (or let the export auto-close
+    ///   them) on the source tracer first.
     pub fn append_offset(&mut self, other: &Tracer, offset: Time) {
         let map: Vec<TrackId> = other.tracks.iter().map(|n| self.track(n)).collect();
         for sp in &other.spans {
@@ -299,13 +473,11 @@ impl Tracer {
         out
     }
 
-    /// Sum of cycles over spans of one category.
+    /// Sum of cycles over spans of one category. Maintained as a running
+    /// total, so the per-layer `category_cycles("layer")` base queries of
+    /// network sweeps cost O(log categories) instead of O(spans).
     pub fn category_cycles(&self, cat: &str) -> Time {
-        self.spans
-            .iter()
-            .filter(|s| s.cat == cat)
-            .map(Span::cycles)
-            .sum()
+        self.cat_cycles.get(cat).copied().unwrap_or(0)
     }
 
     /// Exact per-span-duration percentiles for every `(category, name)`
@@ -380,6 +552,33 @@ impl Tracer {
             ));
         }
         out
+    }
+}
+
+impl SpanSink for Tracer {
+    fn track(&mut self, name: &str) -> TrackId {
+        Tracer::track(self, name)
+    }
+    fn span(&mut self, track: TrackId, cat: &str, name: &str, start: Time, end: Time) {
+        Tracer::span(self, track, cat, name, start, end)
+    }
+    fn begin(&mut self, track: TrackId, cat: &str, name: &str, start: Time) {
+        Tracer::begin(self, track, cat, name, start)
+    }
+    fn end(&mut self, track: TrackId, end: Time) {
+        Tracer::end(self, track, end)
+    }
+    fn open_spans(&self) -> usize {
+        Tracer::open_spans(self)
+    }
+    fn category_cycles(&self, cat: &str) -> Time {
+        Tracer::category_cycles(self, cat)
+    }
+    fn append_offset(&mut self, other: &Tracer, offset: Time) {
+        Tracer::append_offset(self, other, offset)
+    }
+    fn buffer_bytes(&self) -> usize {
+        self.span_bytes
     }
 }
 
@@ -518,6 +717,120 @@ mod tests {
             ])]),
         )]);
         assert!(Tracer::from_chrome_trace(&doc).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_auto_closes_open_spans_at_last_timestamp() {
+        // Regression: exporting with open spans used to silently drop
+        // them, producing a trace inconsistent with open_spans() > 0.
+        let mut t = Tracer::new();
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm", 0, 100);
+        t.begin(w, "layer", "fwd", 0);
+        t.begin(w, "ndp", "vector", 40);
+        assert_eq!(t.open_spans(), 2);
+        assert_eq!(t.last_timestamp(), 100);
+
+        let back = Tracer::from_chrome_trace(&t.chrome_trace()).expect("reparse");
+        // Both open spans appear, closed at the last timestamp, innermost
+        // first (the order matching end() calls would have produced).
+        assert_eq!(back.spans().len(), 3);
+        assert_eq!(back.spans()[1].name, "vector");
+        assert_eq!((back.spans()[1].start, back.spans()[1].end), (40, 100));
+        assert_eq!(back.spans()[2].name, "fwd");
+        assert_eq!((back.spans()[2].start, back.spans()[2].end), (0, 100));
+        // The source tracer is untouched: spans stay open for the caller
+        // to account as obs.truncated_spans.
+        assert_eq!(t.open_spans(), 2);
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn last_timestamp_covers_open_only_tracers() {
+        let mut t = Tracer::new();
+        assert_eq!(t.last_timestamp(), 0);
+        let w = t.track("w");
+        t.begin(w, "layer", "fwd", 70);
+        assert_eq!(t.last_timestamp(), 70);
+        // An open span with no closed spans exports as zero-length at its
+        // own start.
+        let back = Tracer::from_chrome_trace(&t.chrome_trace()).expect("reparse");
+        assert_eq!((back.spans()[0].start, back.spans()[0].end), (70, 70));
+    }
+
+    #[test]
+    fn append_offset_empty_other_is_noop() {
+        let mut t = Tracer::new();
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm", 0, 10);
+        let before_tracks = t.tracks().to_vec();
+        let before_spans = t.spans().to_vec();
+        t.append_offset(&Tracer::new(), 999);
+        assert_eq!(t.tracks(), &before_tracks[..]);
+        assert_eq!(t.spans(), &before_spans[..]);
+    }
+
+    #[test]
+    fn append_offset_registers_spanless_tracks() {
+        // A grid that stayed idle still contributes its track layout.
+        let mut other = Tracer::new();
+        other.track("worker0");
+        other.track("noc");
+        let mut t = Tracer::new();
+        t.append_offset(&other, 0);
+        assert_eq!(t.tracks(), ["worker0", "noc"]);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn append_offset_merges_shared_names_appends_unique() {
+        let mut t = Tracer::new();
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm", 0, 10);
+
+        let mut other = Tracer::new();
+        let d = other.track("dram0");
+        let w2 = other.track("worker0"); // shared name, later position
+        other.span(w2, "ndp", "gemm", 0, 5);
+        other.span(d, "dram", "stall", 1, 3);
+
+        t.append_offset(&other, 100);
+        // Shared "worker0" merged onto tid 0; unique "dram0" appended.
+        assert_eq!(t.tracks(), ["worker0", "dram0"]);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            (spans[1].track, spans[1].start, spans[1].end),
+            (w, 100, 105)
+        );
+        assert_eq!(spans[2].track.index(), 1);
+        assert_eq!((spans[2].start, spans[2].end), (101, 103));
+    }
+
+    #[test]
+    fn append_offset_ignores_open_spans() {
+        let mut other = Tracer::new();
+        let w = other.track("worker0");
+        other.span(w, "ndp", "gemm", 0, 10);
+        other.begin(w, "layer", "fwd", 0);
+        let mut t = Tracer::new();
+        t.append_offset(&other, 0);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn buffer_bytes_grows_with_spans() {
+        let mut t = Tracer::new();
+        assert_eq!(SpanSink::buffer_bytes(&t), 0);
+        let w = t.track("worker0");
+        t.span(w, "ndp", "gemm", 0, 10);
+        assert_eq!(SpanSink::buffer_bytes(&t), span_mem_bytes("ndp", "gemm"));
+        t.span(w, "ndp", "gemm", 10, 20);
+        assert_eq!(
+            SpanSink::buffer_bytes(&t),
+            2 * span_mem_bytes("ndp", "gemm")
+        );
     }
 
     #[test]
