@@ -12,7 +12,14 @@
 //! mpt-sim layer Late-2 w_mp++ --trace-out trace.json --metrics-out m.json
 //! mpt-sim network wrn w_mp++ --trace-jsonl t.jsonl --trace-budget 4096
 //! mpt-sim analyze --trace-in t.jsonl --svg-out timeline.svg
+//! mpt-sim serve --port 7878            # the same simulator over HTTP
 //! ```
+//!
+//! Every command except `analyze` and `serve` is parsed into a
+//! `wmpt_serve::SimRequest` and executed through the shared
+//! `run_request_with` runner — the same entry point the HTTP server
+//! uses — so a shell invocation and a curl body are interchangeable
+//! descriptions of the same deterministic computation.
 //!
 //! `--trace-out <path>` writes a Chrome `trace_event` JSON of the
 //! simulated iteration (open in `chrome://tracing` or Perfetto) and
@@ -45,6 +52,13 @@
 //! <file>` grades the analysis metrics against a committed baseline,
 //! exiting non-zero on regression.
 //!
+//! `serve` starts the `wmpt-serve` HTTP server on `127.0.0.1` and
+//! blocks: `POST /api/v1/jobs` with a `SimRequest` JSON body submits a
+//! job to a bounded queue (`--queue-depth`, 429 when full), results
+//! memoize in a content-addressed cache (`--cache-bytes`), and
+//! `GET /api/v1/jobs/<id>/{report,metrics,trace,svg}` fetches artifacts
+//! byte-identical to what the equivalent CLI invocation writes.
+//!
 //! `--jobs <n>` simulates the configs of a `layer <l> all` /
 //! `network <n> all` sweep on `n` host threads via the deterministic
 //! `wmpt-par` runtime (`0` or omitted = available parallelism); rows
@@ -61,18 +75,13 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use wmpt_analyze::{analyze_jsonl, timeline_svg, Analysis, Baseline};
-use wmpt_core::{
-    simulate_layer, simulate_layer_observed, simulate_network, simulate_network_observed,
-    simulate_network_observed_with, Heartbeat, SystemConfig, SystemModel,
-};
-use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, ResilienceConfig, Scenario};
-use wmpt_models::{fractalnet, resnet34, table2_layers, wrn_40_10, ConvLayerSpec, Network};
-use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
-use wmpt_obs::{
-    detect_format, json, read_trace_auto, MetricShards, Observer, SpanSink, StreamingTracer,
-    TraceFormat,
-};
+use wmpt_core::Heartbeat;
+use wmpt_fault::Scenario;
+use wmpt_obs::{detect_format, json, read_trace_auto, Observer, StreamingTracer, TraceFormat};
 use wmpt_par::{available_jobs, ParPool};
+use wmpt_serve::{
+    run_request_with, ServeConfig, Server, SimRequest, DEFAULT_FAULT_ITERS, DEFAULT_FAULT_SEED,
+};
 
 /// Pending-output byte budget of `--trace-jsonl` when `--trace-budget`
 /// is not given.
@@ -85,7 +94,8 @@ fn usage() -> ! {
          mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
          mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n  \
          mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n  \
-         mpt-sim analyze --trace-in <file> [--baseline <file>]\n\n\
+         mpt-sim analyze --trace-in <file> [--baseline <file>]\n  \
+         mpt-sim serve [--port <n>] [--queue-depth <n>] [--cache-bytes <n>]\n\n\
          options (layer/network): --trace-out <file>  Chrome trace_event JSON\n\
          \x20                     --trace-jsonl <file> stream spans to JSONL\n\
          \x20                     --trace-budget <n>   pending bytes for JSONL\n\
@@ -95,7 +105,12 @@ fn usage() -> ! {
          options (analyze):       --trace-in <file>    trace (chrome or JSONL)\n\
          \x20                     --baseline <file>    gate against bands\n\
          \x20                     --svg-out <file>     timeline SVG\n\
-         \x20                     --report-out <file>  text report\n\n\
+         \x20                     --report-out <file>  text report\n\
+         options (serve):         --port <n>           listen port (0 = ephemeral)\n\
+         \x20                     --queue-depth <n>    pending jobs before 429\n\
+         \x20                     --cache-bytes <n>    result cache byte budget\n\
+         \x20                     --workers <n>        job worker threads\n\
+         \x20                     --jobs <n>           per-job host threads\n\n\
          configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++\n\
          scenarios: single-link dead-worker bit-flip straggler host-flap chaos"
     );
@@ -257,238 +272,31 @@ fn extract_progress(args: &mut Vec<String>) -> Option<u64> {
     }
 }
 
-/// Ticks the heartbeat (if any) and prints due lines to stderr.
-fn beat<S: SpanSink>(hb: &mut Option<Heartbeat>, unit: &str, sink: &S) {
-    if let Some(hb) = hb {
-        if let Some(line) = hb.tick(unit, sink) {
-            eprintln!("{line}");
-        }
-    }
-}
-
-fn parse_config(s: &str) -> Option<SystemConfig> {
-    SystemConfig::all().into_iter().find(|c| c.abbrev() == s)
-}
-
-fn configs_arg(s: &str) -> Vec<SystemConfig> {
-    if s == "all" {
-        SystemConfig::all().to_vec()
-    } else {
-        match parse_config(s) {
-            Some(c) => vec![c],
-            None => usage(),
-        }
-    }
-}
-
-fn find_layer(name: &str) -> Option<ConvLayerSpec> {
-    table2_layers().into_iter().find(|l| l.name == name)
-}
-
-fn find_network(name: &str) -> Option<Network> {
-    match name {
-        "wrn" => Some(wrn_40_10()),
-        "resnet34" => Some(resnet34()),
-        "fractalnet" => Some(fractalnet()),
-        "vgg16" => Some(wmpt_models::vgg16()),
-        _ => None,
-    }
-}
-
-fn run_plan(name: &str, cfg: &str) {
-    let Some(net) = find_network(name) else {
-        usage()
-    };
-    let Some(sys) = parse_config(cfg) else {
-        usage()
-    };
-    let model = SystemModel::paper_fp16();
-    let plan = wmpt_core::plan_network(&model, &net, sys);
-    print!("{}", plan.render());
-    println!(
-        "total {:.0} cycles/iter; {:.0}% of communication is weight collectives",
-        plan.total_cycles(),
-        100.0 * plan.collective_fraction()
-    );
-}
-
-/// Runs one observed simulation per config on the pool, each into its
-/// own private in-memory `Observer`, then merges: metrics fold through
-/// [`MetricShards`] in shard-index order, and traces concatenate in
-/// config order with each appended past the layers already recorded
-/// ([`SpanSink::append_offset`]). The merged `obs` is therefore
-/// identical for every `--jobs` value — parallel sweeps keep their
-/// sinks, including streaming ones, which drain each config's scratch
-/// trace as it lands. The heartbeat ticks once per merged config, on
-/// the main thread, so progress lines are deterministic too.
-fn observed_sweep<S: SpanSink, R: Send>(
+/// Executes a request on the shared runner, printing the report to
+/// stdout — the report string's bytes are exactly what the pre-`serve`
+/// CLI printed inline.
+fn run_and_print<S: wmpt_obs::SpanSink>(
+    req: &SimRequest,
     pool: &ParPool,
-    n: usize,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
-    sim: impl Fn(usize, &mut Observer) -> R + Sync,
-) -> Vec<R> {
-    let shards = MetricShards::new(n);
-    let runs = pool.map_indexed(n, |i| {
-        let mut o = Observer::new();
-        let r = sim(i, &mut o);
-        shards.record(i, |reg| reg.merge(&o.metrics));
-        (r, o.trace)
-    });
-    let mut results = Vec::with_capacity(n);
-    for (r, trace) in runs {
-        let offset = obs.trace.category_cycles("layer");
-        obs.trace.append_offset(&trace, offset);
-        results.push(r);
-        beat(hb, "config", &obs.trace);
-    }
-    obs.metrics.merge(&shards.merge());
-    results
-}
-
-fn run_layer<S: SpanSink>(
-    name: &str,
-    cfgs: &[SystemConfig],
     observed: bool,
-    obs: &mut Observer<S>,
-    hb: &mut Option<Heartbeat>,
-    pool: &ParPool,
 ) {
-    let Some(layer) = find_layer(name) else {
-        usage()
-    };
-    let model = SystemModel::paper();
-    println!("{layer}  (p = {}, batch = {})", model.workers, model.batch);
-    println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
-        "config", "fwd cycles", "bwd cycles", "energy (mJ)", "power (W)", "cluster"
-    );
-    let results = if observed {
-        if cfgs.len() == 1 {
-            // Single config streams straight into the caller's sink.
-            let r = simulate_layer_observed(&model, &layer, cfgs[0], obs);
-            beat(hb, "config", &obs.trace);
-            vec![r]
-        } else {
-            observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
-                simulate_layer_observed(&model, &layer, cfgs[i], o)
-            })
+    match run_request_with(req, pool, obs, hb, observed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
         }
-    } else {
-        pool.map_indexed(cfgs.len(), |i| simulate_layer(&model, &layer, cfgs[i]))
-    };
-    for (&sys, r) in cfgs.iter().zip(&results) {
-        let e = r.total_energy();
-        println!(
-            "{:<8} {:>12.0} {:>12.0} {:>12.2} {:>10.0} {:>12}",
-            sys.abbrev(),
-            r.forward.cycles,
-            r.backward.cycles,
-            e.total_j() * 1e3,
-            e.average_power_w(r.total_cycles()),
-            r.cluster.to_string()
-        );
-    }
-    if let Some(hb) = hb {
-        eprintln!("{}", hb.line("config", &obs.trace));
     }
 }
 
-fn run_network<S: SpanSink>(
-    name: &str,
-    cfgs: &[SystemConfig],
-    observed: bool,
-    obs: &mut Observer<S>,
-    hb: &mut Option<Heartbeat>,
-    pool: &ParPool,
-) {
-    let Some(net) = find_network(name) else {
-        usage()
-    };
-    let model = SystemModel::paper_fp16();
-    println!(
-        "{} ({} conv layers, {:.1}M params)",
-        net.name,
-        net.layers.len(),
-        net.param_count() as f64 / 1e6
-    );
-    println!(
-        "{:<8} {:>14} {:>12} {:>10} {:>24}",
-        "config", "cycles/iter", "images/s", "power (W)", "organization mix"
-    );
-    let per_layer = observed && cfgs.len() == 1;
-    let results = if per_layer {
-        // Single config streams end to end, with a heartbeat per layer.
-        let r = simulate_network_observed_with(&model, &net, cfgs[0], obs, |_, _, o| {
-            if let Some(hb) = hb.as_mut() {
-                if let Some(line) = hb.tick("layer", &o.trace) {
-                    eprintln!("{line}");
-                }
-            }
-        });
-        vec![r]
-    } else if observed {
-        observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
-            simulate_network_observed(&model, &net, cfgs[i], o)
-        })
-    } else {
-        pool.map_indexed(cfgs.len(), |i| simulate_network(&model, &net, cfgs[i]))
-    };
-    for (&sys, r) in cfgs.iter().zip(&results) {
-        let mix = r
-            .config_histogram()
-            .iter()
-            .map(|(k, n)| format!("{k}x{n}"))
-            .collect::<Vec<_>>()
-            .join(" ");
-        println!(
-            "{:<8} {:>14.0} {:>12.0} {:>10.0} {:>24}",
-            sys.abbrev(),
-            r.total_cycles(),
-            r.images_per_second(model.batch),
-            r.average_power_w(),
-            mix
-        );
-    }
-    if let Some(hb) = hb {
-        let unit = if per_layer { "layer" } else { "config" };
-        eprintln!("{}", hb.line(unit, &obs.trace));
-    }
-}
-
-fn run_noc(topo_name: &str, pattern_name: &str) {
-    let topo = match topo_name {
-        "ring" => Topology::ring(16, LinkKind::FullX2),
-        "fbfly" => Topology::flattened_butterfly(4, 4, LinkKind::Narrow),
-        _ => usage(),
-    };
-    let pattern = match pattern_name {
-        "uniform" => TrafficPattern::UniformRandom,
-        "transpose" => TrafficPattern::Transpose,
-        "neighbor" => TrafficPattern::NeighborRing,
-        "hotspot" => TrafficPattern::Hotspot,
-        _ => usage(),
-    };
-    println!("flit-level sweep: {topo_name} / {pattern_name}");
-    println!(
-        "{:>16} {:>16} {:>18}",
-        "offered B/cy/node", "mean latency (cy)", "throughput (B/cy)"
-    );
-    let pts = latency_throughput_sweep(&topo, pattern, 256, &[1000, 100, 30, 15, 8], 1);
-    for p in pts {
-        println!(
-            "{:>16.3} {:>16.1} {:>18.1}",
-            p.offered, p.latency, p.throughput
-        );
-    }
-}
-
-/// Runs a seeded fault scenario through the resilient functional trainer
-/// and prints a greppable recovery summary.
-fn run_faults(args: &[String]) {
-    let mut scenario: Option<Scenario> = None;
-    let mut seed: u64 = 7;
-    let mut iters: usize = 6;
+/// Parses `faults` flags (which the obs sinks do not apply to) into a
+/// request.
+fn faults_request(args: &[String]) -> SimRequest {
+    let mut scenario: Option<String> = None;
+    let mut seed: u64 = DEFAULT_FAULT_SEED;
+    let mut iters: usize = DEFAULT_FAULT_ITERS;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
@@ -501,13 +309,11 @@ fn run_faults(args: &[String]) {
         match args[i].as_str() {
             "--scenario" => {
                 let v = value(i);
-                scenario = match Scenario::parse(v) {
-                    Some(sc) => Some(sc),
-                    None => {
-                        eprintln!("unknown scenario: {v}");
-                        usage();
-                    }
-                };
+                if Scenario::parse(v).is_none() {
+                    eprintln!("unknown scenario: {v}");
+                    usage();
+                }
+                scenario = Some(v.to_string());
                 i += 2;
             }
             "--seed" => {
@@ -540,40 +346,10 @@ fn run_faults(args: &[String]) {
         eprintln!("faults requires --scenario");
         usage();
     };
-
-    let shape = GridShape::small();
-    let cfg = ResilienceConfig::small(iters);
-    let (x, t) = demo_dataset(77, 8);
-    let run = |plan: &FaultPlan| {
-        let mut net = wmpt_core::WinogradNet::new(55, 2, &[4], true);
-        let mut obs = Observer::new();
-        let report =
-            train_resilient(&mut net, &x, &t, shape, plan, &cfg, &mut obs).unwrap_or_else(|e| {
-                eprintln!("resilient run failed: {e}");
-                exit(1);
-            });
-        (report, obs)
-    };
-    let (clean, _) = run(&FaultPlan::empty(cfg.horizon()));
-    let plan = FaultPlan::scenario(sc, shape, seed, cfg.horizon());
-    let (report, obs) = run(&plan);
-
-    println!("fault scenario '{sc}' (seed {seed}) on an 8-worker grid, {iters} iterations");
-    for (cycle, ev) in plan.events() {
-        println!("  @{cycle:>8}  {ev}");
-    }
-    println!("\n{}", obs.metrics.render_table());
-    let identical = report.final_checkpoint == clean.final_checkpoint;
-    println!(
-        "resilience: scenario={sc} seed={seed} rollbacks={} replayed={} recoveries={} \
-         recovery_cycles={} stall_cycles={} slowdown={:.3}x bit_identical={identical}",
-        report.rollbacks,
-        report.replayed_iterations,
-        report.events_injected,
-        report.recovery_cycles,
-        report.stall_cycles,
-        report.slowdown(),
-    );
+    SimRequest::faults(&sc, seed, iters).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
 }
 
 /// Re-parses a `--trace-out` (chrome) or `--trace-jsonl` (streaming)
@@ -667,17 +443,105 @@ fn run_analyze(args: &[String]) {
     }
 }
 
+/// Parses `serve` flags and blocks forever serving the job API.
+fn run_serve(args: &[String]) {
+    let mut port: u16 = 7878;
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            if i + 1 >= args.len() {
+                eprintln!("{} needs a value", args[i]);
+                usage();
+            }
+            &args[i + 1]
+        };
+        match args[i].as_str() {
+            "--port" => {
+                port = match value(i).parse() {
+                    Ok(p) => p,
+                    Err(_) => {
+                        eprintln!("--port must be a port number");
+                        usage();
+                    }
+                };
+            }
+            "--queue-depth" => {
+                config.queue_depth = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--queue-depth must be a positive integer");
+                        usage();
+                    }
+                };
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = match value(i).parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--cache-bytes must be a byte count");
+                        usage();
+                    }
+                };
+            }
+            "--workers" => {
+                config.workers = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--workers must be a positive integer");
+                        usage();
+                    }
+                };
+            }
+            "--jobs" => {
+                config.jobs = match value(i).parse::<usize>() {
+                    Ok(0) => available_jobs(),
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--jobs must be a non-negative integer");
+                        usage();
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    let server = Server::bind(&format!("127.0.0.1:{port}"), config).unwrap_or_else(|e| {
+        eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+        exit(1);
+    });
+    // Goes to stdout so scripts can scrape the resolved ephemeral port.
+    println!("serving on http://{}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("faults") {
-        // `faults` owns its flags; the obs sinks do not apply to it.
-        run_faults(&args[1..]);
-        return;
-    }
-    if args.first().map(String::as_str) == Some("analyze") {
-        // so does `analyze` — it consumes artifacts instead of making them.
-        run_analyze(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("faults") => {
+            // `faults` owns its flags; the obs sinks do not apply to it.
+            let req = faults_request(&args[1..]);
+            let mut obs = Observer::new();
+            run_and_print(&req, &ParPool::new(1), &mut obs, &mut None, false);
+            return;
+        }
+        Some("analyze") => {
+            // so does `analyze` — it consumes artifacts instead of making them.
+            run_analyze(&args[1..]);
+            return;
+        }
+        Some("serve") => {
+            // ... and `serve`, which exposes every other command over HTTP.
+            run_serve(&args[1..]);
+            return;
+        }
+        _ => {}
     }
     let obs_args = ObsArgs::extract(&mut args);
     let pool = ParPool::new(extract_jobs(&mut args));
@@ -693,31 +557,38 @@ fn main() {
     reject_unknown_flags(&args);
     match args.as_slice() {
         [cmd, a, b] if cmd == "layer" || cmd == "network" => {
-            let cfgs = configs_arg(b);
+            let req = if cmd == "layer" {
+                SimRequest::layer(a, b)
+            } else {
+                SimRequest::network(a, b)
+            };
+            let Ok(req) = req else { usage() };
             let mut hb = obs_args.progress.map(Heartbeat::new);
             if let Some(jsonl) = &obs_args.trace_jsonl {
                 let sink = StreamingTracer::create(jsonl, obs_args.budget())
                     .expect("jsonl path must be writable");
                 let mut obs = Observer::with_trace(sink);
-                if cmd == "layer" {
-                    run_layer(a, &cfgs, true, &mut obs, &mut hb, &pool);
-                } else {
-                    run_network(a, &cfgs, true, &mut obs, &mut hb, &pool);
-                }
+                run_and_print(&req, &pool, &mut obs, &mut hb, true);
                 obs_args.finish_streaming(obs);
             } else {
                 let observed = obs_args.enabled() || hb.is_some();
                 let mut obs = Observer::new();
-                if cmd == "layer" {
-                    run_layer(a, &cfgs, observed, &mut obs, &mut hb, &pool);
-                } else {
-                    run_network(a, &cfgs, observed, &mut obs, &mut hb, &pool);
-                }
+                run_and_print(&req, &pool, &mut obs, &mut hb, observed);
                 obs_args.finish(&obs);
             }
         }
-        [cmd, a, b] if cmd == "noc" => run_noc(a, b),
-        [cmd, a, b] if cmd == "plan" => run_plan(a, b),
+        [cmd, a, b] if cmd == "noc" => {
+            let Ok(req) = SimRequest::noc(a, b) else {
+                usage()
+            };
+            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+        }
+        [cmd, a, b] if cmd == "plan" => {
+            let Ok(req) = SimRequest::plan(a, b) else {
+                usage()
+            };
+            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+        }
         _ => usage(),
     }
 }

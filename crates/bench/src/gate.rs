@@ -6,10 +6,13 @@
 //! simulated-cycle report (tight default tolerance — any model change
 //! must be blessed), and `BENCH_par.baseline.json` bands only the
 //! machine-independent keys of the wall-clock speedup report (exactly:
-//! determinism and definitional invariants). `--gate` recomputes both
-//! reports in-memory, grades them, and the caller turns a failing grade
-//! into a non-zero exit; `--bless` rewrites the baselines from fresh
-//! reports after an intentional perf change (see EXPERIMENTS.md).
+//! determinism and definitional invariants), and
+//! `BENCH_serve.baseline.json` bands the deterministic counters and
+//! byte-identity bit of the serve load report (latency and throughput
+//! are never gated). `--gate` recomputes all reports in-memory, grades
+//! them, and the caller turns a failing grade into a non-zero exit;
+//! `--bless` rewrites the baselines from fresh reports after an
+//! intentional perf change (see EXPERIMENTS.md).
 //!
 //! Besides the baseline rows, the gate runs a baseline-free
 //! [`streaming_differential`] row: the obs-report trace replayed through
@@ -31,6 +34,8 @@ pub const BASELINE_DIR: &str = "baselines";
 pub const OBS_BASELINE: &str = "BENCH_obs.baseline.json";
 /// Baseline file for `BENCH_par.json`.
 pub const PAR_BASELINE: &str = "BENCH_par.baseline.json";
+/// Baseline file for `BENCH_serve.json`.
+pub const SERVE_BASELINE: &str = "BENCH_serve.baseline.json";
 
 /// Default relative tolerance for the deterministic obs report. The
 /// simulated cycle counts are exact, but a small band keeps the gate
@@ -70,6 +75,34 @@ pub fn par_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
         .collect()
 }
 
+/// Machine-independent keys of `BENCH_serve.json`: the request mix and
+/// every server counter (all fully determined by the fixed workload),
+/// plus the cross-boundary byte-identity bit. Latency percentiles and
+/// throughput are wall-clock and deliberately not gated.
+const SERVE_STABLE_KEYS: &[&str] = &[
+    "distinct",
+    "warm_rounds",
+    "warm_identical",
+    "counters.requests",
+    "counters.cache_hits",
+    "counters.cache_misses",
+    "counters.jobs_executed",
+    "counters.evictions",
+    "counters.coalesced",
+    "counters.rejected_overload",
+    "cold.count",
+    "warm.count",
+];
+
+/// Flat, gateable view of the serve report: [`SERVE_STABLE_KEYS`] only.
+pub fn serve_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
+    let flat = flatten_numbers(report);
+    SERVE_STABLE_KEYS
+        .iter()
+        .filter_map(|&k| flat.get(k).map(|&v| (k.to_string(), v)))
+        .collect()
+}
+
 /// Computes fresh reports and writes both baselines into `dir`
 /// (creating it), returning the written paths.
 pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -84,8 +117,17 @@ pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
         &par_gate_metrics(&crate::par_speedup::par_report()),
         0.0,
     );
+    let serve = Baseline::from_metrics(
+        "BENCH_serve",
+        &serve_gate_metrics(&crate::serve_load::serve_report()),
+        0.0,
+    );
     let mut written = Vec::new();
-    for (file, base) in [(OBS_BASELINE, &obs), (PAR_BASELINE, &par)] {
+    for (file, base) in [
+        (OBS_BASELINE, &obs),
+        (PAR_BASELINE, &par),
+        (SERVE_BASELINE, &serve),
+    ] {
         let path = dir.join(file);
         std::fs::write(&path, base.to_json().render() + "\n")?;
         written.push(path);
@@ -170,12 +212,15 @@ type FreshMetrics = fn() -> BTreeMap<String, f64>;
 /// in `dir`. `Err` means the gate could not run (missing/corrupt
 /// baseline), which callers should also treat as failure.
 pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
-    let checks: [(&str, &str, FreshMetrics); 2] = [
+    let checks: [(&str, &str, FreshMetrics); 3] = [
         ("BENCH_obs", OBS_BASELINE, || {
             obs_gate_metrics(&crate::obs_report::obs_report())
         }),
         ("BENCH_par", PAR_BASELINE, || {
             par_gate_metrics(&crate::par_speedup::par_report())
+        }),
+        ("BENCH_serve", SERVE_BASELINE, || {
+            serve_gate_metrics(&crate::serve_load::serve_report())
         }),
     ];
     let mut text = String::new();
@@ -240,7 +285,7 @@ mod tests {
     fn bless_then_gate_passes_and_perturbation_fails() {
         let dir = std::env::temp_dir().join(format!("wmpt_gate_test_{}", std::process::id()));
         let written = bless(&dir).expect("bless writes baselines");
-        assert_eq!(written.len(), 2);
+        assert_eq!(written.len(), 3);
         let outcome = run_gate(&dir).expect("gate runs");
         assert!(outcome.passed, "clean gate failed:\n{}", outcome.text);
 

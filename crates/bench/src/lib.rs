@@ -24,6 +24,7 @@ pub mod par_speedup;
 pub mod report;
 pub mod resilience;
 pub mod scalability;
+pub mod serve_load;
 pub mod tables;
 pub mod timing;
 
@@ -95,6 +96,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("comm_breakdown", comm_breakdown::run),
         ("resilience", resilience::run),
         ("par_speedup", par_speedup::run),
+        ("serve_load", serve_load::run),
     ]
 }
 
@@ -131,6 +133,7 @@ mod tests {
             "comm_breakdown",
             "resilience",
             "par_speedup",
+            "serve_load",
         ] {
             assert!(names.contains(&expect), "missing experiment {expect}");
         }

@@ -1,0 +1,90 @@
+//! `mpt_sim serve` CLI contract: flag validation follows the same
+//! strict exit-2-with-usage rule as every other subcommand, and a
+//! spawned server process answers the submit → memoize → metrics loop
+//! over real sockets.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Output, Stdio};
+
+use wmpt_serve::http_request;
+
+fn mpt_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mpt_sim"))
+        .args(args)
+        .output()
+        .expect("spawn mpt_sim")
+}
+
+fn assert_rejected(args: &[&str]) {
+    let out = mpt_sim(args);
+    assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("usage:"),
+        "{args:?} stderr lacks usage:\n{err}"
+    );
+}
+
+#[test]
+fn serve_flag_validation_exits_two_with_usage() {
+    assert_rejected(&["serve", "--bogus", "1"]);
+    assert_rejected(&["serve", "--port", "not_a_port"]);
+    assert_rejected(&["serve", "--port"]);
+    assert_rejected(&["serve", "--queue-depth", "0"]);
+    assert_rejected(&["serve", "--queue-depth", "-3"]);
+    assert_rejected(&["serve", "--cache-bytes", "lots"]);
+    assert_rejected(&["serve", "--workers", "0"]);
+    assert_rejected(&["serve", "--jobs", "x"]);
+    // Obs sinks are layer/network-only; serve must reject them too.
+    assert_rejected(&["serve", "--trace-out", "/tmp/t.json"]);
+}
+
+/// Kills the spawned server even when an assertion panics mid-test.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn spawned_server_memoizes_and_reports_metrics() {
+    let child = Command::new(env!("CARGO_BIN_EXE_mpt_sim"))
+        .args(["serve", "--port", "0", "--queue-depth", "4"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    let mut guard = Reap(child);
+    let mut line = String::new();
+    BufReader::new(guard.0.stdout.take().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("read banner");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    let body = br#"{"kind":"plan","network":"wrn","config":"w_mp++"}"#;
+    let cold = http_request(&addr, "POST", "/api/v1/jobs?wait=1", body).expect("cold submit");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert!(cold.text().contains("\"cached\":false"), "{}", cold.text());
+    let warm = http_request(&addr, "POST", "/api/v1/jobs?wait=1", body).expect("warm submit");
+    assert_eq!(warm.status, 200);
+    assert!(warm.text().contains("\"cached\":true"), "{}", warm.text());
+
+    let health = http_request(&addr, "GET", "/api/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let metrics = http_request(&addr, "GET", "/api/v1/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    for needle in ["serve.requests", "serve.cache_hits", "serve.cache_misses"] {
+        assert!(
+            metrics.text().contains(needle),
+            "metrics lacks {needle}:\n{}",
+            metrics.text()
+        );
+    }
+}

@@ -157,6 +157,32 @@ pub enum MetricKey {
     /// Gauge: host worker threads (`--jobs`) the run executed with.
     ParJobs,
 
+    // --- Serving tier (`wmpt-serve`, counter unless noted) ---
+    /// HTTP job submissions accepted for consideration (everything that
+    /// reached the submit handler, whatever the outcome).
+    ServeRequests,
+    /// Submissions answered straight from the content-addressed result
+    /// cache (the simulator is deterministic, so a hit is exact).
+    ServeCacheHits,
+    /// Submissions that missed the cache and were enqueued.
+    ServeCacheMisses,
+    /// Cached results evicted to keep the cache inside its byte budget.
+    ServeCacheEvictions,
+    /// Submissions coalesced onto an identical in-flight job
+    /// (single-flight deduplication; neither a hit nor a new job).
+    ServeCoalesced,
+    /// Submissions rejected with HTTP 429 because the bounded job queue
+    /// was full (backpressure).
+    ServeRejectedOverload,
+    /// Submissions rejected with HTTP 503 because the server was
+    /// draining for shutdown.
+    ServeRejectedShutdown,
+    /// Jobs a worker actually executed (completed or failed).
+    ServeJobsExecuted,
+    /// Gauge: resident bytes of the result cache after the last insert
+    /// or eviction.
+    ServeCacheBytes,
+
     // --- Observability self-metrics (streaming sink, see `trace`) ---
     /// Spans written out (as JSONL complete events) by a streaming sink.
     ObsSpansEmitted,
@@ -178,6 +204,11 @@ pub enum MetricKey {
     HistRecoveryCycles,
     /// Histogram: host wall-clock milliseconds per experiment.
     HistExperimentHostMs,
+    /// Histogram: end-to-end microseconds per served request (submit to
+    /// terminal state), the p50/p95/p99 source of `BENCH_serve.json`.
+    HistServeLatencyUs,
+    /// Histogram: job-queue depth sampled at every submission.
+    HistServeQueueDepth,
 }
 
 impl MetricKey {
@@ -234,6 +265,15 @@ impl MetricKey {
             MetricKey::FaultReplayedIterations,
             MetricKey::FaultRecoveryCycles,
             MetricKey::ParJobs,
+            MetricKey::ServeRequests,
+            MetricKey::ServeCacheHits,
+            MetricKey::ServeCacheMisses,
+            MetricKey::ServeCacheEvictions,
+            MetricKey::ServeCoalesced,
+            MetricKey::ServeRejectedOverload,
+            MetricKey::ServeRejectedShutdown,
+            MetricKey::ServeJobsExecuted,
+            MetricKey::ServeCacheBytes,
             MetricKey::ObsSpansEmitted,
             MetricKey::ObsFlushes,
             MetricKey::ObsPeakBufferBytes,
@@ -242,6 +282,8 @@ impl MetricKey {
             MetricKey::HistPhaseCycles,
             MetricKey::HistRecoveryCycles,
             MetricKey::HistExperimentHostMs,
+            MetricKey::HistServeLatencyUs,
+            MetricKey::HistServeQueueDepth,
         ]);
         keys
     }
@@ -289,6 +331,15 @@ impl MetricKey {
             MetricKey::FaultReplayedIterations => "fault.replayed_iterations".to_string(),
             MetricKey::FaultRecoveryCycles => "fault.recovery_cycles".to_string(),
             MetricKey::ParJobs => "par.jobs".to_string(),
+            MetricKey::ServeRequests => "serve.requests".to_string(),
+            MetricKey::ServeCacheHits => "serve.cache_hits".to_string(),
+            MetricKey::ServeCacheMisses => "serve.cache_misses".to_string(),
+            MetricKey::ServeCacheEvictions => "serve.cache_evictions".to_string(),
+            MetricKey::ServeCoalesced => "serve.coalesced".to_string(),
+            MetricKey::ServeRejectedOverload => "serve.rejected_overload".to_string(),
+            MetricKey::ServeRejectedShutdown => "serve.rejected_shutdown".to_string(),
+            MetricKey::ServeJobsExecuted => "serve.jobs_executed".to_string(),
+            MetricKey::ServeCacheBytes => "serve.cache_bytes".to_string(),
             MetricKey::ObsSpansEmitted => "obs.spans_emitted".to_string(),
             MetricKey::ObsFlushes => "obs.flushes".to_string(),
             MetricKey::ObsPeakBufferBytes => "obs.peak_buffer_bytes".to_string(),
@@ -297,6 +348,8 @@ impl MetricKey {
             MetricKey::HistPhaseCycles => "hist.phase_cycles".to_string(),
             MetricKey::HistRecoveryCycles => "hist.recovery_cycles".to_string(),
             MetricKey::HistExperimentHostMs => "hist.experiment_host_ms".to_string(),
+            MetricKey::HistServeLatencyUs => "hist.serve_latency_us".to_string(),
+            MetricKey::HistServeQueueDepth => "hist.serve_queue_depth".to_string(),
         }
     }
 

@@ -1,0 +1,178 @@
+//! Content-addressed result cache with an LRU byte budget.
+//!
+//! Keys are [`crate::hash::canonical_hash`] values of request documents;
+//! entries are [`SimResult`] bundles shared out as `Arc` so an eviction
+//! never invalidates a response already being written to a socket.
+//!
+//! Recency is a monotone tick stamped on insert and on every hit. On
+//! insert, least-recently-used entries are dropped until the resident
+//! byte total fits the budget again — except the entry being inserted,
+//! which always survives its own insertion even when it alone exceeds
+//! the budget (otherwise an oversized result would thrash forever while
+//! still being reported as "cached").
+
+use crate::result::SimResult;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    last_used: u64,
+    bytes: usize,
+    result: Arc<SimResult>,
+}
+
+/// LRU-by-bytes memo table from request hash to result bundle.
+pub struct ResultCache {
+    budget: usize,
+    entries: HashMap<u128, Entry>,
+    resident: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache that holds at most `budget` artifact bytes.
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            budget,
+            entries: HashMap::new(),
+            resident: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a result, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<Arc<SimResult>> {
+        let tick = self.bump();
+        let entry = self.entries.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.result))
+    }
+
+    /// Whether the key is resident, without touching recency.
+    pub fn contains(&self, key: u128) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Inserts (or replaces) a result, then evicts least-recently-used
+    /// entries until the byte budget holds. The newly inserted entry is
+    /// exempt from its own insertion's evictions.
+    pub fn insert(&mut self, key: u128, result: Arc<SimResult>) {
+        let tick = self.bump();
+        let bytes = result.bytes();
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident -= old.bytes;
+        }
+        self.resident += bytes;
+        self.entries.insert(
+            key,
+            Entry {
+                last_used: tick,
+                bytes,
+                result,
+            },
+        );
+        while self.resident > self.budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    let gone = self.entries.remove(&v).expect("victim resident");
+                    self.resident -= gone.bytes;
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Total artifact bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_of(bytes: usize) -> Arc<SimResult> {
+        Arc::new(SimResult {
+            report: "r".repeat(bytes),
+            ..SimResult::default()
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_result() {
+        let mut c = ResultCache::new(1000);
+        c.insert(7, result_of(10));
+        assert_eq!(c.get(7).unwrap().report.len(), 10);
+        assert!(c.get(8).is_none());
+        assert_eq!(c.resident_bytes(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_first() {
+        let mut c = ResultCache::new(30);
+        c.insert(1, result_of(10));
+        c.insert(2, result_of(10));
+        c.insert(3, result_of(10));
+        // Touch 1 so 2 becomes coldest, then overflow.
+        c.get(1);
+        c.insert(4, result_of(10));
+        assert!(c.contains(1), "recently touched survives");
+        assert!(!c.contains(2), "coldest evicted");
+        assert!(c.contains(3) && c.contains(4));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.resident_bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_entry_survives_its_own_insertion() {
+        let mut c = ResultCache::new(5);
+        c.insert(1, result_of(50));
+        assert!(c.contains(1));
+        assert_eq!(c.resident_bytes(), 50);
+        // The next insert evicts it (it is now the coldest non-new key).
+        c.insert(2, result_of(3));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        assert_eq!(c.resident_bytes(), 3);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, result_of(40));
+        c.insert(1, result_of(20));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 20);
+        assert_eq!(c.evictions(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! [`SimResult`]: the artifacts one executed [`crate::SimRequest`]
+//! produces, stored as the exact bytes the CLI would have written.
+//!
+//! Holding rendered bytes (not live structures) is what makes the
+//! memoized cache honest: a warm HTTP response is the *same byte string*
+//! a cold run produced — the differential tests compare them with `==`,
+//! not with tolerance.
+
+use wmpt_obs::json::{obj, s, Value};
+
+/// The artifact bundle of one executed request. Which members are
+/// populated depends on the request kind (a NoC sweep has no trace; an
+/// analysis has no metrics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimResult {
+    /// The human-readable report — exactly the text the CLI prints to
+    /// stdout for the same request.
+    pub report: String,
+    /// Metric-registry JSON — exactly the bytes of `--metrics-out`.
+    pub metrics: Option<String>,
+    /// Chrome `trace_event` JSON — exactly the bytes of `--trace-out`.
+    pub trace: Option<String>,
+    /// Self-contained SVG timeline of the trace.
+    pub svg: Option<String>,
+}
+
+impl SimResult {
+    /// Resident size used for the cache's byte budget.
+    pub fn bytes(&self) -> usize {
+        self.report.len()
+            + self.metrics.as_ref().map_or(0, String::len)
+            + self.trace.as_ref().map_or(0, String::len)
+            + self.svg.as_ref().map_or(0, String::len)
+    }
+
+    /// The artifact named by an endpoint suffix, with its content type.
+    pub fn artifact(&self, name: &str) -> Option<(&str, &str)> {
+        match name {
+            "report" => Some((self.report.as_str(), "text/plain; charset=utf-8")),
+            "metrics" => self
+                .metrics
+                .as_deref()
+                .map(|m| (m, "application/json; charset=utf-8")),
+            "trace" => self
+                .trace
+                .as_deref()
+                .map(|t| (t, "application/json; charset=utf-8")),
+            "svg" => self.svg.as_deref().map(|v| (v, "image/svg+xml")),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a JSON object (absent artifacts become `null`).
+    pub fn to_json(&self) -> Value {
+        let opt = |v: &Option<String>| match v {
+            Some(text) => s(text),
+            None => Value::Null,
+        };
+        obj(vec![
+            ("report", s(&self.report)),
+            ("metrics", opt(&self.metrics)),
+            ("trace", opt(&self.trace)),
+            ("svg", opt(&self.svg)),
+        ])
+    }
+
+    /// Parses back from [`SimResult::to_json`] output.
+    pub fn from_json(v: &Value) -> Result<SimResult, String> {
+        let member = |name: &str| -> Result<Option<String>, String> {
+            match v.get(name) {
+                Some(Value::Str(text)) => Ok(Some(text.clone())),
+                Some(Value::Null) => Ok(None),
+                Some(_) => Err(format!("'{name}' must be a string or null")),
+                None => Err(format!("missing member '{name}'")),
+            }
+        };
+        Ok(SimResult {
+            report: member("report")?.ok_or("'report' must be a string")?,
+            metrics: member("metrics")?,
+            trace: member("trace")?,
+            svg: member("svg")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_obs::json::parse;
+
+    fn sample() -> SimResult {
+        SimResult {
+            report: "config  fwd\nw_mp++  42\n".to_string(),
+            metrics: Some("{\"counters\":{}}\n".to_string()),
+            trace: Some("{\"traceEvents\":[]}".to_string()),
+            svg: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sample();
+        let text = r.to_json().render();
+        let back = SimResult::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn bytes_counts_every_artifact() {
+        let r = sample();
+        assert_eq!(
+            r.bytes(),
+            r.report.len() + r.metrics.as_ref().unwrap().len() + r.trace.as_ref().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn artifacts_resolve_by_endpoint_name() {
+        let r = sample();
+        assert!(r.artifact("report").is_some());
+        assert!(r.artifact("metrics").is_some());
+        assert!(r.artifact("trace").is_some());
+        assert_eq!(r.artifact("svg"), None, "absent artifact");
+        assert_eq!(r.artifact("bogus"), None, "unknown artifact");
+        let (body, ctype) = r.artifact("trace").unwrap();
+        assert_eq!(body, r.trace.as_deref().unwrap());
+        assert!(ctype.starts_with("application/json"));
+    }
+}

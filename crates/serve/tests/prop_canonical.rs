@@ -1,0 +1,177 @@
+//! Canonical-hash properties on the `wmpt-check` harness: the
+//! content-address of a simulation config must depend only on the JSON
+//! *value*, never on its textual presentation. Key order and inter-token
+//! whitespace are erased; numeric bit patterns are not (-0.0 and +0.0
+//! are different cache keys, matching the bit-exactness contract of the
+//! simulator). `SimRequest` itself is a render/parse fixed point, so a
+//! request that travels CLI → JSON → HTTP → JSON arrives byte-identical.
+//!
+//! Failures shrink toward the smallest document and replay via
+//! `WMPT_CHECK_REPLAY`.
+
+// clippy's auto-deref suggestion breaks inference on `c.pick(&ARR)`
+// for `[&str; N]` pools (it would resolve `T = str`, which is unsized).
+#![allow(clippy::explicit_auto_deref)]
+
+use wmpt_check::{check, Case};
+use wmpt_obs::json::{parse, Value};
+use wmpt_serve::{canonical_hash, SimRequest};
+
+/// Key pool restricted to `[a-z0-9_]` so whitespace can be injected
+/// around any token of the rendered text without escaping concerns.
+const KEYS: [&str; 6] = ["alpha", "b2", "cycles_total", "d", "e_9", "zz"];
+const STRS: [&str; 4] = ["", "w_mp", "late_2", "0xdeadbeef"];
+
+/// A random JSON document of bounded depth with plain identifier keys.
+fn random_value(c: &mut Case, depth: usize) -> Value {
+    let leaf = depth == 0 || c.bool();
+    if leaf {
+        match c.size(0, 3) {
+            0 => Value::Null,
+            1 => Value::Bool(c.bool()),
+            2 => Value::Num(c.f64_in(-1e6, 1e6)),
+            _ => Value::Str(c.pick(&STRS).to_string()),
+        }
+    } else if c.bool() {
+        let n = c.size(0, 4);
+        Value::Arr((0..n).map(|_| random_value(c, depth - 1)).collect())
+    } else {
+        let n = c.size(0, KEYS.len());
+        Value::Obj(
+            KEYS[..n]
+                .iter()
+                .map(|k| (k.to_string(), random_value(c, depth - 1)))
+                .collect(),
+        )
+    }
+}
+
+/// Recursively permutes the member order of every object, drawing the
+/// permutation from the case's choice stream (Fisher–Yates).
+fn shuffle_keys(c: &mut Case, v: &Value) -> Value {
+    match v {
+        Value::Arr(a) => Value::Arr(a.iter().map(|e| shuffle_keys(c, e)).collect()),
+        Value::Obj(m) => {
+            let mut pairs: Vec<(String, Value)> = m
+                .iter()
+                .map(|(k, e)| (k.clone(), shuffle_keys(c, e)))
+                .collect();
+            for i in (1..pairs.len()).rev() {
+                let j = c.u64_in(0, i as u64) as usize;
+                pairs.swap(i, j);
+            }
+            Value::Obj(pairs)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Injects random whitespace after every structural character of the
+/// rendered text. Safe because keys and string values are drawn from
+/// `[a-z0-9_.]` pools — no quote ever contains a structural character.
+fn pad_whitespace(c: &mut Case, text: &str) -> String {
+    const WS: [&str; 4] = [" ", "\n", "\t", "  "];
+    let mut out = String::with_capacity(text.len() * 2);
+    for ch in text.chars() {
+        out.push(ch);
+        if matches!(ch, '{' | '}' | '[' | ']' | ',' | ':') && c.bool() {
+            out.push_str(*c.pick(&WS));
+        }
+    }
+    out
+}
+
+#[test]
+fn hash_ignores_object_key_order() {
+    check("hash_ignores_object_key_order", |c| {
+        let v = random_value(c, 3);
+        let shuffled = shuffle_keys(c, &v);
+        assert_eq!(
+            canonical_hash(&v),
+            canonical_hash(&shuffled),
+            "member order changed the cache key\n  doc: {}\n  shuffled: {}",
+            v.render(),
+            shuffled.render()
+        );
+    });
+}
+
+#[test]
+fn hash_ignores_whitespace_between_tokens() {
+    check("hash_ignores_whitespace_between_tokens", |c| {
+        let v = random_value(c, 3);
+        let padded = pad_whitespace(c, &v.render());
+        let back = parse(&padded).expect("padded text still parses");
+        assert_eq!(
+            canonical_hash(&v),
+            canonical_hash(&back),
+            "whitespace changed the cache key: {padded:?}"
+        );
+    });
+}
+
+#[test]
+fn hash_distinguishes_negative_zero() {
+    // The renderer normalizes -0.0 to "0", so this distinction only
+    // exists on the parsed tree — exactly where the cache key is taken.
+    let pos = Value::Num(0.0);
+    let neg = Value::Num(-0.0);
+    assert_ne!(canonical_hash(&pos), canonical_hash(&neg));
+    // ...and wrapped at depth, inside otherwise identical documents.
+    let wrap = |z: f64| {
+        Value::Obj(vec![(
+            "a".to_string(),
+            Value::Arr(vec![Value::Num(1.0), Value::Num(z)]),
+        )])
+    };
+    assert_ne!(canonical_hash(&wrap(0.0)), canonical_hash(&wrap(-0.0)));
+    // NaNs with one bit pattern are self-equal under the hash.
+    assert_eq!(
+        canonical_hash(&Value::Num(f64::NAN)),
+        canonical_hash(&Value::Num(f64::NAN))
+    );
+}
+
+/// A random well-formed request, spanning every kind.
+fn random_request(c: &mut Case) -> SimRequest {
+    const LAYERS: [&str; 5] = ["Early", "Mid-1", "Mid-2", "Late-1", "Late-2"];
+    const NETWORKS: [&str; 4] = ["wrn", "resnet34", "fractalnet", "vgg16"];
+    const CONFIGS: [&str; 7] = ["d_dp", "w_dp", "w_mp", "w_mp+", "w_mp*", "w_mp++", "all"];
+    const TOPOS: [&str; 2] = ["ring", "fbfly"];
+    const PATTERNS: [&str; 4] = ["uniform", "transpose", "neighbor", "hotspot"];
+    const SCENARIOS: [&str; 6] = [
+        "single-link",
+        "dead-worker",
+        "bit-flip",
+        "straggler",
+        "host-flap",
+        "chaos",
+    ];
+    const PLAN_CONFIGS: [&str; 6] = ["d_dp", "w_dp", "w_mp", "w_mp+", "w_mp*", "w_mp++"];
+    match c.size(0, 5) {
+        0 => SimRequest::layer(*c.pick(&LAYERS), *c.pick(&CONFIGS)).expect("layer"),
+        1 => SimRequest::network(*c.pick(&NETWORKS), *c.pick(&CONFIGS)).expect("network"),
+        2 => SimRequest::noc(*c.pick(&TOPOS), *c.pick(&PATTERNS)).expect("noc"),
+        3 => SimRequest::plan(*c.pick(&NETWORKS), *c.pick(&PLAN_CONFIGS)).expect("plan"),
+        4 => SimRequest::faults(*c.pick(&SCENARIOS), c.u64_in(0, 1 << 32), c.size(1, 8))
+            .expect("faults"),
+        _ => SimRequest::analyze("{\"traceEvents\":[]}").expect("analyze"),
+    }
+}
+
+#[test]
+fn requests_are_a_render_parse_fixed_point() {
+    check("requests_are_a_render_parse_fixed_point", |c| {
+        let req = random_request(c);
+        let text = req.to_json().render();
+        let doc = parse(&text).expect("request renders valid JSON");
+        let back = SimRequest::from_json(&doc).expect("request re-parses");
+        assert_eq!(back, req, "request changed in transit");
+        assert_eq!(
+            back.to_json().render(),
+            text,
+            "second render is not byte-identical"
+        );
+        assert_eq!(back.cache_key(), req.cache_key(), "cache key drifted");
+    });
+}

@@ -21,6 +21,7 @@ fn all_experiments_run_and_mention_their_figures() {
         ("comm_breakdown", "Communication breakdown"),
         ("resilience", "Resilience"),
         ("par_speedup", "host-parallel speedup"),
+        ("serve_load", "serve load"),
     ];
     let registry = wmpt_bench::all_experiments();
     assert_eq!(registry.len(), markers.len());
