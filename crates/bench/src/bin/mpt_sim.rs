@@ -90,8 +90,9 @@ const DEFAULT_TRACE_BUDGET: usize = 64 * 1024;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mpt-sim layer <Early|Mid-1|Mid-2|Late-1|Late-2> <config|all>\n  \
-         mpt-sim network <wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
-         mpt-sim plan <wrn|resnet34|fractalnet|vgg16> <config>\n  \
+         mpt-sim network <table2|wrn|resnet34|fractalnet|vgg16> <config|all>\n  \
+         mpt-sim plan <table2|wrn|resnet34|fractalnet|vgg16> <config>\n  \
+         mpt-sim plan <table2|wrn|resnet34|fractalnet|vgg16> --auto\n  \
          mpt-sim noc <ring|fbfly> <uniform|transpose|neighbor|hotspot>\n  \
          mpt-sim faults --scenario <name> [--seed <u64>] [--iters <n>]\n  \
          mpt-sim analyze --trace-in <file> [--baseline <file>]\n  \
@@ -155,6 +156,15 @@ fn extract_jobs(args: &mut Vec<String>) -> usize {
             usage();
         }
     }
+}
+
+/// Extracts `--auto` (the `plan` command's auto-search mode).
+fn extract_auto(args: &mut Vec<String>) -> bool {
+    let Some(i) = args.iter().position(|a| a == "--auto") else {
+        return false;
+    };
+    args.remove(i);
+    true
 }
 
 impl ObsArgs {
@@ -545,6 +555,11 @@ fn main() {
     }
     let obs_args = ObsArgs::extract(&mut args);
     let pool = ParPool::new(extract_jobs(&mut args));
+    let auto = extract_auto(&mut args);
+    if auto && args.first().map(String::as_str) != Some("plan") {
+        eprintln!("--auto only applies to 'plan'");
+        usage();
+    }
     if (obs_args.enabled() || obs_args.progress.is_some())
         && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
     {
@@ -583,8 +598,14 @@ fn main() {
             };
             run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
         }
-        [cmd, a, b] if cmd == "plan" => {
+        [cmd, a, b] if cmd == "plan" && !auto => {
             let Ok(req) = SimRequest::plan(a, b) else {
+                usage()
+            };
+            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+        }
+        [cmd, a] if cmd == "plan" && auto => {
+            let Ok(req) = SimRequest::plan_auto(a) else {
                 usage()
             };
             run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);

@@ -9,7 +9,11 @@
 //! determinism and definitional invariants), and
 //! `BENCH_serve.baseline.json` bands the deterministic counters and
 //! byte-identity bit of the serve load report (latency and throughput
-//! are never gated). `--gate` recomputes all reports in-memory, grades
+//! are never gated), and `BENCH_plan.baseline.json` bands the
+//! parallelism auto-search sweep — deterministic plan identities
+//! (`plan_key48`), cycle totals, validation bits and `opt.*` counters;
+//! only the search wall-clock is exempt.
+//! `--gate` recomputes all reports in-memory, grades
 //! them, and the caller turns a failing grade into a non-zero exit;
 //! `--bless` rewrites the baselines from fresh reports after an
 //! intentional perf change (see EXPERIMENTS.md).
@@ -36,6 +40,8 @@ pub const OBS_BASELINE: &str = "BENCH_obs.baseline.json";
 pub const PAR_BASELINE: &str = "BENCH_par.baseline.json";
 /// Baseline file for `BENCH_serve.json`.
 pub const SERVE_BASELINE: &str = "BENCH_serve.baseline.json";
+/// Baseline file for `BENCH_plan.json`.
+pub const PLAN_BASELINE: &str = "BENCH_plan.baseline.json";
 
 /// Default relative tolerance for the deterministic obs report. The
 /// simulated cycle counts are exact, but a small band keeps the gate
@@ -103,6 +109,16 @@ pub fn serve_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
         .collect()
 }
 
+/// Flat, gateable view of the plan-search report: everything (cycle
+/// totals, validation bits, `opt.*` counters, and the deterministic
+/// `plan_key48` plan identities) except the wall-clock `search_ms`.
+pub fn plan_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
+    flatten_numbers(report)
+        .into_iter()
+        .filter(|(k, _)| !k.ends_with("search_ms"))
+        .collect()
+}
+
 /// Computes fresh reports and writes both baselines into `dir`
 /// (creating it), returning the written paths.
 pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -122,11 +138,17 @@ pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
         &serve_gate_metrics(&crate::serve_load::serve_report()),
         0.0,
     );
+    let plan = Baseline::from_metrics(
+        "BENCH_plan",
+        &plan_gate_metrics(&crate::plan_search::plan_report()),
+        0.0,
+    );
     let mut written = Vec::new();
     for (file, base) in [
         (OBS_BASELINE, &obs),
         (PAR_BASELINE, &par),
         (SERVE_BASELINE, &serve),
+        (PLAN_BASELINE, &plan),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, base.to_json().render() + "\n")?;
@@ -212,7 +234,7 @@ type FreshMetrics = fn() -> BTreeMap<String, f64>;
 /// in `dir`. `Err` means the gate could not run (missing/corrupt
 /// baseline), which callers should also treat as failure.
 pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
-    let checks: [(&str, &str, FreshMetrics); 3] = [
+    let checks: [(&str, &str, FreshMetrics); 4] = [
         ("BENCH_obs", OBS_BASELINE, || {
             obs_gate_metrics(&crate::obs_report::obs_report())
         }),
@@ -221,6 +243,9 @@ pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
         }),
         ("BENCH_serve", SERVE_BASELINE, || {
             serve_gate_metrics(&crate::serve_load::serve_report())
+        }),
+        ("BENCH_plan", PLAN_BASELINE, || {
+            plan_gate_metrics(&crate::plan_search::plan_report())
         }),
     ];
     let mut text = String::new();
@@ -285,7 +310,7 @@ mod tests {
     fn bless_then_gate_passes_and_perturbation_fails() {
         let dir = std::env::temp_dir().join(format!("wmpt_gate_test_{}", std::process::id()));
         let written = bless(&dir).expect("bless writes baselines");
-        assert_eq!(written.len(), 3);
+        assert_eq!(written.len(), 4);
         let outcome = run_gate(&dir).expect("gate runs");
         assert!(outcome.passed, "clean gate failed:\n{}", outcome.text);
 

@@ -21,6 +21,7 @@ pub mod fig18;
 pub mod gate;
 pub mod obs_report;
 pub mod par_speedup;
+pub mod plan_search;
 pub mod report;
 pub mod resilience;
 pub mod scalability;
@@ -97,6 +98,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("resilience", resilience::run),
         ("par_speedup", par_speedup::run),
         ("serve_load", serve_load::run),
+        ("plan_search", plan_search::run),
     ]
 }
 
@@ -134,6 +136,7 @@ mod tests {
             "resilience",
             "par_speedup",
             "serve_load",
+            "plan_search",
         ] {
             assert!(names.contains(&expect), "missing experiment {expect}");
         }

@@ -2,7 +2,7 @@
 //! (`BENCH_serve.json`).
 //!
 //! Boots an in-process [`wmpt_serve::Server`] on a loopback port, drives
-//! a fixed eight-request workload through one cold round (every request
+//! a fixed ten-request workload through one cold round (every request
 //! a cache miss that executes the simulation) and [`WARM_ROUNDS`] warm
 //! rounds (every request answered from the content-addressed cache),
 //! and reports client-observed latency percentiles, throughput, and the
@@ -26,16 +26,20 @@ use wmpt_serve::{http_request, run_request, ServeConfig, Server, SimRequest};
 pub const WARM_ROUNDS: usize = 2;
 
 /// The fixed workload: the five Table II layer sweeps, the WRN-40-10
-/// network sweep, one flit-level NoC sweep, and one schedule plan —
-/// eight distinct requests spanning every cacheable job kind.
+/// network sweep, two flit-level NoC sweeps (including the ring, whose
+/// uniform-traffic deadlock is fixed by dateline virtual channels),
+/// one fixed-config schedule plan, and one auto-searched plan — ten
+/// distinct requests spanning every cacheable job kind.
 pub fn workload() -> Vec<SimRequest> {
     let mut reqs: Vec<SimRequest> = ["Early", "Mid-1", "Mid-2", "Late-1", "Late-2"]
         .iter()
         .map(|l| SimRequest::layer(l, "all").expect("table II layer"))
         .collect();
     reqs.push(SimRequest::network("wrn", "all").expect("network"));
+    reqs.push(SimRequest::noc("ring", "uniform").expect("noc"));
     reqs.push(SimRequest::noc("fbfly", "neighbor").expect("noc"));
     reqs.push(SimRequest::plan("wrn", "w_mp++").expect("plan"));
+    reqs.push(SimRequest::plan_auto("table2").expect("plan_auto"));
     reqs
 }
 
@@ -116,7 +120,7 @@ pub fn serve_report() -> Value {
     obj(vec![
         (
             "workload",
-            s("5 table-II layer sweeps + wrn network + fbfly noc + wrn plan"),
+            s("5 table-II layer sweeps + wrn network + ring/fbfly noc + wrn plan + table2 auto-plan"),
         ),
         ("distinct", num(reqs.len() as f64)),
         ("warm_rounds", num(WARM_ROUNDS as f64)),
@@ -223,13 +227,13 @@ mod tests {
     }
 
     #[test]
-    fn workload_is_eight_distinct_requests() {
+    fn workload_is_ten_distinct_requests() {
         let reqs = workload();
-        assert_eq!(reqs.len(), 8);
+        assert_eq!(reqs.len(), 10);
         let mut keys: Vec<u128> = reqs.iter().map(SimRequest::cache_key).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), 8, "cache keys must be distinct");
+        assert_eq!(keys.len(), 10, "cache keys must be distinct");
     }
 
     #[test]
@@ -238,10 +242,10 @@ mod tests {
         let back = parse(&v.render()).expect("report is valid JSON");
         let c = back.get("counters").expect("counters");
         let n = |k: &str| c.get(k).and_then(Value::as_f64).unwrap();
-        assert_eq!(n("requests"), (8 * (1 + WARM_ROUNDS)) as f64);
-        assert_eq!(n("cache_misses"), 8.0);
-        assert_eq!(n("jobs_executed"), 8.0);
-        assert_eq!(n("cache_hits"), (8 * WARM_ROUNDS) as f64);
+        assert_eq!(n("requests"), (10 * (1 + WARM_ROUNDS)) as f64);
+        assert_eq!(n("cache_misses"), 10.0);
+        assert_eq!(n("jobs_executed"), 10.0);
+        assert_eq!(n("cache_hits"), (10 * WARM_ROUNDS) as f64);
         assert_eq!(n("evictions"), 0.0);
         assert_eq!(n("coalesced"), 0.0);
         assert_eq!(n("rejected_overload"), 0.0);

@@ -249,6 +249,44 @@ pub fn simulate_layer_with(
     simulate_layer_with_detail(model, layer, sys, cfg).0
 }
 
+/// The weight collective a layer would run under an explicit worker
+/// organization, exposed for the parallelism auto-search's differential
+/// validation (`wmpt-opt` rebuilds exactly this collective on the event
+/// simulator and bounds the analytical/event ratio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveParams {
+    /// Message bytes each ring member contributes (`|W|/N_g`).
+    pub msg_bytes: u64,
+    /// Ring membership count.
+    pub ring_len: usize,
+    /// Ring link bandwidth, bytes/cycle.
+    pub bandwidth: f64,
+    /// Host-stitching latency added per hop.
+    pub extra_hop_latency: u64,
+    /// Closed-form completion cycles charged to the layer.
+    pub cycles: f64,
+}
+
+/// Returns the weight-collective parameters of `layer` under `cfg`, or
+/// `None` when the layer runs without a weight collective. A narrow
+/// public window onto the execution breakdown: the full `ExecDetail`
+/// stays crate-private.
+pub fn collective_params(
+    model: &SystemModel,
+    layer: &ConvLayerSpec,
+    sys: SystemConfig,
+    cfg: ClusterConfig,
+) -> Option<CollectiveParams> {
+    let (_, det) = simulate_layer_with_detail(model, layer, sys, cfg);
+    det.collective.map(|c| CollectiveParams {
+        msg_bytes: c.msg_bytes,
+        ring_len: c.ring_len,
+        bandwidth: c.bandwidth,
+        extra_hop_latency: c.extra_hop_latency,
+        cycles: c.cycles,
+    })
+}
+
 /// Like [`simulate_layer_with`], additionally returning the execution
 /// breakdown for the observability layer.
 pub(crate) fn simulate_layer_with_detail(

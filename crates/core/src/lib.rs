@@ -49,7 +49,10 @@ pub mod trainer;
 
 pub use checkpoint::{checkpoint_layer, checkpoint_net, restore_layer, restore_net};
 pub use config::{PredictionSavings, SystemConfig};
-pub use exec::{simulate_layer, simulate_layer_with, LayerResult, PhaseResult, SystemModel};
+pub use exec::{
+    collective_params, simulate_layer, simulate_layer_with, CollectiveParams, LayerResult,
+    PhaseResult, SystemModel,
+};
 pub use host::{plan_network, PlannedLayer, TrainingPlan};
 pub use net_trainer::{Activations, Stage, WinogradNet};
 pub use network_eval::{simulate_network, speedup_vs_single, NetworkResult};

@@ -151,9 +151,40 @@ impl EnergyBreakdown {
     }
 }
 
+impl std::iter::Sum for EnergyBreakdown {
+    /// Component-wise sum over an iterator — plan-level energy is the
+    /// sum of its layers' breakdowns (left fold, so the result is
+    /// bit-deterministic for a given iteration order).
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), |acc, e| acc.add(&e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sum_is_component_wise_fold() {
+        let parts = [
+            EnergyBreakdown {
+                compute_j: 1.0,
+                sram_j: 2.0,
+                dram_j: 3.0,
+                link_j: 4.0,
+            },
+            EnergyBreakdown {
+                compute_j: 0.5,
+                sram_j: 0.25,
+                dram_j: 0.125,
+                link_j: 0.0625,
+            },
+        ];
+        let total: EnergyBreakdown = parts.iter().copied().sum();
+        assert_eq!(total, parts[0].add(&parts[1]));
+        let empty: EnergyBreakdown = std::iter::empty().sum();
+        assert_eq!(empty, EnergyBreakdown::default());
+    }
 
     #[test]
     fn paper_constants() {

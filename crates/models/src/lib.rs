@@ -34,7 +34,7 @@ pub use fractalnet::fractalnet;
 pub use layer::ConvLayerSpec;
 pub use network::{Dataset, Network};
 pub use resnet::resnet34;
-pub use table2::{table2_layers, table2_layers_5x5, TABLE2_BATCH};
+pub use table2::{table2_layers, table2_layers_5x5, table2_network, TABLE2_BATCH};
 pub use vgg::vgg16;
 pub use workload::{direct_work, fig1_ratios, winograd_work, PhaseWork, TrainingWork, WorkRatios};
 pub use wrn::wrn_40_10;

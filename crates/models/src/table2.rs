@@ -24,6 +24,18 @@ pub fn table2_layers() -> Vec<ConvLayerSpec> {
     ]
 }
 
+/// The five Table II layers wrapped as a pseudo-network, so chain-level
+/// tooling (the training planner, the parallelism auto-search) can treat
+/// the paper's layer-wise evaluation as a fifth zoo entry.
+pub fn table2_network() -> crate::network::Network {
+    crate::network::Network {
+        name: "Table-II".to_string(),
+        dataset: crate::network::Dataset::ImageNet,
+        layers: table2_layers(),
+        other_params: 0,
+    }
+}
+
 /// The same five layers with 5×5 kernels (the §VII-B weight-size study).
 pub fn table2_layers_5x5() -> Vec<ConvLayerSpec> {
     table2_layers()
@@ -63,6 +75,18 @@ mod tests {
         let ls = table2_layers();
         let late = &ls[4];
         assert!(late.spatial_weight_bytes() > late.input_bytes(1));
+    }
+
+    #[test]
+    fn table2_network_wraps_the_five_layers() {
+        let net = table2_network();
+        assert_eq!(net.name, "Table-II");
+        assert_eq!(net.layers, table2_layers());
+        assert_eq!(net.other_params, 0);
+        assert_eq!(
+            net.param_count(),
+            net.winograd_param_count().min(net.param_count())
+        );
     }
 
     #[test]

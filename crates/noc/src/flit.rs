@@ -14,8 +14,24 @@
 //! [`crate::bottleneck_phase`] are validated against this simulator in
 //! tests — the three tiers agree on bulk-transfer behaviour, which is
 //! what the full-system results rest on.
+//!
+//! # Deadlock freedom on rings
+//!
+//! A ring's channel dependency graph is a directed cycle, so wormhole
+//! flow control with free-for-all VC allocation can deadlock: every VC
+//! on the cycle fills with flits whose next hop is the next full VC.
+//! The classic fix (Dally's *dateline*) is applied here: each packet's
+//! hops are assigned a VC *class* that increments when the route
+//! crosses a wrap-around edge (an edge between non-adjacent node
+//! indices), and a packet may only allocate the VC of its class.
+//! Class-0 dependencies stop at the dateline and class-1 dependencies
+//! start after it, so neither class closes the cycle. With `vcs == 1`
+//! there is no second class, and a ring under heavy load can still
+//! deadlock — [`try_simulate_flits`] then reports a clean
+//! [`FlitSimError`] instead of spinning forever.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use crate::params::NocParams;
 use crate::topology::Topology;
@@ -116,21 +132,83 @@ struct VcBuf {
     owner: Option<usize>,
 }
 
+/// A flit-level run that could not complete within the cycle horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitSimError {
+    /// The configured give-up horizon that was reached.
+    pub max_cycles: u64,
+    /// Flits that had arrived when the simulation gave up.
+    pub flits_arrived: u64,
+    /// Flits the workload would deliver in total.
+    pub total_flits: u64,
+}
+
+impl fmt::Display for FlitSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flit simulation exceeded {} cycles (deadlock or overload): \
+             {}/{} flits arrived",
+            self.max_cycles, self.flits_arrived, self.total_flits
+        )
+    }
+}
+
+impl std::error::Error for FlitSimError {}
+
 /// Runs a flit-level simulation of `packets` over `topo`.
 ///
 /// # Panics
 ///
-/// Panics if the simulation exceeds `config.max_cycles` (deadlock or
-/// overload — a modelling error, not a runtime condition).
+/// Panics if the simulation exceeds `config.max_cycles` (overload, or a
+/// deadlock-capable configuration such as `vcs == 1` on a ring — a
+/// modelling error, not a runtime condition). Use
+/// [`try_simulate_flits`] to get the failure as a value instead.
 pub fn simulate_flits(
     topo: &Topology,
     params: &NocParams,
     config: &FlitConfig,
     packets: &[FlitPacket],
 ) -> FlitStats {
+    match try_simulate_flits(topo, params, config, packets) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`simulate_flits`]: returns a [`FlitSimError`]
+/// instead of panicking when the run exceeds `config.max_cycles`.
+pub fn try_simulate_flits(
+    topo: &Topology,
+    params: &NocParams,
+    config: &FlitConfig,
+    packets: &[FlitPacket],
+) -> Result<FlitStats, FlitSimError> {
     // Precompute routes and flit counts.
     let routes: Vec<Vec<crate::topology::Edge>> =
         packets.iter().map(|p| topo.route(p.src, p.dst)).collect();
+    // Dateline VC classes: the class of the VC a packet allocates on
+    // route edge `k` is the number of wrap-around edges crossed before
+    // `k` (capped at the VC count). On a ring this breaks the cyclic
+    // channel dependency; on other topologies routes rarely cross a
+    // non-adjacent edge twice, so the cap is never the binding limit.
+    let is_wrap = |e: &crate::topology::Edge| e.from.abs_diff(e.to) != 1;
+    let classes: Vec<Vec<usize>> = routes
+        .iter()
+        .map(|route| {
+            let mut wraps = 0usize;
+            route
+                .iter()
+                .map(|e| {
+                    let class = wraps.min(config.vcs - 1);
+                    if is_wrap(e) {
+                        wraps += 1;
+                    }
+                    class
+                })
+                .collect()
+        })
+        .collect();
     let flit_counts: Vec<u64> = packets
         .iter()
         .map(|p| {
@@ -171,11 +249,13 @@ pub fn simulate_flits(
     let mut cycle: u64 = 0;
     let mut flits_arrived = 0u64;
     while flits_arrived < total_flits {
-        assert!(
-            cycle < config.max_cycles,
-            "flit simulation exceeded {} cycles (deadlock or overload)",
-            config.max_cycles
-        );
+        if cycle >= config.max_cycles {
+            return Err(FlitSimError {
+                max_cycles: config.max_cycles,
+                flits_arrived,
+                total_flits,
+            });
+        }
         let now_fp = cycle * 256;
 
         // 1. Drain: flits whose next hop is "none" (they sit in the buffer
@@ -228,8 +308,10 @@ pub fn simulate_flits(
                         continue; // awaiting drain at destination
                     }
                     let next_edge = edge_index(route[f.hop].from, route[f.hop].to);
-                    // Find (or allocate) a VC downstream.
-                    let Some(nvc) = alloc_vc(&bufs[next_edge], pi, config.vc_depth) else {
+                    // Find (or allocate) the packet's class VC downstream.
+                    let Some(nvc) =
+                        alloc_vc(&bufs[next_edge], pi, config.vc_depth, classes[pi][f.hop])
+                    else {
                         continue;
                     };
                     // Link bandwidth: the next service slot must start
@@ -275,7 +357,7 @@ pub fn simulate_flits(
             let first = edge_index(route[0].from, route[0].to);
             // Inject as many flits as the first link's capacity and the
             // downstream buffer allow this cycle.
-            while let Some(vc) = alloc_vc(&bufs[first], pi, config.vc_depth) {
+            while let Some(vc) = alloc_vc(&bufs[first], pi, config.vc_depth, classes[pi][0]) {
                 if next_free[first] >= cycle_end || remaining[pi] == 0 {
                     break;
                 }
@@ -306,21 +388,23 @@ pub fn simulate_flits(
     }
     let makespan = deliveries.iter().map(|d| d.delivered_at).max().unwrap_or(0);
     deliveries.sort_by_key(|d| d.packet);
-    FlitStats {
+    Ok(FlitStats {
         deliveries,
         makespan,
         flits: delivered_flits,
-    }
+    })
 }
 
-/// Finds a VC that packet `pi` may use on a downstream buffer set:
-/// its already-owned VC if it has one, otherwise a free VC.
-fn alloc_vc(bufs: &[VcBuf], pi: usize, depth: usize) -> Option<usize> {
+/// Finds the VC that packet `pi` may use on a downstream buffer set:
+/// its already-owned VC if it has one, otherwise the VC of its dateline
+/// `class` when free. Restricting allocation to the class VC (instead
+/// of any free VC) is what makes the ring deadlock-free.
+fn alloc_vc(bufs: &[VcBuf], pi: usize, depth: usize, class: usize) -> Option<usize> {
     if let Some(i) = bufs.iter().position(|b| b.owner == Some(pi)) {
         return (bufs[i].flits.len() < depth).then_some(i);
     }
-    bufs.iter()
-        .position(|b| b.owner.is_none() && b.flits.len() < depth)
+    let b = &bufs[class];
+    (b.owner.is_none() && b.flits.len() < depth).then_some(class)
 }
 
 #[cfg(test)]
@@ -510,6 +594,50 @@ mod tests {
             "{} vs solo {solo}",
             stats.makespan
         );
+    }
+
+    #[test]
+    fn ring_uniform_load_does_not_deadlock() {
+        // Regression: the `noc ring uniform` sweep (16-node ring, 12
+        // packets per node, wrap-crossing destinations) deadlocked under
+        // free-for-all VC allocation. With dateline classes it must
+        // complete in thousands of cycles, not hit the 50M-cycle horizon.
+        let topo = Topology::ring(16, LinkKind::FullX2);
+        for pattern in [
+            crate::TrafficPattern::UniformRandom,
+            crate::TrafficPattern::Transpose,
+        ] {
+            let pkts = crate::build_workload(pattern, 16, 12, 256, 8, 42);
+            let stats = try_simulate_flits(&topo, &NocParams::paper(), &FlitConfig::paper(), &pkts)
+                .expect("ring load must drain");
+            assert_eq!(stats.deliveries.len(), pkts.len(), "{pattern:?}");
+            assert!(
+                stats.makespan < 100_000,
+                "{pattern:?} makespan {} suspiciously close to deadlock",
+                stats.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn exceeding_the_horizon_is_a_clean_error() {
+        let topo = Topology::ring(8, LinkKind::FullX2);
+        let cfg = FlitConfig {
+            max_cycles: 10,
+            ..FlitConfig::paper()
+        };
+        let pkts = [FlitPacket {
+            src: 0,
+            dst: 4,
+            bytes: 1 << 20,
+            inject_at: 0,
+        }];
+        let err = try_simulate_flits(&topo, &NocParams::paper(), &cfg, &pkts)
+            .expect_err("horizon too small to finish a 1 MiB transfer");
+        assert_eq!(err.max_cycles, 10);
+        assert!(err.flits_arrived < err.total_flits);
+        let msg = err.to_string();
+        assert!(msg.contains("exceeded 10 cycles"), "{msg}");
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use collective::{
     best_ring_collective_cycles, ring_allreduce_cycles, ring_collective_cycles,
     simulate_ring_reduce_broadcast,
 };
-pub use flit::{simulate_flits, Delivery, FlitConfig, FlitPacket, FlitStats};
+pub use flit::{
+    simulate_flits, try_simulate_flits, Delivery, FlitConfig, FlitPacket, FlitSimError, FlitStats,
+};
 pub use mapping::{DegradedMapping, DegradedRing, PhysicalMapping};
 pub use network::{bottleneck_phase, PacketNetwork, PhaseTime};
 pub use observe::{

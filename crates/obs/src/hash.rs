@@ -1,0 +1,183 @@
+//! Canonical, order-independent content hashing of JSON documents.
+//!
+//! The simulator is deterministic (the PR-3/PR-4 bit-exactness
+//! contract), so a simulation result is a pure function of its request —
+//! which makes the request's *content* the natural cache address. This
+//! module defines that address: a 128-bit hash over a canonical byte
+//! encoding of the [`Value`] tree in which
+//!
+//! - **object key order does not matter** (members are hashed in sorted
+//!   key order, so `{"a":1,"b":2}` and `{"b":2,"a":1}` collide on
+//!   purpose),
+//! - **whitespace does not matter** (the hash consumes the parsed tree,
+//!   never the source text), and
+//! - **numbers are hashed by their `f64` bit pattern**, so `-0.0` and
+//!   `+0.0` are *distinct* — matching the checkpoint convention that
+//!   treats the sign of zero as significant (`oracle_checkpoint.rs`).
+//!
+//! The hash is two independently seeded FNV-1a/64 lanes over the same
+//! canonical bytes. It is a cache key, not a cryptographic commitment:
+//! collisions are vanishingly unlikely at cache scale but constructible
+//! by an adversary, which is acceptable for a memoization tier.
+//!
+//! This lives in `wmpt-obs` (next to the [`crate::json`] tree it hashes)
+//! so that every memoization tier in the workspace — the serve result
+//! cache and the optimizer's cost-model cache — addresses content with
+//! the *same* function; `wmpt-serve` re-exports it unchanged.
+
+use crate::json::Value;
+
+/// FNV-1a 64-bit offset basis (lane 0).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// An arbitrary second basis (lane 1) decorrelated from lane 0.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+/// FNV-1a 64-bit prime, shared by both lanes.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming two-lane FNV-1a hasher over canonical bytes.
+struct Lanes {
+    a: u64,
+    b: u64,
+}
+
+impl Lanes {
+    fn new() -> Self {
+        Lanes {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0x5a)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Type tags of the canonical encoding. Each value is encoded as its tag
+/// followed by a length-prefixed payload, so distinct trees cannot alias
+/// through concatenation ambiguity.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_NUM: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_ARR: u8 = 4;
+const TAG_OBJ: u8 = 5;
+
+fn hash_value(v: &Value, lanes: &mut Lanes) {
+    match v {
+        Value::Null => lanes.update(&[TAG_NULL]),
+        Value::Bool(b) => lanes.update(&[TAG_BOOL, u8::from(*b)]),
+        Value::Num(n) => {
+            lanes.update(&[TAG_NUM]);
+            // Bit pattern, not text: -0.0 != +0.0, and no formatting
+            // round-trip can perturb the key.
+            lanes.update(&n.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            lanes.update(&[TAG_STR]);
+            lanes.update(&(s.len() as u64).to_le_bytes());
+            lanes.update(s.as_bytes());
+        }
+        Value::Arr(a) => {
+            lanes.update(&[TAG_ARR]);
+            lanes.update(&(a.len() as u64).to_le_bytes());
+            for e in a {
+                hash_value(e, lanes);
+            }
+        }
+        Value::Obj(m) => {
+            lanes.update(&[TAG_OBJ]);
+            lanes.update(&(m.len() as u64).to_le_bytes());
+            // Sorted (stably) by key: insertion order is presentation,
+            // not content. Duplicate keys keep their relative order.
+            let mut order: Vec<&(String, Value)> = m.iter().collect();
+            order.sort_by(|x, y| x.0.cmp(&y.0));
+            for (k, val) in order {
+                lanes.update(&(k.len() as u64).to_le_bytes());
+                lanes.update(k.as_bytes());
+                hash_value(val, lanes);
+            }
+        }
+    }
+}
+
+/// The canonical 128-bit content hash of a JSON document.
+pub fn canonical_hash(v: &Value) -> u128 {
+    let mut lanes = Lanes::new();
+    hash_value(v, &mut lanes);
+    lanes.finish()
+}
+
+/// Renders a hash as the 32-hex-digit job id used in URLs.
+pub fn hash_hex(h: u128) -> String {
+    format!("{h:032x}")
+}
+
+/// Parses a job id back into a hash; `None` unless it is exactly 32
+/// lowercase hex digits.
+pub fn parse_hash_hex(s: &str) -> Option<u128> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{num, obj, parse, s};
+
+    #[test]
+    fn key_order_is_canonicalized() {
+        let a = parse(r#"{"x":1,"y":[{"a":true,"b":null}]}"#).unwrap();
+        let b = parse(r#"{"y":[{"b":null,"a":true}],"x":1}"#).unwrap();
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn whitespace_never_reaches_the_hash() {
+        let a = parse(r#"{"x":1,"y":[1,2]}"#).unwrap();
+        let b = parse(" {\n  \"x\" : 1 ,\t\"y\" : [ 1 , 2 ] }\n").unwrap();
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn negative_zero_is_distinct_from_positive_zero() {
+        assert_ne!(
+            canonical_hash(&Value::Num(-0.0)),
+            canonical_hash(&Value::Num(0.0))
+        );
+        // ... even though the two values compare equal as floats.
+        assert_eq!(-0.0f64, 0.0f64);
+    }
+
+    #[test]
+    fn structure_is_not_confusable() {
+        // ["ab"] vs ["a","b"]: length prefixes disambiguate.
+        let a = Value::Arr(vec![s("ab")]);
+        let b = Value::Arr(vec![s("a"), s("b")]);
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+        // {"a":1} vs {"a1":{}}-style boundary shifts.
+        let c = obj(vec![("a", num(1.0))]);
+        let d = obj(vec![("a1", obj(vec![]))]);
+        assert_ne!(canonical_hash(&c), canonical_hash(&d));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for h in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let text = hash_hex(h);
+            assert_eq!(text.len(), 32);
+            assert_eq!(parse_hash_hex(&text), Some(h));
+        }
+        assert_eq!(parse_hash_hex("zz"), None);
+        assert_eq!(parse_hash_hex(&"a".repeat(33)), None);
+    }
+}

@@ -69,6 +69,11 @@
 //! | `fault.replayed_iterations` | counter | iterations replayed after a rollback |
 //! | `fault.recovery_cycles` | counter | cycles spent on detect/restore/replay |
 //! | `par.jobs` | gauge | host worker threads (`--jobs`) the run executed with |
+//! | `opt.configs_evaluated` | counter | cost-model evaluations executed by the auto-search |
+//! | `opt.memo_hits` | counter | evaluations answered from the canonical-hash memo |
+//! | `opt.memo_misses` | counter | evaluations that missed the memo |
+//! | `opt.dp_states` | counter | DP states expanded (layer × decision pairs) |
+//! | `hist.opt_search_ms` | histogram | host wall-clock ms per auto-search |
 //! | `obs.spans_emitted` | counter | spans written out by a streaming sink |
 //! | `obs.flushes` | counter | pending-buffer flushes of a streaming sink |
 //! | `obs.peak_buffer_bytes` | gauge | peak pending bytes held by a streaming sink (≤ budget) |
@@ -93,6 +98,7 @@
 //! assert!(obs.metrics.render_table().contains("noc.flits_injected.tile_scatter"));
 //! ```
 
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod shard;

@@ -183,6 +183,17 @@ pub enum MetricKey {
     /// or eviction.
     ServeCacheBytes,
 
+    // --- Parallelism auto-search (`wmpt-opt`, counter unless noted) ---
+    /// Closed-form cost-model evaluations actually executed (memo
+    /// misses that ran `simulate_layer_with`).
+    OptConfigsEvaluated,
+    /// Cost-model evaluations answered from the canonical-hash memo.
+    OptMemoHits,
+    /// Cost-model evaluations that missed the memo.
+    OptMemoMisses,
+    /// Dynamic-programming states expanded (layer × decision pairs).
+    OptDpStates,
+
     // --- Observability self-metrics (streaming sink, see `trace`) ---
     /// Spans written out (as JSONL complete events) by a streaming sink.
     ObsSpansEmitted,
@@ -209,6 +220,8 @@ pub enum MetricKey {
     HistServeLatencyUs,
     /// Histogram: job-queue depth sampled at every submission.
     HistServeQueueDepth,
+    /// Histogram: host wall-clock milliseconds per auto-search.
+    HistOptSearchMs,
 }
 
 impl MetricKey {
@@ -274,6 +287,10 @@ impl MetricKey {
             MetricKey::ServeRejectedShutdown,
             MetricKey::ServeJobsExecuted,
             MetricKey::ServeCacheBytes,
+            MetricKey::OptConfigsEvaluated,
+            MetricKey::OptMemoHits,
+            MetricKey::OptMemoMisses,
+            MetricKey::OptDpStates,
             MetricKey::ObsSpansEmitted,
             MetricKey::ObsFlushes,
             MetricKey::ObsPeakBufferBytes,
@@ -284,6 +301,7 @@ impl MetricKey {
             MetricKey::HistExperimentHostMs,
             MetricKey::HistServeLatencyUs,
             MetricKey::HistServeQueueDepth,
+            MetricKey::HistOptSearchMs,
         ]);
         keys
     }
@@ -340,6 +358,10 @@ impl MetricKey {
             MetricKey::ServeRejectedShutdown => "serve.rejected_shutdown".to_string(),
             MetricKey::ServeJobsExecuted => "serve.jobs_executed".to_string(),
             MetricKey::ServeCacheBytes => "serve.cache_bytes".to_string(),
+            MetricKey::OptConfigsEvaluated => "opt.configs_evaluated".to_string(),
+            MetricKey::OptMemoHits => "opt.memo_hits".to_string(),
+            MetricKey::OptMemoMisses => "opt.memo_misses".to_string(),
+            MetricKey::OptDpStates => "opt.dp_states".to_string(),
             MetricKey::ObsSpansEmitted => "obs.spans_emitted".to_string(),
             MetricKey::ObsFlushes => "obs.flushes".to_string(),
             MetricKey::ObsPeakBufferBytes => "obs.peak_buffer_bytes".to_string(),
@@ -350,6 +372,7 @@ impl MetricKey {
             MetricKey::HistExperimentHostMs => "hist.experiment_host_ms".to_string(),
             MetricKey::HistServeLatencyUs => "hist.serve_latency_us".to_string(),
             MetricKey::HistServeQueueDepth => "hist.serve_queue_depth".to_string(),
+            MetricKey::HistOptSearchMs => "hist.opt_search_ms".to_string(),
         }
     }
 

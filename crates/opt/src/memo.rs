@@ -1,0 +1,331 @@
+//! Memoized closed-form layer evaluation, keyed by the canonical
+//! content hash shared with the serve tier.
+
+use std::collections::HashMap;
+
+use wmpt_core::{
+    collective_params, simulate_layer_with, CollectiveParams, SystemConfig, SystemModel,
+};
+use wmpt_energy::EnergyBreakdown;
+use wmpt_models::ConvLayerSpec;
+use wmpt_noc::{ring_collective_cycles, ClusterConfig};
+use wmpt_obs::hash::canonical_hash;
+use wmpt_obs::json::{num, obj, s, Value};
+use wmpt_obs::{MetricKey, MetricRegistry};
+
+/// The closed-form cost of one layer under one `(cluster, batch split)`
+/// mapping — everything the planner's edge cost needs, independent of
+/// the pipelining flag (a schedule choice layered on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerEval {
+    /// Forward cycles of one replica (replicas run concurrently).
+    pub fwd_cycles: f64,
+    /// Backward compute cycles of one replica.
+    pub bwd_compute_cycles: f64,
+    /// Backward communication cycles, including the cross-replica
+    /// gradient collective when the batch is split.
+    pub bwd_comm_cycles: f64,
+    /// Intra-replica weight-collective cycles (for reporting).
+    pub collective_cycles: f64,
+    /// Tile-transfer cycles (for reporting).
+    pub tile_comm_cycles: f64,
+    /// Cross-replica gradient-collective cycles (0 when `s == 1`).
+    pub cross_replica_cycles: f64,
+    /// Whole-machine energy (one replica scaled by the replica count).
+    pub energy: EnergyBreakdown,
+    /// Winograd transform `(m, t)`, `None` for direct execution.
+    pub transform: Option<(usize, usize)>,
+    /// The intra-replica weight collective, for event-sim validation.
+    pub collective: Option<CollectiveParams>,
+}
+
+impl LayerEval {
+    /// Serial backward cycles: compute and communication overlap within
+    /// the layer (double buffering), so the slower side dominates.
+    pub fn bwd_serial_cycles(&self) -> f64 {
+        self.bwd_compute_cycles.max(self.bwd_comm_cycles)
+    }
+
+    /// Serial whole-layer cycles (forward + serial backward).
+    pub fn serial_cycles(&self) -> f64 {
+        self.fwd_cycles + self.bwd_serial_cycles()
+    }
+}
+
+/// Search-effort counters, surfaced through the `opt.*` metric keys.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Cost-model evaluations actually executed (memo misses that ran
+    /// `simulate_layer_with`).
+    pub configs_evaluated: u64,
+    /// Evaluations answered from the memo.
+    pub memo_hits: u64,
+    /// Evaluations that missed the memo.
+    pub memo_misses: u64,
+    /// DP states expanded (layer × decision pairs).
+    pub dp_states: u64,
+    /// Host wall-clock milliseconds spent inside searches.
+    pub search_ms: f64,
+}
+
+impl SearchStats {
+    /// Records the counters into a metric registry under the `opt.*`
+    /// keys (and the search wall-clock under `hist.opt_search_ms`).
+    pub fn record(&self, metrics: &mut MetricRegistry) {
+        metrics.inc(MetricKey::OptConfigsEvaluated, self.configs_evaluated);
+        metrics.inc(MetricKey::OptMemoHits, self.memo_hits);
+        metrics.inc(MetricKey::OptMemoMisses, self.memo_misses);
+        metrics.inc(MetricKey::OptDpStates, self.dp_states);
+        if self.search_ms > 0.0 {
+            metrics.observe(MetricKey::HistOptSearchMs, self.search_ms);
+        }
+    }
+}
+
+/// A memo of layer evaluations addressed by canonical content hash —
+/// the same addressing scheme (`wmpt_obs::hash`, re-exported as
+/// `serve::hash`) the server uses for whole-request results, so the two
+/// cache tiers agree on what "the same work" means. One cache instance
+/// can serve repeated sweeps across networks: the Table II layers
+/// reappear inside VGG-style stages and hit the memo.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: HashMap<u128, LayerEval>,
+    /// Effort counters, accumulated across every search using the cache.
+    pub stats: SearchStats,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized evaluations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Evaluates one layer under one `(cluster, batch split)` mapping,
+    /// memoized. The sub-machine (`workers/s` workers on `batch/s`
+    /// images) runs the layer; when the batch is split, a cross-replica
+    /// ring collective over the `s` replica leaders synchronizes the
+    /// weight gradients, stitched through the host (two extra hop
+    /// latencies per hop), and the replica energy scales by `s`.
+    pub fn evaluate(
+        &mut self,
+        model: &SystemModel,
+        sys: SystemConfig,
+        layer: &ConvLayerSpec,
+        cluster: ClusterConfig,
+        batch_split: usize,
+    ) -> LayerEval {
+        let key = memo_key(model, sys, layer, cluster, batch_split);
+        if let Some(hit) = self.map.get(&key) {
+            self.stats.memo_hits += 1;
+            return *hit;
+        }
+        self.stats.memo_misses += 1;
+        self.stats.configs_evaluated += 1;
+
+        let sub = crate::space::sub_model(model, batch_split);
+        let r = simulate_layer_with(&sub, layer, sys, cluster);
+        let coll = collective_params(&sub, layer, sys, cluster);
+        let cross_replica_cycles = if batch_split > 1 {
+            // Each replica contributes the same per-group gradient shard
+            // the intra-replica collective reduces; positions sync in
+            // parallel rings of `s` members over the bonded ring fabric.
+            let msg = coll
+                .map(|c| c.msg_bytes)
+                .unwrap_or_else(|| match r.transform {
+                    Some((_, t)) => layer.winograd_weight_bytes(t),
+                    None => layer.spatial_weight_bytes(),
+                });
+            ring_collective_cycles(
+                msg,
+                batch_split,
+                model.ring_bandwidth(sys),
+                &model.noc,
+                2 * model.noc.hop_latency(),
+            )
+        } else {
+            0.0
+        };
+
+        let eval = LayerEval {
+            fwd_cycles: r.forward.cycles,
+            bwd_compute_cycles: r.backward.compute_cycles,
+            bwd_comm_cycles: r.backward.comm_cycles + cross_replica_cycles,
+            collective_cycles: r.collective_cycles,
+            tile_comm_cycles: r.tile_comm_cycles,
+            cross_replica_cycles,
+            energy: r.total_energy().scale(batch_split as f64),
+            transform: r.transform,
+            collective: coll,
+        };
+        self.map.insert(key, eval);
+        eval
+    }
+}
+
+/// The canonical memo key of one evaluation: a JSON document over every
+/// input that can change the closed-form result, hashed with the same
+/// `canonical_hash` the serve result cache uses. Documented in
+/// DESIGN.md (optimizer § memoization key).
+pub fn memo_key(
+    model: &SystemModel,
+    sys: SystemConfig,
+    layer: &ConvLayerSpec,
+    cluster: ClusterConfig,
+    batch_split: usize,
+) -> u128 {
+    let doc = obj(vec![
+        ("kind", s("opt_layer_eval")),
+        (
+            "layer",
+            obj(vec![
+                ("name", s(&layer.name)),
+                ("in", num(layer.in_chans as f64)),
+                ("out", num(layer.out_chans as f64)),
+                ("h", num(layer.h as f64)),
+                ("w", num(layer.w as f64)),
+                ("r", num(layer.r as f64)),
+                ("stride", num(layer.stride as f64)),
+                ("relu", Value::Bool(layer.relu)),
+                ("joins", num(layer.joins_after as f64)),
+            ]),
+        ),
+        ("sys", s(sys.abbrev())),
+        (
+            "cluster",
+            Value::Arr(vec![num(cluster.n_g as f64), num(cluster.n_c as f64)]),
+        ),
+        ("split", num(batch_split as f64)),
+        (
+            "model",
+            obj(vec![
+                ("workers", num(model.workers as f64)),
+                ("group_size", num(model.group_size as f64)),
+                ("batch", num(model.batch as f64)),
+                ("prediction_bits", num(f64::from(model.prediction_bits))),
+                ("precision", s(&format!("{:?}", model.ndp.precision))),
+                ("systolic_dim", num(model.ndp.systolic_dim as f64)),
+                ("dram_bpc", num(model.ndp.dram_bytes_per_cycle)),
+                ("chunk", num(model.noc.collective_chunk_bytes as f64)),
+            ]),
+        ),
+    ]);
+    canonical_hash(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_models::table2_layers;
+
+    #[test]
+    fn second_evaluation_hits_the_memo() {
+        let model = SystemModel::paper_fp16();
+        let sys = SystemConfig::WMpPD;
+        let layer = &table2_layers()[1];
+        let mut cache = EvalCache::new();
+        let a = cache.evaluate(&model, sys, layer, ClusterConfig::new(4, 64), 1);
+        assert_eq!(cache.stats.memo_misses, 1);
+        assert_eq!(cache.stats.memo_hits, 0);
+        let b = cache.evaluate(&model, sys, layer, ClusterConfig::new(4, 64), 1);
+        assert_eq!(cache.stats.memo_hits, 1);
+        assert_eq!(cache.stats.configs_evaluated, 1);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memoized_eval_matches_the_direct_cost_model() {
+        let model = SystemModel::paper_fp16();
+        let sys = SystemConfig::WMpPD;
+        let layer = &table2_layers()[3];
+        let cfg = ClusterConfig::new(16, 16);
+        let mut cache = EvalCache::new();
+        let eval = cache.evaluate(&model, sys, layer, cfg, 1);
+        let r = simulate_layer_with(&model, layer, sys, cfg);
+        assert_eq!(eval.fwd_cycles, r.forward.cycles);
+        assert_eq!(eval.bwd_comm_cycles, r.backward.comm_cycles);
+        assert_eq!(eval.cross_replica_cycles, 0.0);
+        assert_eq!(eval.serial_cycles(), r.forward.cycles + r.backward.cycles);
+        assert_eq!(eval.energy.total_j(), r.total_energy().total_j());
+    }
+
+    #[test]
+    fn batch_split_pays_a_cross_replica_collective() {
+        let model = SystemModel::paper_fp16();
+        let sys = SystemConfig::WMpPD;
+        let layer = &table2_layers()[4];
+        let mut cache = EvalCache::new();
+        let split = cache.evaluate(&model, sys, layer, ClusterConfig::new(4, 32), 2);
+        assert!(split.cross_replica_cycles > 0.0);
+        assert!(split.bwd_comm_cycles >= split.cross_replica_cycles);
+    }
+
+    #[test]
+    fn memo_keys_distinguish_every_dimension() {
+        let model = SystemModel::paper_fp16();
+        let sys = SystemConfig::WMpPD;
+        let layers = table2_layers();
+        let base = memo_key(&model, sys, &layers[0], ClusterConfig::new(4, 64), 1);
+        assert_ne!(
+            base,
+            memo_key(&model, sys, &layers[1], ClusterConfig::new(4, 64), 1)
+        );
+        assert_ne!(
+            base,
+            memo_key(&model, sys, &layers[0], ClusterConfig::new(16, 16), 1)
+        );
+        assert_ne!(
+            base,
+            memo_key(&model, sys, &layers[0], ClusterConfig::new(4, 32), 2)
+        );
+        assert_ne!(
+            base,
+            memo_key(
+                &model,
+                SystemConfig::WMp,
+                &layers[0],
+                ClusterConfig::new(4, 64),
+                1
+            )
+        );
+        assert_ne!(
+            base,
+            memo_key(
+                &SystemModel::paper(),
+                sys,
+                &layers[0],
+                ClusterConfig::new(4, 64),
+                1
+            )
+        );
+    }
+
+    #[test]
+    fn stats_record_through_the_obs_registry() {
+        let stats = SearchStats {
+            configs_evaluated: 7,
+            memo_hits: 3,
+            memo_misses: 7,
+            dp_states: 150,
+            search_ms: 2.5,
+        };
+        let mut reg = MetricRegistry::new();
+        stats.record(&mut reg);
+        assert_eq!(reg.counter(MetricKey::OptConfigsEvaluated), 7);
+        assert_eq!(reg.counter(MetricKey::OptMemoHits), 3);
+        assert_eq!(reg.counter(MetricKey::OptMemoMisses), 7);
+        assert_eq!(reg.counter(MetricKey::OptDpStates), 150);
+        assert_eq!(reg.histogram(MetricKey::HistOptSearchMs).unwrap().count, 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! [`AutoPlan`]: the serializable result of one auto-search.
+//!
+//! The JSON form is a fixed-member-order document rendered through the
+//! deterministic `wmpt_obs::json` writer, so `render → parse → render`
+//! is a byte-identical fixed point (`prop_planner.rs` pins this) and
+//! [`AutoPlan::plan_key`] — the canonical hash of that document — is a
+//! stable content address for gating and cache sharing.
+
+use std::fmt::Write as _;
+
+use wmpt_noc::ClusterConfig;
+use wmpt_obs::hash::canonical_hash;
+use wmpt_obs::json::{num, obj, s, Value};
+
+/// One layer's chosen mapping and its modeled cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStep {
+    /// Layer name.
+    pub layer: String,
+    /// Worker organization of each replica sub-machine.
+    pub cluster: ClusterConfig,
+    /// Data-parallel replica count.
+    pub batch_split: usize,
+    /// Whether backward gradient traffic pipelines into the previous
+    /// layer's backward compute.
+    pub pipelined: bool,
+    /// Winograd transform `(m, t)`, `None` for direct execution.
+    pub transform: Option<(usize, usize)>,
+    /// Cycles this layer adds to the plan (fwd + bwd + reconfiguration).
+    pub cycles: f64,
+    /// Forward cycles.
+    pub fwd_cycles: f64,
+    /// Backward communication cycles (incl. cross-replica collective).
+    pub bwd_comm_cycles: f64,
+}
+
+/// A complete per-layer parallelization plan with its modeled cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoPlan {
+    /// Network name.
+    pub network: String,
+    /// System-config abbreviation (e.g. `w_mp++`).
+    pub config: String,
+    /// Whole-machine worker count.
+    pub workers: usize,
+    /// Whole-machine batch size.
+    pub batch: usize,
+    /// Reconfiguration charge used by the search, cycles.
+    pub reconfig_cycles: f64,
+    /// Number of config boundaries in the plan.
+    pub reconfigurations: usize,
+    /// Total modeled cycles of one training iteration.
+    pub total_cycles: f64,
+    /// Total modeled energy, joules.
+    pub energy_j: f64,
+    /// Per-layer decisions, in network order.
+    pub steps: Vec<PlannedStep>,
+}
+
+impl AutoPlan {
+    /// The canonical JSON document, fixed member order.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("kind", s("auto_plan")),
+            ("network", s(&self.network)),
+            ("config", s(&self.config)),
+            ("workers", num(self.workers as f64)),
+            ("batch", num(self.batch as f64)),
+            ("reconfig_cycles", num(self.reconfig_cycles)),
+            ("reconfigurations", num(self.reconfigurations as f64)),
+            ("total_cycles", num(self.total_cycles)),
+            ("energy_j", num(self.energy_j)),
+            (
+                "layers",
+                Value::Arr(
+                    self.steps
+                        .iter()
+                        .map(|st| {
+                            obj(vec![
+                                ("layer", s(&st.layer)),
+                                ("n_g", num(st.cluster.n_g as f64)),
+                                ("n_c", num(st.cluster.n_c as f64)),
+                                ("batch_split", num(st.batch_split as f64)),
+                                ("pipelined", Value::Bool(st.pipelined)),
+                                (
+                                    "transform",
+                                    match st.transform {
+                                        Some((m, t)) => {
+                                            Value::Arr(vec![num(m as f64), num(t as f64)])
+                                        }
+                                        None => Value::Null,
+                                    },
+                                ),
+                                ("cycles", num(st.cycles)),
+                                ("fwd_cycles", num(st.fwd_cycles)),
+                                ("bwd_comm_cycles", num(st.bwd_comm_cycles)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Strict inverse of [`AutoPlan::to_json`]: unknown members, a wrong
+    /// `kind`, or missing fields are errors, so a plan document that
+    /// parses is exactly one this code could have written.
+    pub fn from_json(v: &Value) -> Result<AutoPlan, String> {
+        let members = v.as_obj().ok_or("plan must be an object")?;
+        const ALLOWED: &[&str] = &[
+            "kind",
+            "network",
+            "config",
+            "workers",
+            "batch",
+            "reconfig_cycles",
+            "reconfigurations",
+            "total_cycles",
+            "energy_j",
+            "layers",
+        ];
+        for (k, _) in members {
+            if !ALLOWED.contains(&k.as_str()) {
+                return Err(format!("unknown plan member '{k}'"));
+            }
+        }
+        match v.get("kind").and_then(Value::as_str) {
+            Some("auto_plan") => {}
+            other => return Err(format!("bad plan kind {other:?}")),
+        }
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string member '{k}'"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or(format!("missing numeric member '{k}'"))
+        };
+        let usize_field = |k: &str| -> Result<usize, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .map(|n| n as usize)
+                .ok_or(format!("missing integer member '{k}'"))
+        };
+        let mut steps = Vec::new();
+        for sv in v
+            .get("layers")
+            .and_then(Value::as_arr)
+            .ok_or("missing 'layers' array")?
+        {
+            steps.push(PlannedStep::from_json(sv)?);
+        }
+        Ok(AutoPlan {
+            network: str_field("network")?,
+            config: str_field("config")?,
+            workers: usize_field("workers")?,
+            batch: usize_field("batch")?,
+            reconfig_cycles: num_field("reconfig_cycles")?,
+            reconfigurations: usize_field("reconfigurations")?,
+            total_cycles: num_field("total_cycles")?,
+            energy_j: num_field("energy_j")?,
+            steps,
+        })
+    }
+
+    /// Canonical content hash of the plan document — deterministic
+    /// across runs, used as the gate's stable plan identity.
+    pub fn plan_key(&self) -> u128 {
+        canonical_hash(&self.to_json())
+    }
+
+    /// Human-readable table, one row per layer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "auto plan: {} under {} ({} workers, batch {})",
+            self.network, self.config, self.workers, self.batch
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>5} {:>6} {:>5} {:>10} {:>14}",
+            "layer", "N_g", "N_c", "split", "pipe", "transform", "cycles"
+        );
+        for st in &self.steps {
+            let transform = match st.transform {
+                Some((m, t)) => format!("F({m},{t})"),
+                None => "direct".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>5} {:>5} {:>6} {:>5} {:>10} {:>14.0}",
+                st.layer,
+                st.cluster.n_g,
+                st.cluster.n_c,
+                st.batch_split,
+                if st.pipelined { "yes" } else { "no" },
+                transform,
+                st.cycles
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {:.0} cycles, {:.3} J, {} reconfiguration(s) @ {:.0} cycles",
+            self.total_cycles, self.energy_j, self.reconfigurations, self.reconfig_cycles
+        );
+        out
+    }
+}
+
+impl PlannedStep {
+    fn from_json(v: &Value) -> Result<PlannedStep, String> {
+        let members = v.as_obj().ok_or("plan layer must be an object")?;
+        const ALLOWED: &[&str] = &[
+            "layer",
+            "n_g",
+            "n_c",
+            "batch_split",
+            "pipelined",
+            "transform",
+            "cycles",
+            "fwd_cycles",
+            "bwd_comm_cycles",
+        ];
+        for (k, _) in members {
+            if !ALLOWED.contains(&k.as_str()) {
+                return Err(format!("unknown plan layer member '{k}'"));
+            }
+        }
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or(format!("missing numeric layer member '{k}'"))
+        };
+        let int_field = |k: &str| -> Result<usize, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .map(|n| n as usize)
+                .ok_or(format!("missing integer layer member '{k}'"))
+        };
+        let transform = match v.get("transform").ok_or("missing 'transform'")? {
+            Value::Null => None,
+            Value::Arr(a) if a.len() == 2 => {
+                let m = a[0].as_u64().ok_or("bad transform m")? as usize;
+                let t = a[1].as_u64().ok_or("bad transform t")? as usize;
+                Some((m, t))
+            }
+            _ => return Err("transform must be null or [m, t]".to_string()),
+        };
+        Ok(PlannedStep {
+            layer: v
+                .get("layer")
+                .and_then(Value::as_str)
+                .ok_or("missing 'layer' name")?
+                .to_string(),
+            cluster: ClusterConfig::new(int_field("n_g")?, int_field("n_c")?),
+            batch_split: int_field("batch_split")?,
+            pipelined: match v.get("pipelined") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("missing boolean member 'pipelined'".to_string()),
+            },
+            transform,
+            cycles: num_field("cycles")?,
+            fwd_cycles: num_field("fwd_cycles")?,
+            bwd_comm_cycles: num_field("bwd_comm_cycles")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_obs::json::parse;
+
+    fn sample() -> AutoPlan {
+        AutoPlan {
+            network: "table2".to_string(),
+            config: "w_mp++".to_string(),
+            workers: 256,
+            batch: 128,
+            reconfig_cycles: 192.0,
+            reconfigurations: 1,
+            total_cycles: 123456.75,
+            energy_j: 0.125,
+            steps: vec![
+                PlannedStep {
+                    layer: "Early".to_string(),
+                    cluster: ClusterConfig::new(16, 16),
+                    batch_split: 1,
+                    pipelined: false,
+                    transform: Some((4, 6)),
+                    cycles: 100000.5,
+                    fwd_cycles: 60000.25,
+                    bwd_comm_cycles: 1234.0,
+                },
+                PlannedStep {
+                    layer: "Late".to_string(),
+                    cluster: ClusterConfig::new(1, 128),
+                    batch_split: 2,
+                    pipelined: true,
+                    transform: None,
+                    cycles: 23456.25,
+                    fwd_cycles: 12000.0,
+                    bwd_comm_cycles: 987.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_a_byte_identical_fixed_point() {
+        let plan = sample();
+        let text = plan.to_json().render();
+        let back = AutoPlan::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(back.plan_key(), plan.plan_key());
+    }
+
+    #[test]
+    fn strict_parsing_rejects_malformed_documents() {
+        let plan = sample();
+        let mut v = plan.to_json();
+        if let Value::Obj(m) = &mut v {
+            m.push(("surprise".to_string(), num(1.0)));
+        }
+        assert!(AutoPlan::from_json(&v).is_err(), "unknown member");
+
+        let mut v = plan.to_json();
+        if let Value::Obj(m) = &mut v {
+            m[0].1 = s("training_plan");
+        }
+        assert!(AutoPlan::from_json(&v).is_err(), "wrong kind");
+
+        let mut v = plan.to_json();
+        if let Value::Obj(m) = &mut v {
+            m.retain(|(k, _)| k != "total_cycles");
+        }
+        assert!(AutoPlan::from_json(&v).is_err(), "missing member");
+    }
+
+    #[test]
+    fn render_mentions_every_layer_and_the_totals() {
+        let plan = sample();
+        let text = plan.render();
+        assert!(text.contains("Early"));
+        assert!(text.contains("Late"));
+        assert!(text.contains("F(4,6)"));
+        assert!(text.contains("direct"));
+        assert!(text.contains("reconfiguration"));
+    }
+
+    #[test]
+    fn plan_key_distinguishes_different_plans() {
+        let a = sample();
+        let mut b = sample();
+        b.steps[0].batch_split = 4;
+        assert_ne!(a.plan_key(), b.plan_key());
+    }
+}

@@ -1,0 +1,464 @@
+//! The planner: dynamic programming over the layer chain, plus the
+//! exhaustive brute-force reference for small chains.
+//!
+//! # Objective
+//!
+//! A plan assigns one [`Decision`] per layer. Its cost is the left fold
+//!
+//! ```text
+//! cost = Σ_l  fwd(l, d_l) + bwd(l, d_l, d_{l−1}) + R·[reconfig at l]
+//! ```
+//!
+//! where `bwd` is the serial backward (`max(compute, comm)`) unless the
+//! layer is pipelined, in which case its gradient communication hides
+//! behind the *previous* layer's backward compute (backward runs the
+//! chain in reverse, so layer `l−1` is the next to compute):
+//!
+//! ```text
+//! bwd_pipe(l) = bwd_compute(l) + max(0, bwd_comm(l) − bwd_compute(l−1, d_{l−1}))
+//! ```
+//!
+//! The edge cost depends only on `(d_l, d_{l−1})`, so the DP state is
+//! the previous layer's decision and the recurrence is exact — not a
+//! heuristic. Both the DP and the brute force accumulate costs as the
+//! same left fold over layers, so their optima are *bitwise* equal
+//! (`prop_planner.rs` asserts `==`, not approximate equality).
+
+use std::time::Instant;
+
+use wmpt_core::{SystemConfig, SystemModel};
+use wmpt_models::{ConvLayerSpec, Network};
+use wmpt_noc::ClusterConfig;
+
+use crate::memo::{EvalCache, LayerEval};
+use crate::plan::{AutoPlan, PlannedStep};
+use crate::space::{default_decisions, Decision};
+
+/// Default reconfiguration charge at a config boundary, cycles: the
+/// host broadcasts updated routing tables down its worker chain —
+/// two passes (update + acknowledge) over the 16 host-chain groups of
+/// the paper machine at 6 cycles per hop. Reconfiguration moves no
+/// data (§IV), so this is latency, not bandwidth.
+pub const DEFAULT_RECONFIG_CYCLES: f64 = 192.0;
+
+/// Planner knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Cycles charged when consecutive layers change `(cluster, split)`.
+    pub reconfig_cycles: f64,
+    /// Decision space; `None` uses [`default_decisions`] for the model.
+    pub decisions: Option<Vec<Decision>>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            reconfig_cycles: DEFAULT_RECONFIG_CYCLES,
+            decisions: None,
+        }
+    }
+}
+
+/// The cost this layer adds to the plan, given the previous layer's
+/// decision and evaluation (`None` for the first layer). Pure in its
+/// inputs — the DP and the brute force share it, which is what makes
+/// them comparable bit-for-bit.
+pub fn edge_cost(
+    eval: &LayerEval,
+    d: &Decision,
+    prev: Option<(&Decision, &LayerEval)>,
+    reconfig_cycles: f64,
+) -> f64 {
+    let bwd = match (d.pipelined, prev) {
+        (true, Some((_, prev_eval))) => {
+            // Pipeline: this layer's gradient traffic overlaps the next
+            // backward compute; only the excess is exposed.
+            eval.bwd_compute_cycles + (eval.bwd_comm_cycles - prev_eval.bwd_compute_cycles).max(0.0)
+        }
+        _ => eval.bwd_serial_cycles(),
+    };
+    let reconfig = match prev {
+        Some((prev_d, _)) if d.reconfigures_from(prev_d) => reconfig_cycles,
+        _ => 0.0,
+    };
+    eval.fwd_cycles + bwd + reconfig
+}
+
+/// Evaluates every (layer, decision) pair through the memo.
+fn eval_grid(
+    model: &SystemModel,
+    sys: SystemConfig,
+    layers: &[ConvLayerSpec],
+    decisions: &[Decision],
+    cache: &mut EvalCache,
+) -> Vec<Vec<LayerEval>> {
+    layers
+        .iter()
+        .map(|l| {
+            decisions
+                .iter()
+                .map(|d| cache.evaluate(model, sys, l, d.cluster, d.batch_split))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the [`AutoPlan`] for a concrete decision sequence, recomputing
+/// the per-layer edge costs as the same left fold the search used.
+fn plan_for(
+    model: &SystemModel,
+    sys: SystemConfig,
+    network: &str,
+    layers: &[ConvLayerSpec],
+    chosen: &[Decision],
+    reconfig_cycles: f64,
+    cache: &mut EvalCache,
+) -> AutoPlan {
+    let mut steps = Vec::with_capacity(layers.len());
+    let mut total_cycles = 0.0;
+    let mut reconfigurations = 0usize;
+    let mut energy = wmpt_energy::EnergyBreakdown::default();
+    let mut prev: Option<(Decision, LayerEval)> = None;
+    for (l, d) in layers.iter().zip(chosen) {
+        let eval = cache.evaluate(model, sys, l, d.cluster, d.batch_split);
+        let cost = edge_cost(
+            &eval,
+            d,
+            prev.as_ref().map(|(pd, pe)| (pd, pe)),
+            reconfig_cycles,
+        );
+        if let Some((pd, _)) = &prev {
+            if d.reconfigures_from(pd) {
+                reconfigurations += 1;
+            }
+        }
+        total_cycles += cost;
+        energy = energy.add(&eval.energy);
+        steps.push(PlannedStep {
+            layer: l.name.clone(),
+            cluster: d.cluster,
+            batch_split: d.batch_split,
+            pipelined: d.pipelined,
+            transform: eval.transform,
+            cycles: cost,
+            fwd_cycles: eval.fwd_cycles,
+            bwd_comm_cycles: eval.bwd_comm_cycles,
+        });
+        prev = Some((*d, eval));
+    }
+    AutoPlan {
+        network: network.to_string(),
+        config: sys.abbrev().to_string(),
+        workers: model.workers,
+        batch: model.batch,
+        reconfig_cycles,
+        reconfigurations,
+        total_cycles,
+        energy_j: energy.total_j(),
+        steps,
+    }
+}
+
+/// Exact DP over the layer chain: state = previous layer's decision,
+/// first-best tie-breaking in decision order. Returns the optimal plan.
+pub fn auto_search_layers(
+    model: &SystemModel,
+    sys: SystemConfig,
+    network: &str,
+    layers: &[ConvLayerSpec],
+    cfg: &PlannerConfig,
+    cache: &mut EvalCache,
+) -> AutoPlan {
+    let t0 = Instant::now();
+    let decisions = cfg
+        .decisions
+        .clone()
+        .unwrap_or_else(|| default_decisions(model));
+    assert!(!decisions.is_empty(), "empty decision space");
+    let n = layers.len();
+    let plan = if n == 0 {
+        plan_for(model, sys, network, layers, &[], cfg.reconfig_cycles, cache)
+    } else {
+        let m = decisions.len();
+        let evals = eval_grid(model, sys, layers, &decisions, cache);
+        let mut cost = vec![vec![f64::INFINITY; m]; n];
+        let mut parent = vec![vec![0usize; m]; n];
+        for j in 0..m {
+            cost[0][j] = edge_cost(&evals[0][j], &decisions[j], None, cfg.reconfig_cycles);
+        }
+        for l in 1..n {
+            for j in 0..m {
+                let mut best = f64::INFINITY;
+                let mut best_i = 0usize;
+                for i in 0..m {
+                    let c = cost[l - 1][i]
+                        + edge_cost(
+                            &evals[l][j],
+                            &decisions[j],
+                            Some((&decisions[i], &evals[l - 1][i])),
+                            cfg.reconfig_cycles,
+                        );
+                    if c < best {
+                        best = c;
+                        best_i = i;
+                    }
+                }
+                cost[l][j] = best;
+                parent[l][j] = best_i;
+            }
+        }
+        cache.stats.dp_states += (n * m) as u64;
+
+        // Argmin over the last layer, then walk parents back.
+        let mut j = (0..m)
+            .min_by(|a, b| cost[n - 1][*a].total_cmp(&cost[n - 1][*b]))
+            .expect("nonempty decisions");
+        let mut idx = vec![0usize; n];
+        for l in (0..n).rev() {
+            idx[l] = j;
+            if l > 0 {
+                j = parent[l][j];
+            }
+        }
+        let chosen: Vec<Decision> = idx.iter().map(|&i| decisions[i]).collect();
+        plan_for(
+            model,
+            sys,
+            network,
+            layers,
+            &chosen,
+            cfg.reconfig_cycles,
+            cache,
+        )
+    };
+    cache.stats.search_ms += t0.elapsed().as_secs_f64() * 1e3;
+    plan
+}
+
+/// [`auto_search_layers`] over a whole zoo network.
+pub fn auto_search(
+    model: &SystemModel,
+    sys: SystemConfig,
+    net: &Network,
+    cfg: &PlannerConfig,
+    cache: &mut EvalCache,
+) -> AutoPlan {
+    auto_search_layers(model, sys, &net.name, &net.layers, cfg, cache)
+}
+
+/// Exhaustive reference: enumerates every decision sequence and keeps
+/// the first-best by the same left-fold objective. Exponential —
+/// guarded to small chains; use only as a test oracle.
+pub fn brute_force_layers(
+    model: &SystemModel,
+    sys: SystemConfig,
+    network: &str,
+    layers: &[ConvLayerSpec],
+    cfg: &PlannerConfig,
+    cache: &mut EvalCache,
+) -> AutoPlan {
+    let decisions = cfg
+        .decisions
+        .clone()
+        .unwrap_or_else(|| default_decisions(model));
+    assert!(!decisions.is_empty(), "empty decision space");
+    let n = layers.len();
+    let m = decisions.len();
+    assert!(
+        (m as f64).powi(n as i32) <= 2e7,
+        "brute force over {m}^{n} plans is too large; shrink the chain or the space"
+    );
+    if n == 0 {
+        return plan_for(model, sys, network, layers, &[], cfg.reconfig_cycles, cache);
+    }
+    let evals = eval_grid(model, sys, layers, &decisions, cache);
+
+    let mut idx = vec![0usize; n];
+    let mut best_cost = f64::INFINITY;
+    let mut best_idx = idx.clone();
+    loop {
+        // Left-fold cost of this sequence — identical association to the
+        // DP's accumulation.
+        let mut cost = edge_cost(
+            &evals[0][idx[0]],
+            &decisions[idx[0]],
+            None,
+            cfg.reconfig_cycles,
+        );
+        for l in 1..n {
+            cost += edge_cost(
+                &evals[l][idx[l]],
+                &decisions[idx[l]],
+                Some((&decisions[idx[l - 1]], &evals[l - 1][idx[l - 1]])),
+                cfg.reconfig_cycles,
+            );
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_idx.copy_from_slice(&idx);
+        }
+        // Odometer increment (last position fastest), lexicographic order.
+        let mut pos = n;
+        loop {
+            if pos == 0 {
+                let chosen: Vec<Decision> = best_idx.iter().map(|&i| decisions[i]).collect();
+                return plan_for(
+                    model,
+                    sys,
+                    network,
+                    layers,
+                    &chosen,
+                    cfg.reconfig_cycles,
+                    cache,
+                );
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < m {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// The plan that holds one fixed organization for every layer (the
+/// paper's operating mode): no batch split, serial backward. Costed
+/// with the same objective, so it is directly comparable to — and by
+/// construction never better than — the auto-search result.
+pub fn fixed_plan_layers(
+    model: &SystemModel,
+    sys: SystemConfig,
+    network: &str,
+    layers: &[ConvLayerSpec],
+    cluster: ClusterConfig,
+    cfg: &PlannerConfig,
+    cache: &mut EvalCache,
+) -> AutoPlan {
+    let chosen = vec![Decision::fixed(cluster); layers.len()];
+    plan_for(
+        model,
+        sys,
+        network,
+        layers,
+        &chosen,
+        cfg.reconfig_cycles,
+        cache,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmpt_models::table2_layers;
+
+    fn setup() -> (SystemModel, SystemConfig, Vec<ConvLayerSpec>) {
+        (
+            SystemModel::paper_fp16(),
+            SystemConfig::WMpPD,
+            table2_layers(),
+        )
+    }
+
+    #[test]
+    fn auto_beats_or_matches_every_paper_fixed_config() {
+        let (model, sys, layers) = setup();
+        let cfg = PlannerConfig::default();
+        let mut cache = EvalCache::new();
+        let auto = auto_search_layers(&model, sys, "table2", &layers, &cfg, &mut cache);
+        for cluster in ClusterConfig::paper_configs() {
+            let fixed =
+                fixed_plan_layers(&model, sys, "table2", &layers, cluster, &cfg, &mut cache);
+            assert!(
+                auto.total_cycles <= fixed.total_cycles,
+                "auto {} > fixed {} under {cluster}",
+                auto.total_cycles,
+                fixed.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_the_table2_chain() {
+        let (model, sys, layers) = setup();
+        // A reduced space keeps the brute force cheap: 6^5 sequences.
+        let decisions: Vec<Decision> = default_decisions(&model).into_iter().step_by(5).collect();
+        let cfg = PlannerConfig {
+            decisions: Some(decisions),
+            ..PlannerConfig::default()
+        };
+        let mut cache = EvalCache::new();
+        let dp = auto_search_layers(&model, sys, "table2", &layers, &cfg, &mut cache);
+        let bf = brute_force_layers(&model, sys, "table2", &layers, &cfg, &mut cache);
+        assert_eq!(
+            dp.total_cycles, bf.total_cycles,
+            "DP must equal brute force"
+        );
+    }
+
+    #[test]
+    fn reconfiguration_cost_suppresses_thrashing() {
+        let (model, sys, layers) = setup();
+        let mut cache = EvalCache::new();
+        let cheap = auto_search_layers(
+            &model,
+            sys,
+            "table2",
+            &layers,
+            &PlannerConfig {
+                reconfig_cycles: 0.0,
+                decisions: None,
+            },
+            &mut cache,
+        );
+        let dear = auto_search_layers(
+            &model,
+            sys,
+            "table2",
+            &layers,
+            &PlannerConfig {
+                reconfig_cycles: 1e12,
+                decisions: None,
+            },
+            &mut cache,
+        );
+        // An astronomically expensive reconfiguration forces a uniform
+        // (cluster, split) mapping.
+        assert_eq!(dear.reconfigurations, 0);
+        assert!(cheap.reconfigurations >= dear.reconfigurations);
+        assert!(cheap.total_cycles <= dear.total_cycles);
+    }
+
+    #[test]
+    fn search_is_deterministic_and_memo_accelerated() {
+        let (model, sys, layers) = setup();
+        let cfg = PlannerConfig::default();
+        let mut cache = EvalCache::new();
+        let a = auto_search_layers(&model, sys, "table2", &layers, &cfg, &mut cache);
+        let miss_after_first = cache.stats.memo_misses;
+        let b = auto_search_layers(&model, sys, "table2", &layers, &cfg, &mut cache);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(
+            cache.stats.memo_misses, miss_after_first,
+            "second search must be all memo hits"
+        );
+        assert!(cache.stats.dp_states > 0);
+    }
+
+    #[test]
+    fn empty_chain_yields_an_empty_plan() {
+        let (model, sys, _) = setup();
+        let mut cache = EvalCache::new();
+        let plan = auto_search_layers(
+            &model,
+            sys,
+            "empty",
+            &[],
+            &PlannerConfig::default(),
+            &mut cache,
+        );
+        assert_eq!(plan.total_cycles, 0.0);
+        assert!(plan.steps.is_empty());
+    }
+}

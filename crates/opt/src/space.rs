@@ -1,0 +1,132 @@
+//! The per-layer decision space of the auto-search.
+
+use wmpt_core::SystemModel;
+use wmpt_noc::ClusterConfig;
+
+/// Batch splits considered: `s` data-parallel replicas of a `p/s`-worker
+/// sub-machine, each training on `B/s` images.
+pub const BATCH_SPLITS: [usize; 3] = [1, 2, 4];
+
+/// Group counts considered per sub-machine (the paper's fixed configs
+/// use 16, 4 and 1 on 256 workers; the search also tries 2 and 8).
+pub const GROUP_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One per-layer mapping decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// Worker organization of each replica sub-machine.
+    pub cluster: ClusterConfig,
+    /// Number of data-parallel replicas the machine is split into.
+    pub batch_split: usize,
+    /// Whether this layer's backward weight-gradient communication
+    /// overlaps the previous layer's backward compute (§V-C pipeline).
+    pub pipelined: bool,
+}
+
+impl Decision {
+    /// A paper-style fixed mapping: one machine, serial backward.
+    pub fn fixed(cluster: ClusterConfig) -> Self {
+        Decision {
+            cluster,
+            batch_split: 1,
+            pipelined: false,
+        }
+    }
+
+    /// Whether moving from `prev` to `self` needs an interconnect
+    /// reconfiguration (a routing update; the pipelining flag is a
+    /// schedule choice, not a routing change).
+    pub fn reconfigures_from(&self, prev: &Decision) -> bool {
+        self.cluster != prev.cluster || self.batch_split != prev.batch_split
+    }
+}
+
+/// The sub-machine a batch-split replica runs on: `workers/s` workers
+/// training `batch/s` images, all other parameters unchanged.
+pub fn sub_model(model: &SystemModel, batch_split: usize) -> SystemModel {
+    debug_assert!(batch_split >= 1 && model.workers.is_multiple_of(batch_split));
+    SystemModel {
+        workers: model.workers / batch_split,
+        batch: model.batch / batch_split,
+        ..*model
+    }
+}
+
+/// Every feasible decision for `model`: batch splits that divide both
+/// the worker count and the batch, group counts that divide the
+/// sub-machine, and both pipelining settings. Deterministic order
+/// (split-major, then group count, then pipelining) — ties in the
+/// search resolve toward the earliest entry.
+pub fn default_decisions(model: &SystemModel) -> Vec<Decision> {
+    let mut out = Vec::new();
+    for &s in &BATCH_SPLITS {
+        if !model.workers.is_multiple_of(s) || !model.batch.is_multiple_of(s) || model.batch < s {
+            continue;
+        }
+        let p = model.workers / s;
+        for &n_g in &GROUP_COUNTS {
+            if n_g > p || !p.is_multiple_of(n_g) {
+                continue;
+            }
+            let cluster = ClusterConfig::new(n_g, p / n_g);
+            for pipelined in [false, true] {
+                out.push(Decision {
+                    cluster,
+                    batch_split: s,
+                    pipelined,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixed_configs_are_in_the_default_space() {
+        let model = SystemModel::paper();
+        let ds = default_decisions(&model);
+        for cfg in ClusterConfig::paper_configs() {
+            assert!(
+                ds.contains(&Decision::fixed(cfg)),
+                "missing fixed config {cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_feasible_and_distinct() {
+        let model = SystemModel::paper();
+        let ds = default_decisions(&model);
+        let mut seen = std::collections::HashSet::new();
+        for d in &ds {
+            assert_eq!(model.workers % d.batch_split, 0);
+            assert_eq!(d.cluster.workers() * d.batch_split, model.workers);
+            assert!(seen.insert(*d), "duplicate decision {d:?}");
+        }
+        // 256 workers: 5 group counts × 3 splits × 2 pipeline settings.
+        assert_eq!(ds.len(), 30);
+    }
+
+    #[test]
+    fn sub_model_divides_workers_and_batch() {
+        let model = SystemModel::paper();
+        let sub = sub_model(&model, 4);
+        assert_eq!(sub.workers, model.workers / 4);
+        assert_eq!(sub.batch, model.batch / 4);
+        assert_eq!(sub.group_size, model.group_size);
+    }
+
+    #[test]
+    fn reconfiguration_ignores_the_pipelining_flag() {
+        let a = Decision::fixed(ClusterConfig::new(4, 64));
+        let mut b = a;
+        b.pipelined = true;
+        assert!(!b.reconfigures_from(&a));
+        let c = Decision::fixed(ClusterConfig::new(16, 16));
+        assert!(c.reconfigures_from(&a));
+    }
+}

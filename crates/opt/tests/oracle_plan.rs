@@ -1,0 +1,105 @@
+//! Differential oracle for planner output: the analytical collective
+//! cycles every auto-found plan rests on must agree with the
+//! event-driven packet simulator within the tolerance class
+//! `noc/tests/oracle_analytical.rs` pins for the cost model itself.
+//!
+//! Two layers of evidence: the full model zoo (every network
+//! `experiments plan_search` sweeps), then randomized chains on the
+//! `wmpt-check` harness — a failing configuration shrinks and prints a
+//! `WMPT_CHECK_REPLAY` line.
+
+use wmpt_check::check;
+use wmpt_core::{SystemConfig, SystemModel};
+use wmpt_models::{fractalnet, resnet34, table2_network, vgg16, wrn_40_10, ConvLayerSpec, Network};
+use wmpt_opt::{
+    auto_search, auto_search_layers, validate_plan, EvalCache, PlannerConfig, ORACLE_RATIO_HI,
+    ORACLE_RATIO_LO,
+};
+
+fn zoo() -> Vec<Network> {
+    vec![
+        table2_network(),
+        vgg16(),
+        wrn_40_10(),
+        resnet34(),
+        fractalnet(),
+    ]
+}
+
+/// Every auto-found plan across the zoo validates against the event
+/// simulator within the oracle bounds — the claim `BENCH_plan.json`
+/// makes, asserted per layer.
+#[test]
+fn zoo_auto_plans_agree_with_the_event_simulator() {
+    let model = SystemModel::paper_fp16();
+    let sys = SystemConfig::WMpPD;
+    let cfg = PlannerConfig::default();
+    let mut cache = EvalCache::new();
+    for net in zoo() {
+        let plan = auto_search(&model, sys, &net, &cfg, &mut cache);
+        let report = validate_plan(&model, sys, &net.layers, &plan, &mut cache);
+        assert!(
+            !report.checks.is_empty(),
+            "{}: no collectives to validate",
+            net.name
+        );
+        for a in &report.checks {
+            assert!(
+                a.within_bounds(),
+                "{} / {}: ring {} msg {}B: sim {} vs model {} (ratio {:.3} outside \
+                 [{ORACLE_RATIO_LO}, {ORACLE_RATIO_HI}))",
+                net.name,
+                a.layer,
+                a.ring_len,
+                a.msg_bytes,
+                a.sim_cycles,
+                a.model_cycles,
+                a.ratio()
+            );
+        }
+    }
+}
+
+/// The same agreement holds on randomized chains and systems, not just
+/// the zoo's layer shapes.
+#[test]
+fn random_chain_plans_agree_with_the_event_simulator() {
+    check("random_chain_plans_agree_with_the_event_simulator", |c| {
+        let model = SystemModel::paper_fp16();
+        let sys = *c.pick(&[SystemConfig::WMp, SystemConfig::WMpD, SystemConfig::WMpPD]);
+        let layers: Vec<ConvLayerSpec> = (0..c.size(1, 4))
+            .map(|i| {
+                ConvLayerSpec::new(
+                    &format!("L{i}"),
+                    1 << c.size(4, 9),
+                    1 << c.size(4, 9),
+                    1 << c.size(3, 6),
+                    1 << c.size(3, 6),
+                    *c.pick(&[3usize, 5]),
+                )
+            })
+            .collect();
+        let mut cache = EvalCache::new();
+        let plan = auto_search_layers(
+            &model,
+            sys,
+            "rand",
+            &layers,
+            &PlannerConfig::default(),
+            &mut cache,
+        );
+        let report = validate_plan(&model, sys, &layers, &plan, &mut cache);
+        for a in &report.checks {
+            let ratio = a.ratio();
+            assert!(
+                a.within_bounds(),
+                "{sys:?} / {}: ring {} msg {}B: sim {} vs model {} (ratio {ratio:.3})",
+                a.layer,
+                a.ring_len,
+                a.msg_bytes,
+                a.sim_cycles,
+                a.model_cycles,
+            );
+        }
+    });
+}

@@ -1,0 +1,128 @@
+//! Property tests for the planner: on random layer chains the DP must
+//! equal the exhaustive brute force *exactly* (same left-fold cost
+//! association), never lose to any fixed-config plan, and the plan's
+//! JSON form must be a byte-identical render → parse → render fixed
+//! point.
+//!
+//! Cases run on the `wmpt-check` harness; failures shrink and print a
+//! `WMPT_CHECK_REPLAY` line.
+
+use wmpt_check::{check, Case};
+use wmpt_core::{SystemConfig, SystemModel};
+use wmpt_models::ConvLayerSpec;
+use wmpt_noc::ClusterConfig;
+use wmpt_obs::json::parse;
+use wmpt_opt::{
+    auto_search_layers, brute_force_layers, default_decisions, fixed_plan_layers, AutoPlan,
+    Decision, EvalCache, PlannerConfig,
+};
+
+const SYSTEMS: [SystemConfig; 3] = [SystemConfig::WMp, SystemConfig::WMpD, SystemConfig::WMpPD];
+
+/// A random chain of ≤ `max_len` plausible conv layers.
+fn random_chain(c: &mut Case, max_len: usize) -> Vec<ConvLayerSpec> {
+    let n = c.size(1, max_len);
+    (0..n)
+        .map(|i| {
+            let mut l = ConvLayerSpec::new(
+                &format!("L{i}"),
+                1 << c.size(4, 9),
+                1 << c.size(4, 9),
+                1 << c.size(3, 6),
+                1 << c.size(3, 6),
+                *c.pick(&[3usize, 5]),
+            );
+            l.relu = c.bool();
+            l
+        })
+        .collect()
+}
+
+/// A small random subset of the decision space (keeps |D|^n tractable
+/// for the brute force) that always contains at least one decision.
+fn random_decisions(c: &mut Case, model: &SystemModel) -> Vec<Decision> {
+    let all = default_decisions(model);
+    let take = c.size(3, 6);
+    let stride = (all.len() / take).max(1);
+    let offset = c.size(0, stride - 1);
+    all.into_iter().skip(offset).step_by(stride).collect()
+}
+
+/// The optimizer's defining contract: DP == exhaustive optimum, bit for
+/// bit, for any chain and any decision subset.
+#[test]
+fn dp_equals_brute_force_exactly() {
+    check("dp_equals_brute_force_exactly", |c| {
+        let model = SystemModel::paper_fp16();
+        let sys = *c.pick(&SYSTEMS);
+        let layers = random_chain(c, 5);
+        let cfg = PlannerConfig {
+            reconfig_cycles: c.f64_in(0.0, 10_000.0),
+            decisions: Some(random_decisions(c, &model)),
+        };
+        let mut cache = EvalCache::new();
+        let dp = auto_search_layers(&model, sys, "rand", &layers, &cfg, &mut cache);
+        let bf = brute_force_layers(&model, sys, "rand", &layers, &cfg, &mut cache);
+        assert_eq!(
+            dp.total_cycles,
+            bf.total_cycles,
+            "{sys:?}, {} layers: DP {} != brute force {}",
+            layers.len(),
+            dp.total_cycles,
+            bf.total_cycles
+        );
+        // Not just the same cost — the same plan (first-best ties).
+        assert_eq!(dp.steps, bf.steps, "{sys:?}: plans diverge");
+    });
+}
+
+/// The auto plan never loses to a fixed-config plan: constant decisions
+/// are points in the search space.
+#[test]
+fn auto_plan_never_loses_to_fixed_configs() {
+    check("auto_plan_never_loses_to_fixed_configs", |c| {
+        let model = SystemModel::paper_fp16();
+        let sys = *c.pick(&SYSTEMS);
+        let layers = random_chain(c, 5);
+        let cfg = PlannerConfig::default();
+        let mut cache = EvalCache::new();
+        let auto = auto_search_layers(&model, sys, "rand", &layers, &cfg, &mut cache);
+        for cluster in ClusterConfig::paper_configs() {
+            let fixed = fixed_plan_layers(&model, sys, "rand", &layers, cluster, &cfg, &mut cache);
+            assert!(
+                auto.total_cycles <= fixed.total_cycles,
+                "{sys:?}, {} layers, fixed {cluster}: auto {} > fixed {}",
+                layers.len(),
+                auto.total_cycles,
+                fixed.total_cycles
+            );
+        }
+    });
+}
+
+/// Plan JSON is a byte-identical render → parse → render fixed point,
+/// and the parse is a true inverse.
+#[test]
+fn plan_json_round_trip_is_byte_identical() {
+    check("plan_json_round_trip_is_byte_identical", |c| {
+        let model = SystemModel::paper_fp16();
+        let sys = *c.pick(&SYSTEMS);
+        let layers = random_chain(c, 5);
+        let cfg = PlannerConfig {
+            reconfig_cycles: c.f64_in(0.0, 1_000.0),
+            decisions: None,
+        };
+        let mut cache = EvalCache::new();
+        let plan = auto_search_layers(&model, sys, "rand", &layers, &cfg, &mut cache);
+        let text = plan.to_json().render();
+        let back = AutoPlan::from_json(&parse(&text).expect("plan JSON parses"))
+            .expect("plan JSON validates");
+        assert_eq!(back, plan, "parse must invert to_json");
+        assert_eq!(
+            back.to_json().render(),
+            text,
+            "render ∘ parse ∘ render must be a fixed point"
+        );
+        assert_eq!(back.plan_key(), plan.plan_key());
+    });
+}

@@ -60,6 +60,12 @@ pub enum SimRequest {
         /// Single config abbreviation.
         config: String,
     },
+    /// Auto-searched parallelization plan (`wmpt-opt` DP over the
+    /// decision space, validated against the event simulator).
+    PlanAuto {
+        /// Model-zoo network name.
+        network: String,
+    },
     /// A seeded fault scenario through the resilient trainer.
     Faults {
         /// Scenario name (see `wmpt-fault`).
@@ -119,6 +125,7 @@ fn validate_layer(name: &str) -> Result<(), String> {
 /// the server, and the runner share.
 pub fn find_network(name: &str) -> Option<Network> {
     match name {
+        "table2" => Some(wmpt_models::table2_network()),
         "wrn" => Some(wmpt_models::wrn_40_10()),
         "resnet34" => Some(wmpt_models::resnet34()),
         "fractalnet" => Some(wmpt_models::fractalnet()),
@@ -186,6 +193,16 @@ impl SimRequest {
         })
     }
 
+    /// An auto-searched parallelization plan (always under the full
+    /// `w_mp++` configuration — the search space subsumes the fixed
+    /// configs, so there is nothing to select).
+    pub fn plan_auto(network: &str) -> Result<SimRequest, String> {
+        validate_network(network)?;
+        Ok(SimRequest::PlanAuto {
+            network: network.to_string(),
+        })
+    }
+
     /// A seeded fault scenario.
     pub fn faults(scenario: &str, seed: u64, iters: usize) -> Result<SimRequest, String> {
         if Scenario::parse(scenario).is_none() {
@@ -219,6 +236,7 @@ impl SimRequest {
             SimRequest::Network { .. } => "network",
             SimRequest::Noc { .. } => "noc",
             SimRequest::Plan { .. } => "plan",
+            SimRequest::PlanAuto { .. } => "plan_auto",
             SimRequest::Faults { .. } => "faults",
             SimRequest::Analyze { .. } => "analyze",
         }
@@ -254,6 +272,9 @@ impl SimRequest {
                 ("network", s(network)),
                 ("config", s(config)),
             ]),
+            SimRequest::PlanAuto { network } => {
+                obj(vec![("kind", s("plan_auto")), ("network", s(network))])
+            }
             SimRequest::Faults {
                 scenario,
                 seed,
@@ -282,6 +303,7 @@ impl SimRequest {
             "network" => &["kind", "network", "configs"],
             "noc" => &["kind", "topo", "pattern"],
             "plan" => &["kind", "network", "config"],
+            "plan_auto" => &["kind", "network"],
             "faults" => &["kind", "scenario", "seed", "iters"],
             "analyze" => &["kind", "trace"],
             other => return Err(format!("unknown request kind '{other}'")),
@@ -332,6 +354,7 @@ impl SimRequest {
             }
             "noc" => SimRequest::noc(str_member("topo")?, str_member("pattern")?),
             "plan" => SimRequest::plan(str_member("network")?, str_member("config")?),
+            "plan_auto" => SimRequest::plan_auto(str_member("network")?),
             "faults" => {
                 let seed = v
                     .get("seed")
@@ -372,6 +395,8 @@ mod tests {
         assert!(SimRequest::noc("ring", "uniform").is_ok());
         assert!(SimRequest::noc("mesh", "uniform").is_err());
         assert!(SimRequest::plan("wrn", "all").is_err());
+        assert!(SimRequest::plan_auto("table2").is_ok());
+        assert!(SimRequest::plan_auto("alexnet").is_err());
         assert!(SimRequest::faults("single-link", 7, 6).is_ok());
         assert!(SimRequest::faults("single-link", 7, 0).is_err());
         assert!(SimRequest::faults("gremlins", 7, 6).is_err());
@@ -402,6 +427,7 @@ mod tests {
             SimRequest::network("resnet34", "w_mp").unwrap(),
             SimRequest::noc("fbfly", "hotspot").unwrap(),
             SimRequest::plan("wrn", "w_mp++").unwrap(),
+            SimRequest::plan_auto("vgg16").unwrap(),
             SimRequest::faults("chaos", 99, 4).unwrap(),
             SimRequest::analyze("{\"traceEvents\":[]}").unwrap(),
         ];

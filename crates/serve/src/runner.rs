@@ -257,6 +257,72 @@ fn plan_report(name: &str, cfg: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Auto-searches a per-layer parallelism plan (`wmpt-opt` DP over the
+/// `(N_g, N_c)` × batch-split × pipelining space), renders it next to
+/// the paper's three fixed configurations costed under the same
+/// objective, and cross-validates the plan's collectives against the
+/// event-driven packet simulator. Search-effort counters (`opt.*`)
+/// merge into `metrics_into` so CLI sinks and the server's metrics
+/// artifact both see them. A plan the event simulator contradicts is
+/// an error, not a report.
+fn plan_auto_report(
+    name: &str,
+    metrics_into: &mut wmpt_obs::MetricRegistry,
+) -> Result<String, String> {
+    let Some(net) = find_network(name) else {
+        return Err(format!("unknown network '{name}'"));
+    };
+    let model = SystemModel::paper_fp16();
+    let sys = SystemConfig::WMpPD;
+    let cfg = wmpt_opt::PlannerConfig::default();
+    let mut cache = wmpt_opt::EvalCache::new();
+    let plan = wmpt_opt::auto_search(&model, sys, &net, &cfg, &mut cache);
+    let mut out = plan.render();
+    for cluster in wmpt_noc::ClusterConfig::paper_configs() {
+        let fixed = wmpt_opt::fixed_plan_layers(
+            &model,
+            sys,
+            &net.name,
+            &net.layers,
+            cluster,
+            &cfg,
+            &mut cache,
+        );
+        let _ = writeln!(
+            out,
+            "fixed ({:>2},{:>3}): {:>14.0} cycles ({:+.1}% vs auto)",
+            cluster.n_g,
+            cluster.n_c,
+            fixed.total_cycles,
+            100.0 * (fixed.total_cycles / plan.total_cycles - 1.0)
+        );
+    }
+    let report = wmpt_opt::validate_plan(&model, sys, &net.layers, &plan, &mut cache);
+    let _ = writeln!(
+        out,
+        "oracle: {} collective(s) event-validated, {} skipped, worst sim/model {:.3} \
+         (bounds [{}, {}))",
+        report.checks.len(),
+        report.skipped,
+        report.worst_ratio(),
+        wmpt_opt::ORACLE_RATIO_LO,
+        wmpt_opt::ORACLE_RATIO_HI,
+    );
+    if !report.all_within_bounds() {
+        return Err(format!(
+            "auto plan for '{name}' failed event-simulator validation \
+             (worst sim/model ratio {:.3})",
+            report.worst_ratio()
+        ));
+    }
+    // Deterministic counters only: the search wall-clock would break
+    // the served-artifact byte-identity contract.
+    let mut stats = cache.stats;
+    stats.search_ms = 0.0;
+    stats.record(metrics_into);
+    Ok(out)
+}
+
 /// Runs a seeded fault scenario through the resilient functional trainer
 /// and returns the greppable recovery summary. The fault run's own
 /// metric registry merges into `metrics_into` so CLI sinks and the
@@ -342,6 +408,7 @@ pub fn run_request_with<S: SpanSink>(
         }
         SimRequest::Noc { topo, pattern } => noc_report(topo, pattern),
         SimRequest::Plan { network, config } => plan_report(network, config),
+        SimRequest::PlanAuto { network } => plan_auto_report(network, &mut obs.metrics),
         SimRequest::Faults {
             scenario,
             seed,
@@ -384,6 +451,15 @@ pub fn run_request(req: &SimRequest, pool: &ParPool) -> Result<SimResult, String
             report: plan_report(network, config)?,
             ..SimResult::default()
         }),
+        SimRequest::PlanAuto { network } => {
+            let mut metrics = wmpt_obs::MetricRegistry::new();
+            let report = plan_auto_report(network, &mut metrics)?;
+            Ok(SimResult {
+                report,
+                metrics: Some(metrics.to_json().render() + "\n"),
+                ..SimResult::default()
+            })
+        }
         SimRequest::Faults {
             scenario,
             seed,

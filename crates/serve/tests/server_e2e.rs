@@ -161,3 +161,46 @@ fn pause_resume_cycle_completes_queued_work() {
         report.jobs
     );
 }
+
+#[test]
+fn auto_plan_and_ring_noc_jobs_serve_end_to_end() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // The once-deadlocking ring/uniform sweep completes over HTTP now
+    // that the flit simulator uses dateline virtual channels.
+    let ring = SimRequest::noc("ring", "uniform").expect("noc request");
+    let resp = submit(&addr, &ring);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // The auto-search job kind: report carries the plan table and the
+    // oracle line; the metrics artifact carries the opt.* counters.
+    let auto = SimRequest::plan_auto("table2").expect("plan_auto request");
+    let resp = submit(&addr, &auto);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let id = hash_hex(auto.cache_key());
+    let report = http_request(&addr, "GET", &format!("/api/v1/jobs/{id}/report"), b"")
+        .expect("fetch report");
+    assert_eq!(report.status, 200);
+    assert!(
+        report.text().contains("auto plan: Table-II"),
+        "{}",
+        report.text()
+    );
+    assert!(report.text().contains("oracle:"), "{}", report.text());
+    let metrics = http_request(&addr, "GET", &format!("/api/v1/jobs/{id}/metrics"), b"")
+        .expect("fetch metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.text().contains("opt.configs_evaluated"),
+        "{}",
+        metrics.text()
+    );
+
+    // Byte-identical to a direct in-process run, as for every kind.
+    let direct = run_request(&auto, &ParPool::new(1)).expect("direct run");
+    assert_eq!(report.text(), direct.report);
+    let served_metrics = metrics.text().to_string();
+    assert_eq!(Some(served_metrics.as_str()), direct.metrics.as_deref());
+    server.shutdown();
+}

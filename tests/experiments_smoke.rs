@@ -22,6 +22,7 @@ fn all_experiments_run_and_mention_their_figures() {
         ("resilience", "Resilience"),
         ("par_speedup", "host-parallel speedup"),
         ("serve_load", "serve load"),
+        ("plan_search", "auto-searched plans"),
     ];
     let registry = wmpt_bench::all_experiments();
     assert_eq!(registry.len(), markers.len());
