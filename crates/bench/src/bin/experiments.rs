@@ -11,7 +11,8 @@
 //! cargo run -p wmpt-bench --release --bin experiments --bless   # new baselines
 //! ```
 //!
-//! `--gate` recomputes the `BENCH_obs.json`/`BENCH_par.json` reports
+//! `--gate` recomputes the `BENCH_obs.json`/`BENCH_par.json`/
+//! `BENCH_serve.json`/`BENCH_plan.json`/`BENCH_kernels.json` reports
 //! in-memory and grades them against the committed `baselines/`; any
 //! metric outside its tolerance band exits non-zero. `--bless` rewrites
 //! the baselines from fresh reports after an intentional perf change.

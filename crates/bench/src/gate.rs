@@ -12,7 +12,11 @@
 //! are never gated), and `BENCH_plan.baseline.json` bands the
 //! parallelism auto-search sweep — deterministic plan identities
 //! (`plan_key48`), cycle totals, validation bits and `opt.*` counters;
-//! only the search wall-clock is exempt.
+//! only the search wall-clock is exempt — and
+//! `BENCH_kernels.baseline.json` bands the machine-independent keys of
+//! the GEMM roofline report (shapes, FLOP counts, the
+//! blocked-vs-reference bit-identity verdict); every GFLOP/s, ms and
+//! peak figure is wall-clock and never gated.
 //! `--gate` recomputes all reports in-memory, grades
 //! them, and the caller turns a failing grade into a non-zero exit;
 //! `--bless` rewrites the baselines from fresh reports after an
@@ -42,6 +46,8 @@ pub const PAR_BASELINE: &str = "BENCH_par.baseline.json";
 pub const SERVE_BASELINE: &str = "BENCH_serve.baseline.json";
 /// Baseline file for `BENCH_plan.json`.
 pub const PLAN_BASELINE: &str = "BENCH_plan.baseline.json";
+/// Baseline file for `BENCH_kernels.json`.
+pub const KERNELS_BASELINE: &str = "BENCH_kernels.baseline.json";
 
 /// Default relative tolerance for the deterministic obs report. The
 /// simulated cycle counts are exact, but a small band keeps the gate
@@ -119,6 +125,23 @@ pub fn plan_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
         .collect()
 }
 
+/// Machine-independent view of the kernels roofline report: shapes,
+/// FLOP counts, rep count and the blocked-vs-reference `bit_identical`
+/// verdict. Every wall-clock-derived key — `*_ms`, `*gflops`, per-shape
+/// `speedup` and `frac_peak` — is filtered out, mirroring the par-report
+/// rule.
+pub fn kernels_gate_metrics(report: &Value) -> BTreeMap<String, f64> {
+    flatten_numbers(report)
+        .into_iter()
+        .filter(|(k, _)| {
+            !k.ends_with("_ms")
+                && !k.ends_with("gflops")
+                && !k.ends_with("speedup")
+                && !k.ends_with("frac_peak")
+        })
+        .collect()
+}
+
 /// Computes fresh reports and writes both baselines into `dir`
 /// (creating it), returning the written paths.
 pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -143,12 +166,18 @@ pub fn bless(dir: &Path) -> io::Result<Vec<PathBuf>> {
         &plan_gate_metrics(&crate::plan_search::plan_report()),
         0.0,
     );
+    let kernels = Baseline::from_metrics(
+        "BENCH_kernels",
+        &kernels_gate_metrics(&crate::kernels::kernels_report()),
+        0.0,
+    );
     let mut written = Vec::new();
     for (file, base) in [
         (OBS_BASELINE, &obs),
         (PAR_BASELINE, &par),
         (SERVE_BASELINE, &serve),
         (PLAN_BASELINE, &plan),
+        (KERNELS_BASELINE, &kernels),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, base.to_json().render() + "\n")?;
@@ -234,7 +263,7 @@ type FreshMetrics = fn() -> BTreeMap<String, f64>;
 /// in `dir`. `Err` means the gate could not run (missing/corrupt
 /// baseline), which callers should also treat as failure.
 pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
-    let checks: [(&str, &str, FreshMetrics); 4] = [
+    let checks: [(&str, &str, FreshMetrics); 5] = [
         ("BENCH_obs", OBS_BASELINE, || {
             obs_gate_metrics(&crate::obs_report::obs_report())
         }),
@@ -246,6 +275,9 @@ pub fn run_gate(dir: &Path) -> Result<GateOutcome, String> {
         }),
         ("BENCH_plan", PLAN_BASELINE, || {
             plan_gate_metrics(&crate::plan_search::plan_report())
+        }),
+        ("BENCH_kernels", KERNELS_BASELINE, || {
+            kernels_gate_metrics(&crate::kernels::kernels_report())
         }),
     ];
     let mut text = String::new();
@@ -310,7 +342,7 @@ mod tests {
     fn bless_then_gate_passes_and_perturbation_fails() {
         let dir = std::env::temp_dir().join(format!("wmpt_gate_test_{}", std::process::id()));
         let written = bless(&dir).expect("bless writes baselines");
-        assert_eq!(written.len(), 4);
+        assert_eq!(written.len(), 5);
         let outcome = run_gate(&dir).expect("gate runs");
         assert!(outcome.passed, "clean gate failed:\n{}", outcome.text);
 

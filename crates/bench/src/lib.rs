@@ -19,6 +19,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod gate;
+pub mod kernels;
 pub mod obs_report;
 pub mod par_speedup;
 pub mod plan_search;
@@ -97,6 +98,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("comm_breakdown", comm_breakdown::run),
         ("resilience", resilience::run),
         ("par_speedup", par_speedup::run),
+        ("kernels", kernels::run),
         ("serve_load", serve_load::run),
         ("plan_search", plan_search::run),
     ]
@@ -135,6 +137,7 @@ mod tests {
             "comm_breakdown",
             "resilience",
             "par_speedup",
+            "kernels",
             "serve_load",
             "plan_search",
         ] {

@@ -113,10 +113,12 @@ pub fn par_report() -> Value {
     ])
 }
 
-/// Writes `BENCH_par.json` into `dir` and returns the path.
-pub fn write_par_report(dir: &Path) -> io::Result<PathBuf> {
+/// Writes an already-measured report as `BENCH_par.json` into `dir` and
+/// returns the path (so the written file and the rendered table come
+/// from the *same* measurement run).
+pub fn write_par_report(dir: &Path, report: &Value) -> io::Result<PathBuf> {
     let path = dir.join("BENCH_par.json");
-    std::fs::write(&path, par_report().render() + "\n")?;
+    std::fs::write(&path, report.render() + "\n")?;
     Ok(path)
 }
 
@@ -153,7 +155,7 @@ fn render(report: &Value) -> String {
 /// Runs the ladder, writes `BENCH_par.json`, and returns the table.
 pub fn run() -> String {
     let report = par_report();
-    match write_par_report(Path::new(".")) {
+    match write_par_report(Path::new("."), &report) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_par.json: {e}"),
     }

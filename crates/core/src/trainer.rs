@@ -13,6 +13,7 @@
 use wmpt_noc::ClusterConfig;
 use wmpt_par::ParPool;
 use wmpt_predict::{ActivationPredictor, PredictMode};
+use wmpt_tensor::ops::gemm_f32 as gemm;
 use wmpt_tensor::{Shape4, Tensor4};
 use wmpt_winograd::{
     from_winograd_output, relu, to_winograd_input, WgTensor, WgWeights, WinogradLayer,
@@ -100,19 +101,21 @@ fn fprop_cluster_into(
     let wx = to_winograd_input(&xc, tf);
     let mut wy = WgTensor::zeros(t2, wx.tiles, w.out_chans);
     for g in 0..cfg.n_g {
-        // Worker (g, c): element-GEMMs for the elements group g owns.
+        // Worker (g, c): for each element group g owns, one batched GEMM
+        // over the cluster's whole tile set (`Y_e = X_e · W_e`). The
+        // blocked kernel reduces each output in the same ascending-`i`
+        // f64 order as the scalar loop it replaced — bit-identical.
         for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
-            for tile in 0..wx.tiles {
-                for j in 0..w.out_chans {
-                    let mut acc = 0.0f64;
-                    for i in 0..w.in_chans {
-                        acc +=
-                            wx.data[wx.index(e, tile, i)] as f64 * w.data[w.index(e, i, j)] as f64;
-                    }
-                    let idx = wy.index(e, tile, j);
-                    wy.data[idx] = acc as f32;
-                }
-            }
+            gemm(
+                wx.elem_matrix(e),
+                wx.tiles,
+                wx.chans,
+                w.elem_matrix(e),
+                w.out_chans,
+                wy.elem_matrix_mut(e),
+                false,
+                false,
+            );
         }
     }
     // Tile gathering + inverse transform at each tile's home worker.
@@ -235,17 +238,26 @@ fn worker_partial_grad_into(
     let dyc = slice_batch(dy, c * chunk, chunk);
     let wx = to_winograd_input(&xc, tf);
     let wdy = wmpt_winograd::output_grad_to_winograd(&dyc, tf);
+    // Per owned element, one batched GEMM over the chunk's whole tile set
+    // (`∇W_e = X_eᵀ · ∂Y_e`) into a scratch matrix, then accumulate. The
+    // kernel reduces each entry in the same ascending-`tile` f64 order as
+    // the scalar loop it replaced, and `acc as f32` then `+=` matches the
+    // old accumulate exactly — bit-identical.
+    let mut dwm = vec![0.0f32; i_ch * j_ch];
     for e in (0..t2).filter(|e| elem_owner(*e, t2, cfg.n_g) == g) {
-        for ii in 0..i_ch {
-            for jj in 0..j_ch {
-                let mut acc = 0.0f64;
-                for tile in 0..wx.tiles {
-                    acc += wx.data[wx.index(e, tile, ii)] as f64
-                        * wdy.data[wdy.index(e, tile, jj)] as f64;
-                }
-                let idx = out.index(e, ii, jj);
-                out.data[idx] += acc as f32;
-            }
+        gemm(
+            wx.elem_matrix(e),
+            wx.tiles,
+            wx.chans,
+            wdy.elem_matrix(e),
+            j_ch,
+            &mut dwm,
+            true,
+            false,
+        );
+        let base = out.index(e, 0, 0);
+        for (o, v) in out.data[base..base + i_ch * j_ch].iter_mut().zip(&dwm) {
+            *o += v;
         }
     }
 }

@@ -77,9 +77,10 @@ fn distributed_phases_bit_identical_across_jobs() {
     }
 }
 
-/// Trains a fresh net for 3 MPT steps under `jobs` host threads and
-/// renders the final checkpoint (f32-as-bits JSON).
-fn train_3_steps(jobs: usize) -> (String, Vec<String>) {
+/// Trains a fresh net for 3 MPT steps under `jobs` host threads on the
+/// given cluster grid and renders the final checkpoint (f32-as-bits
+/// JSON).
+fn train_3_steps(jobs: usize, grid: ClusterConfig) -> (String, Vec<String>) {
     let mut g = DataGen::new(42);
     let x = g.normal_tensor(Shape4::new(8, 2, 8, 8), 0.0, 1.0);
     let targets: Vec<f32> = (0..8)
@@ -87,7 +88,6 @@ fn train_3_steps(jobs: usize) -> (String, Vec<String>) {
         .collect();
     let mut net = WinogradNet::new(7, 2, &[4, 4], false);
     let pool = ParPool::new(jobs);
-    let grid = ClusterConfig::new(4, 2);
     let mut losses = Vec::new();
     for _ in 0..3 {
         let loss = net.train_step_with(&x, &targets, 0.05, Some(grid), &pool);
@@ -98,9 +98,30 @@ fn train_3_steps(jobs: usize) -> (String, Vec<String>) {
 
 #[test]
 fn three_step_mpt_training_checkpoints_byte_identical_across_jobs() {
-    let (reference, ref_losses) = train_3_steps(1);
+    let grid = ClusterConfig::new(4, 2);
+    let (reference, ref_losses) = train_3_steps(1, grid);
     for jobs in JOBS {
-        let (ckpt, losses) = train_3_steps(jobs);
+        let (ckpt, losses) = train_3_steps(jobs, grid);
+        assert_eq!(
+            reference, ckpt,
+            "checkpoint rendering diverged at jobs={jobs}"
+        );
+        assert_eq!(ref_losses, losses, "losses diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn three_step_mpt_checkpoints_byte_identical_through_batched_gemm_path() {
+    // Single-group grid: every worker owns all 16 tile elements, so each
+    // training phase runs the full batched element-GEMM path (the
+    // blocked, panel-packed kernel over every (ξ,ν) point of its whole
+    // batch chunk) rather than the element-sliced dispatch of the
+    // grouped grid above. Checkpoints must still be byte-identical at
+    // every jobs count.
+    let grid = ClusterConfig::new(1, 2);
+    let (reference, ref_losses) = train_3_steps(1, grid);
+    for jobs in JOBS {
+        let (ckpt, losses) = train_3_steps(jobs, grid);
         assert_eq!(
             reference, ckpt,
             "checkpoint rendering diverged at jobs={jobs}"

@@ -11,7 +11,7 @@
 //!   touches its own tile elements `W_(u,v)`).
 
 use wmpt_par::ParPool;
-use wmpt_tensor::ops::gemm_f32 as gemm;
+use wmpt_tensor::ops::{gemm_f32 as gemm, gemm_f32_packed_rows, pack_b, PackedB, GEMM_ROW_CHUNK};
 use wmpt_tensor::{Shape4, Tensor4};
 
 use crate::tiling::{
@@ -80,10 +80,57 @@ pub fn elementwise_gemm_wgrad(x: &WgTensor, dy: &WgTensor) -> WgWeights {
     dw
 }
 
-/// Parallel [`elementwise_gemm`]: the `T²` independent per-element GEMMs
-/// are distributed across the pool, one element matrix per chunk (chunk
-/// boundaries are fixed by the tensor shape). Each element's product runs
-/// the identical serial kernel, so the result is bit-identical to
+/// Distributes the batched element-wise GEMM across the pool in global
+/// [`GEMM_ROW_CHUNK`]-row bands over the *whole* output (all `T²`
+/// element matrices concatenated), against per-element pre-packed `B`
+/// panels.
+///
+/// Chunk boundaries depend only on the output shape — never the element
+/// grid — so a band may straddle element boundaries; each band dispatches
+/// its sub-range of rows per element against that element's packed
+/// panels. One pool scope per call (instead of one per element) and one
+/// packing pass per element (shared by every band) keep the dispatch
+/// overhead independent of `T²`. Every output element still runs the
+/// blocked kernel's reference reduction order, so results are
+/// bit-identical to the serial path for any job count.
+fn batched_elem_gemm_par<'a, F>(
+    pool: &ParPool,
+    out: &mut [f32],
+    n: usize,
+    rows_per_elem: usize,
+    a_of: F,
+    packed: &[PackedB],
+) where
+    F: Fn(usize) -> (&'a [f32], usize, usize, bool) + Sync,
+{
+    pool.for_each_chunk_mut(out, GEMM_ROW_CHUNK * n, |ci, band| {
+        let mut row = ci * GEMM_ROW_CHUNK;
+        let end = row + band.len() / n;
+        let mut off = 0;
+        while row < end {
+            let e = row / rows_per_elem;
+            let local = row % rows_per_elem;
+            let take = (rows_per_elem - local).min(end - row);
+            let (a, ar, ac, ta) = a_of(e);
+            gemm_f32_packed_rows(
+                a,
+                ar,
+                ac,
+                ta,
+                &packed[e],
+                &mut band[off * n..(off + take) * n],
+                local,
+            );
+            row += take;
+            off += take;
+        }
+    });
+}
+
+/// Parallel [`elementwise_gemm`]: the `T²` element GEMMs run as one
+/// batched fat GEMM — the weights are packed once per element, and the
+/// concatenated output fans out across the pool in fixed global row
+/// bands (see [`batched_elem_gemm_par`]). Bit-identical to
 /// [`elementwise_gemm`] for any job count.
 ///
 /// # Panics
@@ -96,23 +143,22 @@ pub fn elementwise_gemm_par(pool: &ParPool, x: &WgTensor, w: &WgWeights) -> WgTe
         return elementwise_gemm(x, w);
     }
     let mut y = WgTensor::zeros(x.elems, x.tiles, w.out_chans);
-    pool.for_each_chunk_mut(&mut y.data, x.tiles * w.out_chans, |e, ym| {
-        gemm(
-            x.elem_matrix(e),
-            x.tiles,
-            x.chans,
-            w.elem_matrix(e),
-            w.out_chans,
-            ym,
-            false,
-            false,
-        );
-    });
+    let packed: Vec<PackedB> = (0..x.elems)
+        .map(|e| pack_b(w.elem_matrix(e), x.chans, w.out_chans, false))
+        .collect();
+    batched_elem_gemm_par(
+        pool,
+        &mut y.data,
+        w.out_chans,
+        x.tiles,
+        |e| (x.elem_matrix(e), x.tiles, x.chans, false),
+        &packed,
+    );
     y
 }
 
-/// Parallel [`elementwise_gemm_bprop`] (same contract as
-/// [`elementwise_gemm_par`]).
+/// Parallel [`elementwise_gemm_bprop`] (same batched contract as
+/// [`elementwise_gemm_par`]; the weights are packed transposed).
 ///
 /// # Panics
 ///
@@ -124,23 +170,24 @@ pub fn elementwise_gemm_bprop_par(pool: &ParPool, dy: &WgTensor, w: &WgWeights) 
         return elementwise_gemm_bprop(dy, w);
     }
     let mut dx = WgTensor::zeros(dy.elems, dy.tiles, w.in_chans);
-    pool.for_each_chunk_mut(&mut dx.data, dy.tiles * w.in_chans, |e, dxm| {
-        gemm(
-            dy.elem_matrix(e),
-            dy.tiles,
-            dy.chans,
-            w.elem_matrix(e),
-            w.in_chans,
-            dxm,
-            false,
-            true,
-        );
-    });
+    // dX (tiles x I) = dY (tiles x J) * W^T (J x I): pack W_e transposed.
+    let packed: Vec<PackedB> = (0..dy.elems)
+        .map(|e| pack_b(w.elem_matrix(e), dy.chans, w.in_chans, true))
+        .collect();
+    batched_elem_gemm_par(
+        pool,
+        &mut dx.data,
+        w.in_chans,
+        dy.tiles,
+        |e| (dy.elem_matrix(e), dy.tiles, dy.chans, false),
+        &packed,
+    );
     dx
 }
 
-/// Parallel [`elementwise_gemm_wgrad`] (same contract as
-/// [`elementwise_gemm_par`]).
+/// Parallel [`elementwise_gemm_wgrad`] (same batched contract as
+/// [`elementwise_gemm_par`]; the row space is `T² × I` gradient rows,
+/// with `X_e` read transposed).
 ///
 /// # Panics
 ///
@@ -152,18 +199,18 @@ pub fn elementwise_gemm_wgrad_par(pool: &ParPool, x: &WgTensor, dy: &WgTensor) -
         return elementwise_gemm_wgrad(x, dy);
     }
     let mut dw = WgWeights::zeros(x.elems, x.chans, dy.chans);
-    pool.for_each_chunk_mut(&mut dw.data, x.chans * dy.chans, |e, dwm| {
-        gemm(
-            x.elem_matrix(e),
-            x.tiles,
-            x.chans,
-            dy.elem_matrix(e),
-            dy.chans,
-            dwm,
-            true,
-            false,
-        );
-    });
+    // dW (I x J) = X^T (I x tiles) * dY (tiles x J).
+    let packed: Vec<PackedB> = (0..x.elems)
+        .map(|e| pack_b(dy.elem_matrix(e), x.tiles, dy.chans, false))
+        .collect();
+    batched_elem_gemm_par(
+        pool,
+        &mut dw.data,
+        dy.chans,
+        x.chans,
+        |e| (x.elem_matrix(e), x.tiles, x.chans, true),
+        &packed,
+    );
     dw
 }
 

@@ -21,6 +21,7 @@ fn all_experiments_run_and_mention_their_figures() {
         ("comm_breakdown", "Communication breakdown"),
         ("resilience", "Resilience"),
         ("par_speedup", "host-parallel speedup"),
+        ("kernels", "GEMM roofline"),
         ("serve_load", "serve load"),
         ("plan_search", "auto-searched plans"),
     ];
