@@ -17,6 +17,10 @@
 //!   to the batch path.
 //! * [`svg`] — a self-contained SVG timeline of the trace (no deps, no
 //!   scripts), for CI artifacts and eyeballing.
+//! * [`flame`] — collapsed-stack flamegraph export
+//!   (`frame;frame <value>` lines plus a self-contained icicle SVG),
+//!   recovering nesting by per-track span containment; works on
+//!   simulator traces and the server's request-lifecycle traces alike.
 //! * [`baseline`] — committed perf expectations with tolerance bands and
 //!   a pass/warn/fail comparison API; `experiments --gate` exits
 //!   non-zero on regression.
@@ -45,12 +49,14 @@
 
 pub mod baseline;
 pub mod critpath;
+pub mod flame;
 pub mod report;
 pub mod stream;
 pub mod svg;
 
 pub use baseline::{flatten_numbers, Band, Baseline, CompareReport, CompareRow, Status};
 pub use critpath::{Category, CriticalPath, Segment};
+pub use flame::{collapsed_stacks, flame_svg};
 pub use report::{Bottleneck, TrackUtilization, UtilizationReport};
 pub use stream::{analyze_jsonl, StreamAnalysis, StreamAnalyzer};
 pub use svg::timeline_svg;

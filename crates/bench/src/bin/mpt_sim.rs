@@ -74,10 +74,12 @@ use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::process::exit;
 
-use wmpt_analyze::{analyze_jsonl, timeline_svg, Analysis, Baseline};
+use wmpt_analyze::{analyze_jsonl, collapsed_stacks, flame_svg, timeline_svg, Analysis, Baseline};
 use wmpt_core::Heartbeat;
 use wmpt_fault::Scenario;
-use wmpt_obs::{detect_format, json, read_trace_auto, Observer, StreamingTracer, TraceFormat};
+use wmpt_obs::{
+    detect_format, json, read_trace_auto, Level, Logger, Observer, StreamingTracer, TraceFormat,
+};
 use wmpt_par::{available_jobs, ParPool};
 use wmpt_serve::{
     run_request_with, ServeConfig, Server, SimRequest, DEFAULT_FAULT_ITERS, DEFAULT_FAULT_SEED,
@@ -103,15 +105,20 @@ fn usage() -> ! {
          \x20                     --metrics-out <file> metric registry JSON\n\
          \x20                     --progress[=N]       heartbeat to stderr\n\
          \x20                     --jobs <n>           host threads (0 = auto)\n\
+         \x20                     --log-level <l>      off|error|warn|info|debug (default info)\n\
          options (analyze):       --trace-in <file>    trace (chrome or JSONL)\n\
          \x20                     --baseline <file>    gate against bands\n\
          \x20                     --svg-out <file>     timeline SVG\n\
          \x20                     --report-out <file>  text report\n\
+         \x20                     --flame-out <file>   collapsed flamegraph stacks\n\
+         \x20                     --flame-svg <file>   flamegraph SVG\n\
          options (serve):         --port <n>           listen port (0 = ephemeral)\n\
          \x20                     --queue-depth <n>    pending jobs before 429\n\
          \x20                     --cache-bytes <n>    result cache byte budget\n\
          \x20                     --workers <n>        job worker threads\n\
-         \x20                     --jobs <n>           per-job host threads\n\n\
+         \x20                     --jobs <n>           per-job host threads\n\
+         \x20                     --trace-cap <n>      lifecycle records retained\n\
+         \x20                     --log-level <l>      structured JSONL log level\n\n\
          configs: d_dp w_dp w_mp w_mp+ w_mp* w_mp++\n\
          scenarios: single-link dead-worker bit-flip straggler host-flap chaos"
     );
@@ -136,6 +143,7 @@ struct ObsArgs {
     trace_jsonl: Option<PathBuf>,
     trace_budget: Option<usize>,
     progress: Option<u64>,
+    log_level: Option<Level>,
 }
 
 /// Extracts `--jobs N` (0 = auto) and returns the worker-thread count.
@@ -212,6 +220,7 @@ impl ObsArgs {
             };
         }
         out.progress = extract_progress(args);
+        out.log_level = extract_log_level(args);
         if out.trace_budget.is_some() && out.trace_jsonl.is_none() {
             eprintln!("--trace-budget only applies with --trace-jsonl");
             usage();
@@ -263,6 +272,23 @@ impl ObsArgs {
     }
 }
 
+/// Extracts `--log-level <off|error|warn|info|debug>`.
+fn extract_log_level(args: &mut Vec<String>) -> Option<Level> {
+    let i = args.iter().position(|a| a == "--log-level")?;
+    if i + 1 >= args.len() {
+        usage();
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    match Level::parse(&v) {
+        Some(l) => Some(l),
+        None => {
+            eprintln!("--log-level must be one of off, error, warn, info, debug");
+            usage();
+        }
+    }
+}
+
 /// Extracts `--progress` / `--progress=N`; `Some(n)` = report every `n`
 /// completed units.
 fn extract_progress(args: &mut Vec<String>) -> Option<u64> {
@@ -290,9 +316,10 @@ fn run_and_print<S: wmpt_obs::SpanSink>(
     pool: &ParPool,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
+    log: &Logger,
     observed: bool,
 ) {
-    match run_request_with(req, pool, obs, hb, observed) {
+    match run_request_with(req, pool, obs, hb, log, observed) {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("{e}");
@@ -375,6 +402,8 @@ fn run_analyze(args: &[String]) {
     let mut baseline: Option<PathBuf> = None;
     let mut svg_out: Option<PathBuf> = None;
     let mut report_out: Option<PathBuf> = None;
+    let mut flame_out: Option<PathBuf> = None;
+    let mut flame_svg_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
@@ -389,6 +418,8 @@ fn run_analyze(args: &[String]) {
             "--baseline" => &mut baseline,
             "--svg-out" => &mut svg_out,
             "--report-out" => &mut report_out,
+            "--flame-out" => &mut flame_out,
+            "--flame-svg" => &mut flame_svg_out,
             other => {
                 eprintln!("unknown option: {other}");
                 usage();
@@ -427,10 +458,22 @@ fn run_analyze(args: &[String]) {
         std::fs::write(p, &rendered).expect("report path must be writable");
         eprintln!("wrote {}", p.display());
     }
-    if let Some(p) = &svg_out {
+    if svg_out.is_some() || flame_out.is_some() || flame_svg_out.is_some() {
+        // One re-read serves every rendering; the flamegraph fold works
+        // on simulator traces and server lifecycle traces alike.
         let trace = read_trace_auto(&path).unwrap_or_else(|e| fail(e.to_string()));
-        std::fs::write(p, timeline_svg(&trace)).expect("svg path must be writable");
-        eprintln!("wrote {}", p.display());
+        if let Some(p) = &svg_out {
+            std::fs::write(p, timeline_svg(&trace)).expect("svg path must be writable");
+            eprintln!("wrote {}", p.display());
+        }
+        if let Some(p) = &flame_out {
+            std::fs::write(p, collapsed_stacks(&trace)).expect("flame path must be writable");
+            eprintln!("wrote {}", p.display());
+        }
+        if let Some(p) = &flame_svg_out {
+            std::fs::write(p, flame_svg(&trace)).expect("flame svg path must be writable");
+            eprintln!("wrote {}", p.display());
+        }
     }
     if let Some(p) = &baseline {
         let read = |e: String| -> ! {
@@ -457,6 +500,9 @@ fn run_analyze(args: &[String]) {
 fn run_serve(args: &[String]) {
     let mut port: u16 = 7878;
     let mut config = ServeConfig::default();
+    // The server logs structured JSONL to stderr at info by default —
+    // `--log-level off` for the old silent behavior.
+    let mut log_level = Level::Info;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
@@ -513,6 +559,24 @@ fn run_serve(args: &[String]) {
                     }
                 };
             }
+            "--trace-cap" => {
+                config.trace_cap = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--trace-cap must be a positive integer");
+                        usage();
+                    }
+                };
+            }
+            "--log-level" => {
+                log_level = match Level::parse(value(i)) {
+                    Some(l) => l,
+                    None => {
+                        eprintln!("--log-level must be one of off, error, warn, info, debug");
+                        usage();
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown option: {other}");
                 usage();
@@ -520,6 +584,7 @@ fn run_serve(args: &[String]) {
         }
         i += 2;
     }
+    config.log = Logger::stderr(log_level);
     let server = Server::bind(&format!("127.0.0.1:{port}"), config).unwrap_or_else(|e| {
         eprintln!("cannot bind 127.0.0.1:{port}: {e}");
         exit(1);
@@ -538,7 +603,14 @@ fn main() {
             // `faults` owns its flags; the obs sinks do not apply to it.
             let req = faults_request(&args[1..]);
             let mut obs = Observer::new();
-            run_and_print(&req, &ParPool::new(1), &mut obs, &mut None, false);
+            run_and_print(
+                &req,
+                &ParPool::new(1),
+                &mut obs,
+                &mut None,
+                &Logger::disabled(),
+                false,
+            );
             return;
         }
         Some("analyze") => {
@@ -560,12 +632,12 @@ fn main() {
         eprintln!("--auto only applies to 'plan'");
         usage();
     }
-    if (obs_args.enabled() || obs_args.progress.is_some())
+    if (obs_args.enabled() || obs_args.progress.is_some() || obs_args.log_level.is_some())
         && !matches!(args.first().map(String::as_str), Some("layer" | "network"))
     {
         eprintln!(
-            "--trace-out/--trace-jsonl/--metrics-out/--progress only apply to \
-             'layer' and 'network'"
+            "--trace-out/--trace-jsonl/--metrics-out/--progress/--log-level only apply to \
+             'layer' and 'network' (serve has its own --log-level)"
         );
         usage();
     }
@@ -579,16 +651,20 @@ fn main() {
             };
             let Ok(req) = req else { usage() };
             let mut hb = obs_args.progress.map(Heartbeat::new);
+            // Heartbeat lines route through the logger at info; the
+            // default keeps their bytes on stderr exactly as before,
+            // `--log-level warn`/`off` silences them.
+            let log = Logger::stderr(obs_args.log_level.unwrap_or(Level::Info));
             if let Some(jsonl) = &obs_args.trace_jsonl {
                 let sink = StreamingTracer::create(jsonl, obs_args.budget())
                     .expect("jsonl path must be writable");
                 let mut obs = Observer::with_trace(sink);
-                run_and_print(&req, &pool, &mut obs, &mut hb, true);
+                run_and_print(&req, &pool, &mut obs, &mut hb, &log, true);
                 obs_args.finish_streaming(obs);
             } else {
                 let observed = obs_args.enabled() || hb.is_some();
                 let mut obs = Observer::new();
-                run_and_print(&req, &pool, &mut obs, &mut hb, observed);
+                run_and_print(&req, &pool, &mut obs, &mut hb, &log, observed);
                 obs_args.finish(&obs);
             }
         }
@@ -596,19 +672,40 @@ fn main() {
             let Ok(req) = SimRequest::noc(a, b) else {
                 usage()
             };
-            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+            run_and_print(
+                &req,
+                &pool,
+                &mut Observer::new(),
+                &mut None,
+                &Logger::disabled(),
+                false,
+            );
         }
         [cmd, a, b] if cmd == "plan" && !auto => {
             let Ok(req) = SimRequest::plan(a, b) else {
                 usage()
             };
-            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+            run_and_print(
+                &req,
+                &pool,
+                &mut Observer::new(),
+                &mut None,
+                &Logger::disabled(),
+                false,
+            );
         }
         [cmd, a] if cmd == "plan" && auto => {
             let Ok(req) = SimRequest::plan_auto(a) else {
                 usage()
             };
-            run_and_print(&req, &pool, &mut Observer::new(), &mut None, false);
+            run_and_print(
+                &req,
+                &pool,
+                &mut Observer::new(),
+                &mut None,
+                &Logger::disabled(),
+                false,
+            );
         }
         _ => usage(),
     }

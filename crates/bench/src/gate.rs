@@ -102,6 +102,12 @@ const SERVE_STABLE_KEYS: &[&str] = &[
     "counters.evictions",
     "counters.coalesced",
     "counters.rejected_overload",
+    "lifecycle.requests",
+    "lifecycle.executed",
+    "lifecycle.hits",
+    "lifecycle.jobs",
+    "lifecycle.queue_waits",
+    "lifecycle.attribution_ok",
     "cold.count",
     "warm.count",
 ];

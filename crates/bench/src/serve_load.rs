@@ -11,14 +11,17 @@
 //! figures vary with the host. A direct in-process run of one workload
 //! request is diffed byte-for-byte against the served artifact
 //! (`warm_identical`), extending the determinism contract across the
-//! HTTP boundary.
+//! HTTP boundary. The server's lifecycle trace is fetched after the
+//! warm rounds and audited (`lifecycle`): the span counts per outcome
+//! track are deterministic, and every record's stages must tile its
+//! extent exactly — queue wait and execution time are fully attributed.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use wmpt_obs::json::{num, obj, s, Value};
-use wmpt_obs::MetricKey;
+use wmpt_obs::json::{num, obj, parse, s, Value};
+use wmpt_obs::{MetricKey, Tracer};
 use wmpt_par::ParPool;
 use wmpt_serve::{http_request, run_request, ServeConfig, Server, SimRequest};
 
@@ -76,6 +79,73 @@ fn drive(addr: &str, reqs: &[SimRequest], expect_cached: bool) -> Round {
     }
 }
 
+/// Audits the server's lifecycle trace: counts outer request spans per
+/// outcome track and worker-side job records, and checks that every
+/// record's stages exactly tile its extent (each stage starts where the
+/// previous one ended, and the stage durations sum to the outer span's
+/// latency — no unattributed microseconds).
+fn lifecycle_obj(trace: &Tracer) -> Value {
+    let outers: Vec<_> = trace
+        .spans()
+        .iter()
+        .filter(|s| s.cat == "request")
+        .collect();
+    let on = |track: &str| {
+        outers
+            .iter()
+            .filter(|s| trace.track_name(s.track) == track)
+            .count()
+    };
+    let jobs = outers
+        .iter()
+        .filter(|s| trace.track_name(s.track).starts_with("worker"))
+        .count();
+    let queue_waits = trace
+        .spans()
+        .iter()
+        .filter(|s| s.cat == "serve" && s.name == "queue_wait")
+        .count();
+    // Each record is exported as its outer `request` span followed by
+    // its `serve` stages in order, so group sequentially — concurrent
+    // requests on the same outcome track can overlap in time, which
+    // rules out matching stages to outers by containment alone.
+    let mut attribution_ok = true;
+    let mut outer: Option<&wmpt_obs::Span> = None;
+    let mut cursor = 0;
+    let mut sum = 0;
+    let close = |outer: Option<&wmpt_obs::Span>, cursor: u64, sum: u64, ok: &mut bool| {
+        if let Some(o) = outer {
+            *ok &= cursor == o.start + o.cycles() && sum == o.cycles();
+        }
+    };
+    for s in trace.spans() {
+        match s.cat.as_str() {
+            "request" => {
+                close(outer, cursor, sum, &mut attribution_ok);
+                outer = Some(s);
+                cursor = s.start;
+                sum = 0;
+            }
+            "serve" => {
+                attribution_ok &= outer.is_some_and(|o| o.track == s.track) && s.start == cursor;
+                cursor = s.start + s.cycles();
+                sum += s.cycles();
+            }
+            _ => {}
+        }
+    }
+    close(outer, cursor, sum, &mut attribution_ok);
+    attribution_ok &= !outers.is_empty();
+    obj(vec![
+        ("requests", num(outers.len() as f64 - jobs as f64)),
+        ("executed", num(on("executed") as f64)),
+        ("hits", num(on("hit") as f64)),
+        ("jobs", num(jobs as f64)),
+        ("queue_waits", num(queue_waits as f64)),
+        ("attribution_ok", Value::Bool(attribution_ok)),
+    ])
+}
+
 fn phase_obj(rounds: &[Round]) -> Value {
     let mut all: Vec<f64> = rounds.iter().flat_map(|r| r.latencies_us.clone()).collect();
     all.sort_by(f64::total_cmp);
@@ -99,6 +169,14 @@ pub fn serve_report() -> Value {
     let warm: Vec<Round> = (0..WARM_ROUNDS)
         .map(|_| drive(&addr, &reqs, true))
         .collect();
+
+    // Queue-wait attribution: every one of the 30 submissions (and the
+    // 10 worker-side job records) must account for its full latency as
+    // contiguous lifecycle stages.
+    let traced = http_request(&addr, "GET", "/api/v1/trace", b"").expect("fetch trace");
+    assert_eq!(traced.status, 200, "{}", traced.text());
+    let doc = parse(&traced.text()).expect("trace is valid JSON");
+    let lifecycle = lifecycle_obj(&Tracer::from_chrome_trace(&doc).expect("chrome trace"));
 
     // Cross-boundary determinism: the served artifact must be
     // byte-identical to a direct in-process run of the same request.
@@ -140,6 +218,7 @@ pub fn serve_report() -> Value {
                 ),
             ]),
         ),
+        ("lifecycle", lifecycle),
         ("cold", cold_obj),
         ("warm", warm_obj),
         ("warm_speedup_p50", num(warm_speedup_p50)),
@@ -198,6 +277,18 @@ fn render(report: &Value) -> String {
         "warm p50 speedup over cold: {}x; served artifact byte-identical to direct run: {identical}\n",
         crate::f(speedup)
     ));
+    let l = report.get("lifecycle").unwrap();
+    let ln = |k: &str| l.get(k).and_then(Value::as_f64).unwrap();
+    let attributed = matches!(l.get("attribution_ok"), Some(&Value::Bool(true)));
+    out.push_str(&format!(
+        "lifecycle trace: {} request spans ({} executed, {} hit), {} job records, \
+         {} queue waits; exact stage attribution: {attributed}\n",
+        ln("requests"),
+        ln("executed"),
+        ln("hits"),
+        ln("jobs"),
+        ln("queue_waits"),
+    ));
     out
 }
 
@@ -250,6 +341,18 @@ mod tests {
         assert_eq!(n("coalesced"), 0.0);
         assert_eq!(n("rejected_overload"), 0.0);
         assert_eq!(back.get("warm_identical"), Some(&Value::Bool(true)));
+        let l = back.get("lifecycle").expect("lifecycle");
+        let ln = |k: &str| l.get(k).and_then(Value::as_f64).unwrap();
+        assert_eq!(ln("requests"), (10 * (1 + WARM_ROUNDS)) as f64);
+        assert_eq!(ln("executed"), 10.0);
+        assert_eq!(ln("hits"), (10 * WARM_ROUNDS) as f64);
+        assert_eq!(ln("jobs"), 10.0);
+        assert_eq!(ln("queue_waits"), 10.0);
+        assert_eq!(
+            l.get("attribution_ok"),
+            Some(&Value::Bool(true)),
+            "lifecycle stages must exactly tile every request span"
+        );
         let speedup = back
             .get("warm_speedup_p50")
             .and_then(Value::as_f64)

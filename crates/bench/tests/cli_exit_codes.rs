@@ -45,6 +45,12 @@ fn unknown_subcommands_and_flags_exit_nonzero() {
     // A flag missing its value is also an error, not a silent default.
     assert_rejected(&["layer", "Late-2", "w_mp++", "--trace-out"]);
     assert_rejected(&["faults", "--scenario"]);
+    // --log-level values are validated, and the flag is scoped like the
+    // other obs sinks (serve parses its own copy).
+    assert_rejected(&["layer", "Late-2", "w_mp++", "--log-level", "loud"]);
+    assert_rejected(&["layer", "Late-2", "w_mp++", "--log-level"]);
+    assert_rejected(&["noc", "fbfly", "uniform", "--log-level", "info"]);
+    assert_rejected(&["serve", "--log-level", "chatty"]);
 }
 
 #[test]

@@ -78,6 +78,18 @@
 //! | `obs.flushes` | counter | pending-buffer flushes of a streaming sink |
 //! | `obs.peak_buffer_bytes` | gauge | peak pending bytes held by a streaming sink (≤ budget) |
 //! | `obs.truncated_spans` | counter | open spans auto-closed at export/finalize |
+//! | `serve.requests` | counter | job submissions received by the HTTP server |
+//! | `serve.cache_hits` | counter | submissions answered from the result cache |
+//! | `serve.cache_misses` | counter | submissions that enqueued an execution |
+//! | `serve.cache_evictions` | counter | results evicted by the LRU byte budget |
+//! | `serve.coalesced` | counter | submissions attached to an identical in-flight job |
+//! | `serve.rejected_overload` | counter | submissions bounced with 429 (queue full) |
+//! | `serve.rejected_shutdown` | counter | submissions bounced with 503 (draining) |
+//! | `serve.jobs_executed` | counter | jobs actually run by a worker |
+//! | `serve.cache_bytes` | gauge | resident bytes in the result cache |
+//! | `hist.serve_latency_us` | histogram | µs per executed job (dequeue to terminal) |
+//! | `hist.serve_queue_depth` | histogram | queue depth sampled at each submission |
+//! | `hist.serve_queue_wait_us` | histogram | µs an executed job waited in the queue |
 //! | `hist.tile_pair_bytes` | histogram | bytes per tile-transfer (src, dst) pair |
 //! | `hist.phase_cycles` | histogram | cycles per simulated phase |
 //! | `hist.recovery_cycles` | histogram | cycles per fault-recovery episode |
@@ -100,18 +112,24 @@
 
 pub mod hash;
 pub mod json;
+pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod shard;
 pub mod stream;
 pub mod trace;
+pub mod window;
 
+pub use log::{Level, LogBuffer, Logger};
 pub use metrics::{Histogram, MetricKey, MetricRegistry, TrafficClass};
+pub use prom::render_prometheus;
 pub use shard::MetricShards;
 pub use stream::{
     detect_format, jsonl_events, jsonl_to_chrome, read_trace_auto, StreamStats, StreamingTracer,
     TraceFormat,
 };
 pub use trace::{parse_trace_event, Span, SpanSink, TraceEvent, Tracer, TrackId};
+pub use window::RollingWindow;
 
 /// A metric registry and a span sink bundled together — the single
 /// handle instrumented code threads through `*_observed` entry points.

@@ -1,0 +1,301 @@
+//! Leveled structured logging: JSONL events with a monotonic timestamp,
+//! a level, and an optional request id, written through one shared
+//! writer so concurrent threads never interleave bytes.
+//!
+//! The design mirrors the rest of the crate: no global state, no
+//! external dependencies. A [`Logger`] is a cheap cloneable handle;
+//! [`Logger::disabled`] is a no-op sink (the default for embedded
+//! servers in tests), [`Logger::stderr`] is what the CLI wires up from
+//! `--log-level`, and [`Logger::buffer`] captures output for
+//! assertions.
+//!
+//! Two write paths share the same mutex and level gate:
+//!
+//! * [`Logger::event`] — one JSON object per line:
+//!   `{"t_us":…,"level":"info","event":"submit","req":"r7",…fields}`.
+//!   `t_us` is microseconds on the logger's own monotonic clock.
+//! * [`Logger::raw`] — a preformatted line passed through *verbatim*.
+//!   This exists for output whose bytes are contract (the deterministic
+//!   `[progress] …` heartbeat lines pinned by the CLI tests): they gain
+//!   level gating and single-writer serialization without changing a
+//!   byte.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::{self, Value};
+
+/// Log severity, ordered: `Off < Error < Warn < Info < Debug`. A logger
+/// at level `L` emits events at severity `<= L`; `Off` emits nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Emit nothing.
+    Off,
+    /// Failures the operator must see.
+    Error,
+    /// Suspicious but survivable (malformed requests, rejections).
+    Warn,
+    /// Request lifecycle milestones — the operational default.
+    Info,
+    /// Per-stage detail (accepts, dequeues, responses).
+    Debug,
+}
+
+impl Level {
+    /// Serialized name, as written into the `level` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Inverse of [`Level::name`]; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "off" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Every level, in severity order (CLI help / validation).
+    pub fn all() -> [Level; 5] {
+        [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ]
+    }
+}
+
+struct Inner {
+    min: Level,
+    epoch: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A cheap cloneable logging handle; see the module docs.
+#[derive(Clone, Default)]
+pub struct Logger {
+    inner: Option<Arc<Inner>>,
+}
+
+/// A shared in-memory capture buffer returned by [`Logger::buffer`].
+#[derive(Clone, Default)]
+pub struct LogBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl LogBuffer {
+    /// Everything written so far, as UTF-8 (lossy).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("log buffer")).into_owned()
+    }
+
+    /// The captured complete lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_string).collect()
+    }
+}
+
+impl Write for LogBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("log buffer").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Logger(disabled)"),
+            Some(i) => write!(f, "Logger(min={})", i.min.name()),
+        }
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything (the default).
+    pub fn disabled() -> Logger {
+        Logger { inner: None }
+    }
+
+    /// A logger writing to the process stderr at `min` severity.
+    pub fn stderr(min: Level) -> Logger {
+        Logger::to_writer(min, std::io::stderr())
+    }
+
+    /// A logger writing to an arbitrary sink at `min` severity.
+    pub fn to_writer(min: Level, w: impl Write + Send + 'static) -> Logger {
+        if min == Level::Off {
+            return Logger::disabled();
+        }
+        Logger {
+            inner: Some(Arc::new(Inner {
+                min,
+                epoch: Instant::now(),
+                out: Mutex::new(Box::new(w)),
+            })),
+        }
+    }
+
+    /// A logger capturing into memory, plus the buffer to read it back.
+    pub fn buffer(min: Level) -> (Logger, LogBuffer) {
+        let buf = LogBuffer::default();
+        (Logger::to_writer(min, buf.clone()), buf)
+    }
+
+    /// True when an event at `level` would be written.
+    pub fn enabled(&self, level: Level) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => level != Level::Off && level <= i.min,
+        }
+    }
+
+    /// Microseconds on the logger's monotonic clock (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(i) => i.epoch.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Emits one structured JSONL event. `req` is the request id the
+    /// event belongs to (serialized as `"req":"r<n>"`), `fields` are
+    /// appended in order after the standard members.
+    pub fn event(&self, level: Level, event: &str, req: Option<u64>, fields: &[(&str, Value)]) {
+        let Some(i) = &self.inner else { return };
+        if !self.enabled(level) {
+            return;
+        }
+        let mut members: Vec<(&str, Value)> = vec![
+            ("t_us", json::num(i.epoch.elapsed().as_micros() as f64)),
+            ("level", json::s(level.name())),
+            ("event", json::s(event)),
+        ];
+        let rid = req.map(|n| format!("r{n}"));
+        if let Some(rid) = &rid {
+            members.push(("req", json::s(rid)));
+        }
+        for (k, v) in fields {
+            members.push((k, v.clone()));
+        }
+        let line = json::obj(members).render();
+        let mut out = i.out.lock().expect("log writer");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    /// Writes a preformatted line verbatim (plus `\n`) under the same
+    /// level gate and writer mutex — see the module docs for why.
+    pub fn raw(&self, level: Level, line: &str) {
+        let Some(i) = &self.inner else { return };
+        if !self.enabled(level) {
+            return;
+        }
+        let mut out = i.out.lock().expect("log writer");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for l in Level::all() {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("chatty"), None);
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let (log, buf) = Logger::buffer(Level::Info);
+        log.event(
+            Level::Info,
+            "submit",
+            Some(7),
+            &[("kind", json::s("layer")), ("queued", json::num(3.0))],
+        );
+        log.event(Level::Debug, "dropped", None, &[]);
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 1, "debug must be gated at info: {lines:?}");
+        let v = parse(&lines[0]).expect("event line is JSON");
+        assert_eq!(v.get("level").and_then(Value::as_str), Some("info"));
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("submit"));
+        assert_eq!(v.get("req").and_then(Value::as_str), Some("r7"));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("layer"));
+        assert_eq!(v.get("queued").and_then(Value::as_f64), Some(3.0));
+        assert!(v.get("t_us").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn raw_lines_pass_through_byte_for_byte() {
+        let (log, buf) = Logger::buffer(Level::Info);
+        log.raw(
+            Level::Info,
+            "[progress] config 6 cycles=12 bottleneck=ndp buf=0B",
+        );
+        log.raw(Level::Debug, "gated");
+        assert_eq!(
+            buf.contents(),
+            "[progress] config 6 cycles=12 bottleneck=ndp buf=0B\n"
+        );
+    }
+
+    #[test]
+    fn disabled_and_off_loggers_emit_nothing() {
+        let log = Logger::disabled();
+        assert!(!log.enabled(Level::Error));
+        log.event(Level::Error, "boom", None, &[]);
+        let (log, buf) = Logger::buffer(Level::Off);
+        log.event(Level::Error, "boom", None, &[]);
+        log.raw(Level::Error, "boom");
+        assert_eq!(buf.contents(), "");
+    }
+
+    #[test]
+    fn concurrent_writers_never_interleave_within_a_line() {
+        let (log, buf) = Logger::buffer(Level::Info);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        log.event(Level::Info, "tick", Some(t), &[("i", json::num(i as f64))]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 200);
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+            assert_eq!(v.get("event").and_then(Value::as_str), Some("tick"));
+        }
+    }
+}

@@ -220,6 +220,9 @@ pub enum MetricKey {
     HistServeLatencyUs,
     /// Histogram: job-queue depth sampled at every submission.
     HistServeQueueDepth,
+    /// Histogram: microseconds an executed job spent queued before a
+    /// worker dequeued it (the server's queue-wait attribution source).
+    HistServeQueueWaitUs,
     /// Histogram: host wall-clock milliseconds per auto-search.
     HistOptSearchMs,
 }
@@ -301,6 +304,7 @@ impl MetricKey {
             MetricKey::HistExperimentHostMs,
             MetricKey::HistServeLatencyUs,
             MetricKey::HistServeQueueDepth,
+            MetricKey::HistServeQueueWaitUs,
             MetricKey::HistOptSearchMs,
         ]);
         keys
@@ -372,6 +376,7 @@ impl MetricKey {
             MetricKey::HistExperimentHostMs => "hist.experiment_host_ms".to_string(),
             MetricKey::HistServeLatencyUs => "hist.serve_latency_us".to_string(),
             MetricKey::HistServeQueueDepth => "hist.serve_queue_depth".to_string(),
+            MetricKey::HistServeQueueWaitUs => "hist.serve_queue_wait_us".to_string(),
             MetricKey::HistOptSearchMs => "hist.opt_search_ms".to_string(),
         }
     }
@@ -556,6 +561,22 @@ impl MetricRegistry {
     /// Histogram under `key`, if any sample was recorded.
     pub fn histogram(&self, key: MetricKey) -> Option<&Histogram> {
         self.histograms.get(&key)
+    }
+
+    /// Every recorded counter, in stable key order (Prometheus export
+    /// and table rendering walk the registry through these).
+    pub fn counters_iter(&self) -> impl Iterator<Item = (MetricKey, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Every set gauge, in stable key order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (MetricKey, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Every recorded histogram, in stable key order.
+    pub fn histograms_iter(&self) -> impl Iterator<Item = (MetricKey, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (*k, h))
     }
 
     /// `true` when nothing has been recorded.

@@ -1,0 +1,176 @@
+//! Prometheus text exposition (version 0.0.4) for a
+//! [`MetricRegistry`] — dependency-free, like everything else here.
+//!
+//! Mapping from the registry's dotted names:
+//!
+//! * counters — `serve.cache_hits` → `wmpt_serve_cache_hits_total`
+//!   (type `counter`; the `_total` suffix per convention),
+//! * gauges — `serve.cache_bytes` → `wmpt_serve_cache_bytes`
+//!   (type `gauge`),
+//! * histograms — `hist.serve_latency_us` → `wmpt_serve_latency_us`
+//!   (type `histogram`; the `hist.` prefix folds into the type). The
+//!   power-of-two buckets become cumulative `le` bounds: bucket `i`
+//!   counts samples in `[2^i, 2^(i+1))`, so its upper bound is
+//!   `2^(i+1)`, followed by the mandatory `le="+Inf"` equal to
+//!   `_count`, then `_sum` and `_count`.
+//!
+//! Any character outside `[a-zA-Z0-9_]` in a dotted name becomes `_`,
+//! and output order follows the registry's own `BTreeMap` order, so
+//! two renders of equal registries are byte-identical.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, MetricRegistry};
+
+/// `wmpt_` + the dotted name with every non-identifier character
+/// folded to `_`.
+fn prom_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 5);
+    out.push_str("wmpt_");
+    for ch in dotted.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Histogram base name: the `hist.` prefix is the *type* in Prometheus,
+/// so it folds away instead of doubling up.
+fn prom_hist_name(dotted: &str) -> String {
+    prom_name(dotted.strip_prefix("hist.").unwrap_or(dotted))
+}
+
+/// Upper bound of power-of-two bucket `i` (`[2^i, 2^(i+1))`) as an
+/// exact decimal (`i + 1` can reach 64, past `u64`).
+fn bucket_le(i: usize) -> String {
+    (1u128 << (i + 1)).to_string()
+}
+
+fn render_histogram(out: &mut String, base: &str, dotted: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {base} {dotted}");
+    let _ = writeln!(out, "# TYPE {base} histogram");
+    let highest = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate().take(highest) {
+        cumulative += c;
+        let _ = writeln!(out, "{base}_bucket{{le=\"{}\"}} {cumulative}", bucket_le(i));
+    }
+    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{base}_sum {}", h.sum);
+    let _ = writeln!(out, "{base}_count {}", h.count);
+}
+
+/// Renders the whole registry as Prometheus text exposition. Scrape it
+/// from `GET /api/v1/metrics?format=prom`; serve it with content type
+/// `text/plain; version=0.0.4; charset=utf-8`.
+pub fn render_prometheus(reg: &MetricRegistry) -> String {
+    let mut out = String::new();
+    for (key, v) in reg.counters_iter() {
+        let dotted = key.name();
+        let base = prom_name(&dotted) + "_total";
+        let _ = writeln!(out, "# HELP {base} {dotted}");
+        let _ = writeln!(out, "# TYPE {base} counter");
+        let _ = writeln!(out, "{base} {v}");
+    }
+    for (key, v) in reg.gauges_iter() {
+        let dotted = key.name();
+        let base = prom_name(&dotted);
+        let _ = writeln!(out, "# HELP {base} {dotted}");
+        let _ = writeln!(out, "# TYPE {base} gauge");
+        let _ = writeln!(out, "{base} {v}");
+    }
+    for (key, h) in reg.histograms_iter() {
+        let dotted = key.name();
+        render_histogram(&mut out, &prom_hist_name(&dotted), &dotted, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+
+    #[test]
+    fn names_sanitize_and_counters_get_total() {
+        assert_eq!(prom_name("serve.cache_hits"), "wmpt_serve_cache_hits");
+        assert_eq!(
+            prom_name("noc.flits_injected.tile_scatter"),
+            "wmpt_noc_flits_injected_tile_scatter"
+        );
+        assert_eq!(
+            prom_hist_name("hist.serve_latency_us"),
+            "wmpt_serve_latency_us"
+        );
+    }
+
+    #[test]
+    fn exposition_covers_all_three_kinds() {
+        let mut reg = MetricRegistry::new();
+        reg.inc(MetricKey::ServeRequests, 30);
+        reg.set_gauge(MetricKey::ServeCacheBytes, 4096.0);
+        reg.observe(MetricKey::HistServeLatencyUs, 3.0);
+        reg.observe(MetricKey::HistServeLatencyUs, 100.0);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE wmpt_serve_requests_total counter"));
+        assert!(text.contains("wmpt_serve_requests_total 30"));
+        assert!(text.contains("# TYPE wmpt_serve_cache_bytes gauge"));
+        assert!(text.contains("wmpt_serve_cache_bytes 4096"));
+        assert!(text.contains("# TYPE wmpt_serve_latency_us histogram"));
+        assert!(text.contains("wmpt_serve_latency_us_count 2"));
+        assert!(text.contains("wmpt_serve_latency_us_sum 103"));
+        assert!(text.contains("wmpt_serve_latency_us_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let mut h = Histogram::new();
+        for v in [1.5, 3.0, 3.5, 9.0] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        render_histogram(&mut out, "wmpt_x", "hist.x", &h);
+        // Buckets: i=0 [0,2):1, i=1 [2,4):2, i=2 [4,8):0, i=3 [8,16):1.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.contains(&"wmpt_x_bucket{le=\"2\"} 1"));
+        assert!(lines.contains(&"wmpt_x_bucket{le=\"4\"} 3"));
+        assert!(lines.contains(&"wmpt_x_bucket{le=\"8\"} 3"));
+        assert!(lines.contains(&"wmpt_x_bucket{le=\"16\"} 4"));
+        assert!(lines.contains(&"wmpt_x_bucket{le=\"+Inf\"} 4"));
+        assert!(lines.contains(&"wmpt_x_count 4"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for l in &lines {
+            if let Some(rest) = l.strip_prefix("wmpt_x_bucket{le=\"") {
+                if rest.starts_with('+') {
+                    continue;
+                }
+                let n: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(n >= last, "bucket counts must be cumulative: {out}");
+                last = n;
+            }
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let mut reg = MetricRegistry::new();
+        reg.inc(MetricKey::ServeCacheHits, 2);
+        reg.inc(MetricKey::ServeRequests, 3);
+        reg.observe(MetricKey::HistServeQueueDepth, 0.0);
+        assert_eq!(render_prometheus(&reg), render_prometheus(&reg.clone()));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render_prometheus(&MetricRegistry::new()), "");
+    }
+}

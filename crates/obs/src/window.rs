@@ -1,0 +1,151 @@
+//! Rolling sample windows for *live* operational percentiles.
+//!
+//! [`Histogram`](crate::Histogram) aggregates over a process lifetime —
+//! exactly right for post-run reports, exactly wrong for a `/healthz`
+//! probe that should answer "how fast are requests *now*". A
+//! [`RollingWindow`] keeps the last `cap` raw samples in a ring and
+//! computes exact nearest-rank percentiles over what it retains, so a
+//! burst of slow requests shows up immediately and ages out just as
+//! fast.
+//!
+//! Percentiles are *exact* over the retained samples (no bucketing):
+//! the window is small by construction, so sorting a copy is cheap and
+//! the property `window.percentile(q) == naive(retained, q)` holds
+//! bit-for-bit — see `tests/prop_window.rs`.
+
+use std::collections::VecDeque;
+
+/// A bounded ring of the most recent samples with exact nearest-rank
+/// percentiles.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    cap: usize,
+    samples: VecDeque<f64>,
+}
+
+impl RollingWindow {
+    /// A window retaining the last `cap` samples (`cap` is clamped to at
+    /// least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RollingWindow {
+            cap,
+            samples: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Records one sample, evicting the oldest when full.
+    pub fn observe(&mut self, sample: f64) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Number of retained samples (`<= cap`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been observed yet (or everything aged out —
+    /// which cannot happen without new observations, so: yet).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Exact nearest-rank percentile over the retained samples: the
+    /// sample of rank `ceil(q * len)` (clamped to `[1, len]`) in sorted
+    /// order. An empty window returns 0; a single sample is every
+    /// percentile of itself; `q <= 0` is the minimum and `q >= 1` the
+    /// maximum.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// `(p50, p95, p99)` in one pass — the `/healthz` tuple.
+    pub fn summary(&self) -> (f64, f64, f64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
+    }
+
+    /// Arithmetic mean of the retained samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let mut w = RollingWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.percentile(0.5), 0.0);
+        assert_eq!(w.summary(), (0.0, 0.0, 0.0));
+        w.observe(42.0);
+        assert_eq!(w.len(), 1);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(w.percentile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_only_the_newest_cap_samples() {
+        let mut w = RollingWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.observe(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.samples().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.percentile(0.0), 3.0);
+        assert_eq!(w.percentile(1.0), 5.0);
+        assert_eq!(w.percentile(0.5), 4.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut w = RollingWindow::new(16);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            w.observe(v);
+        }
+        assert_eq!(w.percentile(0.50), 20.0);
+        assert_eq!(w.percentile(0.75), 30.0);
+        assert_eq!(w.percentile(0.95), 40.0);
+        assert_eq!(w.mean(), 25.0);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut w = RollingWindow::new(0);
+        assert_eq!(w.cap(), 1);
+        w.observe(1.0);
+        w.observe(2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.percentile(0.5), 2.0);
+    }
+}

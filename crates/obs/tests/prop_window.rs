@@ -1,0 +1,104 @@
+//! Rolling-window properties on the `wmpt-check` harness: for any
+//! sample stream and any window capacity, the window's nearest-rank
+//! p50/p95/p99 equal a from-scratch recompute over exactly the samples
+//! the window retains (the newest `min(cap, pushed)`), bit for bit —
+//! including the empty-window and single-sample edges. Failures shrink
+//! toward the shortest stream and smallest capacity, and replay via
+//! `WMPT_CHECK_REPLAY`.
+
+use wmpt_check::{check, Case};
+use wmpt_obs::RollingWindow;
+
+/// Reference implementation: exact nearest-rank percentile over a slice
+/// (the same definition `bench::serve_load::percentile` uses), written
+/// independently of the windowed code path.
+fn naive_percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn stream(c: &mut Case, len: usize) -> Vec<f64> {
+    (0..len).map(|_| c.f64_in(0.0, 1_000_000.0)).collect()
+}
+
+#[test]
+fn windowed_percentiles_equal_fresh_recompute_over_retained_samples() {
+    check("windowed_percentiles_equal_fresh_recompute", |c| {
+        let cap = c.size(1, 64);
+        let len = c.size(0, 200);
+        let samples = stream(c, len);
+        let mut w = RollingWindow::new(cap);
+        for &s in &samples {
+            w.observe(s);
+        }
+        let retained: Vec<f64> = if samples.len() > cap {
+            samples[samples.len() - cap..].to_vec()
+        } else {
+            samples.clone()
+        };
+        assert_eq!(w.len(), retained.len());
+        assert_eq!(w.samples().collect::<Vec<_>>(), retained);
+        for q in [0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                w.percentile(q).to_bits(),
+                naive_percentile(&retained, q).to_bits(),
+                "q={q} cap={cap} len={len}"
+            );
+        }
+        let (p50, p95, p99) = w.summary();
+        assert_eq!(p50.to_bits(), naive_percentile(&retained, 0.50).to_bits());
+        assert_eq!(p95.to_bits(), naive_percentile(&retained, 0.95).to_bits());
+        assert_eq!(p99.to_bits(), naive_percentile(&retained, 0.99).to_bits());
+    });
+}
+
+#[test]
+fn percentile_agrees_at_every_intermediate_prefix() {
+    // The window must be correct *while* filling, not only at the end:
+    // check the invariant after every single observation.
+    check("windowed_percentiles_at_every_prefix", |c| {
+        let cap = c.size(1, 16);
+        let len = c.size(1, 48);
+        let samples = stream(c, len);
+        let mut w = RollingWindow::new(cap);
+        for (i, &s) in samples.iter().enumerate() {
+            w.observe(s);
+            let lo = (i + 1).saturating_sub(cap);
+            let retained = &samples[lo..=i];
+            let q = c.f64_in(0.0, 1.0);
+            assert_eq!(
+                w.percentile(q).to_bits(),
+                naive_percentile(retained, q).to_bits(),
+                "prefix {i} q={q} cap={cap}"
+            );
+        }
+    });
+}
+
+#[test]
+fn empty_window_reports_zeros() {
+    let w = RollingWindow::new(7);
+    for q in [0.0, 0.5, 0.95, 1.0] {
+        assert_eq!(w.percentile(q), 0.0);
+    }
+    assert_eq!(w.summary(), (0.0, 0.0, 0.0));
+    assert_eq!(w.mean(), 0.0);
+    assert!(w.is_empty());
+}
+
+#[test]
+fn single_sample_is_every_percentile_of_itself() {
+    check("single_sample_every_percentile", |c| {
+        let v = c.f64_in(0.0, 1e9);
+        let mut w = RollingWindow::new(c.size(1, 32));
+        w.observe(v);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(w.percentile(q).to_bits(), v.to_bits());
+        }
+    });
+}

@@ -37,6 +37,13 @@ impl Request {
             kv == flag || kv.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) == Some("1")
         })
     }
+
+    /// The value of the first `key=value` query member, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+    }
 }
 
 /// Reads and parses one request from the stream. `Err` is a malformed
@@ -114,11 +121,29 @@ fn reason(status: u16) -> &'static str {
 /// Writes a complete response and flushes. Errors are ignored — the
 /// peer hanging up mid-response is its problem, not the server's.
 pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body);
+}
+
+/// [`write_response`] with extra headers (e.g. `X-Request-Id`).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body);
     let _ = stream.flush();
@@ -131,6 +156,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value (empty when absent).
     pub content_type: String,
+    /// `X-Request-Id` header value (empty when absent).
+    pub request_id: String,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -168,6 +195,7 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result
         .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
 
     let mut content_type = String::new();
+    let mut request_id = String::new();
     let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
@@ -181,6 +209,8 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result
                 content_type = value.trim().to_string();
             } else if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                request_id = value.trim().to_string();
             }
         }
     }
@@ -199,6 +229,7 @@ pub fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result
     Ok(Response {
         status,
         content_type,
+        request_id,
         body,
     })
 }
@@ -218,17 +249,31 @@ mod tests {
             let req = read_request(&mut stream).expect("parse");
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/api/v1/jobs");
-            assert_eq!(req.query, "wait=1");
+            assert_eq!(req.query, "wait=1&format=prom");
             assert!(req.query_flag("wait"));
             assert!(!req.query_flag("nope"));
+            assert_eq!(req.query_param("format"), Some("prom"));
+            assert_eq!(req.query_param("nope"), None);
             assert_eq!(req.body, b"{\"kind\":\"noc\"}");
-            write_response(&mut stream, 200, "text/plain", b"hello");
+            write_response_with(
+                &mut stream,
+                200,
+                "text/plain",
+                &[("X-Request-Id", "r42")],
+                b"hello",
+            );
         });
-        let resp = http_request(&addr, "POST", "/api/v1/jobs?wait=1", b"{\"kind\":\"noc\"}")
-            .expect("request");
+        let resp = http_request(
+            &addr,
+            "POST",
+            "/api/v1/jobs?wait=1&format=prom",
+            b"{\"kind\":\"noc\"}",
+        )
+        .expect("request");
         server.join().expect("server thread");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.content_type, "text/plain");
+        assert_eq!(resp.request_id, "r42");
         assert_eq!(resp.body, b"hello");
     }
 

@@ -24,13 +24,18 @@
 //! - [`cache`]: [`ResultCache`], LRU by byte budget.
 //! - [`http`]: minimal HTTP/1.1 framing plus the blocking client used
 //!   by tests and the load generator.
+//! - [`lifecycle`]: the bounded request-lifecycle trace — per-request
+//!   span trees with exact stage attribution, exported at
+//!   `GET /api/v1/trace` in the simulator's own Chrome-trace format.
 //! - [`server`]: the [`Server`] itself — bounded queue, single-flight
-//!   coalescing, 429 backpressure, 503 + drain on shutdown, and
-//!   `serve.*` metrics.
+//!   coalescing, 429 backpressure, 503 + drain on shutdown, `serve.*`
+//!   metrics (JSON or Prometheus text), rolling latency windows behind
+//!   `/healthz`, and structured JSONL logging.
 
 pub mod cache;
 pub mod hash;
 pub mod http;
+pub mod lifecycle;
 pub mod request;
 pub mod result;
 pub mod runner;
@@ -39,6 +44,7 @@ pub mod server;
 pub use cache::ResultCache;
 pub use hash::{canonical_hash, hash_hex, parse_hash_hex};
 pub use http::{http_request, Response};
+pub use lifecycle::{LifeRecord, LifecycleTrace, Stage, DEFAULT_TRACE_CAP};
 pub use request::{find_network, SimRequest, DEFAULT_FAULT_ITERS, DEFAULT_FAULT_SEED};
 pub use result::SimResult;
 pub use runner::{run_request, run_request_with};

@@ -4,9 +4,11 @@
 //! Every report here is built as a `String` whose bytes are exactly
 //! what the CLI prints — the CLI does `print!("{report}")`, the server
 //! caches the same string, and the differential tests compare the two
-//! with `==`. Heartbeat/progress lines still go to stderr from inside
-//! the runner (they are pacing, not content); the server simply passes
-//! no heartbeat.
+//! with `==`. Heartbeat/progress lines are pacing, not content: they go
+//! through the caller's [`Logger`] at `info` level via
+//! [`Logger::raw`], byte-for-byte what they always were on stderr (the
+//! CLI's default logger writes raw lines verbatim), silenceable with
+//! `--log-level warn`. The server passes no heartbeat.
 
 use std::fmt::Write as _;
 
@@ -20,7 +22,7 @@ use wmpt_core::{
 use wmpt_fault::{demo_dataset, train_resilient, FaultPlan, GridShape, ResilienceConfig, Scenario};
 use wmpt_models::{table2_layers, ConvLayerSpec};
 use wmpt_noc::{latency_throughput_sweep, LinkKind, Topology, TrafficPattern};
-use wmpt_obs::{json, MetricShards, Observer, SpanSink, Tracer};
+use wmpt_obs::{json, Level, Logger, MetricShards, Observer, SpanSink, Tracer};
 use wmpt_par::ParPool;
 
 fn find_layer(name: &str) -> Option<ConvLayerSpec> {
@@ -41,11 +43,12 @@ fn resolve_configs(abbrevs: &[String]) -> Vec<SystemConfig> {
         .collect()
 }
 
-/// Ticks the heartbeat (if any) and prints due lines to stderr.
-fn beat<S: SpanSink>(hb: &mut Option<Heartbeat>, unit: &str, sink: &S) {
+/// Ticks the heartbeat (if any) and emits due lines verbatim through
+/// the logger at `info` level.
+fn beat<S: SpanSink>(hb: &mut Option<Heartbeat>, unit: &str, sink: &S, log: &Logger) {
     if let Some(hb) = hb {
         if let Some(line) = hb.tick(unit, sink) {
-            eprintln!("{line}");
+            log.raw(Level::Info, &line);
         }
     }
 }
@@ -64,6 +67,7 @@ fn observed_sweep<S: SpanSink, R: Send>(
     n: usize,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
+    log: &Logger,
     sim: impl Fn(usize, &mut Observer) -> R + Sync,
 ) -> Vec<R> {
     let shards = MetricShards::new(n);
@@ -78,7 +82,7 @@ fn observed_sweep<S: SpanSink, R: Send>(
         let offset = obs.trace.category_cycles("layer");
         obs.trace.append_offset(&trace, offset);
         results.push(r);
-        beat(hb, "config", &obs.trace);
+        beat(hb, "config", &obs.trace, log);
     }
     obs.metrics.merge(&shards.merge());
     results
@@ -90,6 +94,7 @@ fn layer_report<S: SpanSink>(
     observed: bool,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
+    log: &Logger,
     pool: &ParPool,
 ) -> Result<String, String> {
     let Some(layer) = find_layer(name) else {
@@ -111,10 +116,10 @@ fn layer_report<S: SpanSink>(
         if cfgs.len() == 1 {
             // Single config streams straight into the caller's sink.
             let r = simulate_layer_observed(&model, &layer, cfgs[0], obs);
-            beat(hb, "config", &obs.trace);
+            beat(hb, "config", &obs.trace, log);
             vec![r]
         } else {
-            observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
+            observed_sweep(pool, cfgs.len(), obs, hb, log, |i, o| {
                 simulate_layer_observed(&model, &layer, cfgs[i], o)
             })
         }
@@ -135,7 +140,7 @@ fn layer_report<S: SpanSink>(
         );
     }
     if let Some(hb) = hb {
-        eprintln!("{}", hb.line("config", &obs.trace));
+        log.raw(Level::Info, &hb.line("config", &obs.trace));
     }
     Ok(out)
 }
@@ -146,6 +151,7 @@ fn network_report<S: SpanSink>(
     observed: bool,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
+    log: &Logger,
     pool: &ParPool,
 ) -> Result<String, String> {
     let Some(net) = find_network(name) else {
@@ -171,13 +177,13 @@ fn network_report<S: SpanSink>(
         let r = simulate_network_observed_with(&model, &net, cfgs[0], obs, |_, _, o| {
             if let Some(hb) = hb.as_mut() {
                 if let Some(line) = hb.tick("layer", &o.trace) {
-                    eprintln!("{line}");
+                    log.raw(Level::Info, &line);
                 }
             }
         });
         vec![r]
     } else if observed {
-        observed_sweep(pool, cfgs.len(), obs, hb, |i, o| {
+        observed_sweep(pool, cfgs.len(), obs, hb, log, |i, o| {
             simulate_network_observed(&model, &net, cfgs[i], o)
         })
     } else {
@@ -202,7 +208,7 @@ fn network_report<S: SpanSink>(
     }
     if let Some(hb) = hb {
         let unit = if per_layer { "layer" } else { "config" };
-        eprintln!("{}", hb.line(unit, &obs.trace));
+        log.raw(Level::Info, &hb.line(unit, &obs.trace));
     }
     Ok(out)
 }
@@ -388,24 +394,39 @@ pub fn analyze_trace_text(text: &str) -> Result<(Tracer, String), String> {
     Ok((trace, report))
 }
 
-/// Executes a request against the caller's observer and heartbeat,
-/// returning the report text. This is the CLI's path: the caller owns
-/// the sink (possibly streaming), decides `observed`, and prints the
-/// returned report verbatim.
+/// Executes a request against the caller's observer, heartbeat, and
+/// logger, returning the report text. This is the CLI's path: the
+/// caller owns the sink (possibly streaming), decides `observed`, and
+/// prints the returned report verbatim. Heartbeat lines flow through
+/// `log` at `info` level; pass [`Logger::disabled`] (or no heartbeat)
+/// for silence.
 pub fn run_request_with<S: SpanSink>(
     req: &SimRequest,
     pool: &ParPool,
     obs: &mut Observer<S>,
     hb: &mut Option<Heartbeat>,
+    log: &Logger,
     observed: bool,
 ) -> Result<String, String> {
     match req {
-        SimRequest::Layer { layer, configs } => {
-            layer_report(layer, &resolve_configs(configs), observed, obs, hb, pool)
-        }
-        SimRequest::Network { network, configs } => {
-            network_report(network, &resolve_configs(configs), observed, obs, hb, pool)
-        }
+        SimRequest::Layer { layer, configs } => layer_report(
+            layer,
+            &resolve_configs(configs),
+            observed,
+            obs,
+            hb,
+            log,
+            pool,
+        ),
+        SimRequest::Network { network, configs } => network_report(
+            network,
+            &resolve_configs(configs),
+            observed,
+            obs,
+            hb,
+            log,
+            pool,
+        ),
         SimRequest::Noc { topo, pattern } => noc_report(topo, pattern),
         SimRequest::Plan { network, config } => plan_report(network, config),
         SimRequest::PlanAuto { network } => plan_auto_report(network, &mut obs.metrics),
@@ -435,7 +456,7 @@ pub fn run_request(req: &SimRequest, pool: &ParPool) -> Result<SimResult, String
         SimRequest::Layer { .. } | SimRequest::Network { .. } => {
             let mut obs = Observer::new();
             let mut hb = None;
-            let report = run_request_with(req, pool, &mut obs, &mut hb, true)?;
+            let report = run_request_with(req, pool, &mut obs, &mut hb, &Logger::disabled(), true)?;
             Ok(SimResult {
                 report,
                 metrics: Some(obs.metrics.to_json().render() + "\n"),

@@ -9,9 +9,23 @@
 //! | POST   | `/jobs[?wait=1]`      | submit a request body; `wait` blocks   |
 //! | GET    | `/jobs/<id>`          | job status                             |
 //! | GET    | `/jobs/<id>/<art>`    | artifact: `report` `metrics` `trace` `svg` |
-//! | GET    | `/metrics`            | the server's own metric registry       |
-//! | GET    | `/healthz`            | liveness + queue depth                 |
+//! | GET    | `/metrics[?format=prom]` | metric registry (JSON or Prometheus text) |
+//! | GET    | `/healthz`            | liveness, queue depth, rolling p50/p95/p99 |
+//! | GET    | `/trace[?format=…]`   | request-lifecycle trace: chrome JSON (default), `svg`, `flame`, `flamesvg` |
 //! | POST   | `/pause`, `/resume`   | hold / release worker dispatch         |
+//!
+//! ## Observability
+//!
+//! Every submission gets a request id at accept (`X-Request-Id: r<n>`
+//! on the response) and leaves a span tree in the bounded
+//! [`LifecycleTrace`]: contiguous `parse` / `cache_lookup` / `wait` /
+//! `respond` stages under one outer span, plus `queue_wait` / `execute`
+//! on the executing worker's track — see [`crate::lifecycle`] for the
+//! exact-attribution contract. Executed jobs also feed
+//! `hist.serve_queue_wait_us` and the rolling latency/queue-wait
+//! windows `/healthz` summarizes. All state transitions emit structured
+//! JSONL events through the [`Logger`] in [`ServeConfig::log`]
+//! (disabled by default; the CLI wires `--log-level`).
 //!
 //! ## Backpressure and lifecycle
 //!
@@ -35,18 +49,25 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::cache::ResultCache;
 use crate::hash::{hash_hex, parse_hash_hex};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::lifecycle::{LifeRecord, LifecycleTrace, Stage, DEFAULT_TRACE_CAP};
 use crate::request::SimRequest;
 use crate::runner::run_request;
+use wmpt_analyze::{collapsed_stacks, flame_svg, timeline_svg};
 use wmpt_obs::json::{self, num, obj, s, Value};
-use wmpt_obs::{MetricKey, MetricRegistry};
+use wmpt_obs::{render_prometheus, Level, Logger, MetricKey, MetricRegistry, RollingWindow};
 use wmpt_par::ParPool;
+
+/// Samples retained by the rolling latency / queue-wait windows behind
+/// `/healthz`.
+const WINDOW_CAP: usize = 512;
 
 /// Server tuning knobs; the CLI's `serve` subcommand maps its flags
 /// straight onto this.
@@ -60,6 +81,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// `--jobs` parallelism of each worker's simulation pool.
     pub jobs: usize,
+    /// Structured-log destination (disabled by default; the CLI maps
+    /// `--log-level` onto [`Logger::stderr`]).
+    pub log: Logger,
+    /// Lifecycle records retained for `GET /api/v1/trace`.
+    pub trace_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +95,8 @@ impl Default for ServeConfig {
             cache_bytes: 64 * 1024 * 1024,
             workers: 2,
             jobs: 1,
+            log: Logger::disabled(),
+            trace_cap: DEFAULT_TRACE_CAP,
         }
     }
 }
@@ -102,18 +130,36 @@ impl JobStatus {
     }
 }
 
+/// A queued job's request body plus the provenance the lifecycle trace
+/// needs at dispatch time.
+struct PendingJob {
+    req: SimRequest,
+    /// Request id of the submission that enqueued it.
+    rid: u64,
+    /// Request kind (`layer`, `plan`, ...), for the job span name.
+    kind: &'static str,
+    /// When the job entered the queue, µs since the server epoch.
+    enqueued_us: u64,
+}
+
 struct State {
     queue: VecDeque<u128>,
     /// Every job ever submitted (including cache-hit phantoms), by
     /// content hash.
     jobs: HashMap<u128, JobStatus>,
     /// Request bodies of queued jobs, consumed at dispatch.
-    pending: HashMap<u128, SimRequest>,
+    pending: HashMap<u128, PendingJob>,
     cache: ResultCache,
     metrics: MetricRegistry,
     evictions_seen: u64,
     shutting_down: bool,
     paused: bool,
+    /// Bounded request-lifecycle span trees (`GET /api/v1/trace`).
+    lifecycle: LifecycleTrace,
+    /// Rolling executed-job latency (µs) behind `/healthz`.
+    lat_window: RollingWindow,
+    /// Rolling queue wait (µs) of executed jobs behind `/healthz`.
+    qwait_window: RollingWindow,
 }
 
 impl State {
@@ -140,6 +186,20 @@ struct Shared {
     work_cv: Condvar,
     /// Signals waiters: some job reached a terminal state.
     done_cv: Condvar,
+    /// Structured-log sink shared by every server thread.
+    log: Logger,
+    /// The clock origin of every lifecycle timestamp.
+    epoch: Instant,
+    /// Request-id source; ids are assigned per connection at accept.
+    next_rid: AtomicU64,
+}
+
+impl Shared {
+    /// Microseconds since the server epoch — the unit of every
+    /// lifecycle span and log timestamp.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
 }
 
 /// What one submission turned into.
@@ -201,16 +261,32 @@ impl Server {
                 evictions_seen: 0,
                 shutting_down: false,
                 paused: false,
+                lifecycle: LifecycleTrace::new(config.trace_cap),
+                lat_window: RollingWindow::new(WINDOW_CAP),
+                qwait_window: RollingWindow::new(WINDOW_CAP),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            log: config.log.clone(),
+            epoch: Instant::now(),
+            next_rid: AtomicU64::new(0),
         });
+        shared.log.event(
+            Level::Info,
+            "serve_start",
+            None,
+            &[
+                ("addr", s(&local.to_string())),
+                ("workers", num(config.workers.max(1) as f64)),
+                ("queue_depth", num(config.queue_depth as f64)),
+            ],
+        );
 
         let mut worker_handles = Vec::with_capacity(config.workers.max(1));
-        for _ in 0..config.workers.max(1) {
+        for widx in 0..config.workers.max(1) {
             let sh = Arc::clone(&shared);
             let jobs = config.jobs;
-            worker_handles.push(thread::spawn(move || worker_loop(&sh, jobs)));
+            worker_handles.push(thread::spawn(move || worker_loop(&sh, jobs, widx)));
         }
         let queue_depth = config.queue_depth;
         let accept_shared = Arc::clone(&shared);
@@ -233,12 +309,14 @@ impl Server {
     /// Holds worker dispatch (submissions still accepted and queued).
     pub fn pause(&self) {
         self.shared.state.lock().expect("state lock").paused = true;
+        self.shared.log.event(Level::Info, "pause", None, &[]);
     }
 
     /// Releases worker dispatch.
     pub fn resume(&self) {
         self.shared.state.lock().expect("state lock").paused = false;
         self.shared.work_cv.notify_all();
+        self.shared.log.event(Level::Info, "resume", None, &[]);
     }
 
     /// Initiates shutdown: new submissions get 503, queued jobs drain,
@@ -253,6 +331,12 @@ impl Server {
         {
             let mut st = shared.state.lock().expect("state lock");
             st.shutting_down = true;
+            shared.log.event(
+                Level::Info,
+                "shutdown",
+                None,
+                &[("queued", num(st.queue.len() as f64))],
+            );
         }
         shared.work_cv.notify_all();
         shared.done_cv.notify_all();
@@ -279,11 +363,14 @@ impl Server {
     }
 }
 
-/// One worker: pop, execute on a private deterministic pool, publish.
-fn worker_loop(shared: &Shared, jobs: usize) {
+/// One worker: pop, execute on a private deterministic pool, publish —
+/// and leave a `queue_wait` + `execute` span pair on its own lifecycle
+/// track.
+fn worker_loop(shared: &Shared, jobs: usize, widx: usize) {
     let pool = ParPool::new(jobs.max(1));
+    let track = format!("worker{widx}");
     loop {
-        let (key, req) = {
+        let (key, job) = {
             let mut st = shared.state.lock().expect("state lock");
             loop {
                 // Drain overrides pause; an empty queue during shutdown
@@ -298,17 +385,56 @@ fn worker_loop(shared: &Shared, jobs: usize) {
                 st = shared.work_cv.wait(st).expect("state lock");
             }
             let key = st.queue.pop_front().expect("queue non-empty");
-            let req = st.pending.remove(&key).expect("pending request");
+            let job = st.pending.remove(&key).expect("pending request");
             st.jobs.insert(key, JobStatus::Running);
-            (key, req)
+            (key, job)
         };
+        let dequeued_us = shared.now_us().max(job.enqueued_us);
+        let queue_wait_us = dequeued_us - job.enqueued_us;
+        shared.log.event(
+            Level::Debug,
+            "dequeue",
+            Some(job.rid),
+            &[
+                ("worker", num(widx as f64)),
+                ("job", s(&hash_hex(key))),
+                ("queue_wait_us", num(queue_wait_us as f64)),
+            ],
+        );
         let started = Instant::now();
-        let outcome = run_request(&req, &pool);
+        let outcome = run_request(&job.req, &pool);
         let latency_us = started.elapsed().as_secs_f64() * 1e6;
+        let done_us = shared.now_us().max(dequeued_us);
+        let status = match &outcome {
+            Ok(_) => "done",
+            Err(_) => "failed",
+        };
         let mut st = shared.state.lock().expect("state lock");
         st.metrics.inc(MetricKey::ServeJobsExecuted, 1);
         st.metrics
             .observe(MetricKey::HistServeLatencyUs, latency_us);
+        st.metrics
+            .observe(MetricKey::HistServeQueueWaitUs, queue_wait_us as f64);
+        st.lat_window.observe(latency_us);
+        st.qwait_window.observe(queue_wait_us as f64);
+        st.lifecycle.push(LifeRecord {
+            track: track.clone(),
+            name: format!("{}.job#r{}", job.kind, job.rid),
+            start_us: job.enqueued_us,
+            end_us: done_us,
+            stages: vec![
+                Stage {
+                    name: "queue_wait",
+                    start_us: job.enqueued_us,
+                    end_us: dequeued_us,
+                },
+                Stage {
+                    name: "execute",
+                    start_us: dequeued_us,
+                    end_us: done_us,
+                },
+            ],
+        });
         match outcome {
             Ok(result) => {
                 st.cache.insert(key, Arc::new(result));
@@ -320,6 +446,17 @@ fn worker_loop(shared: &Shared, jobs: usize) {
         }
         st.sync_cache_metrics();
         drop(st);
+        shared.log.event(
+            Level::Info,
+            "job_done",
+            Some(job.rid),
+            &[
+                ("worker", num(widx as f64)),
+                ("job", s(&hash_hex(key))),
+                ("status", s(status)),
+                ("latency_us", num(latency_us)),
+            ],
+        );
         shared.done_cv.notify_all();
     }
 }
@@ -344,9 +481,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
         connections.push(thread::spawn(move || {
             let mut stream = stream;
             let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+            // The request id is assigned at accept; everything this
+            // connection does — parse, queue, cache, execute, respond —
+            // is attributable to it.
+            let rid = sh.next_rid.fetch_add(1, Ordering::Relaxed);
+            let accepted_us = sh.now_us();
             match read_request(&mut stream) {
-                Ok(req) => handle(&sh, &mut stream, &req, queue_depth),
-                Err(e) => write_response(&mut stream, 400, "text/plain", e.as_bytes()),
+                Ok(req) => {
+                    sh.log.event(
+                        Level::Debug,
+                        "request",
+                        Some(rid),
+                        &[("method", s(&req.method)), ("path", s(&req.path))],
+                    );
+                    handle(&sh, &mut stream, &req, queue_depth, rid, accepted_us);
+                }
+                Err(e) => {
+                    sh.log
+                        .event(Level::Warn, "bad_request", Some(rid), &[("error", s(&e))]);
+                    write_response(&mut stream, 400, "text/plain", e.as_bytes());
+                }
             }
         }));
         // Reap finished handlers so the vec stays bounded on long runs.
@@ -358,8 +512,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
 }
 
 /// Submits a request under the single lock acquisition that decides
-/// hit / coalesce / enqueue / reject.
-fn submit(shared: &Shared, req: &SimRequest, queue_depth: usize) -> Submit {
+/// hit / coalesce / enqueue / reject. `rid` is the submitting request's
+/// id; an enqueued job carries it so the worker's lifecycle record and
+/// log events tie back to the submission.
+fn submit(shared: &Shared, req: &SimRequest, queue_depth: usize, rid: u64) -> Submit {
     let key = req.cache_key();
     let mut st = shared.state.lock().expect("state lock");
     st.metrics.inc(MetricKey::ServeRequests, 1);
@@ -389,7 +545,15 @@ fn submit(shared: &Shared, req: &SimRequest, queue_depth: usize) -> Submit {
     }
     st.metrics.inc(MetricKey::ServeCacheMisses, 1);
     st.queue.push_back(key);
-    st.pending.insert(key, req.clone());
+    st.pending.insert(
+        key,
+        PendingJob {
+            req: req.clone(),
+            rid,
+            kind: req.kind(),
+            enqueued_us: shared.now_us(),
+        },
+    );
     st.jobs.insert(key, JobStatus::Queued);
     drop(st);
     shared.work_cv.notify_all();
@@ -422,29 +586,63 @@ fn status_body(id: u128, status: &JobStatus, cached: bool) -> Vec<u8> {
     (obj(members).render() + "\n").into_bytes()
 }
 
-fn handle(shared: &Shared, stream: &mut TcpStream, req: &Request, queue_depth: usize) {
+/// Summarizes a rolling window as `{"count":…,"p50":…,"p95":…,"p99":…}`.
+fn window_summary(w: &RollingWindow) -> Value {
+    let (p50, p95, p99) = w.summary();
+    obj(vec![
+        ("count", num(w.len() as f64)),
+        ("p50", num(p50)),
+        ("p95", num(p95)),
+        ("p99", num(p99)),
+    ])
+}
+
+fn handle(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &Request,
+    queue_depth: usize,
+    rid: u64,
+    accepted_us: u64,
+) {
     let path = req.path.as_str();
     match (req.method.as_str(), path) {
-        ("POST", "/api/v1/jobs") => handle_submit(shared, stream, req, queue_depth),
+        ("POST", "/api/v1/jobs") => {
+            handle_submit(shared, stream, req, queue_depth, rid, accepted_us);
+        }
         ("POST", "/api/v1/pause") => {
             shared.state.lock().expect("state lock").paused = true;
+            shared.log.event(Level::Info, "pause", Some(rid), &[]);
             write_response(stream, 200, "text/plain", b"paused\n");
         }
         ("POST", "/api/v1/resume") => {
             shared.state.lock().expect("state lock").paused = false;
             shared.work_cv.notify_all();
+            shared.log.event(Level::Info, "resume", Some(rid), &[]);
             write_response(stream, 200, "text/plain", b"resumed\n");
         }
         ("GET", "/api/v1/metrics") => {
             let mut st = shared.state.lock().expect("state lock");
             st.sync_cache_metrics();
-            let body = st.metrics.to_json().render() + "\n";
-            write_response(
-                stream,
-                200,
-                "application/json; charset=utf-8",
-                body.as_bytes(),
-            );
+            if req.query_param("format") == Some("prom") {
+                let body = render_prometheus(&st.metrics);
+                drop(st);
+                write_response(
+                    stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    body.as_bytes(),
+                );
+            } else {
+                let body = st.metrics.to_json().render() + "\n";
+                drop(st);
+                write_response(
+                    stream,
+                    200,
+                    "application/json; charset=utf-8",
+                    body.as_bytes(),
+                );
+            }
         }
         ("GET", "/api/v1/healthz") => {
             let st = shared.state.lock().expect("state lock");
@@ -453,6 +651,22 @@ fn handle(shared: &Shared, stream: &mut TcpStream, req: &Request, queue_depth: u
                 ("queued", num(st.queue.len() as f64)),
                 ("paused", Value::Bool(st.paused)),
                 ("cached_entries", num(st.cache.len() as f64)),
+                ("cache_bytes", num(st.cache.resident_bytes() as f64)),
+                (
+                    "jobs_executed",
+                    num(st.metrics.counter(MetricKey::ServeJobsExecuted) as f64),
+                ),
+                ("uptime_s", num(shared.epoch.elapsed().as_secs_f64())),
+                ("latency_us", window_summary(&st.lat_window)),
+                ("queue_wait_us", window_summary(&st.qwait_window)),
+                (
+                    "trace",
+                    obj(vec![
+                        ("records", num(st.lifecycle.len() as f64)),
+                        ("total", num(st.lifecycle.total() as f64)),
+                        ("dropped", num(st.lifecycle.dropped() as f64)),
+                    ]),
+                ),
             ])
             .render()
                 + "\n";
@@ -463,47 +677,194 @@ fn handle(shared: &Shared, stream: &mut TcpStream, req: &Request, queue_depth: u
                 body.as_bytes(),
             );
         }
+        ("GET", "/api/v1/trace") => {
+            let tracer = shared
+                .state
+                .lock()
+                .expect("state lock")
+                .lifecycle
+                .to_tracer();
+            match req.query_param("format") {
+                None | Some("chrome") | Some("json") => {
+                    let body = tracer.chrome_trace().render();
+                    write_response(
+                        stream,
+                        200,
+                        "application/json; charset=utf-8",
+                        body.as_bytes(),
+                    );
+                }
+                Some("svg") => {
+                    let body = timeline_svg(&tracer);
+                    write_response(stream, 200, "image/svg+xml", body.as_bytes());
+                }
+                Some("flame") => {
+                    let body = collapsed_stacks(&tracer);
+                    write_response(stream, 200, "text/plain; charset=utf-8", body.as_bytes());
+                }
+                Some("flamesvg") => {
+                    let body = flame_svg(&tracer);
+                    write_response(stream, 200, "image/svg+xml", body.as_bytes());
+                }
+                Some(other) => {
+                    let msg = format!(
+                        "unknown trace format '{other}' (chrome, json, svg, flame, flamesvg)\n"
+                    );
+                    write_response(stream, 400, "text/plain", msg.as_bytes());
+                }
+            }
+        }
         ("GET", _) if path.starts_with("/api/v1/jobs/") => {
             handle_job_get(shared, stream, &path["/api/v1/jobs/".len()..]);
         }
-        (_, "/api/v1/jobs" | "/api/v1/metrics" | "/api/v1/healthz") => {
+        (_, "/api/v1/jobs" | "/api/v1/metrics" | "/api/v1/healthz" | "/api/v1/trace") => {
             write_response(stream, 405, "text/plain", b"method not allowed\n");
         }
         _ => write_response(stream, 404, "text/plain", b"no such endpoint\n"),
     }
 }
 
-fn handle_submit(shared: &Shared, stream: &mut TcpStream, req: &Request, queue_depth: usize) {
-    let body = match std::str::from_utf8(&req.body) {
-        Ok(text) => text,
-        Err(_) => {
-            write_response(stream, 400, "text/plain", b"body must be UTF-8 JSON\n");
-            return;
-        }
+/// Appends a submission's lifecycle record: the outer span over
+/// `[accepted, responded)` tiled by the four contiguous stages whose
+/// boundary timestamps the caller measured. Contiguity is structural —
+/// each stage starts where the previous ended — so stage durations sum
+/// to the request's latency exactly.
+#[allow(clippy::too_many_arguments)]
+fn push_request_record(
+    shared: &Shared,
+    track: &str,
+    kind: &str,
+    rid: u64,
+    accepted_us: u64,
+    parsed_us: u64,
+    decided_us: u64,
+    ready_us: u64,
+    responded_us: u64,
+) {
+    let record = LifeRecord {
+        track: track.to_string(),
+        name: format!("{kind}#r{rid}"),
+        start_us: accepted_us,
+        end_us: responded_us,
+        stages: vec![
+            Stage {
+                name: "parse",
+                start_us: accepted_us,
+                end_us: parsed_us,
+            },
+            Stage {
+                name: "cache_lookup",
+                start_us: parsed_us,
+                end_us: decided_us,
+            },
+            Stage {
+                name: "wait",
+                start_us: decided_us,
+                end_us: ready_us,
+            },
+            Stage {
+                name: "respond",
+                start_us: ready_us,
+                end_us: responded_us,
+            },
+        ],
     };
-    let parsed = match json::parse(body) {
-        Ok(v) => v,
-        Err(e) => {
-            let msg = format!("bad JSON: {e}\n");
-            write_response(stream, 400, "text/plain", msg.as_bytes());
-            return;
-        }
+    shared
+        .state
+        .lock()
+        .expect("state lock")
+        .lifecycle
+        .push(record);
+}
+
+fn handle_submit(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &Request,
+    queue_depth: usize,
+    rid: u64,
+    accepted_us: u64,
+) {
+    let rid_text = format!("r{rid}");
+    let headers: [(&str, &str); 1] = [("X-Request-Id", rid_text.as_str())];
+    let parse = || -> Result<SimRequest, String> {
+        let body =
+            std::str::from_utf8(&req.body).map_err(|_| "body must be UTF-8 JSON\n".to_string())?;
+        let parsed = json::parse(body).map_err(|e| format!("bad JSON: {e}\n"))?;
+        SimRequest::from_json(&parsed).map_err(|e| format!("bad request: {e}\n"))
     };
-    let sim_req = match SimRequest::from_json(&parsed) {
+    let sim_req = match parse() {
         Ok(r) => r,
-        Err(e) => {
-            let msg = format!("bad request: {e}\n");
-            write_response(stream, 400, "text/plain", msg.as_bytes());
+        Err(msg) => {
+            let parsed_us = shared.now_us();
+            shared.log.event(
+                Level::Warn,
+                "reject",
+                Some(rid),
+                &[("status", num(400.0)), ("error", s(msg.trim_end()))],
+            );
+            write_response_with(stream, 400, "text/plain", &headers, msg.as_bytes());
+            let responded_us = shared.now_us();
+            // Parse failed: the remaining stages are zero-length points.
+            push_request_record(
+                shared,
+                "error",
+                "invalid",
+                rid,
+                accepted_us,
+                parsed_us,
+                parsed_us,
+                parsed_us,
+                responded_us,
+            );
             return;
         }
     };
+    let parsed_us = shared.now_us();
+    let kind = sim_req.kind();
     let wait = req.query_flag("wait");
-    match submit(shared, &sim_req, queue_depth) {
+    let decision = submit(shared, &sim_req, queue_depth, rid);
+    let decided_us = shared.now_us();
+    let log_submit = |outcome: &str, key: Option<u128>, status: u16| {
+        let mut fields = vec![
+            ("kind", s(kind)),
+            ("outcome", s(outcome)),
+            ("status", num(status as f64)),
+        ];
+        let hex = key.map(hash_hex);
+        if let Some(hex) = &hex {
+            fields.push(("job", s(hex)));
+        }
+        shared.log.event(Level::Info, "submit", Some(rid), &fields);
+    };
+    match decision {
         Submit::Hit(key) => {
+            log_submit("hit", Some(key), 200);
             let body = status_body(key, &JobStatus::Done, true);
-            write_response(stream, 200, "application/json; charset=utf-8", &body);
+            let ready_us = shared.now_us();
+            write_response_with(
+                stream,
+                200,
+                "application/json; charset=utf-8",
+                &headers,
+                &body,
+            );
+            let responded_us = shared.now_us();
+            push_request_record(
+                shared,
+                "hit",
+                kind,
+                rid,
+                accepted_us,
+                parsed_us,
+                decided_us,
+                ready_us,
+                responded_us,
+            );
         }
         Submit::Coalesced(key) | Submit::Enqueued(key) => {
+            let enqueued = matches!(decision, Submit::Enqueued(_));
+            let outcome = if enqueued { "miss" } else { "coalesced" };
             if wait {
                 let status = wait_terminal(shared, key);
                 let code = if matches!(status, JobStatus::Done) {
@@ -511,22 +872,92 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, req: &Request, queue_d
                 } else {
                     500
                 };
+                log_submit(outcome, Some(key), code);
                 let body = status_body(key, &status, false);
-                write_response(stream, code, "application/json; charset=utf-8", &body);
+                let ready_us = shared.now_us();
+                write_response_with(
+                    stream,
+                    code,
+                    "application/json; charset=utf-8",
+                    &headers,
+                    &body,
+                );
+                let responded_us = shared.now_us();
+                let track = if enqueued { "executed" } else { "coalesced" };
+                push_request_record(
+                    shared,
+                    track,
+                    kind,
+                    rid,
+                    accepted_us,
+                    parsed_us,
+                    decided_us,
+                    ready_us,
+                    responded_us,
+                );
             } else {
+                log_submit(outcome, Some(key), 202);
                 let st = shared.state.lock().expect("state lock");
                 let status = st.jobs.get(&key).cloned().unwrap_or(JobStatus::Queued);
                 drop(st);
                 let body = status_body(key, &status, false);
-                write_response(stream, 202, "application/json; charset=utf-8", &body);
+                let ready_us = shared.now_us();
+                write_response_with(
+                    stream,
+                    202,
+                    "application/json; charset=utf-8",
+                    &headers,
+                    &body,
+                );
+                let responded_us = shared.now_us();
+                let track = if enqueued { "queued" } else { "coalesced" };
+                push_request_record(
+                    shared,
+                    track,
+                    kind,
+                    rid,
+                    accepted_us,
+                    parsed_us,
+                    decided_us,
+                    ready_us,
+                    responded_us,
+                );
             }
         }
         Submit::Overloaded { depth } => {
+            log_submit("rejected_overload", None, 429);
             let msg = format!("queue full ({depth} jobs pending); retry later\n");
-            write_response(stream, 429, "text/plain", msg.as_bytes());
+            let ready_us = shared.now_us();
+            write_response_with(stream, 429, "text/plain", &headers, msg.as_bytes());
+            let responded_us = shared.now_us();
+            push_request_record(
+                shared,
+                "rejected",
+                kind,
+                rid,
+                accepted_us,
+                parsed_us,
+                decided_us,
+                ready_us,
+                responded_us,
+            );
         }
         Submit::ShuttingDown => {
-            write_response(stream, 503, "text/plain", b"shutting down\n");
+            log_submit("rejected_shutdown", None, 503);
+            let ready_us = shared.now_us();
+            write_response_with(stream, 503, "text/plain", &headers, b"shutting down\n");
+            let responded_us = shared.now_us();
+            push_request_record(
+                shared,
+                "rejected",
+                kind,
+                rid,
+                accepted_us,
+                parsed_us,
+                decided_us,
+                ready_us,
+                responded_us,
+            );
         }
     }
 }
